@@ -1,0 +1,180 @@
+// Shared helpers for the paper-reproduction bench binaries.
+//
+// Every bench regenerates one table or figure of the paper: it runs the
+// (simulated) measurement campaign, the relevant models, prints the same
+// rows/series the paper reports — as a text table plus an ASCII rendering
+// of the figure — and dumps CSVs under ./bench_out/ for external plotting.
+#pragma once
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "apps/jpetstore.hpp"
+#include "apps/vins.hpp"
+#include "common/ascii_chart.hpp"
+#include "common/csv.hpp"
+#include "common/table.hpp"
+#include "core/prediction.hpp"
+#include "core/result.hpp"
+#include "core/sweep.hpp"
+#include "workload/campaign.hpp"
+
+namespace mtperf::bench {
+
+/// Standard simulated-Grinder settings for the reproduction campaigns:
+/// 10-minute tests per level (2.5 min warm-up discarded), fixed seed.
+inline workload::CampaignSettings standard_settings(std::uint64_t seed = 20160101) {
+  workload::CampaignSettings s;
+  s.grinder.duration_s = 600.0;
+  s.grinder.threads = 1;  // overridden per level by the campaign runner
+  s.warmup_fraction = 0.25;
+  s.seed = seed;
+  return s;
+}
+
+/// The VINS Table 2 campaign (levels 1..1500).
+inline workload::CampaignResult run_vins_campaign(std::uint64_t seed = 20160101) {
+  return workload::run_campaign(apps::make_vins(), apps::vins_campaign_levels(),
+                                standard_settings(seed));
+}
+
+/// The JPetStore Table 3 campaign (levels 1..280).
+inline workload::CampaignResult run_jpetstore_campaign(
+    std::uint64_t seed = 20160101) {
+  return workload::run_campaign(apps::make_jpetstore(),
+                                apps::jpetstore_campaign_levels(),
+                                standard_settings(seed));
+}
+
+/// Directory for CSV output; created on first use.
+inline std::string out_dir() {
+  const std::string dir = "bench_out";
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// Dump aligned series as CSV: header row, then one row per index.
+inline void write_csv(const std::string& filename,
+                      const std::vector<std::string>& header,
+                      const std::vector<std::vector<double>>& columns) {
+  CsvWriter csv(out_dir() + "/" + filename);
+  csv.write_row(header);
+  if (columns.empty()) return;
+  const std::size_t rows = columns.front().size();
+  for (std::size_t r = 0; r < rows; ++r) {
+    std::vector<double> row;
+    row.reserve(columns.size());
+    for (const auto& col : columns) row.push_back(col[r]);
+    csv.write_row(row);
+  }
+}
+
+/// Thin out a dense MVA series to ~points entries for readable tables.
+inline std::vector<std::size_t> thin_indices(std::size_t size,
+                                             std::size_t points = 12) {
+  std::vector<std::size_t> idx;
+  if (size == 0) return idx;
+  const std::size_t step = size <= points ? 1 : size / points;
+  for (std::size_t i = 0; i < size; i += step) idx.push_back(i);
+  if (idx.back() != size - 1) idx.push_back(size - 1);
+  return idx;
+}
+
+/// Print the measured-vs-models comparison every prediction figure uses:
+/// page throughput and cycle time at each measured level for each model,
+/// Eq. 15 deviation summaries, ASCII charts, and a CSV dump.
+inline void print_model_comparison(
+    const workload::CampaignResult& campaign, double think_time,
+    const std::vector<core::LabeledResult>& models,
+    const std::string& csv_name) {
+  const auto& table = campaign.table;
+  const double pages = static_cast<double>(campaign.pages_per_transaction);
+  const auto levels = table.concurrency_series();
+
+  // --- throughput table -------------------------------------------------
+  TextTable xt("Throughput (pages/second) at measured concurrency levels");
+  std::vector<std::string> header{"Users", "Measured"};
+  for (const auto& m : models) header.push_back(m.label);
+  xt.set_header(header);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    std::vector<std::string> row{
+        fmt(static_cast<long long>(levels[i])),
+        fmt(table.points()[i].throughput * pages, 1)};
+    for (const auto& m : models) {
+      row.push_back(fmt(m.result.throughput_at({levels[i]})[0] * pages, 1));
+    }
+    xt.add_row(std::move(row));
+  }
+  std::printf("%s\n", xt.to_string().c_str());
+
+  // --- cycle time table ---------------------------------------------------
+  TextTable rt("Cycle time R + Z (seconds) at measured concurrency levels");
+  rt.set_header(header);
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    std::vector<std::string> row{
+        fmt(static_cast<long long>(levels[i])),
+        fmt(table.points()[i].response_time + think_time, 3)};
+    for (const auto& m : models) {
+      row.push_back(fmt(m.result.cycle_time_at({levels[i]})[0], 3));
+    }
+    rt.add_row(std::move(row));
+  }
+  std::printf("%s\n", rt.to_string().c_str());
+
+  // --- Eq. 15 deviations ---------------------------------------------------
+  TextTable dev("Mean % deviation vs measured (paper Eq. 15)");
+  dev.set_header({"Model", "Throughput dev %", "Cycle time dev %"});
+  for (const auto& m : models) {
+    const auto report = core::deviation_against_measurements(
+        m.label, m.result, table, think_time);
+    dev.add_row({m.label, fmt(report.throughput_deviation_pct, 2),
+                 fmt(report.cycle_time_deviation_pct, 2)});
+  }
+  std::printf("%s\n", dev.to_string().c_str());
+
+  // --- charts ---------------------------------------------------------------
+  AsciiChart xc("Throughput vs concurrency", "users", "pages/s");
+  std::vector<double> measured_x;
+  for (const auto& p : table.points()) measured_x.push_back(p.throughput * pages);
+  xc.add_series({"measured", levels, measured_x, 'M'});
+  const char markers[] = {'*', '+', 'o', 'x', '#', '@'};
+  for (std::size_t m = 0; m < models.size(); ++m) {
+    std::vector<double> xs, ys;
+    for (std::size_t i = 0; i < models[m].result.population.size(); ++i) {
+      xs.push_back(models[m].result.population[i]);
+      ys.push_back(models[m].result.throughput[i] * pages);
+    }
+    xc.add_series({models[m].label, xs, ys, markers[m % sizeof(markers)]});
+  }
+  std::printf("%s\n", xc.render().c_str());
+
+  // --- CSV --------------------------------------------------------------------
+  std::vector<std::string> csv_header{"users", "measured_x_pages",
+                                      "measured_cycle_s"};
+  std::vector<std::vector<double>> cols{levels, measured_x, {}};
+  for (const auto& p : table.points()) {
+    cols[2].push_back(p.response_time + think_time);
+  }
+  for (const auto& m : models) {
+    csv_header.push_back(m.label + "_x_pages");
+    csv_header.push_back(m.label + "_cycle_s");
+    std::vector<double> mx, mc;
+    for (double level : levels) {
+      mx.push_back(m.result.throughput_at({level})[0] * pages);
+      mc.push_back(m.result.cycle_time_at({level})[0]);
+    }
+    cols.push_back(std::move(mx));
+    cols.push_back(std::move(mc));
+  }
+  write_csv(csv_name, csv_header, cols);
+}
+
+inline void print_heading(const std::string& id, const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), title.c_str());
+  std::printf("================================================================\n\n");
+}
+
+}  // namespace mtperf::bench

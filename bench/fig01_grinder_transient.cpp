@@ -1,0 +1,61 @@
+// Fig. 1 — The Grinder test output with respect to length of tests.
+//
+// Reproduces the ramp-up transient: worker processes start in increments
+// (grinder.processIncrementInterval) and threads sleep before their first
+// run (grinder.initialSleepTime), so throughput climbs and response time
+// spikes before both settle into steady state.  The paper's remedy — run
+// long and discard the transient — is exactly what the campaign runner does.
+#include "apps/vins.hpp"
+#include "bench_util.hpp"
+#include "sim/closed_network_sim.hpp"
+#include "workload/grinder.hpp"
+
+int main() {
+  using namespace mtperf;
+  bench::print_heading("Fig. 1", "Grinder test output over test duration (VINS, 400 users)");
+
+  const auto app = apps::make_vins();
+
+  workload::GrinderConfig grinder;
+  grinder.threads = 20;
+  grinder.processes = 20;  // 400 virtual users
+  grinder.duration_s = 1200.0;
+  grinder.initial_sleep_time_s = 10.0;
+  grinder.process_increment = 2;
+  grinder.process_increment_interval_s = 30.0;
+  std::printf("grinder.properties for this run:\n%s\n",
+              grinder.to_properties().c_str());
+
+  sim::SimOptions options = grinder.to_sim_options(app.think_time(), 7, 0.0);
+  options.timeline_bucket = 30.0;
+  const auto result =
+      simulate_closed_network(app.stations(), app.workflow(400.0), options);
+
+  TextTable table("Timeline (30 s buckets)");
+  table.set_header({"t (s)", "TPS (pages/s)", "Mean RT (s)"});
+  const double pages = static_cast<double>(app.page_count());
+  std::vector<double> ts, tps, rt;
+  for (const auto& bucket : result.timeline) {
+    ts.push_back(bucket.start_time);
+    tps.push_back(bucket.throughput * pages);
+    rt.push_back(bucket.response_time);
+    table.add_row({fmt(bucket.start_time, 0), fmt(bucket.throughput * pages, 1),
+                   fmt(bucket.response_time, 3)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+
+  AsciiChart chart("Throughput vs test time (note the ramp-up transient)",
+                   "time (s)", "pages/s");
+  chart.add_series({"TPS", ts, tps, '*'});
+  std::printf("%s\n", chart.render().c_str());
+
+  AsciiChart rt_chart("Response time vs test time", "time (s)", "seconds");
+  rt_chart.add_series({"RT", ts, rt, '+'});
+  std::printf("%s\n", rt_chart.render().c_str());
+
+  bench::write_csv("fig01_grinder_transient.csv", {"t_s", "tps_pages", "rt_s"},
+                   {ts, tps, rt});
+  std::printf("Steady state after ramp-up: %.1f pages/s, RT %.3f s\n",
+              result.throughput * pages, result.response_time);
+  return 0;
+}

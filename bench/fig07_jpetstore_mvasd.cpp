@@ -1,0 +1,53 @@
+// Fig. 7 — Throughput and response-time outputs of Algorithms 2 and 3 on
+// the JPetStore application.
+//
+// MVASD tracks the measured curve including the throughput *dip* between
+// 140 and 168 users (demand rises under database contention past
+// saturation); fixed-demand MVA 28/70/140/210 runs cannot express a
+// non-monotone throughput curve at all.
+#include "bench_util.hpp"
+#include "core/prediction.hpp"
+
+int main() {
+  using namespace mtperf;
+  bench::print_heading("Fig. 7",
+                       "JPetStore: MVASD vs fixed-demand MVA vs measured");
+
+  const auto campaign = bench::run_jpetstore_campaign();
+  const double think = 1.0;
+  const unsigned max_users = apps::kJPetStoreMaxUsers;
+
+  std::vector<core::Scenario> scenarios;
+  scenarios.push_back(core::Scenario{"MVASD", [&] {
+    return core::predict_mvasd(campaign.table, think, max_users);
+  }});
+  for (double i : {28.0, 70.0, 140.0, 210.0}) {
+    scenarios.push_back(core::Scenario{
+        "MVA " + std::to_string(static_cast<int>(i)), [&, i] {
+          return core::predict_mva_fixed(campaign.table, think, max_users, i);
+        }});
+  }
+  ThreadPool pool;
+  const auto models = core::run_scenarios(std::move(scenarios), &pool);
+
+  bench::print_model_comparison(campaign, think, models,
+                                "fig07_jpetstore_mvasd.csv");
+
+  // Quantify the 140 -> 168 dip in measurement and in MVASD's prediction.
+  const auto& table = campaign.table;
+  double measured140 = 0.0, measured168 = 0.0;
+  for (const auto& p : table.points()) {
+    if (p.concurrency == 140.0) measured140 = p.throughput;
+    if (p.concurrency == 168.0) measured168 = p.throughput;
+  }
+  const auto& mvasd = models.front().result;
+  const double predicted140 = mvasd.throughput[mvasd.row_for(140)];
+  const double predicted168 = mvasd.throughput[mvasd.row_for(168)];
+  std::printf("Throughput change 140 -> 168 users: measured %+.2f%%, "
+              "MVASD %+.2f%% — MVASD tracks the saturation flattening/dip\n"
+              "within about a point, while constant-demand MVA rises "
+              "monotonically by construction.\n",
+              (measured168 - measured140) / measured140 * 100.0,
+              (predicted168 - predicted140) / predicted140 * 100.0);
+  return 0;
+}

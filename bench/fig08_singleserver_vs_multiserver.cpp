@@ -1,0 +1,46 @@
+// Fig. 8 — MVASD with the exact multi-server model vs "MVASD: Single
+// Server" (multi-core CPUs normalized to a single server with demand S/C).
+//
+// On the CPU-bound JPetStore, normalizing away the 16-core structure
+// erases the service-time floor at light load and mis-shapes the knee, so
+// the single-server variant deviates visibly more — the paper's argument
+// for carrying the exact multi-server correction factor.
+#include "bench_util.hpp"
+#include "core/prediction.hpp"
+#include "core/seidmann.hpp"
+
+int main() {
+  using namespace mtperf;
+  bench::print_heading(
+      "Fig. 8", "JPetStore: exact multi-server MVASD vs normalized single-server");
+
+  const auto campaign = bench::run_jpetstore_campaign();
+  const double think = 1.0;
+  const unsigned max_users = apps::kJPetStoreMaxUsers;
+
+  std::vector<core::Scenario> scenarios;
+  scenarios.push_back(core::Scenario{"MVASD", [&] {
+    return core::predict_mvasd(campaign.table, think, max_users);
+  }});
+  scenarios.push_back(core::Scenario{"MVASD:SingleServer", [&] {
+    return core::predict_mvasd_single_server(campaign.table, think, max_users);
+  }});
+  // Ablation beyond the paper: the Seidmann-transform approximation used by
+  // approximate multi-server MVA ([19]-style baselines).
+  scenarios.push_back(core::Scenario{"Seidmann (D@140)", [&] {
+    const auto net = core::network_from_table(campaign.table, think);
+    const auto demands = campaign.table.demands_at_concurrency(140.0);
+    return core::seidmann_mva(net, demands, max_users);
+  }});
+  ThreadPool pool;
+  const auto models = core::run_scenarios(std::move(scenarios), &pool);
+
+  bench::print_model_comparison(campaign, think, models,
+                                "fig08_singleserver_vs_multiserver.csv");
+  std::printf(
+      "Observation (paper Fig. 8): the S/C normalization under-estimates\n"
+      "light-load response time and degrades both predictions; the exact\n"
+      "multi-server correction is necessary when the bottleneck is a\n"
+      "multi-core CPU.\n");
+  return 0;
+}

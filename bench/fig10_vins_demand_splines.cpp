@@ -1,0 +1,52 @@
+// Fig. 10 — Spline-interpolated service demands for the VINS database
+// server.
+//
+// Builds the cubic spline (Algorithm 3's interpolation function h) through
+// the measured demand points and evaluates it densely, showing that the
+// interpolant passes through every sample and fills the unsampled range
+// with a smooth, monotone-decreasing demand curve.
+#include "apps/testbed.hpp"
+#include "bench_util.hpp"
+#include "interp/cubic_spline.hpp"
+#include "interp/pchip.hpp"
+
+int main() {
+  using namespace mtperf;
+  bench::print_heading("Fig. 10", "Spline through VINS DB service demands");
+
+  const auto campaign = bench::run_vins_campaign();
+  const auto samples = campaign.table.demand_vs_concurrency(apps::kDbDisk);
+  const auto spline = interp::build_cubic_spline(samples);
+  const auto pchip = interp::build_pchip(samples);
+
+  TextTable t("DB disk demand: measured points vs spline (ms)");
+  t.set_header({"Users", "Measured", "Spline", "PCHIP"});
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    t.add_row({fmt(samples.x[i], 0), fmt(samples.y[i] * 1000.0, 3),
+               fmt(spline.value(samples.x[i]) * 1000.0, 3),
+               fmt(pchip.value(samples.x[i]) * 1000.0, 3)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::vector<double> xs, dense_spline, dense_pchip;
+  for (double n = 1.0; n <= 1500.0; n += 10.0) {
+    xs.push_back(n);
+    dense_spline.push_back(spline.value(n) * 1000.0);
+    dense_pchip.push_back(pchip.value(n) * 1000.0);
+  }
+  AsciiChart chart("VINS DB disk demand spline (o = measured samples)",
+                   "users", "demand (ms)");
+  chart.add_series({"spline", xs, dense_spline, '*'});
+  std::vector<double> my(samples.y);
+  for (double& v : my) v *= 1000.0;
+  chart.add_series({"measured", samples.x, my, 'o'});
+  std::printf("%s\n", chart.render().c_str());
+
+  bench::write_csv("fig10_vins_demand_splines.csv",
+                   {"users", "spline_ms", "pchip_ms"},
+                   {xs, dense_spline, dense_pchip});
+
+  std::printf("Trend: demand decreases with workload (caching, batching,\n"
+              "branch prediction) — the Section 7 observation.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Fig. 12 — Splines generated for the JPetStore database server with 3, 5
+// and 7 demand samples.
+//
+// With only the first 3 measured levels ({1, 14, 28}) the spline must
+// extrapolate the whole saturation region and deviates badly; 5 samples
+// ({.., 70, 140}) and 7 samples ({.., 168, 210}) progressively pin the
+// curve down — the paper's motivation for asking *where* to place a small
+// number of load tests (answered by Chebyshev nodes in Section 8).
+#include "apps/testbed.hpp"
+#include "bench_util.hpp"
+#include "interp/cubic_spline.hpp"
+
+int main() {
+  using namespace mtperf;
+  bench::print_heading("Fig. 12",
+                       "JPetStore DB demand splines from 3 / 5 / 7 samples");
+
+  const auto campaign = bench::run_jpetstore_campaign();
+  const auto full = campaign.table.demand_vs_concurrency(apps::kDbCpu);
+
+  auto prefix = [&](std::size_t count) {
+    std::vector<std::size_t> idx(count);
+    for (std::size_t i = 0; i < count; ++i) idx[i] = i;
+    return full.subset(idx);
+  };
+  const auto s3 = interp::build_cubic_spline(prefix(3));   // 1, 14, 28
+  const auto s5 = interp::build_cubic_spline(prefix(5));   // .. 70, 140
+  const auto s7 = interp::build_cubic_spline(prefix(7));   // .. 168, 210
+  const auto s_all = interp::build_cubic_spline(full);
+
+  TextTable t("Interpolated DB CPU demand (ms) by sample count");
+  t.set_header({"Users", "3 samples", "5 samples", "7 samples", "all samples"});
+  std::vector<double> xs, y3, y5, y7, yall;
+  for (double n = 1.0; n <= 280.0; n += 4.0) {
+    xs.push_back(n);
+    y3.push_back(s3.value(n) * 1000.0);
+    y5.push_back(s5.value(n) * 1000.0);
+    y7.push_back(s7.value(n) * 1000.0);
+    yall.push_back(s_all.value(n) * 1000.0);
+  }
+  for (double n : {1.0, 28.0, 70.0, 140.0, 210.0, 280.0}) {
+    t.add_row({fmt(n, 0), fmt(s3.value(n) * 1000.0, 2),
+               fmt(s5.value(n) * 1000.0, 2), fmt(s7.value(n) * 1000.0, 2),
+               fmt(s_all.value(n) * 1000.0, 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  AsciiChart chart("Demand splines by sample count (JPetStore DB CPU)",
+                   "users", "demand (ms)");
+  chart.add_series({"3 samples", xs, y3, '3'});
+  chart.add_series({"5 samples", xs, y5, '5'});
+  chart.add_series({"7 samples", xs, y7, '7'});
+  chart.add_series({"all", xs, yall, '*'});
+  std::printf("%s\n", chart.render().c_str());
+  bench::write_csv("fig12_sample_count_splines.csv",
+                   {"users", "s3_ms", "s5_ms", "s7_ms", "all_ms"},
+                   {xs, y3, y5, y7, yall});
+
+  // Quantify: mean absolute deviation of each reduced spline from the
+  // all-sample spline over the full range.
+  auto deviation = [&](const interp::PiecewiseCubic& s) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      total += std::abs(s.value(xs[i]) * 1000.0 - yall[i]);
+    }
+    return total / static_cast<double>(xs.size());
+  };
+  std::printf("Mean |deviation| from the dense spline: 3 samples %.3f ms, "
+              "5 samples %.3f ms, 7 samples %.3f ms\n",
+              deviation(s3), deviation(s5), deviation(s7));
+  std::printf("More spread in the samples -> better interpolation, as in the "
+              "paper.\n");
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Fig. 15 — Chebyshev vs random sampling of the demand curve.
+//
+// Splines the JPetStore DB disk demand from 7 Chebyshev-placed campaigns
+// and from 7 randomly placed ones, and compares the undulation (integrated
+// curvature) and the deviation from the dense-campaign reference: random
+// placement produces the extra wiggles the paper shows, Chebyshev does not.
+#include <cmath>
+
+#include "apps/testbed.hpp"
+#include "bench_util.hpp"
+#include "interp/cubic_spline.hpp"
+#include "workload/test_plan.hpp"
+
+int main() {
+  using namespace mtperf;
+  bench::print_heading("Fig. 15", "Chebyshev vs random sampling of demands");
+
+  const auto app = apps::make_jpetstore();
+  const auto cheb_levels = workload::plan_concurrency_levels(
+      1, 300, 7, workload::SamplingStrategy::kChebyshev);
+  const auto rand_levels = workload::plan_concurrency_levels(
+      1, 300, 7, workload::SamplingStrategy::kRandom, /*seed=*/12);
+
+  auto print_levels = [](const char* name, const std::vector<unsigned>& ls) {
+    std::printf("%s levels:", name);
+    for (unsigned u : ls) std::printf(" %u", u);
+    std::printf("\n");
+  };
+  print_levels("Chebyshev 7", cheb_levels);
+  print_levels("Random 7   ", rand_levels);
+
+  const auto cheb =
+      workload::run_campaign(app, cheb_levels, bench::standard_settings());
+  const auto rnd =
+      workload::run_campaign(app, rand_levels, bench::standard_settings());
+  const auto dense = bench::run_jpetstore_campaign();
+
+  const auto s_cheb = interp::build_cubic_spline(
+      cheb.table.demand_vs_concurrency(apps::kDbDisk));
+  const auto s_rand = interp::build_cubic_spline(
+      rnd.table.demand_vs_concurrency(apps::kDbDisk));
+  const auto s_dense = interp::build_cubic_spline(
+      dense.table.demand_vs_concurrency(apps::kDbDisk));
+
+  std::vector<double> xs, yc, yr, yd;
+  for (double n = 1.0; n <= 300.0; n += 3.0) {
+    xs.push_back(n);
+    yc.push_back(s_cheb.value(n) * 1000.0);
+    yr.push_back(s_rand.value(n) * 1000.0);
+    yd.push_back(s_dense.value(n) * 1000.0);
+  }
+  AsciiChart chart("DB disk demand: Chebyshev vs random node splines",
+                   "users", "demand (ms)");
+  chart.add_series({"Chebyshev", xs, yc, 'C'});
+  chart.add_series({"Random", xs, yr, 'R'});
+  chart.add_series({"dense", xs, yd, '*'});
+  std::printf("%s\n", chart.render().c_str());
+  bench::write_csv("fig15_chebyshev_vs_random.csv",
+                   {"users", "chebyshev_ms", "random_ms", "dense_ms"},
+                   {xs, yc, yr, yd});
+
+  // Undulation metric: total variation of the spline slope (sums the extra
+  // direction changes random placement introduces).
+  auto undulation = [&](const interp::PiecewiseCubic& s) {
+    double total = 0.0;
+    double prev = s.derivative(1.0, 1);
+    for (double n = 2.0; n <= 300.0; n += 1.0) {
+      const double d = s.derivative(n, 1);
+      total += std::abs(d - prev);
+      prev = d;
+    }
+    return total * 1000.0;  // ms of slope change
+  };
+  auto mad = [&](const std::vector<double>& ys) {
+    double total = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) total += std::abs(ys[i] - yd[i]);
+    return total / static_cast<double>(xs.size());
+  };
+  const double u_cheb = undulation(s_cheb), u_rand = undulation(s_rand);
+  const double m_cheb = mad(yc), m_rand = mad(yr);
+  std::printf("Slope total-variation (undulation): Chebyshev %.4f, Random "
+              "%.4f\n", u_cheb, u_rand);
+  std::printf("Mean |deviation| from dense spline:  Chebyshev %.4f ms, "
+              "Random %.4f ms\n", m_cheb, m_rand);
+  std::printf(
+      "%s placement tracks the dense-campaign demand curve better on this\n"
+      "draw (fidelity is the operative metric; single random draws vary,\n"
+      "which is itself the paper's argument for deterministic Chebyshev\n"
+      "placement).\n",
+      m_cheb <= m_rand ? "Chebyshev" : "Random");
+  return 0;
+}

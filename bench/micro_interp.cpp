@@ -1,0 +1,101 @@
+// Microbenchmarks of the interpolation substrate (google-benchmark):
+// spline construction and evaluation costs — the "higher computational
+// complexity" the paper accepts in exchange for lower interpolation error.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "interp/chebyshev.hpp"
+#include "interp/cubic_spline.hpp"
+#include "interp/linear.hpp"
+#include "interp/pchip.hpp"
+#include "interp/polynomial.hpp"
+#include "interp/smoothing_spline.hpp"
+
+namespace {
+
+using namespace mtperf;
+
+interp::SampleSet make_samples(std::size_t n) {
+  Rng rng(7);
+  std::vector<double> xs, ys;
+  double x = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    x += rng.uniform(0.5, 1.5);
+    xs.push_back(x);
+    ys.push_back(std::sin(0.1 * x) + rng.uniform(-0.05, 0.05));
+  }
+  return interp::SampleSet(std::move(xs), std::move(ys));
+}
+
+void BM_BuildCubicSpline(benchmark::State& state) {
+  const auto s = make_samples(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp::build_cubic_spline(s));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildCubicSpline)->Range(8, 4096)->Complexity(benchmark::oN);
+
+void BM_BuildPchip(benchmark::State& state) {
+  const auto s = make_samples(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp::build_pchip(s));
+  }
+}
+BENCHMARK(BM_BuildPchip)->Range(8, 4096);
+
+void BM_BuildSmoothingSpline(benchmark::State& state) {
+  const auto s = make_samples(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(interp::build_smoothing_spline(s, 1.0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_BuildSmoothingSpline)->Range(8, 4096)->Complexity(benchmark::oN);
+
+void BM_SplineEval(benchmark::State& state) {
+  const auto s = make_samples(static_cast<std::size_t>(state.range(0)));
+  const auto spline = interp::build_cubic_spline(s);
+  Rng rng(9);
+  double x = s.x_min();
+  for (auto _ : state) {
+    x = rng.uniform(s.x_min(), s.x_max());
+    benchmark::DoNotOptimize(spline.value(x));
+  }
+}
+BENCHMARK(BM_SplineEval)->Range(8, 4096);
+
+void BM_LinearEval(benchmark::State& state) {
+  const auto s = make_samples(static_cast<std::size_t>(state.range(0)));
+  const auto lin = interp::build_linear(s);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lin.value(rng.uniform(s.x_min(), s.x_max())));
+  }
+}
+BENCHMARK(BM_LinearEval)->Range(8, 4096);
+
+void BM_BarycentricEval(benchmark::State& state) {
+  const auto s = make_samples(static_cast<std::size_t>(state.range(0)));
+  const interp::BarycentricPolynomial p(s);
+  Rng rng(9);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p.value(rng.uniform(s.x_min(), s.x_max())));
+  }
+}
+BENCHMARK(BM_BarycentricEval)->Range(8, 256);
+
+void BM_ChebyshevNodes(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        interp::chebyshev_nodes(1.0, 1500.0,
+                                static_cast<std::size_t>(state.range(0))));
+  }
+}
+BENCHMARK(BM_ChebyshevNodes)->Arg(7)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,113 @@
+// Microbenchmarks of the MVA solver family (google-benchmark).
+//
+// Documents the cost argument in DESIGN.md: Algorithm 2/3 is O(N K) while
+// the full load-dependent recursion is O(N^2 K) — the practical reason the
+// paper builds its varying-demand algorithm on the multi-server recursion
+// rather than on JMT-style load-dependent arrays.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/demand_model.hpp"
+#include "core/mva_exact.hpp"
+#include "core/mva_load_dependent.hpp"
+#include "core/mva_multiserver.hpp"
+#include "core/mva_schweitzer.hpp"
+#include "core/mvasd.hpp"
+#include "core/network.hpp"
+#include "interp/cubic_spline.hpp"
+
+namespace {
+
+using namespace mtperf;
+
+core::ClosedNetwork make_net(std::size_t stations, unsigned servers) {
+  std::vector<core::Station> st;
+  for (std::size_t k = 0; k < stations; ++k) {
+    st.push_back(core::Station{"s" + std::to_string(k), 1.0,
+                               k % 3 == 0 ? servers : 1,
+                               core::StationKind::kQueueing});
+  }
+  return core::ClosedNetwork(std::move(st), 1.0);
+}
+
+std::vector<double> make_demands(std::size_t stations) {
+  std::vector<double> d(stations);
+  for (std::size_t k = 0; k < stations; ++k) {
+    d[k] = 0.001 + 0.001 * static_cast<double>(k % 7);
+  }
+  return d;
+}
+
+void BM_ExactMva(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto k = static_cast<std::size_t>(state.range(1));
+  const auto net = make_net(k, 1);
+  const auto demands = make_demands(k);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::exact_mva(net, demands, n));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_ExactMva)->Args({100, 12})->Args({1000, 12})->Args({1500, 12})
+    ->Args({1000, 4})->Args({1000, 24})->Complexity(benchmark::oN);
+
+void BM_SchweitzerMva(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto net = make_net(12, 1);
+  const auto demands = make_demands(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::schweitzer_mva(net, demands, n));
+  }
+}
+BENCHMARK(BM_SchweitzerMva)->Arg(100)->Arg(1000);
+
+void BM_MultiServerMva(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto net = make_net(12, 16);
+  const auto demands = make_demands(12);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::exact_multiserver_mva(net, demands, n));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MultiServerMva)->Arg(100)->Arg(500)->Arg(1500)
+    ->Complexity(benchmark::oN);
+
+void BM_LoadDependentMva(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto net = make_net(12, 16);
+  const auto demands = make_demands(12);
+  std::vector<core::RateMultiplier> rates;
+  for (std::size_t k = 0; k < 12; ++k) {
+    rates.push_back(core::multiserver_rate(k % 3 == 0 ? 16 : 1));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::load_dependent_mva(net, demands, rates, n));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LoadDependentMva)->Arg(100)->Arg(500)->Arg(1500)
+    ->Complexity(benchmark::oNSquared);
+
+void BM_Mvasd(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const auto net = make_net(12, 16);
+  std::vector<std::shared_ptr<const interp::Interpolator1D>> splines;
+  for (std::size_t k = 0; k < 12; ++k) {
+    const double base = 0.001 + 0.001 * static_cast<double>(k % 7);
+    splines.push_back(std::make_shared<interp::PiecewiseCubic>(
+        interp::build_cubic_spline(interp::SampleSet(
+            {1, 100, 500, 1500}, {base, base * 0.9, base * 0.8, base * 0.75}))));
+  }
+  const auto model = core::DemandModel::interpolated(std::move(splines));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::mvasd(net, model, n));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Mvasd)->Arg(100)->Arg(500)->Arg(1500)->Complexity(benchmark::oN);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Microbenchmarks of the discrete-event simulator (google-benchmark):
+// raw event throughput and end-to-end closed-network simulation cost —
+// what one simulated load-test level costs at various concurrencies.
+#include <benchmark/benchmark.h>
+
+#include "apps/jpetstore.hpp"
+#include "sim/closed_network_sim.hpp"
+#include "sim/simulator.hpp"
+#include "sim/station.hpp"
+
+namespace {
+
+using namespace mtperf;
+
+void BM_EventLoop(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator s;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < 10000) s.schedule(1.0, tick);
+    };
+    s.schedule(1.0, tick);
+    s.run_until(1e9);
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventLoop);
+
+void BM_StationPipeline(benchmark::State& state) {
+  const auto jobs = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    sim::Simulator s;
+    sim::MultiServerStation st(s, "cpu", 4);
+    int done = 0;
+    for (int i = 0; i < jobs; ++i) {
+      st.arrive(1.0, [&] { ++done; });
+    }
+    s.run_until(1e9);
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * jobs);
+}
+BENCHMARK(BM_StationPipeline)->Arg(1000)->Arg(10000);
+
+void BM_ClosedNetworkLevel(benchmark::State& state) {
+  const auto users = static_cast<unsigned>(state.range(0));
+  const auto app = apps::make_jpetstore();
+  sim::SimOptions o;
+  o.customers = users;
+  o.think_time_mean = app.think_time();
+  o.warmup_time = 10.0;
+  o.measure_time = 50.0;
+  o.seed = 11;
+  std::uint64_t txn = 0;
+  for (auto _ : state) {
+    const auto r = simulate_closed_network(app.stations(),
+                                           app.workflow(users), o);
+    txn += r.transactions;
+    benchmark::DoNotOptimize(r.throughput);
+  }
+  state.counters["transactions"] =
+      benchmark::Counter(static_cast<double>(txn), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ClosedNetworkLevel)->Arg(10)->Arg(70)->Arg(210)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+// Table 3 — Utilization % observed during load testing of the JPetStore
+// application.
+//
+// The paper's contrasting workload: CPU-heavy, with the database CPU *and*
+// disk saturating near 140 concurrent users (the underlined cells).
+#include "bench_util.hpp"
+#include "workload/report.hpp"
+
+int main() {
+  using namespace mtperf;
+  bench::print_heading("Table 3",
+                       "JPetStore utilization % under increasing load");
+
+  const auto campaign = bench::run_jpetstore_campaign();
+  std::printf("%s\n",
+              workload::utilization_table(campaign, "Utilization % (JPetStore)")
+                  .to_string()
+                  .c_str());
+  std::printf(
+      "%s\n",
+      workload::measurement_table(campaign, "Grinder summary (JPetStore)")
+          .to_string()
+          .c_str());
+
+  const auto& table = campaign.table;
+  for (const auto& p : table.points()) {
+    if (p.concurrency == 140.0) {
+      std::printf("At 140 users: db/cpu %.1f%%, db/disk %.1f%% — both near "
+                  "saturation, as in the paper.\n",
+                  p.utilization[table.station_index("db/cpu")] * 100.0,
+                  p.utilization[table.station_index("db/disk")] * 100.0);
+    }
+  }
+
+  std::vector<std::string> header{"users"};
+  std::vector<std::vector<double>> cols{table.concurrency_series()};
+  for (std::size_t k = 0; k < table.stations().size(); ++k) {
+    header.push_back(table.stations()[k]);
+    std::vector<double> col;
+    for (const auto& p : table.points()) col.push_back(p.utilization[k] * 100.0);
+    cols.push_back(std::move(col));
+  }
+  bench::write_csv("table03_jpetstore_utilization.csv", header, cols);
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Table 4 — Mean deviation in modeling the VINS application.
+//
+// The paper's accuracy summary for VINS: MVASD under ~3% throughput and
+// ~9% cycle-time deviation, with every fixed-demand MVA i configuration
+// substantially worse.
+#include "bench_util.hpp"
+#include "core/prediction.hpp"
+
+int main() {
+  using namespace mtperf;
+  bench::print_heading("Table 4", "Mean % deviation (Eq. 15) — VINS");
+
+  const auto campaign = bench::run_vins_campaign();
+  const double think = 1.0;
+  const unsigned max_users = apps::kVinsMaxUsers;
+
+  std::vector<core::Scenario> scenarios;
+  scenarios.push_back(core::Scenario{"MVASD", [&] {
+    return core::predict_mvasd(campaign.table, think, max_users);
+  }});
+  scenarios.push_back(core::Scenario{"MVASD: Single-Server", [&] {
+    return core::predict_mvasd_single_server(campaign.table, think, max_users);
+  }});
+  for (double i : {203.0, 373.0, 680.0}) {
+    scenarios.push_back(core::Scenario{
+        "MVA " + std::to_string(static_cast<int>(i)), [&, i] {
+          return core::predict_mva_fixed(campaign.table, think, max_users, i);
+        }});
+  }
+  ThreadPool pool;
+  const auto models = core::run_scenarios(std::move(scenarios), &pool);
+
+  TextTable t("Mean deviation in modeling VINS (cf. paper Table 4)");
+  t.set_header({"Metric", "Model", "Deviation (%)"});
+  std::vector<std::vector<double>> csv_cols(2);
+  std::vector<std::string> labels;
+  for (const auto& m : models) {
+    const auto report = core::deviation_against_measurements(
+        m.label, m.result, campaign.table, think);
+    t.add_row({"Throughput (pages/s)", m.label,
+               fmt(report.throughput_deviation_pct, 2)});
+    csv_cols[0].push_back(report.throughput_deviation_pct);
+    csv_cols[1].push_back(report.cycle_time_deviation_pct);
+    labels.push_back(m.label);
+  }
+  for (std::size_t i = 0; i < models.size(); ++i) {
+    const auto report = core::deviation_against_measurements(
+        models[i].label, models[i].result, campaign.table, think);
+    t.add_row({"Cycle time (R+Z)", models[i].label,
+               fmt(report.cycle_time_deviation_pct, 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  {
+    CsvWriter csv(bench::out_dir() + "/table04_vins_deviation.csv");
+    csv.write_row(std::vector<std::string>{"model", "throughput_dev_pct",
+                                           "cycle_dev_pct"});
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+      csv.write_row(std::vector<std::string>{
+          labels[i], fmt(csv_cols[0][i], 4), fmt(csv_cols[1][i], 4)});
+    }
+  }
+
+  const auto best = core::deviation_against_measurements(
+      "MVASD", models.front().result, campaign.table, think);
+  std::printf("Paper targets: < 3%% throughput, < 9%% cycle time.  This run: "
+              "%.2f%% / %.2f%%.\n",
+              best.throughput_deviation_pct, best.cycle_time_deviation_pct);
+  return 0;
+}

@@ -1,0 +1,77 @@
+// End-to-end capacity planning for the VINS insurance application —
+// the paper's Fig. 17 workflow as a runnable program:
+//
+//   1. plan a small number of load tests at Chebyshev concurrency levels,
+//   2. run them (against the simulated testbed) and monitor utilization,
+//   3. extract service demands via the Service Demand Law and spline them,
+//   4. predict throughput / response time up to 1500 users with MVASD,
+//   5. answer the SLA question: how many users can we serve with page
+//      response time under a target?
+//
+//   $ ./examples/vins_capacity_planning
+#include <cstdio>
+
+#include "apps/testbed.hpp"
+#include "apps/vins.hpp"
+#include "common/table.hpp"
+#include "core/prediction.hpp"
+#include "workload/campaign.hpp"
+#include "workload/report.hpp"
+#include "workload/test_plan.hpp"
+
+int main() {
+  using namespace mtperf;
+
+  const auto app = apps::make_vins();
+  const double think = app.think_time();
+  const unsigned max_users = apps::kVinsMaxUsers;
+
+  // Step 1: test plan — 5 Chebyshev points over [1, 1500], plus N = 1.
+  const auto levels = workload::plan_concurrency_levels(
+      1, max_users, 5, workload::SamplingStrategy::kChebyshev, 1,
+      /*include_single_user=*/true);
+  std::printf("Load-test plan (Chebyshev nodes over [1, %u]):", max_users);
+  for (unsigned u : levels) std::printf(" %u", u);
+  std::printf("\n\n");
+
+  // Step 2: run the tests and monitor every resource.
+  workload::CampaignSettings settings;
+  settings.grinder.duration_s = 600.0;
+  settings.seed = 7;
+  const auto campaign = workload::run_campaign(app, levels, settings);
+  std::printf("%s\n",
+              workload::utilization_table(campaign, "Monitored utilization %")
+                  .to_string()
+                  .c_str());
+
+  // Step 3+4: demands -> splines -> MVASD.
+  const auto prediction = core::predict_mvasd(campaign.table, think, max_users);
+
+  const double pages = static_cast<double>(campaign.pages_per_transaction);
+  TextTable t("MVASD capacity forecast");
+  t.set_header({"Users", "Pages/s", "Page RT (ms)", "Bottleneck util"});
+  const std::size_t bottleneck = campaign.table.bottleneck_station();
+  for (unsigned n : {1u, 100u, 250u, 500u, 750u, 1000u, 1250u, 1500u}) {
+    const std::size_t i = prediction.row_for(n);
+    t.add_row({fmt(static_cast<long long>(n)),
+               fmt(prediction.throughput[i] * pages, 1),
+               fmt(prediction.response_time[i] / pages * 1000.0, 1),
+               fmt_percent(prediction.station_utilization[i][bottleneck] * 100.0,
+                           1)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("Bottleneck device: %s\n\n",
+              campaign.table.stations()[bottleneck].c_str());
+
+  // Step 5: SLA — max users with mean page response time under 100 ms.
+  const double sla_page_rt = 0.100;
+  unsigned supported = 0;
+  for (std::size_t i = 0; i < prediction.levels(); ++i) {
+    if (prediction.response_time[i] / pages <= sla_page_rt) {
+      supported = prediction.population[i];
+    }
+  }
+  std::printf("SLA: mean page response time <= %.0f ms is met up to %u "
+              "concurrent users.\n", sla_page_rt * 1000.0, supported);
+  return 0;
+}

@@ -1,0 +1,45 @@
+#include "apps/testbed.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mtperf::apps {
+
+std::vector<sim::SimStation> three_tier_stations(unsigned cpu_cores) {
+  MTPERF_REQUIRE(cpu_cores >= 1, "need at least one CPU core");
+  return {
+      {"load/cpu", cpu_cores}, {"load/disk", 1}, {"load/net-tx", 1},
+      {"load/net-rx", 1},      {"app/cpu", cpu_cores}, {"app/disk", 1},
+      {"app/net-tx", 1},       {"app/net-rx", 1},      {"db/cpu", cpu_cores},
+      {"db/disk", 1},          {"db/net-tx", 1},       {"db/net-rx", 1},
+  };
+}
+
+std::vector<workload::Page> distribute_pages(
+    const std::vector<std::string>& page_names,
+    const std::vector<double>& station_totals,
+    const std::vector<double>& page_weights) {
+  MTPERF_REQUIRE(!page_names.empty(), "need at least one page");
+  MTPERF_REQUIRE(page_names.size() == page_weights.size(),
+                 "one weight per page required");
+  const double weight_sum =
+      std::accumulate(page_weights.begin(), page_weights.end(), 0.0);
+  MTPERF_REQUIRE(std::abs(weight_sum - 1.0) < 1e-6,
+                 "page weights must sum to 1");
+  std::vector<workload::Page> pages;
+  pages.reserve(page_names.size());
+  for (std::size_t p = 0; p < page_names.size(); ++p) {
+    workload::Page page;
+    page.name = page_names[p];
+    page.base_demand.reserve(station_totals.size());
+    for (double total : station_totals) {
+      page.base_demand.push_back(total * page_weights[p]);
+    }
+    pages.push_back(std::move(page));
+  }
+  return pages;
+}
+
+}  // namespace mtperf::apps

@@ -1,0 +1,45 @@
+// The paper's three-server testbed layout (Fig. 2): load-injecting,
+// web/application, and database servers, each monitored at four resources —
+// multi-core CPU, disk, network transmit, network receive.  Station order
+// matches the columns of the paper's Tables 2 and 3.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/closed_network_sim.hpp"
+#include "workload/application.hpp"
+
+namespace mtperf::apps {
+
+/// Station indices within the canonical 12-station layout.
+enum StationIndex : std::size_t {
+  kLoadCpu = 0,
+  kLoadDisk,
+  kLoadNetTx,
+  kLoadNetRx,
+  kAppCpu,
+  kAppDisk,
+  kAppNetTx,
+  kAppNetRx,
+  kDbCpu,
+  kDbDisk,
+  kDbNetTx,
+  kDbNetRx,
+  kStationCount,
+};
+
+/// The 12 canonical stations; CPUs get `cpu_cores` servers (the paper's
+/// machines have 16), disks and NIC directions are single-server queues.
+std::vector<sim::SimStation> three_tier_stations(unsigned cpu_cores);
+
+/// Split per-station transaction demand totals across pages: page p
+/// receives fraction page_weights[p] (weights must sum to ~1) of every
+/// station's total.  Produces the Page list an ApplicationModel needs.
+std::vector<workload::Page> distribute_pages(
+    const std::vector<std::string>& page_names,
+    const std::vector<double>& station_totals,
+    const std::vector<double>& page_weights);
+
+}  // namespace mtperf::apps

@@ -1,0 +1,108 @@
+#include "apps/vins.hpp"
+
+#include "apps/testbed.hpp"
+#include "common/error.hpp"
+
+namespace mtperf::apps {
+
+namespace {
+
+struct WorkflowSpec {
+  std::string label;
+  std::vector<double> station_totals;
+  std::vector<std::string> page_names;
+  std::vector<double> page_weights;
+};
+
+/// Per-transaction single-user demand totals (seconds), station order =
+/// testbed order.  Renew Policy is calibrated so that at saturation
+/// (X ~ 1/D_db_disk ~ 290 tx/s):
+///   db/disk   -> ~93%+ busy (the bottleneck — Table 2's underlined cell)
+///   load/disk -> ~90%+ busy (the paper's other near-saturated device)
+///   db/cpu    -> ~35% per-core busy on 16 cores.
+/// The other three workflows shift the balance the way their page flows
+/// suggest: Registration and New Policy write more (heavier DB disk and
+/// CPU), Read Policy Details is read-mostly and cache-friendly.
+WorkflowSpec workflow_spec(VinsWorkflow workflow) {
+  switch (workflow) {
+    case VinsWorkflow::kRenewPolicy:
+      return WorkflowSpec{
+          "Renew Policy",
+          {/* load/cpu    */ 0.0150,
+           /* load/disk   */ 0.0055,
+           /* load/net-tx */ 0.0006,
+           /* load/net-rx */ 0.0005,
+           /* app/cpu     */ 0.0280,
+           /* app/disk    */ 0.0013,
+           /* app/net-tx  */ 0.0006,
+           /* app/net-rx  */ 0.0006,
+           /* db/cpu      */ 0.0220,
+           /* db/disk     */ 0.0062,
+           /* db/net-tx   */ 0.0005,
+           /* db/net-rx   */ 0.0005},
+          {"login", "search-policy", "view-policy", "renewal-quote",
+           "premium-calc", "confirm-renewal", "receipt"},
+          {0.08, 0.14, 0.12, 0.18, 0.22, 0.16, 0.10}};
+    case VinsWorkflow::kRegistration:
+      return WorkflowSpec{
+          "Registration",
+          {0.0140, 0.0050, 0.0007, 0.0006, 0.0310, 0.0016, 0.0007, 0.0007,
+           0.0260, 0.0085, 0.0006, 0.0006},
+          {"login", "personal-details", "vehicle-details", "document-upload",
+           "verify", "confirm-registration"},
+          {0.10, 0.20, 0.20, 0.22, 0.14, 0.14}};
+    case VinsWorkflow::kNewPolicy:
+      return WorkflowSpec{
+          "New Policy",
+          {0.0145, 0.0052, 0.0006, 0.0006, 0.0290, 0.0014, 0.0006, 0.0006,
+           0.0250, 0.0074, 0.0006, 0.0005},
+          {"login", "select-vehicle", "coverage-options", "premium-quote",
+           "payment", "issue-policy"},
+          {0.09, 0.15, 0.20, 0.22, 0.18, 0.16}};
+    case VinsWorkflow::kReadPolicyDetails:
+      return WorkflowSpec{
+          "Read Policy Details",
+          {0.0120, 0.0040, 0.0005, 0.0005, 0.0170, 0.0008, 0.0005, 0.0005,
+           0.0090, 0.0016, 0.0005, 0.0004},
+          {"login", "list-policies", "policy-details", "vehicle-details"},
+          {0.15, 0.30, 0.35, 0.20}};
+  }
+  throw invalid_argument_error("unknown VINS workflow");
+}
+
+}  // namespace
+
+workload::ApplicationModel make_vins(const VinsConfig& config) {
+  const WorkflowSpec spec = workflow_spec(config.workflow);
+
+  // Demand variation with concurrency (all demands shrink as caches warm;
+  // disks benefit most from request batching, CPUs less).  The read-only
+  // workflow caches hardest.
+  const bool read_mostly = config.workflow == VinsWorkflow::kReadPolicyDetails;
+  std::vector<workload::ScalingLaw> laws(kStationCount);
+  laws[kLoadCpu] = workload::caching_law(0.82, 160.0);
+  laws[kLoadDisk] = workload::caching_law(0.58, 150.0);
+  laws[kLoadNetTx] = workload::caching_law(0.85, 200.0);
+  laws[kLoadNetRx] = workload::caching_law(0.85, 200.0);
+  laws[kAppCpu] = workload::caching_law(read_mostly ? 0.78 : 0.86, 180.0);
+  laws[kAppDisk] = workload::caching_law(0.70, 140.0);
+  laws[kAppNetTx] = workload::caching_law(0.85, 200.0);
+  laws[kAppNetRx] = workload::caching_law(0.85, 200.0);
+  laws[kDbCpu] = workload::caching_law(0.87, 170.0);
+  laws[kDbDisk] = workload::caching_law(read_mostly ? 0.40 : 0.55, 120.0);
+  laws[kDbNetTx] = workload::caching_law(0.85, 200.0);
+  laws[kDbNetRx] = workload::caching_law(0.85, 200.0);
+
+  return workload::ApplicationModel(
+      "VINS (" + spec.label + ")", three_tier_stations(config.cpu_cores),
+      distribute_pages(spec.page_names, spec.station_totals, spec.page_weights),
+      std::move(laws), config.think_time);
+}
+
+std::vector<unsigned> vins_campaign_levels() {
+  // Roughly the spread of Table 2: single user, the ramp through the knee
+  // (~300 users), and the deep-saturation tail out to 1500.
+  return {1, 23, 57, 102, 203, 373, 680, 1020, 1500};
+}
+
+}  // namespace mtperf::apps

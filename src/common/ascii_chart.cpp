@@ -1,0 +1,89 @@
+#include "common/ascii_chart.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+
+namespace mtperf {
+
+AsciiChart::AsciiChart(std::string title, std::string x_label,
+                       std::string y_label, int width, int height)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      width_(width),
+      height_(height) {
+  MTPERF_REQUIRE(width_ >= 16 && height_ >= 4, "chart grid too small");
+}
+
+void AsciiChart::add_series(ChartSeries series) {
+  MTPERF_REQUIRE(series.x.size() == series.y.size(),
+                 "series x/y length mismatch");
+  series_.push_back(std::move(series));
+}
+
+std::string AsciiChart::render() const {
+  double xmin = std::numeric_limits<double>::infinity();
+  double xmax = -xmin, ymin = xmin, ymax = -xmin;
+  for (const auto& s : series_) {
+    for (double v : s.x) {
+      xmin = std::min(xmin, v);
+      xmax = std::max(xmax, v);
+    }
+    for (double v : s.y) {
+      ymin = std::min(ymin, v);
+      ymax = std::max(ymax, v);
+    }
+  }
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << '\n';
+  if (!std::isfinite(xmin) || !std::isfinite(ymin)) {
+    os << "  (no data)\n";
+    return os.str();
+  }
+  if (xmax == xmin) xmax = xmin + 1.0;
+  if (ymax == ymin) ymax = ymin + 1.0;
+
+  std::vector<std::string> grid(height_, std::string(width_, ' '));
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.x.size(); ++i) {
+      const int col = static_cast<int>(std::lround(
+          (s.x[i] - xmin) / (xmax - xmin) * (width_ - 1)));
+      const int row = static_cast<int>(std::lround(
+          (s.y[i] - ymin) / (ymax - ymin) * (height_ - 1)));
+      if (col >= 0 && col < width_ && row >= 0 && row < height_) {
+        grid[height_ - 1 - row][col] = s.marker;
+      }
+    }
+  }
+
+  const std::string y_hi = fmt(ymax, 2);
+  const std::string y_lo = fmt(ymin, 2);
+  const std::size_t label_w = std::max(y_hi.size(), y_lo.size());
+  for (int r = 0; r < height_; ++r) {
+    std::string label(label_w, ' ');
+    if (r == 0) label = std::string(label_w - y_hi.size(), ' ') + y_hi;
+    if (r == height_ - 1) label = std::string(label_w - y_lo.size(), ' ') + y_lo;
+    os << label << " |" << grid[r] << '\n';
+  }
+  os << std::string(label_w, ' ') << " +" << std::string(width_, '-') << '\n';
+  os << std::string(label_w, ' ') << "  " << fmt(xmin, 1)
+     << std::string(std::max<int>(1, width_ - 16), ' ') << fmt(xmax, 1) << '\n';
+  os << std::string(label_w, ' ') << "  x: " << x_label_ << ", y: " << y_label_;
+  if (!series_.empty()) {
+    os << "   [";
+    for (std::size_t i = 0; i < series_.size(); ++i) {
+      if (i) os << ", ";
+      os << series_[i].marker << " = " << series_[i].name;
+    }
+    os << ']';
+  }
+  os << '\n';
+  return os.str();
+}
+
+}  // namespace mtperf

@@ -1,0 +1,37 @@
+// Terminal line charts so the figure-reproduction benches can show the
+// *shape* of each paper figure directly in their stdout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mtperf {
+
+/// One named series of (x, y) points.
+struct ChartSeries {
+  std::string name;
+  std::vector<double> x;
+  std::vector<double> y;
+  char marker = '*';
+};
+
+/// Renders one or more series on a shared axis grid using ASCII characters.
+/// Intended for monotone-ish x; points are nearest-cell rasterized.
+class AsciiChart {
+ public:
+  AsciiChart(std::string title, std::string x_label, std::string y_label,
+             int width = 72, int height = 20);
+
+  void add_series(ChartSeries series);
+  std::string render() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  int width_;
+  int height_;
+  std::vector<ChartSeries> series_;
+};
+
+}  // namespace mtperf

@@ -1,0 +1,51 @@
+// Minimal CSV emission so every bench can dump its series for external
+// plotting as well as printing it.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mtperf {
+
+/// Streams rows of a CSV file; quotes cells containing separators/quotes.
+class CsvWriter {
+ public:
+  explicit CsvWriter(const std::string& path) : out_(path) {
+    MTPERF_REQUIRE(out_.good(), "cannot open CSV file: " + path);
+  }
+
+  void write_row(const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << escape(cells[i]);
+    }
+    out_ << '\n';
+  }
+
+  void write_row(const std::vector<double>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i) out_ << ',';
+      out_ << cells[i];
+    }
+    out_ << '\n';
+  }
+
+ private:
+  static std::string escape(const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char ch : cell) {
+      if (ch == '"') quoted += '"';
+      quoted += ch;
+    }
+    quoted += '"';
+    return quoted;
+  }
+
+  std::ofstream out_;
+};
+
+}  // namespace mtperf

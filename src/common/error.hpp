@@ -1,0 +1,50 @@
+// Error handling primitives shared by all mtperf modules.
+//
+// The library throws exceptions derived from std::logic_error /
+// std::runtime_error for precondition violations and data errors; the
+// MTPERF_REQUIRE macro gives call sites a one-line way to validate inputs
+// while keeping the failure message informative (expression + user text).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mtperf {
+
+/// Thrown when a caller violates a documented API precondition.
+class invalid_argument_error : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown when an algorithm fails to make progress (non-convergence,
+/// singular systems, and similar numeric failures).
+class numeric_error : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_requirement_failure(const char* expr,
+                                                   const char* file, int line,
+                                                   const std::string& msg) {
+  std::ostringstream os;
+  os << "mtperf requirement failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw invalid_argument_error(os.str());
+}
+
+}  // namespace detail
+}  // namespace mtperf
+
+/// Validate an API precondition; throws mtperf::invalid_argument_error with
+/// the failing expression, location, and a caller-provided message.
+#define MTPERF_REQUIRE(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::mtperf::detail::throw_requirement_failure(#expr, __FILE__,         \
+                                                  __LINE__, (msg));        \
+    }                                                                      \
+  } while (false)

@@ -1,0 +1,218 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace mtperf {
+
+void RunningStats::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void RunningStats::merge(const RunningStats& other) noexcept {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  n_ += other.n_;
+}
+
+double RunningStats::variance() const noexcept {
+  return n_ >= 2 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const noexcept { return std::sqrt(variance()); }
+
+double ConfidenceInterval::relative_half_width() const noexcept {
+  return mean == 0.0 ? 0.0 : half_width / std::abs(mean);
+}
+
+namespace {
+
+// Acklam's rational approximation to the standard normal quantile;
+// relative error below 1.15e-9 over the full open unit interval.
+double normal_quantile(double p) {
+  MTPERF_REQUIRE(p > 0.0 && p < 1.0, "normal quantile requires p in (0,1)");
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  constexpr double p_high = 1.0 - p_low;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  if (p > p_high) {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  const double q = p - 0.5;
+  const double r = q * q;
+  return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+         (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+}
+
+}  // namespace
+
+double student_t_quantile(std::size_t degrees_of_freedom, double confidence) {
+  MTPERF_REQUIRE(degrees_of_freedom >= 1, "t quantile requires df >= 1");
+  MTPERF_REQUIRE(confidence > 0.0 && confidence < 1.0,
+                 "confidence must lie in (0,1)");
+  const double p = 0.5 + confidence / 2.0;  // two-sided
+  // Exact closed forms for the heavy-tailed low-df cases where the
+  // Cornish–Fisher expansion below is poor.
+  if (degrees_of_freedom == 1) {
+    return std::tan(M_PI * (p - 0.5));
+  }
+  if (degrees_of_freedom == 2) {
+    const double a = 2.0 * p - 1.0;
+    return a * std::sqrt(2.0 / (1.0 - a * a));
+  }
+  const double z = normal_quantile(p);
+  const double df = static_cast<double>(degrees_of_freedom);
+  const double z2 = z * z;
+  // Cornish–Fisher expansion of the t quantile around the normal quantile.
+  const double g1 = (z2 + 1.0) * z / 4.0;
+  const double g2 = ((5.0 * z2 + 16.0) * z2 + 3.0) * z / 96.0;
+  const double g3 = (((3.0 * z2 + 19.0) * z2 + 17.0) * z2 - 15.0) * z / 384.0;
+  const double g4 =
+      ((((79.0 * z2 + 776.0) * z2 + 1482.0) * z2 - 1920.0) * z2 - 945.0) * z /
+      92160.0;
+  return z + g1 / df + g2 / (df * df) + g3 / (df * df * df) +
+         g4 / (df * df * df * df);
+}
+
+BatchMeans::BatchMeans(std::size_t num_batches) : num_batches_(num_batches) {
+  MTPERF_REQUIRE(num_batches >= 2, "batch means needs at least 2 batches");
+  MTPERF_REQUIRE(num_batches % 2 == 0,
+                 "batch means needs an even batch count (pairwise rebatching)");
+  batch_sums_.assign(num_batches_, 0.0);
+  batch_counts_.assign(num_batches_, 0);
+}
+
+void BatchMeans::add(double x) {
+  if (batch_counts_[current_batch_] == batch_size_) {
+    if (current_batch_ + 1 < num_batches_) {
+      ++current_batch_;
+    } else {
+      rebatch();
+    }
+  }
+  batch_sums_[current_batch_] += x;
+  ++batch_counts_[current_batch_];
+  ++total_n_;
+}
+
+void BatchMeans::rebatch() {
+  // All batches full: merge adjacent pairs and double the batch size, so the
+  // structure keeps a fixed number of batches over an unbounded stream.
+  const std::size_t half = num_batches_ / 2;
+  for (std::size_t i = 0; i < half; ++i) {
+    batch_sums_[i] = batch_sums_[2 * i] + batch_sums_[2 * i + 1];
+    batch_counts_[i] = batch_counts_[2 * i] + batch_counts_[2 * i + 1];
+  }
+  for (std::size_t i = half; i < num_batches_; ++i) {
+    batch_sums_[i] = 0.0;
+    batch_counts_[i] = 0;
+  }
+  current_batch_ = half;
+  batch_size_ *= 2;
+}
+
+std::size_t BatchMeans::complete_batches() const noexcept {
+  std::size_t full = 0;
+  for (std::size_t i = 0; i < num_batches_; ++i) {
+    if (batch_counts_[i] == batch_size_) ++full;
+  }
+  return full;
+}
+
+double BatchMeans::mean() const noexcept {
+  if (total_n_ == 0) return 0.0;
+  const double total =
+      std::accumulate(batch_sums_.begin(), batch_sums_.end(), 0.0);
+  return total / static_cast<double>(total_n_);
+}
+
+ConfidenceInterval BatchMeans::interval(double confidence) const {
+  RunningStats means;
+  for (std::size_t i = 0; i < num_batches_; ++i) {
+    if (batch_counts_[i] == batch_size_) {
+      means.add(batch_sums_[i] / static_cast<double>(batch_counts_[i]));
+    }
+  }
+  MTPERF_REQUIRE(means.count() >= 2,
+                 "batch-means CI requires at least two complete batches");
+  const double t = student_t_quantile(means.count() - 1, confidence);
+  ConfidenceInterval ci;
+  ci.mean = means.mean();
+  ci.half_width = t * means.stddev() / std::sqrt(static_cast<double>(means.count()));
+  return ci;
+}
+
+double percentile(std::vector<double> values, double p) {
+  MTPERF_REQUIRE(!values.empty(), "percentile of empty sample");
+  MTPERF_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
+  std::sort(values.begin(), values.end());
+  if (values.size() == 1) return values.front();
+  const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+double mean_of(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  return std::accumulate(values.begin(), values.end(), 0.0) /
+         static_cast<double>(values.size());
+}
+
+double mean_percent_deviation(const std::vector<double>& predicted,
+                              const std::vector<double>& measured) {
+  MTPERF_REQUIRE(predicted.size() == measured.size(),
+                 "deviation requires equal-length series");
+  double total = 0.0;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < measured.size(); ++i) {
+    if (measured[i] == 0.0) continue;
+    total += std::abs(predicted[i] - measured[i]) / std::abs(measured[i]);
+    ++used;
+  }
+  return used == 0 ? 0.0 : 100.0 * total / static_cast<double>(used);
+}
+
+}  // namespace mtperf

@@ -1,0 +1,92 @@
+// Streaming and batch statistics used by the simulator (steady-state
+// estimation) and by the experiment harnesses (deviation summaries).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mtperf {
+
+/// Numerically stable streaming moments (Welford).  O(1) space; suitable for
+/// the tens of millions of observations a long simulation run produces.
+class RunningStats {
+ public:
+  void add(double x) noexcept;
+  void merge(const RunningStats& other) noexcept;
+  void reset() noexcept { *this = RunningStats{}; }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return n_ ? mean_ : 0.0; }
+  /// Unbiased sample variance; 0 for fewer than two observations.
+  double variance() const noexcept;
+  double stddev() const noexcept;
+  double min() const noexcept { return n_ ? min_ : 0.0; }
+  double max() const noexcept { return n_ ? max_ : 0.0; }
+  double sum() const noexcept { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// A symmetric confidence interval around a point estimate.
+struct ConfidenceInterval {
+  double mean = 0.0;
+  double half_width = 0.0;
+
+  double lower() const noexcept { return mean - half_width; }
+  double upper() const noexcept { return mean + half_width; }
+  bool contains(double x) const noexcept { return x >= lower() && x <= upper(); }
+  /// half-width / |mean| — the usual stopping criterion for simulations.
+  double relative_half_width() const noexcept;
+};
+
+/// Two-sided Student-t quantile t_{df, 1-alpha/2}. Exact via the incomplete
+/// beta inverse; falls back to the normal quantile for df > 200 where the
+/// difference is < 0.2%.
+double student_t_quantile(std::size_t degrees_of_freedom, double confidence);
+
+/// Classic batch-means estimator for steady-state simulation output: the
+/// observation stream is split into `num_batches` contiguous batches, whose
+/// means are (approximately) i.i.d., giving a valid CI despite
+/// autocorrelation in the raw stream.
+class BatchMeans {
+ public:
+  explicit BatchMeans(std::size_t num_batches = 20);
+
+  void add(double x);
+  /// Confidence interval at the given level (e.g. 0.95).  Requires at least
+  /// two complete batches; throws mtperf::invalid_argument_error otherwise.
+  ConfidenceInterval interval(double confidence = 0.95) const;
+  std::size_t observations() const noexcept { return total_n_; }
+  std::size_t complete_batches() const noexcept;
+  double mean() const noexcept;
+
+ private:
+  void rebatch();
+
+  std::size_t num_batches_;
+  std::size_t batch_size_ = 64;  // grows geometrically as data arrives
+  std::vector<double> batch_sums_;
+  std::vector<std::size_t> batch_counts_;
+  std::size_t current_batch_ = 0;
+  std::size_t total_n_ = 0;
+};
+
+/// Percentile of a sample (linear interpolation between order statistics,
+/// the "type 7" definition used by R and NumPy).  `p` in [0, 100].
+double percentile(std::vector<double> values, double p);
+
+/// Mean of a vector; 0 for empty input.
+double mean_of(const std::vector<double>& values);
+
+/// Mean absolute percentage deviation between predicted and measured series
+/// (the paper's Eq. 15).  Skips measured points equal to zero.
+double mean_percent_deviation(const std::vector<double>& predicted,
+                              const std::vector<double>& measured);
+
+}  // namespace mtperf

@@ -1,0 +1,108 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mtperf {
+
+void TextTable::set_group_header(
+    std::vector<std::pair<std::string, std::size_t>> groups) {
+  groups_ = std::move(groups);
+}
+
+void TextTable::set_header(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (!header_.empty()) {
+    MTPERF_REQUIRE(row.size() == header_.size(),
+                   "row width must match header width");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::to_string() const {
+  const std::size_t cols =
+      header_.empty() ? (rows_.empty() ? 0 : rows_.front().size())
+                      : header_.size();
+  std::vector<std::size_t> width(cols, 0);
+  auto widen = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size() && c < cols; ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  auto rule = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < cols; ++c) {
+      os << std::string(width[c] + 2, '-') << '+';
+    }
+    os << '\n';
+  };
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << ' ' << cell << std::string(width[c] - cell.size() + 1, ' ') << '|';
+    }
+    os << '\n';
+  };
+
+  if (!title_.empty()) os << title_ << '\n';
+  rule();
+  if (!groups_.empty()) {
+    std::string line = "|";
+    std::size_t col = 0;
+    for (const auto& [label, span] : groups_) {
+      std::size_t group_width = 0;
+      for (std::size_t c = col; c < std::min(col + span, cols); ++c) {
+        group_width += width[c] + 3;  // " cell |" per column
+      }
+      col += span;
+      if (group_width == 0) continue;
+      group_width -= 1;  // the closing '|' is appended explicitly
+      std::string text = label;
+      if (text.size() > group_width) text.resize(group_width);
+      const std::size_t pad = group_width - text.size();
+      line += std::string(pad / 2, ' ') + text +
+              std::string(pad - pad / 2, ' ') + '|';
+    }
+    os << line << '\n';
+    rule();
+  }
+  if (!header_.empty()) {
+    emit_row(header_);
+    rule();
+  }
+  for (const auto& r : rows_) emit_row(r);
+  rule();
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.to_string();
+}
+
+std::string fmt(double value, int precision) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(precision);
+  os << value;
+  return os.str();
+}
+
+std::string fmt(long long value) { return std::to_string(value); }
+std::string fmt(std::size_t value) { return std::to_string(value); }
+
+std::string fmt_percent(double value, int precision) {
+  return fmt(value, precision) + "%";
+}
+
+}  // namespace mtperf

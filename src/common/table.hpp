@@ -1,0 +1,43 @@
+// Plain-text table formatting for the paper-reproduction benches, which
+// print the same rows the paper's tables report.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace mtperf {
+
+/// Column-aligned text table with an optional title and group header row.
+/// Numeric cells should be pre-formatted by the caller (see `fmt` helpers).
+class TextTable {
+ public:
+  explicit TextTable(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Optional extra header row spanning groups of columns, e.g.
+  /// {"", "Load Server x4", "App Server x4", "DB Server x4"} — the number
+  /// after 'x' is how many columns the group spans.
+  void set_group_header(std::vector<std::pair<std::string, std::size_t>> groups);
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  std::string to_string() const;
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+ private:
+  std::string title_;
+  std::vector<std::pair<std::string, std::size_t>> groups_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Fixed-precision float formatting (no locale surprises).
+std::string fmt(double value, int precision = 2);
+/// Integer formatting.
+std::string fmt(long long value);
+std::string fmt(std::size_t value);
+/// Percent with a trailing sign, e.g. "93.21%".
+std::string fmt_percent(double value, int precision = 2);
+
+}  // namespace mtperf

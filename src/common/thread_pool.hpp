@@ -1,0 +1,71 @@
+// A small work-stealing-free thread pool used to parallelize independent
+// model evaluations: MVA scenario sweeps, per-concurrency simulation runs,
+// and bench parameter grids.  Tasks must be independent; results are
+// written to caller-owned slots so no synchronization is needed beyond the
+// pool's own queue.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mtperf {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` selects hardware_concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Enqueue a task; the returned future yields its result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      MTPERF_REQUIRE(!stopping_, "submit on a stopped ThreadPool");
+      tasks_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Run fn(i) for i in [0, n) across the pool's threads and wait for all.
+/// Exceptions from tasks are rethrown (first one wins) after all complete.
+void parallel_for(ThreadPool& pool, std::size_t n,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Convenience: map fn over [0, n) into a vector of results.
+template <typename R>
+std::vector<R> parallel_map(ThreadPool& pool, std::size_t n,
+                            const std::function<R(std::size_t)>& fn) {
+  std::vector<R> out(n);
+  parallel_for(pool, n, [&](std::size_t i) { out[i] = fn(i); });
+  return out;
+}
+
+}  // namespace mtperf

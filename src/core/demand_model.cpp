@@ -1,0 +1,60 @@
+#include "core/demand_model.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mtperf::core {
+
+DemandModel DemandModel::constant(std::vector<double> demands) {
+  MTPERF_REQUIRE(!demands.empty(), "demand model needs at least one station");
+  std::vector<std::function<double(double)>> fns;
+  fns.reserve(demands.size());
+  for (double d : demands) {
+    MTPERF_REQUIRE(d >= 0.0, "service demands must be non-negative");
+    fns.emplace_back([d](double) { return d; });
+  }
+  return DemandModel(std::move(fns), Axis::kConcurrency, /*constant=*/true);
+}
+
+DemandModel DemandModel::interpolated(
+    std::vector<std::shared_ptr<const interp::Interpolator1D>> interpolants,
+    Axis axis) {
+  MTPERF_REQUIRE(!interpolants.empty(), "demand model needs at least one station");
+  std::vector<std::function<double(double)>> fns;
+  fns.reserve(interpolants.size());
+  for (auto& ip : interpolants) {
+    MTPERF_REQUIRE(ip != nullptr, "null interpolant");
+    fns.emplace_back([ip](double x) { return ip->value(x); });
+  }
+  return DemandModel(std::move(fns), axis, /*constant=*/false);
+}
+
+DemandModel DemandModel::from_table(const ops::DemandTable& table, Axis axis,
+                                    const interp::CubicSplineOptions& options) {
+  std::vector<std::shared_ptr<const interp::Interpolator1D>> interpolants;
+  interpolants.reserve(table.stations().size());
+  for (std::size_t k = 0; k < table.stations().size(); ++k) {
+    const interp::SampleSet samples = axis == Axis::kConcurrency
+                                          ? table.demand_vs_concurrency(k)
+                                          : table.demand_vs_throughput(k);
+    interpolants.push_back(std::make_shared<interp::PiecewiseCubic>(
+        interp::build_cubic_spline(samples, options)));
+  }
+  return interpolated(std::move(interpolants), axis);
+}
+
+double DemandModel::at(std::size_t station, double axis_value) const {
+  MTPERF_REQUIRE(station < per_station_.size(), "station index out of range");
+  return std::max(0.0, per_station_[station](axis_value));
+}
+
+std::vector<double> DemandModel::all_at(double axis_value) const {
+  std::vector<double> out(per_station_.size());
+  for (std::size_t k = 0; k < per_station_.size(); ++k) {
+    out[k] = at(k, axis_value);
+  }
+  return out;
+}
+
+}  // namespace mtperf::core

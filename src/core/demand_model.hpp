@@ -1,0 +1,66 @@
+// Service-demand models for the MVA family.
+//
+// Classic MVA takes one constant demand per station.  MVASD (Algorithm 3)
+// instead takes, per station, an *array* of demands indexed by concurrency
+// — in practice a spline through measured points (the paper's SS_k^n =
+// h(a_k, b_k, n)).  Section 7 additionally explores demands indexed by
+// *throughput*.  DemandModel abstracts over all three so every solver can
+// share one input type.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "interp/cubic_spline.hpp"
+#include "interp/interpolator.hpp"
+#include "ops/demand_table.hpp"
+
+namespace mtperf::core {
+
+class DemandModel {
+ public:
+  /// What the per-station functions are indexed by.
+  enum class Axis {
+    kConcurrency,  ///< SS_k(n) — the MVASD default
+    kThroughput,   ///< SS_k(X_{n-1}) — Section 7's open-system variant
+  };
+
+  /// Constant demands (classic MVA inputs).
+  static DemandModel constant(std::vector<double> demands);
+
+  /// One interpolant per station over the chosen axis.
+  static DemandModel interpolated(
+      std::vector<std::shared_ptr<const interp::Interpolator1D>> interpolants,
+      Axis axis = Axis::kConcurrency);
+
+  /// Build spline demand models straight from a measurement campaign —
+  /// the paper's Step 3 (Fig. 17): one not-a-knot cubic spline with pegged
+  /// extrapolation per station, over concurrency or throughput.
+  static DemandModel from_table(const ops::DemandTable& table,
+                                Axis axis = Axis::kConcurrency,
+                                const interp::CubicSplineOptions& options = {});
+
+  /// Demand of station k at the given axis value (concurrency level n for
+  /// kConcurrency, previous-iteration throughput for kThroughput).
+  /// Negative interpolated values are clamped to zero: demands are times.
+  double at(std::size_t station, double axis_value) const;
+
+  Axis axis() const noexcept { return axis_; }
+  std::size_t stations() const noexcept { return per_station_.size(); }
+  bool is_constant() const noexcept { return constant_; }
+
+  /// Demands of all stations at one axis value.
+  std::vector<double> all_at(double axis_value) const;
+
+ private:
+  DemandModel(std::vector<std::function<double(double)>> fns, Axis axis,
+              bool constant)
+      : per_station_(std::move(fns)), axis_(axis), constant_(constant) {}
+
+  std::vector<std::function<double(double)>> per_station_;
+  Axis axis_;
+  bool constant_;
+};
+
+}  // namespace mtperf::core

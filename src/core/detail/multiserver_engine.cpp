@@ -1,0 +1,149 @@
+#include "core/detail/multiserver_engine.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mtperf::core::detail {
+
+// Implementation note — paper fidelity.
+//
+// The paper's Algorithm 2/3 pseudocode stores marginal queue-size
+// probabilities in a 1-shifted array p_k(1..C_k) and updates them in place.
+// Transcribed literally, that recursion is inconsistent with the exact
+// multi-server MVA of the reference it cites ([8], Reiser's algorithm as
+// popularized by Menascé et al.): the (C_k - j) weights are missing from
+// the empty-queue update, the j-th entry divides by j instead of j-1 after
+// the shift, and the in-place order makes p_k(2) read the *new* p_k(1).
+// Under load (X S_k approaching C_k) the literal recursion diverges to
+// negative response times.  We therefore implement the canonical recursion
+// the paper intends, with the conventional 0-based indexing:
+//
+//   P_k(j | n)  for j = 0..C_k-1, initialized P_k(0|0) = 1:
+//     F_k  = sum_{j=0}^{C_k-2} (C_k - 1 - j) P_k(j | n-1)
+//     R_k  = (S_k / C_k) (1 + Q_k(n-1) + F_k)                  (Eq. 10/11)
+//     X_n  = n / (Z + sum_k V_k R_k)
+//     P_k(j | n) = (X_n V_k S_k / j) P_k(j-1 | n-1),  j = 1..C_k-1
+//     P_k(0 | n) = 1 - (1/C_k) [ X_n V_k S_k
+//                                + sum_{j=1}^{C_k-1} (C_k - j) P_k(j | n) ]
+//     Q_k(n)     = X_n V_k R_k
+//
+// P_k(0|n) is clamped at 0 against floating-point undershoot at saturation.
+
+MvaResult run_multiserver_mva(const ClosedNetwork& network,
+                              const DemandModel& demands,
+                              unsigned max_population, MarginalTrace* trace) {
+  const std::size_t k_count = network.size();
+  MTPERF_REQUIRE(demands.stations() == k_count,
+                 "demand model width must match station count");
+  MTPERF_REQUIRE(max_population >= 1, "population must be at least 1");
+  if (trace != nullptr) {
+    MTPERF_REQUIRE(trace->station < k_count, "trace station out of range");
+    trace->rows.clear();
+  }
+
+  MvaResult result;
+  for (const auto& st : network.stations()) result.station_names.push_back(st.name);
+
+  std::vector<double> queue(k_count, 0.0);
+  std::vector<double> residence(k_count, 0.0);
+  // P[k][j] = marginal probability of j customers at station k, for
+  // j = 0..C_k-1, conditioned on the previous population level.
+  std::vector<std::vector<double>> p(k_count);
+  std::vector<std::vector<double>> p_next(k_count);
+  for (std::size_t k = 0; k < k_count; ++k) {
+    p[k].assign(network.station(k).servers, 0.0);
+    p[k][0] = 1.0;
+    p_next[k].assign(network.station(k).servers, 0.0);
+  }
+
+  double previous_throughput = 0.0;
+  std::vector<double> s_now(k_count, 0.0);
+
+  for (unsigned n = 1; n <= max_population; ++n) {
+    // Demand axis: concurrency level n (Algorithm 3's SS_k^n), or the
+    // previous iteration's throughput (Section 7's open-system variant).
+    const double axis_value = demands.axis() == DemandModel::Axis::kConcurrency
+                                  ? static_cast<double>(n)
+                                  : previous_throughput;
+    for (std::size_t k = 0; k < k_count; ++k) {
+      s_now[k] = demands.at(k, axis_value);
+    }
+
+    double total_residence = 0.0;
+    for (std::size_t k = 0; k < k_count; ++k) {
+      const Station& st = network.station(k);
+      double wait;
+      if (st.kind == StationKind::kDelay) {
+        wait = s_now[k];
+      } else if (st.servers == 1) {
+        wait = s_now[k] * (1.0 + queue[k]);
+      } else {
+        const auto c = static_cast<double>(st.servers);
+        double f = 0.0;
+        for (unsigned j = 0; j + 1 < st.servers; ++j) {
+          f += (c - 1.0 - static_cast<double>(j)) * p[k][j];
+        }
+        wait = s_now[k] / c * (1.0 + queue[k] + f);
+      }
+      residence[k] = st.visits * wait;
+      total_residence += residence[k];
+    }
+    const double cycle = total_residence + network.think_time();
+    MTPERF_REQUIRE(cycle > 0.0, "degenerate network: zero cycle time");
+    const double x = static_cast<double>(n) / cycle;
+
+    std::vector<double> util(k_count, 0.0);
+    for (std::size_t k = 0; k < k_count; ++k) {
+      const Station& st = network.station(k);
+      queue[k] = x * residence[k];
+      util[k] = x * st.visits * s_now[k] / static_cast<double>(st.servers);
+      if (st.kind == StationKind::kQueueing && st.servers > 1) {
+        const double xs = x * st.visits * s_now[k];  // expected busy servers
+        const auto c = static_cast<double>(st.servers);
+        if (xs >= c) {
+          // Station fully saturated: queueing dominates, the correction
+          // vanishes (R -> (S/C)(1 + Q)); zeroing the marginals is the
+          // exact asymptote and avoids the recursion's instability.
+          std::fill(p[k].begin(), p[k].end(), 0.0);
+        } else {
+          double weighted_tail = 0.0;
+          for (unsigned j = 1; j < st.servers; ++j) {
+            p_next[k][j] = xs * p[k][j - 1] / static_cast<double>(j);
+            weighted_tail += (c - static_cast<double>(j)) * p_next[k][j];
+          }
+          // Exact arithmetic maintains the idle-server identity
+          //   C p(0) + sum_j (C-j) p(j) = C - xs;
+          // in floating point the recursion is known to drift near
+          // saturation (negative p(0), unbounded mass).  Project back onto
+          // the identity: rescale the tail when it alone exceeds the idle
+          // budget, otherwise solve for p(0) exactly.
+          const double idle = c - xs;
+          if (weighted_tail > idle && weighted_tail > 0.0) {
+            const double scale = idle / weighted_tail;
+            for (unsigned j = 1; j < st.servers; ++j) p_next[k][j] *= scale;
+            p_next[k][0] = 0.0;
+          } else {
+            p_next[k][0] = (idle - weighted_tail) / c;
+          }
+          std::swap(p[k], p_next[k]);
+        }
+      }
+    }
+    if (trace != nullptr) {
+      trace->rows.push_back(p[trace->station]);
+    }
+
+    result.population.push_back(n);
+    result.throughput.push_back(x);
+    result.response_time.push_back(total_residence);
+    result.cycle_time.push_back(cycle);
+    result.station_queue.push_back(queue);
+    result.station_utilization.push_back(std::move(util));
+    result.station_residence.push_back(residence);
+    previous_throughput = x;
+  }
+  return result;
+}
+
+}  // namespace mtperf::core::detail

@@ -1,0 +1,33 @@
+// Internal engine shared by Algorithm 2 (exact multi-server MVA, constant
+// demands) and Algorithm 3 (MVASD, concurrency- or throughput-varying
+// demands).  Not part of the public API.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/demand_model.hpp"
+#include "core/network.hpp"
+#include "core/result.hpp"
+
+namespace mtperf::core::detail {
+
+/// Optional per-population capture of one station's marginal queue-size
+/// probabilities P_k(j), j = 0..C_k-1 (paper Fig. 3 plots these for a
+/// 4-core CPU).
+struct MarginalTrace {
+  std::size_t station = 0;
+  /// rows[n-1][j] = P_station(j | n) after the population-n update.
+  std::vector<std::vector<double>> rows;
+};
+
+/// Run the multi-server exact MVA recursion for populations 1..N.
+/// `demands` supplies the per-station service demand at each population —
+/// constant for Algorithm 2, interpolated for Algorithm 3.  When `trace` is
+/// non-null its `station` field selects which station to capture.
+MvaResult run_multiserver_mva(const ClosedNetwork& network,
+                              const DemandModel& demands,
+                              unsigned max_population,
+                              MarginalTrace* trace = nullptr);
+
+}  // namespace mtperf::core::detail

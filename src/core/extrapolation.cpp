@@ -1,0 +1,155 @@
+#include "core/extrapolation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace mtperf::core {
+
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y) {
+  MTPERF_REQUIRE(x.size() == y.size() && x.size() >= 2,
+                 "linear fit needs >= 2 matching points");
+  const auto n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+    syy += y[i] * y[i];
+  }
+  const double denom = n * sxx - sx * sx;
+  MTPERF_REQUIRE(denom != 0.0, "linear fit: degenerate abscissae");
+  LinearFit fit;
+  fit.slope = (n * sxy - sx * sy) / denom;
+  fit.intercept = (sy - fit.slope * sx) / n;
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - fit(x[i]);
+    ss_res += e * e;
+  }
+  fit.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return fit;
+}
+
+double SigmoidFit::operator()(double x) const {
+  return ceiling / (1.0 + std::exp(-steepness * (x - midpoint)));
+}
+
+namespace {
+
+double sigmoid_rmse(const SigmoidFit& fit, std::span<const double> x,
+                    std::span<const double> y) {
+  double ss = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double e = y[i] - fit(x[i]);
+    ss += e * e;
+  }
+  return std::sqrt(ss / static_cast<double>(x.size()));
+}
+
+/// For fixed (x0, k), the least-squares ceiling L has a closed form:
+/// L = sum(y g) / sum(g^2), g(x) = 1/(1+exp(-k(x-x0))).
+double profile_ceiling(double midpoint, double steepness,
+                       std::span<const double> x, std::span<const double> y) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double g = 1.0 / (1.0 + std::exp(-steepness * (x[i] - midpoint)));
+    num += y[i] * g;
+    den += g * g;
+  }
+  return den > 0.0 ? num / den : 0.0;
+}
+
+}  // namespace
+
+SigmoidFit fit_sigmoid(std::span<const double> x, std::span<const double> y) {
+  MTPERF_REQUIRE(x.size() == y.size() && x.size() >= 3,
+                 "sigmoid fit needs >= 3 matching points");
+  const double x_lo = *std::min_element(x.begin(), x.end());
+  const double x_hi = *std::max_element(x.begin(), x.end());
+  MTPERF_REQUIRE(x_hi > x_lo, "sigmoid fit: degenerate abscissae");
+
+  // Coarse grid over midpoint and steepness (in units of the x-range).
+  SigmoidFit best;
+  best.rmse = std::numeric_limits<double>::infinity();
+  const double range = x_hi - x_lo;
+  for (int mi = 0; mi <= 24; ++mi) {
+    const double x0 = x_lo + range * static_cast<double>(mi) / 24.0;
+    for (int ki = 1; ki <= 40; ++ki) {
+      const double k = static_cast<double>(ki) * 4.0 / range / 10.0;
+      SigmoidFit cand;
+      cand.midpoint = x0;
+      cand.steepness = k;
+      cand.ceiling = profile_ceiling(x0, k, x, y);
+      if (cand.ceiling <= 0.0) continue;
+      cand.rmse = sigmoid_rmse(cand, x, y);
+      if (cand.rmse < best.rmse) best = cand;
+    }
+  }
+  MTPERF_REQUIRE(std::isfinite(best.rmse), "sigmoid fit failed");
+
+  // Local refinement: coordinate descent with shrinking steps.
+  double step_m = range / 24.0, step_k = best.steepness / 4.0;
+  for (int round = 0; round < 60; ++round) {
+    bool improved = false;
+    for (const double dm : {-step_m, step_m}) {
+      SigmoidFit cand = best;
+      cand.midpoint += dm;
+      cand.ceiling = profile_ceiling(cand.midpoint, cand.steepness, x, y);
+      cand.rmse = sigmoid_rmse(cand, x, y);
+      if (cand.rmse < best.rmse) {
+        best = cand;
+        improved = true;
+      }
+    }
+    for (const double dk : {-step_k, step_k}) {
+      SigmoidFit cand = best;
+      cand.steepness = std::max(1e-9, cand.steepness + dk);
+      cand.ceiling = profile_ceiling(cand.midpoint, cand.steepness, x, y);
+      cand.rmse = sigmoid_rmse(cand, x, y);
+      if (cand.rmse < best.rmse) {
+        best = cand;
+        improved = true;
+      }
+    }
+    if (!improved) {
+      step_m *= 0.5;
+      step_k *= 0.5;
+      if (step_m < 1e-9 * range) break;
+    }
+  }
+  return best;
+}
+
+ExtrapolationResult extrapolate_throughput(std::span<const double> measured_x,
+                                           std::span<const double> measured_y,
+                                           std::span<const double> predict_at) {
+  MTPERF_REQUIRE(measured_x.size() == measured_y.size() &&
+                     measured_x.size() >= 3,
+                 "extrapolation needs >= 3 measured points");
+  ExtrapolationResult result;
+  result.linear = fit_linear(measured_x, measured_y);
+  result.sigmoid = fit_sigmoid(measured_x, measured_y);
+
+  double linear_ss = 0.0;
+  for (std::size_t i = 0; i < measured_x.size(); ++i) {
+    const double e = measured_y[i] - result.linear(measured_x[i]);
+    linear_ss += e * e;
+  }
+  const double linear_rmse =
+      std::sqrt(linear_ss / static_cast<double>(measured_x.size()));
+  result.used_sigmoid = result.sigmoid.rmse < linear_rmse;
+
+  result.predictions.reserve(predict_at.size());
+  for (double x : predict_at) {
+    result.predictions.push_back(result.used_sigmoid ? result.sigmoid(x)
+                                                     : result.linear(x));
+  }
+  return result;
+}
+
+}  // namespace mtperf::core

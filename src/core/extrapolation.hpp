@@ -1,0 +1,52 @@
+// Curve-fitting extrapolation of load-test results — the industry baseline
+// the paper's related work describes (Dattagupta et al., "Perfext": linear
+// regression for the rising region, sigmoid fits for saturation).
+//
+// Unlike the model-based MVA family, these fits know nothing about the
+// system's structure; they extrapolate the measured throughput /
+// response-time series directly.  Included as a comparison baseline (see
+// bench/ablation_extrapolation) and as a cheap sanity cross-check.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mtperf::core {
+
+/// Ordinary least squares fit of y = intercept + slope * x.
+struct LinearFit {
+  double intercept = 0.0;
+  double slope = 0.0;
+  double r_squared = 0.0;
+
+  double operator()(double x) const { return intercept + slope * x; }
+};
+LinearFit fit_linear(std::span<const double> x, std::span<const double> y);
+
+/// Logistic (sigmoid) fit y = L / (1 + exp(-k (x - x0))) — the saturating
+/// throughput-curve shape.  Fitted by coarse grid search over (x0, k) with
+/// L profiled out by least squares, then Gauss-Newton refinement.
+struct SigmoidFit {
+  double ceiling = 0.0;   ///< L — the saturation asymptote
+  double midpoint = 0.0;  ///< x0 — load at half the ceiling
+  double steepness = 0.0; ///< k
+  double rmse = 0.0;
+
+  double operator()(double x) const;
+};
+SigmoidFit fit_sigmoid(std::span<const double> x, std::span<const double> y);
+
+/// Perfext-style throughput extrapolator: linear fit while the series is
+/// still rising linearly, sigmoid fit once curvature appears; selection by
+/// the better residual.  Returns predicted y at each requested x.
+struct ExtrapolationResult {
+  bool used_sigmoid = false;
+  LinearFit linear;
+  SigmoidFit sigmoid;
+  std::vector<double> predictions;
+};
+ExtrapolationResult extrapolate_throughput(std::span<const double> measured_x,
+                                           std::span<const double> measured_y,
+                                           std::span<const double> predict_at);
+
+}  // namespace mtperf::core

@@ -1,0 +1,41 @@
+// Approximate multi-server MVA — the style of solver the paper's
+// references [19]/[20] build and MAQ-PRO adopts: Schweitzer's fixed point
+// with a multi-server correction derived from the stationary M/M/C
+// queue-length distribution at the station's current utilization.
+//
+// Cheaper than the exact recursion (O(K) state, no per-population sweep)
+// but, as the paper argues, its error compounds with demand-variation
+// error at high concurrency.  Provided as the quantitative baseline for
+// that argument, and as a practical solver for very large N.
+//
+// A varying-demand variant (the "approximate MVASD") is included so the
+// exact-vs-approximate ablation can be run with splined demands too.
+#pragma once
+
+#include <span>
+
+#include "core/demand_model.hpp"
+#include "core/network.hpp"
+#include "core/result.hpp"
+
+namespace mtperf::core {
+
+struct ApproxMultiserverOptions {
+  double tolerance = 1e-10;
+  unsigned max_iterations = 20000;
+};
+
+/// Approximate multi-server MVA with constant demands, solved at
+/// populations 1..max_population.
+MvaResult approx_multiserver_mva(const ClosedNetwork& network,
+                                 std::span<const double> service_times,
+                                 unsigned max_population,
+                                 const ApproxMultiserverOptions& options = {});
+
+/// Approximate MVASD: same fixed point with demands evaluated per
+/// population from the DemandModel (concurrency or throughput axis).
+MvaResult approx_mvasd(const ClosedNetwork& network, const DemandModel& demands,
+                       unsigned max_population,
+                       const ApproxMultiserverOptions& options = {});
+
+}  // namespace mtperf::core

@@ -1,0 +1,55 @@
+#include "core/mva_exact.hpp"
+
+#include "common/error.hpp"
+
+namespace mtperf::core {
+
+MvaResult exact_mva(const ClosedNetwork& network,
+                    std::span<const double> service_times,
+                    unsigned max_population) {
+  const std::size_t k_count = network.size();
+  MTPERF_REQUIRE(service_times.size() == k_count,
+                 "one service time per station required");
+  MTPERF_REQUIRE(max_population >= 1, "population must be at least 1");
+  for (double s : service_times) {
+    MTPERF_REQUIRE(s >= 0.0, "service times must be non-negative");
+  }
+
+  MvaResult result;
+  result.population.reserve(max_population);
+  result.station_names.reserve(k_count);
+  for (const auto& st : network.stations()) result.station_names.push_back(st.name);
+
+  std::vector<double> queue(k_count, 0.0);
+  std::vector<double> residence(k_count, 0.0);
+
+  for (unsigned n = 1; n <= max_population; ++n) {
+    double total_residence = 0.0;
+    for (std::size_t k = 0; k < k_count; ++k) {
+      const Station& st = network.station(k);
+      const double wait = st.kind == StationKind::kDelay
+                              ? service_times[k]
+                              : service_times[k] * (1.0 + queue[k]);
+      residence[k] = st.visits * wait;
+      total_residence += residence[k];
+    }
+    const double cycle = total_residence + network.think_time();
+    MTPERF_REQUIRE(cycle > 0.0, "degenerate network: zero cycle time");
+    const double x = static_cast<double>(n) / cycle;
+    std::vector<double> util(k_count, 0.0);
+    for (std::size_t k = 0; k < k_count; ++k) {
+      queue[k] = x * residence[k];
+      util[k] = x * network.station(k).visits * service_times[k];
+    }
+    result.population.push_back(n);
+    result.throughput.push_back(x);
+    result.response_time.push_back(total_residence);
+    result.cycle_time.push_back(cycle);
+    result.station_queue.push_back(queue);
+    result.station_utilization.push_back(std::move(util));
+    result.station_residence.push_back(residence);
+  }
+  return result;
+}
+
+}  // namespace mtperf::core

@@ -1,0 +1,46 @@
+// Interval-demand MVA — the Luthi et al. direction the paper's related
+// work discusses ([16]): when measured service demands carry uncertainty,
+// propagate a demand *interval* per station through the recursion instead
+// of a point value, yielding throughput / response-time bands.
+//
+// Monotonicity makes this exact for the bounds: MVA throughput is
+// antitone and response time monotone in every demand, so running the
+// solver at the elementwise lower and upper demand vectors brackets every
+// mixture of demands inside the box.
+#pragma once
+
+#include <span>
+
+#include "core/network.hpp"
+#include "core/result.hpp"
+
+namespace mtperf::core {
+
+/// A per-station demand uncertainty box.
+struct DemandInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+};
+
+/// Banded results: the optimistic (lower demands) and pessimistic (upper
+/// demands) traces of the exact multi-server recursion.
+struct IntervalMvaResult {
+  MvaResult optimistic;   ///< solved at the lower demand bounds
+  MvaResult pessimistic;  ///< solved at the upper demand bounds
+
+  /// Band width of throughput at population n, relative to the midpoint.
+  double throughput_band_relative(unsigned n) const;
+};
+
+/// Solve the closed network over the demand box for populations
+/// 1..max_population.
+IntervalMvaResult interval_mva(const ClosedNetwork& network,
+                               std::span<const DemandInterval> demands,
+                               unsigned max_population);
+
+/// Demand intervals from measurements: nominal +/- fraction (e.g. 0.1 for
+/// +/-10% monitoring uncertainty).
+std::vector<DemandInterval> intervals_around(std::span<const double> nominal,
+                                             double relative_half_width);
+
+}  // namespace mtperf::core

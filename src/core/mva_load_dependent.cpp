@@ -1,0 +1,110 @@
+#include "core/mva_load_dependent.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mtperf::core {
+
+RateMultiplier multiserver_rate(unsigned servers) {
+  MTPERF_REQUIRE(servers >= 1, "need at least one server");
+  return [servers](unsigned jobs) {
+    return static_cast<double>(std::min(jobs, servers));
+  };
+}
+
+RateMultiplier single_server_rate() {
+  return [](unsigned) { return 1.0; };
+}
+
+MvaResult load_dependent_mva(const ClosedNetwork& network,
+                             std::span<const double> service_times,
+                             const std::vector<RateMultiplier>& rates,
+                             unsigned max_population) {
+  const std::size_t k_count = network.size();
+  MTPERF_REQUIRE(service_times.size() == k_count,
+                 "one service time per station required");
+  MTPERF_REQUIRE(rates.size() == k_count, "one rate multiplier per station");
+  MTPERF_REQUIRE(max_population >= 1, "population must be at least 1");
+
+  MvaResult result;
+  for (const auto& st : network.stations()) result.station_names.push_back(st.name);
+
+  // p[k][j] = marginal probability of j customers at station k, conditioned
+  // on the *previous* population; updated in place each iteration.
+  std::vector<std::vector<double>> p(k_count);
+  for (std::size_t k = 0; k < k_count; ++k) {
+    p[k].assign(max_population + 1, 0.0);
+    p[k][0] = 1.0;
+  }
+
+  std::vector<double> residence(k_count, 0.0);
+  for (unsigned n = 1; n <= max_population; ++n) {
+    double total_residence = 0.0;
+    for (std::size_t k = 0; k < k_count; ++k) {
+      const Station& st = network.station(k);
+      if (st.kind == StationKind::kDelay) {
+        residence[k] = st.visits * service_times[k];
+      } else {
+        // R_k(n) = sum_j  j * S_k / alpha_k(j) * p_k(j-1 | n-1).
+        double wait = 0.0;
+        for (unsigned j = 1; j <= n; ++j) {
+          const double alpha = rates[k](j);
+          MTPERF_REQUIRE(alpha > 0.0, "rate multiplier must be positive");
+          wait += static_cast<double>(j) * service_times[k] / alpha *
+                  p[k][j - 1];
+        }
+        residence[k] = st.visits * wait;
+      }
+      total_residence += residence[k];
+    }
+    const double cycle = total_residence + network.think_time();
+    MTPERF_REQUIRE(cycle > 0.0, "degenerate network: zero cycle time");
+    const double x = static_cast<double>(n) / cycle;
+
+    std::vector<double> queue(k_count, 0.0);
+    std::vector<double> util(k_count, 0.0);
+    for (std::size_t k = 0; k < k_count; ++k) {
+      const Station& st = network.station(k);
+      if (st.kind == StationKind::kDelay) {
+        queue[k] = x * residence[k];
+        util[k] = x * st.visits * service_times[k];
+        continue;
+      }
+      // Update the marginal distribution, highest occupancy first so each
+      // p[k][j] reads the previous population's p[k][j-1].
+      const double xk = x * st.visits;
+      double tail = 0.0;
+      for (unsigned j = n; j >= 1; --j) {
+        p[k][j] = xk * service_times[k] / rates[k](j) * p[k][j - 1];
+        tail += p[k][j];
+      }
+      // p(0|n) = 1 - tail suffers catastrophic cancellation once the
+      // station saturates (the classic LD-MVA instability); project the
+      // distribution back onto the simplex when the tail overshoots.
+      if (tail > 1.0) {
+        for (unsigned j = 1; j <= n; ++j) p[k][j] /= tail;
+        p[k][0] = 0.0;
+      } else {
+        p[k][0] = 1.0 - tail;
+      }
+      double q = 0.0;
+      for (unsigned j = 1; j <= n; ++j) q += static_cast<double>(j) * p[k][j];
+      queue[k] = q;
+      // Per-server utilization: offered work over full capacity
+      // alpha(N) — for alpha(j) = min(j, C) this is the X V S / C the other
+      // solvers report.
+      util[k] = x * st.visits * service_times[k] / rates[k](max_population);
+    }
+    result.population.push_back(n);
+    result.throughput.push_back(x);
+    result.response_time.push_back(total_residence);
+    result.cycle_time.push_back(cycle);
+    result.station_queue.push_back(std::move(queue));
+    result.station_utilization.push_back(std::move(util));
+    result.station_residence.push_back(residence);
+  }
+  return result;
+}
+
+}  // namespace mtperf::core

@@ -1,0 +1,66 @@
+// Multi-class Mean Value Analysis.
+//
+// The paper restricts itself to a single customer class ("the customers are
+// assumed to be indistinguishable"); real capacity studies usually need
+// classes — e.g. VINS's Renew Policy vs Read Policy users with different
+// demands and think times.  This module provides the canonical exact
+// multi-class MVA (recursion over population vectors) and the multi-class
+// Schweitzer approximation for populations where the exact recursion's
+// product-of-populations state space is infeasible.
+//
+// Stations are single-server queueing or delay stations (the standard
+// product-form multi-class setting); multi-core resources can be handled
+// via the Seidmann transform (see seidmann.hpp).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/network.hpp"
+
+namespace mtperf::core {
+
+/// One customer class: population, think time, and per-station service
+/// demands (D_{c,k} = V_{c,k} * S_{c,k}, i.e. visits folded in).
+struct CustomerClass {
+  std::string name;
+  unsigned population = 0;
+  double think_time = 0.0;
+  std::vector<double> demands;  ///< one per station
+};
+
+/// Results at the full population mix.
+struct MulticlassResult {
+  /// X_c — per-class system throughput.
+  std::vector<double> class_throughput;
+  /// R_c — per-class response time (sum of residence times).
+  std::vector<double> class_response_time;
+  /// Q_k — total mean queue length per station (all classes).
+  std::vector<double> station_queue;
+  /// U_k — total utilization per station.
+  std::vector<double> station_utilization;
+  /// Q_{c,k} — per-class mean queue length per station.
+  std::vector<std::vector<double>> class_station_queue;
+
+  double total_throughput() const;
+};
+
+/// Exact multi-class MVA (Reiser & Lavenberg): recursion over all
+/// population vectors n <= N.  Time and memory are proportional to
+/// K * prod_c (N_c + 1) — use the Schweitzer variant for large mixes.
+MulticlassResult exact_mva_multiclass(const ClosedNetwork& network,
+                                      const std::vector<CustomerClass>& classes);
+
+struct MulticlassSchweitzerOptions {
+  double tolerance = 1e-10;
+  unsigned max_iterations = 20000;
+};
+
+/// Multi-class Schweitzer approximation: fixed point on
+///   Q_{c,k}(N - e_c) ~= Q_{c,k}(N) (N_c - 1)/N_c + sum_{d != c} Q_{d,k}(N).
+MulticlassResult schweitzer_mva_multiclass(
+    const ClosedNetwork& network, const std::vector<CustomerClass>& classes,
+    const MulticlassSchweitzerOptions& options = {});
+
+}  // namespace mtperf::core

@@ -1,0 +1,31 @@
+#include "core/mva_multiserver.hpp"
+
+#include "core/demand_model.hpp"
+#include "core/detail/multiserver_engine.hpp"
+
+namespace mtperf::core {
+
+MvaResult exact_multiserver_mva(const ClosedNetwork& network,
+                                std::span<const double> service_times,
+                                unsigned max_population) {
+  const DemandModel model = DemandModel::constant(
+      std::vector<double>(service_times.begin(), service_times.end()));
+  return detail::run_multiserver_mva(network, model, max_population);
+}
+
+MvaResult exact_multiserver_mva_traced(const ClosedNetwork& network,
+                                       std::span<const double> service_times,
+                                       unsigned max_population,
+                                       const std::string& traced_station,
+                                       MarginalProbabilityTrace& trace_out) {
+  const DemandModel model = DemandModel::constant(
+      std::vector<double>(service_times.begin(), service_times.end()));
+  detail::MarginalTrace trace;
+  trace.station = network.index_of(traced_station);
+  MvaResult result =
+      detail::run_multiserver_mva(network, model, max_population, &trace);
+  trace_out.rows = std::move(trace.rows);
+  return result;
+}
+
+}  // namespace mtperf::core

@@ -1,0 +1,39 @@
+// Exact multi-server MVA — the paper's Algorithm 2.
+//
+// Extends the exact MVA recursion with per-station marginal queue-size
+// probabilities p_k(j) so that stations with C_k identical servers (e.g.
+// a 16-core CPU modeled as one queue with 16 servers) are handled exactly
+// rather than by the usual S/C demand normalization, which the paper shows
+// degrades prediction precisely where it matters — near CPU saturation.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/network.hpp"
+#include "core/result.hpp"
+
+namespace mtperf::core {
+
+/// Per-population marginal probabilities of one station (Fig. 3): after
+/// the population-n update, rows[n-1][j] holds P_k(j | n) for j in
+/// [0, C_k-1] — the probability of j busy servers (no queueing yet).
+struct MarginalProbabilityTrace {
+  std::vector<std::vector<double>> rows;
+};
+
+/// Solve the network for populations 1..max_population with constant
+/// per-visit service times, treating every station as a C_k-server queue.
+MvaResult exact_multiserver_mva(const ClosedNetwork& network,
+                                std::span<const double> service_times,
+                                unsigned max_population);
+
+/// Same, additionally capturing the marginal-probability trajectory of the
+/// station named `traced_station`.
+MvaResult exact_multiserver_mva_traced(const ClosedNetwork& network,
+                                       std::span<const double> service_times,
+                                       unsigned max_population,
+                                       const std::string& traced_station,
+                                       MarginalProbabilityTrace& trace_out);
+
+}  // namespace mtperf::core

@@ -1,0 +1,75 @@
+#include "core/mva_schweitzer.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtperf::core {
+
+MvaResult schweitzer_mva(const ClosedNetwork& network,
+                         std::span<const double> service_times,
+                         unsigned max_population,
+                         const SchweitzerOptions& options) {
+  const std::size_t k_count = network.size();
+  MTPERF_REQUIRE(service_times.size() == k_count,
+                 "one service time per station required");
+  MTPERF_REQUIRE(max_population >= 1, "population must be at least 1");
+  MTPERF_REQUIRE(options.tolerance > 0.0, "tolerance must be positive");
+
+  MvaResult result;
+  for (const auto& st : network.stations()) result.station_names.push_back(st.name);
+
+  for (unsigned n = 1; n <= max_population; ++n) {
+    const double nd = static_cast<double>(n);
+    // Start from an even spread of customers over queueing stations.
+    std::vector<double> queue(k_count, nd / static_cast<double>(k_count));
+    std::vector<double> residence(k_count, 0.0);
+    double x = 0.0;
+    double total_residence = 0.0;
+    bool converged = false;
+    for (unsigned iter = 0; iter < options.max_iterations; ++iter) {
+      total_residence = 0.0;
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const Station& st = network.station(k);
+        // Eq. 9: estimate Q_k(n-1) from the current Q_k(n) iterate.
+        const double q_est = (nd - 1.0) / nd * queue[k];
+        const double wait = st.kind == StationKind::kDelay
+                                ? service_times[k]
+                                : service_times[k] * (1.0 + q_est);
+        residence[k] = st.visits * wait;
+        total_residence += residence[k];
+      }
+      const double cycle = total_residence + network.think_time();
+      MTPERF_REQUIRE(cycle > 0.0, "degenerate network: zero cycle time");
+      x = nd / cycle;
+      double worst = 0.0;
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const double updated = x * residence[k];
+        worst = std::max(worst, std::abs(updated - queue[k]));
+        queue[k] = updated;
+      }
+      if (worst < options.tolerance) {
+        converged = true;
+        break;
+      }
+    }
+    if (!converged) {
+      throw numeric_error("Schweitzer MVA did not converge at population " +
+                          std::to_string(n));
+    }
+    std::vector<double> util(k_count, 0.0);
+    for (std::size_t k = 0; k < k_count; ++k) {
+      util[k] = x * network.station(k).visits * service_times[k];
+    }
+    result.population.push_back(n);
+    result.throughput.push_back(x);
+    result.response_time.push_back(total_residence);
+    result.cycle_time.push_back(total_residence + network.think_time());
+    result.station_queue.push_back(queue);
+    result.station_utilization.push_back(std::move(util));
+    result.station_residence.push_back(residence);
+  }
+  return result;
+}
+
+}  // namespace mtperf::core

@@ -1,0 +1,30 @@
+// Schweitzer's approximate MVA (paper Eq. 9): replaces the exact recursion
+// over populations with a fixed point at each target population, using the
+// proportional estimate
+//   Q_k(n-1) ~= (n-1)/n * Q_k(n).
+// O(K) memory and typically a handful of iterations per population — the
+// standard choice when N is large.  The paper's point is that prior
+// multi-server extensions ([19], [20], MAQ-PRO) build on *this*
+// approximation, which compounds with demand-variation error; MVASD instead
+// builds on the exact recursion.
+#pragma once
+
+#include <span>
+
+#include "core/network.hpp"
+#include "core/result.hpp"
+
+namespace mtperf::core {
+
+struct SchweitzerOptions {
+  double tolerance = 1e-10;     ///< max |Q_k change| convergence threshold
+  unsigned max_iterations = 10000;
+};
+
+/// Approximate single-server MVA at populations 1..max_population.
+MvaResult schweitzer_mva(const ClosedNetwork& network,
+                         std::span<const double> service_times,
+                         unsigned max_population,
+                         const SchweitzerOptions& options = {});
+
+}  // namespace mtperf::core

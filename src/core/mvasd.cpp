@@ -1,0 +1,77 @@
+#include "core/mvasd.hpp"
+
+#include "common/error.hpp"
+#include "core/detail/multiserver_engine.hpp"
+
+namespace mtperf::core {
+
+MvaResult mvasd(const ClosedNetwork& network, const DemandModel& demands,
+                unsigned max_population) {
+  return detail::run_multiserver_mva(network, demands, max_population);
+}
+
+MvaResult mvasd_traced(const ClosedNetwork& network, const DemandModel& demands,
+                       unsigned max_population,
+                       const std::string& traced_station,
+                       MarginalProbabilityTrace& trace_out) {
+  detail::MarginalTrace trace;
+  trace.station = network.index_of(traced_station);
+  MvaResult result =
+      detail::run_multiserver_mva(network, demands, max_population, &trace);
+  trace_out.rows = std::move(trace.rows);
+  return result;
+}
+
+MvaResult mvasd_single_server(const ClosedNetwork& network,
+                              const DemandModel& demands,
+                              unsigned max_population) {
+  const std::size_t k_count = network.size();
+  MTPERF_REQUIRE(demands.stations() == k_count,
+                 "demand model width must match station count");
+  MTPERF_REQUIRE(max_population >= 1, "population must be at least 1");
+
+  MvaResult result;
+  for (const auto& st : network.stations()) result.station_names.push_back(st.name);
+
+  std::vector<double> queue(k_count, 0.0);
+  std::vector<double> residence(k_count, 0.0);
+  std::vector<double> s_now(k_count, 0.0);
+  double previous_throughput = 0.0;
+
+  for (unsigned n = 1; n <= max_population; ++n) {
+    const double axis_value = demands.axis() == DemandModel::Axis::kConcurrency
+                                  ? static_cast<double>(n)
+                                  : previous_throughput;
+    double total_residence = 0.0;
+    for (std::size_t k = 0; k < k_count; ++k) {
+      const Station& st = network.station(k);
+      // Normalize the varying demand by the server count — the heuristic
+      // multi-core treatment the paper evaluates (and rejects) in Fig. 8.
+      s_now[k] = demands.at(k, axis_value) / static_cast<double>(st.servers);
+      const double wait = st.kind == StationKind::kDelay
+                              ? s_now[k]
+                              : s_now[k] * (1.0 + queue[k]);
+      residence[k] = st.visits * wait;
+      total_residence += residence[k];
+    }
+    const double cycle = total_residence + network.think_time();
+    MTPERF_REQUIRE(cycle > 0.0, "degenerate network: zero cycle time");
+    const double x = static_cast<double>(n) / cycle;
+    std::vector<double> util(k_count, 0.0);
+    for (std::size_t k = 0; k < k_count; ++k) {
+      queue[k] = x * residence[k];
+      util[k] = x * network.station(k).visits * s_now[k];
+    }
+    result.population.push_back(n);
+    result.throughput.push_back(x);
+    result.response_time.push_back(total_residence);
+    result.cycle_time.push_back(cycle);
+    result.station_queue.push_back(queue);
+    result.station_utilization.push_back(std::move(util));
+    result.station_residence.push_back(residence);
+    previous_throughput = x;
+  }
+  return result;
+}
+
+}  // namespace mtperf::core

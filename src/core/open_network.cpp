@@ -1,0 +1,113 @@
+#include "core/open_network.hpp"
+
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace mtperf::core {
+
+double erlang_c(unsigned servers, double offered_load) {
+  MTPERF_REQUIRE(servers >= 1, "Erlang C needs at least one server");
+  MTPERF_REQUIRE(offered_load >= 0.0, "offered load must be non-negative");
+  MTPERF_REQUIRE(offered_load < static_cast<double>(servers),
+                 "Erlang C requires a stable queue (a < c)");
+  if (offered_load == 0.0) return 0.0;
+  // Iterative Erlang-B then the B->C conversion; numerically stable for
+  // large c (no factorials).
+  double b = 1.0;  // Erlang B with 0 servers
+  for (unsigned i = 1; i <= servers; ++i) {
+    b = offered_load * b / (static_cast<double>(i) + offered_load * b);
+  }
+  const double rho = offered_load / static_cast<double>(servers);
+  return b / (1.0 - rho + rho * b);
+}
+
+namespace {
+
+OpenNetworkResult analyze(const ClosedNetwork& network,
+                          const std::vector<double>& d, double arrival_rate) {
+  MTPERF_REQUIRE(arrival_rate >= 0.0, "arrival rate must be non-negative");
+  MTPERF_REQUIRE(d.size() == network.size(),
+                 "one demand per station required");
+
+  OpenNetworkResult result;
+  result.arrival_rate = arrival_rate;
+  result.stable = true;
+  for (std::size_t k = 0; k < network.size(); ++k) {
+    const Station& st = network.station(k);
+    MTPERF_REQUIRE(d[k] >= 0.0, "service demands must be non-negative");
+    OpenStationMetrics m;
+    m.name = st.name;
+    const double offered = arrival_rate * st.visits * d[k];  // Erlangs
+    const auto c = static_cast<double>(st.servers);
+    m.utilization = offered / c;
+    if (st.kind == StationKind::kDelay) {
+      m.wait_probability = 0.0;
+      m.response_time = d[k];
+      m.utilization = 0.0;  // infinite servers: no contention
+    } else if (m.utilization >= 1.0) {
+      result.stable = false;
+      m.wait_probability = 1.0;
+      m.response_time = std::numeric_limits<double>::infinity();
+    } else {
+      // M/M/C: W = S + Pwait * S / (C (1 - rho)).
+      m.wait_probability = erlang_c(st.servers, offered);
+      m.response_time =
+          d[k] + m.wait_probability * d[k] / (c * (1.0 - m.utilization));
+    }
+    m.queue_length = std::isfinite(m.response_time)
+                         ? arrival_rate * st.visits * m.response_time
+                         : std::numeric_limits<double>::infinity();
+    result.response_time += st.visits * m.response_time;
+    result.stations.push_back(std::move(m));
+  }
+  result.jobs_in_system =
+      result.stable ? arrival_rate * result.response_time
+                    : std::numeric_limits<double>::infinity();
+  return result;
+}
+
+}  // namespace
+
+OpenNetworkResult open_network_analysis(const ClosedNetwork& network,
+                                        std::span<const double> demands,
+                                        double arrival_rate) {
+  return analyze(network, std::vector<double>(demands.begin(), demands.end()),
+                 arrival_rate);
+}
+
+OpenNetworkResult open_network_analysis(const ClosedNetwork& network,
+                                        const DemandModel& demands,
+                                        double arrival_rate) {
+  MTPERF_REQUIRE(demands.stations() == network.size(),
+                 "demand model width must match station count");
+  return analyze(network, demands.all_at(arrival_rate), arrival_rate);
+}
+
+double max_stable_arrival_rate(const ClosedNetwork& network,
+                               const DemandModel& demands,
+                               double search_upper_bound) {
+  MTPERF_REQUIRE(search_upper_bound > 0.0, "search bound must be positive");
+  auto stable_at = [&](double lambda) {
+    const auto d = demands.all_at(lambda);
+    for (std::size_t k = 0; k < network.size(); ++k) {
+      const Station& st = network.station(k);
+      if (st.kind == StationKind::kDelay) continue;
+      if (lambda * st.visits * d[k] >=
+          static_cast<double>(st.servers)) {
+        return false;
+      }
+    }
+    return true;
+  };
+  if (stable_at(search_upper_bound)) return search_upper_bound;
+  double lo = 0.0, hi = search_upper_bound;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    (stable_at(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace mtperf::core

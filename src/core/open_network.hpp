@@ -1,0 +1,63 @@
+// Open queueing-network analysis.
+//
+// Section 7 of the paper motivates demand models indexed by throughput
+// because "for open systems throughput can be modified much easier rather
+// than increasing the concurrency".  This module closes that loop: given an
+// arrival rate and (possibly throughput-varying) demands, it solves the
+// open product-form network — M/M/C_k stations via exact Erlang-C — for
+// utilization, queue lengths and response times, and finds the maximum
+// sustainable arrival rate.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/demand_model.hpp"
+#include "core/network.hpp"
+
+namespace mtperf::core {
+
+/// Erlang-C: probability an arrival must wait in an M/M/c queue offered
+/// load a = lambda/mu (in Erlangs).  Requires a < c (stability).
+double erlang_c(unsigned servers, double offered_load);
+
+/// Per-station open-network metrics.
+struct OpenStationMetrics {
+  std::string name;
+  double utilization = 0.0;    ///< per-server, rho = lambda D / C
+  double wait_probability = 0.0;  ///< Erlang-C P(wait)
+  double response_time = 0.0;  ///< W = S + queueing delay
+  double queue_length = 0.0;   ///< L = lambda_k W (Little)
+};
+
+struct OpenNetworkResult {
+  bool stable = false;
+  double arrival_rate = 0.0;
+  double response_time = 0.0;  ///< end-to-end mean (sum over stations)
+  double jobs_in_system = 0.0;
+  std::vector<OpenStationMetrics> stations;
+};
+
+/// Solve the open network at arrival rate lambda with constant demands
+/// (per-transaction time on one server of each station).  If any station is
+/// unstable (rho >= 1) the result has stable == false and per-station
+/// utilizations are still reported.
+OpenNetworkResult open_network_analysis(const ClosedNetwork& network,
+                                        std::span<const double> demands,
+                                        double arrival_rate);
+
+/// Same with a throughput-indexed DemandModel: demands are evaluated at the
+/// offered arrival rate (the natural open-system use of Section 7's
+/// demand-vs-throughput splines).
+OpenNetworkResult open_network_analysis(const ClosedNetwork& network,
+                                        const DemandModel& demands,
+                                        double arrival_rate);
+
+/// Largest stable arrival rate: min_k C_k / D_k, with throughput-varying
+/// demands resolved by bisection on the stability condition.
+double max_stable_arrival_rate(const ClosedNetwork& network,
+                               const DemandModel& demands,
+                               double search_upper_bound = 1e6);
+
+}  // namespace mtperf::core

@@ -1,0 +1,59 @@
+#include "core/prediction.hpp"
+
+#include "common/stats.hpp"
+#include "core/mva_multiserver.hpp"
+#include "core/mvasd.hpp"
+
+namespace mtperf::core {
+
+ClosedNetwork network_from_table(const ops::DemandTable& table,
+                                 double think_time) {
+  return make_network(table.stations(), table.servers(), think_time);
+}
+
+MvaResult predict_mvasd(const ops::DemandTable& table, double think_time,
+                        unsigned max_population, DemandModel::Axis axis,
+                        const interp::CubicSplineOptions& spline) {
+  const ClosedNetwork network = network_from_table(table, think_time);
+  const DemandModel demands = DemandModel::from_table(table, axis, spline);
+  return mvasd(network, demands, max_population);
+}
+
+MvaResult predict_mvasd_single_server(const ops::DemandTable& table,
+                                      double think_time,
+                                      unsigned max_population,
+                                      const interp::CubicSplineOptions& spline) {
+  const ClosedNetwork network = network_from_table(table, think_time);
+  const DemandModel demands =
+      DemandModel::from_table(table, DemandModel::Axis::kConcurrency, spline);
+  return mvasd_single_server(network, demands, max_population);
+}
+
+MvaResult predict_mva_fixed(const ops::DemandTable& table, double think_time,
+                            unsigned max_population,
+                            double demand_source_concurrency) {
+  const ClosedNetwork network = network_from_table(table, think_time);
+  const std::vector<double> demands =
+      table.demands_at_concurrency(demand_source_concurrency);
+  return exact_multiserver_mva(network, demands, max_population);
+}
+
+DeviationReport deviation_against_measurements(const std::string& model,
+                                               const MvaResult& prediction,
+                                               const ops::DemandTable& table,
+                                               double think_time) {
+  const std::vector<double> at = table.concurrency_series();
+  const std::vector<double> measured_x = table.throughput_series();
+  std::vector<double> measured_cycle = table.response_time_series();
+  for (double& r : measured_cycle) r += think_time;
+
+  DeviationReport report;
+  report.model = model;
+  report.throughput_deviation_pct =
+      mean_percent_deviation(prediction.throughput_at(at), measured_x);
+  report.cycle_time_deviation_pct =
+      mean_percent_deviation(prediction.cycle_time_at(at), measured_cycle);
+  return report;
+}
+
+}  // namespace mtperf::core

@@ -1,0 +1,68 @@
+#include "core/result.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtperf::core {
+
+std::size_t MvaResult::row_for(unsigned n) const {
+  for (std::size_t i = 0; i < population.size(); ++i) {
+    if (population[i] == n) return i;
+  }
+  throw invalid_argument_error("population level not present in MVA result: " +
+                               std::to_string(n));
+}
+
+std::vector<double> MvaResult::utilization_series(std::size_t station) const {
+  MTPERF_REQUIRE(station < station_names.size(), "station index out of range");
+  std::vector<double> out;
+  out.reserve(station_utilization.size());
+  for (const auto& row : station_utilization) out.push_back(row[station]);
+  return out;
+}
+
+std::vector<double> MvaResult::queue_series(std::size_t station) const {
+  MTPERF_REQUIRE(station < station_names.size(), "station index out of range");
+  std::vector<double> out;
+  out.reserve(station_queue.size());
+  for (const auto& row : station_queue) out.push_back(row[station]);
+  return out;
+}
+
+namespace {
+
+std::vector<double> sample_series(const std::vector<unsigned>& population,
+                                  const std::vector<double>& series,
+                                  const std::vector<double>& at) {
+  std::vector<double> out;
+  out.reserve(at.size());
+  for (double n : at) {
+    const auto level = static_cast<unsigned>(std::lround(n));
+    bool found = false;
+    for (std::size_t i = 0; i < population.size(); ++i) {
+      if (population[i] == level) {
+        out.push_back(series[i]);
+        found = true;
+        break;
+      }
+    }
+    MTPERF_REQUIRE(found, "requested population not covered by MVA run: " +
+                              std::to_string(level));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> MvaResult::throughput_at(
+    const std::vector<double>& populations) const {
+  return sample_series(population, throughput, populations);
+}
+
+std::vector<double> MvaResult::cycle_time_at(
+    const std::vector<double>& populations) const {
+  return sample_series(population, cycle_time, populations);
+}
+
+}  // namespace mtperf::core

@@ -1,0 +1,47 @@
+// Output of every MVA-family solver: the full recursion trace from 1 to N
+// customers.  The paper's figures plot exactly these series (throughput and
+// cycle time vs concurrency; per-station utilization vs concurrency).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mtperf::core {
+
+struct MvaResult {
+  /// Population levels the recursion visited (1..N).
+  std::vector<unsigned> population;
+  /// X_n — system throughput at each population.
+  std::vector<double> throughput;
+  /// R_n — system response time at each population.
+  std::vector<double> response_time;
+  /// R_n + Z — cycle time (what the paper's response-time tables report).
+  std::vector<double> cycle_time;
+  /// Q_k at each population: station_queue[n-1][k].
+  std::vector<std::vector<double>> station_queue;
+  /// Per-server utilization at each population: X_n V_k S_k / C_k.
+  std::vector<std::vector<double>> station_utilization;
+  /// Residence time V_k R_k at each population.
+  std::vector<std::vector<double>> station_residence;
+  /// Station names, aligned with the inner vectors above.
+  std::vector<std::string> station_names;
+
+  std::size_t levels() const noexcept { return population.size(); }
+
+  /// Index of the row for population n; throws if the recursion did not
+  /// visit n.
+  std::size_t row_for(unsigned n) const;
+
+  /// Series of one station's utilization across all populations.
+  std::vector<double> utilization_series(std::size_t station) const;
+  /// Series of one station's mean queue length across all populations.
+  std::vector<double> queue_series(std::size_t station) const;
+
+  /// Subset of the throughput / cycle-time series at the given populations
+  /// (for comparing against measurements taken at those levels).
+  std::vector<double> throughput_at(const std::vector<double>& populations) const;
+  std::vector<double> cycle_time_at(const std::vector<double>& populations) const;
+};
+
+}  // namespace mtperf::core

@@ -1,0 +1,20 @@
+#include "core/sweep.hpp"
+
+namespace mtperf::core {
+
+std::vector<LabeledResult> run_scenarios(std::vector<Scenario> scenarios,
+                                         ThreadPool* pool) {
+  std::vector<LabeledResult> out(scenarios.size());
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      out[i] = LabeledResult{scenarios[i].label, scenarios[i].run()};
+    }
+    return out;
+  }
+  parallel_for(*pool, scenarios.size(), [&](std::size_t i) {
+    out[i] = LabeledResult{scenarios[i].label, scenarios[i].run()};
+  });
+  return out;
+}
+
+}  // namespace mtperf::core

@@ -1,0 +1,31 @@
+// Parallel evaluation of independent model scenarios (the "MVA 28 / 70 /
+// 140 / 210 vs MVASD" comparisons every figure bench runs).  Each scenario
+// is an independent solver invocation, so they parallelize trivially over
+// the shared thread pool.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/result.hpp"
+
+namespace mtperf::core {
+
+struct Scenario {
+  std::string label;
+  std::function<MvaResult()> run;
+};
+
+struct LabeledResult {
+  std::string label;
+  MvaResult result;
+};
+
+/// Run all scenarios, in parallel when a pool is supplied (order of the
+/// returned vector always matches the input order).
+std::vector<LabeledResult> run_scenarios(std::vector<Scenario> scenarios,
+                                         ThreadPool* pool = nullptr);
+
+}  // namespace mtperf::core

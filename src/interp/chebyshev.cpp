@@ -1,0 +1,110 @@
+#include "interp/chebyshev.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtperf::interp {
+
+std::vector<double> chebyshev_nodes_unit(std::size_t n) {
+  MTPERF_REQUIRE(n >= 1, "need at least one Chebyshev node");
+  std::vector<double> nodes(n);
+  for (std::size_t k = 1; k <= n; ++k) {
+    // Eq. 16 yields descending nodes; store ascending.
+    nodes[n - k] = std::cos((2.0 * static_cast<double>(k) - 1.0) /
+                            (2.0 * static_cast<double>(n)) * M_PI);
+  }
+  return nodes;
+}
+
+std::vector<double> chebyshev_nodes(double a, double b, std::size_t n) {
+  MTPERF_REQUIRE(a < b, "chebyshev_nodes requires a < b");
+  std::vector<double> nodes = chebyshev_nodes_unit(n);
+  for (double& x : nodes) {
+    x = 0.5 * (a + b) + 0.5 * (b - a) * x;  // Eq. 17
+  }
+  return nodes;
+}
+
+std::vector<unsigned> chebyshev_concurrency_levels(unsigned a, unsigned b,
+                                                   std::size_t n) {
+  MTPERF_REQUIRE(a < b, "concurrency range requires a < b");
+  const std::vector<double> raw =
+      chebyshev_nodes(static_cast<double>(a), static_cast<double>(b), n);
+  std::vector<unsigned> levels;
+  levels.reserve(n);
+  for (double x : raw) {
+    const double up = std::ceil(x);
+    levels.push_back(static_cast<unsigned>(
+        std::clamp(up, static_cast<double>(a), static_cast<double>(b))));
+  }
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  return levels;
+}
+
+std::vector<double> equispaced_nodes(double a, double b, std::size_t n) {
+  MTPERF_REQUIRE(n >= 1, "need at least one node");
+  MTPERF_REQUIRE(a < b, "equispaced_nodes requires a < b");
+  std::vector<double> nodes(n);
+  if (n == 1) {
+    nodes[0] = 0.5 * (a + b);
+    return nodes;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    nodes[i] = a + (b - a) * static_cast<double>(i) / static_cast<double>(n - 1);
+  }
+  return nodes;
+}
+
+std::vector<double> random_nodes(double a, double b, std::size_t n,
+                                 mtperf::Rng& rng) {
+  MTPERF_REQUIRE(n >= 1, "need at least one node");
+  MTPERF_REQUIRE(a < b, "random_nodes requires a < b");
+  const double min_sep = (b - a) / (4.0 * static_cast<double>(n));
+  std::vector<double> nodes;
+  for (int attempt = 0; attempt < 1000; ++attempt) {
+    nodes.clear();
+    for (std::size_t i = 0; i < n; ++i) nodes.push_back(rng.uniform(a, b));
+    std::sort(nodes.begin(), nodes.end());
+    bool ok = true;
+    for (std::size_t i = 1; i < n; ++i) {
+      if (nodes[i] - nodes[i - 1] < min_sep) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) return nodes;
+  }
+  throw numeric_error("random_nodes: could not satisfy minimum separation");
+}
+
+double chebyshev_error_bound(std::size_t n, double max_abs_nth_derivative) {
+  MTPERF_REQUIRE(n >= 1, "error bound needs n >= 1");
+  double denom = 1.0;                       // n!
+  for (std::size_t i = 2; i <= n; ++i) denom *= static_cast<double>(i);
+  denom *= std::pow(2.0, static_cast<double>(n) - 1.0);  // 2^(n-1)
+  return max_abs_nth_derivative / denom;
+}
+
+double chebyshev_error_bound_exponential(std::size_t n, double mu) {
+  MTPERF_REQUIRE(mu > 0.0, "exponential mean must be positive");
+  const double max_deriv =
+      std::pow(mu, -static_cast<double>(n)) * std::exp(1.0 / mu);
+  return chebyshev_error_bound(n, max_deriv);
+}
+
+double max_abs_error(const std::function<double(double)>& f,
+                     const std::function<double(double)>& approx, double a,
+                     double b, std::size_t grid_points) {
+  MTPERF_REQUIRE(grid_points >= 2, "error grid needs >= 2 points");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < grid_points; ++i) {
+    const double x = a + (b - a) * static_cast<double>(i) /
+                             static_cast<double>(grid_points - 1);
+    worst = std::max(worst, std::abs(f(x) - approx(x)));
+  }
+  return worst;
+}
+
+}  // namespace mtperf::interp

@@ -1,0 +1,54 @@
+// Chebyshev node placement and interpolation error bounds (paper Section 8,
+// Eqs. 16–19).  Load tests are expensive; placing the few affordable test
+// points at Chebyshev nodes suppresses Runge oscillation in the demand
+// splines and keeps MVASD accurate with as few as 3 samples.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace mtperf::interp {
+
+/// Eq. 16: the n Chebyshev(-Gauss) nodes in (-1, 1), returned in
+/// *ascending* order:  x_k = cos((2k-1) pi / (2n)), k = 1..n.
+std::vector<double> chebyshev_nodes_unit(std::size_t n);
+
+/// Eq. 17: Chebyshev nodes affinely mapped to [a, b], ascending.
+std::vector<double> chebyshev_nodes(double a, double b, std::size_t n);
+
+/// Chebyshev nodes rounded *up* to integer concurrency levels, deduplicated,
+/// ascending.  Ceiling (rather than round-to-nearest) reproduces the node
+/// sets the paper reports for [1, 300]: n=3 -> {22, 151, 280},
+/// n=5 -> {9, 63, 151, 239, 293}, n=7 -> {5, 34, 86, 151, 216, 268, 297}.
+std::vector<unsigned> chebyshev_concurrency_levels(unsigned a, unsigned b,
+                                                   std::size_t n);
+
+/// n equispaced nodes on [a, b] inclusive (the placement that triggers
+/// Runge's phenomenon for polynomial interpolation).
+std::vector<double> equispaced_nodes(double a, double b, std::size_t n);
+
+/// n uniformly random nodes on [a, b], sorted, with a minimum separation of
+/// (b-a)/(4n) enforced by resampling — models an ad-hoc test plan.
+std::vector<double> random_nodes(double a, double b, std::size_t n,
+                                 mtperf::Rng& rng);
+
+/// Eq. 19: a-priori bound on the max interpolation error over [-1, 1] for a
+/// degree-(n-1) interpolant at n Chebyshev nodes:
+///     |f - P|_inf <= max|f^(n)| / (2^(n-1) n!).
+double chebyshev_error_bound(std::size_t n, double max_abs_nth_derivative);
+
+/// Eq. 19 specialized to f(x) = exp(x / mu) on [-1, 1] (the paper's Fig. 13
+/// "exponential functions with various mean values mu"):
+/// f^(n)(x) = mu^-n exp(x/mu), maximized at x = 1.
+double chebyshev_error_bound_exponential(std::size_t n, double mu);
+
+/// Empirical max |f(x) - approx(x)| over `grid_points` equispaced x in
+/// [a, b] — used to compare measured error against the Eq. 19 bound.
+double max_abs_error(const std::function<double(double)>& f,
+                     const std::function<double(double)>& approx, double a,
+                     double b, std::size_t grid_points = 2001);
+
+}  // namespace mtperf::interp

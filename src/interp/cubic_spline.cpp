@@ -1,0 +1,121 @@
+#include "interp/cubic_spline.hpp"
+
+#include <string>
+
+#include "interp/tridiagonal.hpp"
+
+namespace mtperf::interp {
+
+namespace {
+
+std::string boundary_name(SplineBoundary b) {
+  switch (b) {
+    case SplineBoundary::kNatural:
+      return "natural";
+    case SplineBoundary::kClamped:
+      return "clamped";
+    case SplineBoundary::kNotAKnot:
+      return "not-a-knot";
+  }
+  return "?";
+}
+
+}  // namespace
+
+PiecewiseCubic build_cubic_spline(const SampleSet& samples,
+                                  const CubicSplineOptions& options) {
+  samples.validate();
+  const std::size_t n = samples.size();
+  const std::string name = "cubic-spline[" + boundary_name(options.boundary) + "]";
+
+  if (n == 1) {
+    return PiecewiseCubic(samples.x, {samples.y[0]}, {0.0}, {0.0}, {0.0},
+                          options.extrapolation, name);
+  }
+  if (n == 2) {
+    const double slope = (samples.y[1] - samples.y[0]) / (samples.x[1] - samples.x[0]);
+    return PiecewiseCubic(samples.x, {samples.y[0]}, {slope}, {0.0}, {0.0},
+                          options.extrapolation, name);
+  }
+
+  SplineBoundary boundary = options.boundary;
+  if (boundary == SplineBoundary::kNotAKnot && n == 3) {
+    boundary = SplineBoundary::kNatural;  // see header: under-determined
+  }
+  if (boundary == SplineBoundary::kClamped) {
+    MTPERF_REQUIRE(options.start_slope.has_value() && options.end_slope.has_value(),
+                   "clamped spline requires start_slope and end_slope");
+  }
+
+  std::vector<double> h(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) h[i] = samples.x[i + 1] - samples.x[i];
+
+  std::vector<double> sub(n, 0.0), diag(n, 0.0), super(n, 0.0), rhs(n, 0.0);
+  for (std::size_t i = 1; i + 1 < n; ++i) {
+    sub[i] = h[i - 1];
+    diag[i] = 2.0 * (h[i - 1] + h[i]);
+    super[i] = h[i];
+    rhs[i] = 6.0 * ((samples.y[i + 1] - samples.y[i]) / h[i] -
+                    (samples.y[i] - samples.y[i - 1]) / h[i - 1]);
+  }
+
+  std::vector<double> m;
+  switch (boundary) {
+    case SplineBoundary::kNatural: {
+      diag[0] = 1.0;  // M_0 = 0
+      diag[n - 1] = 1.0;  // M_{n-1} = 0
+      m = solve_tridiagonal(sub, diag, super, rhs);
+      break;
+    }
+    case SplineBoundary::kClamped: {
+      diag[0] = 2.0 * h[0];
+      super[0] = h[0];
+      rhs[0] = 6.0 * ((samples.y[1] - samples.y[0]) / h[0] - *options.start_slope);
+      sub[n - 1] = h[n - 2];
+      diag[n - 1] = 2.0 * h[n - 2];
+      rhs[n - 1] = 6.0 * (*options.end_slope -
+                          (samples.y[n - 1] - samples.y[n - 2]) / h[n - 2]);
+      m = solve_tridiagonal(sub, diag, super, rhs);
+      break;
+    }
+    case SplineBoundary::kNotAKnot: {
+      // Third-derivative continuity across the second and the penultimate
+      // knot gives the boundary second derivatives in terms of their
+      // neighbours:
+      //   M_0     = [(h0 + h1) M_1 - h0 M_2] / h1
+      //   M_{n-1} = [(h_{n-3} + h_{n-2}) M_{n-2} - h_{n-2} M_{n-3}] / h_{n-3}
+      // Substituting into the first/last interior equations yields a
+      // reduced tridiagonal system in M_1 .. M_{n-2} (de Boor's approach;
+      // unlike naive corner elimination it has no spurious zero pivots on
+      // uniform grids).
+      const std::size_t mi = n - 2;  // interior unknowns
+      std::vector<double> isub(mi, 0.0), idiag(mi, 0.0), isuper(mi, 0.0),
+          irhs(mi, 0.0);
+      for (std::size_t j = 0; j < mi; ++j) {
+        const std::size_t i = j + 1;  // knot index of this equation
+        isub[j] = h[i - 1];
+        idiag[j] = 2.0 * (h[i - 1] + h[i]);
+        isuper[j] = h[i];
+        irhs[j] = rhs[i];
+      }
+      // First equation: fold in M_0.
+      idiag[0] += h[0] * (h[0] + h[1]) / h[1];
+      isuper[0] -= h[0] * h[0] / h[1];
+      // Last equation: fold in M_{n-1}.
+      idiag[mi - 1] += h[n - 2] * (h[n - 3] + h[n - 2]) / h[n - 3];
+      isub[mi - 1] -= h[n - 2] * h[n - 2] / h[n - 3];
+      const std::vector<double> interior =
+          solve_tridiagonal(isub, idiag, isuper, irhs);
+      m.assign(n, 0.0);
+      for (std::size_t j = 0; j < mi; ++j) m[j + 1] = interior[j];
+      m[0] = ((h[0] + h[1]) * m[1] - h[0] * m[2]) / h[1];
+      m[n - 1] =
+          ((h[n - 3] + h[n - 2]) * m[n - 2] - h[n - 2] * m[n - 3]) / h[n - 3];
+      break;
+    }
+  }
+  return cubic_from_second_derivatives(samples.x, samples.y, m,
+                                       options.extrapolation, name);
+}
+
+}  // namespace mtperf::interp

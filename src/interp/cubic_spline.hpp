@@ -1,0 +1,39 @@
+// Interpolating cubic splines: C²-continuous piecewise cubics through all
+// sample points.  This is the `h` of the paper's Algorithm 3 — the function
+// that turns a handful of measured service demands into a demand array
+// defined at every concurrency level (its Eqs. 12–14 and Section 7).
+#pragma once
+
+#include <optional>
+
+#include "interp/interpolator.hpp"
+#include "interp/piecewise_cubic.hpp"
+
+namespace mtperf::interp {
+
+/// End conditions closing the spline's tridiagonal system.
+enum class SplineBoundary {
+  kNatural,   ///< zero second derivative at both ends
+  kClamped,   ///< prescribed first derivatives at both ends
+  kNotAKnot,  ///< third-derivative continuity at x_2 and x_{n-1} —
+              ///< the default of Scilab's interp()/splin() used by the paper
+};
+
+struct CubicSplineOptions {
+  SplineBoundary boundary = SplineBoundary::kNotAKnot;
+  Extrapolation extrapolation = Extrapolation::kPegged;  // paper Eq. 14
+  /// End slopes; required iff boundary == kClamped.
+  std::optional<double> start_slope;
+  std::optional<double> end_slope;
+};
+
+/// Build an interpolating cubic spline through `samples`.
+///
+/// Degenerate sample counts degrade gracefully: one point yields a constant,
+/// two points a straight line, and three points under not-a-knot fall back
+/// to the natural end condition (a single cubic through three points is
+/// under-determined).
+PiecewiseCubic build_cubic_spline(const SampleSet& samples,
+                                  const CubicSplineOptions& options = {});
+
+}  // namespace mtperf::interp

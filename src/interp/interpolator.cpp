@@ -1,0 +1,41 @@
+#include "interp/interpolator.hpp"
+
+#include <algorithm>
+
+namespace mtperf::interp {
+
+SampleSet::SampleSet(std::vector<double> xs, std::vector<double> ys)
+    : x(std::move(xs)), y(std::move(ys)) {
+  validate();
+}
+
+void SampleSet::validate() const {
+  MTPERF_REQUIRE(x.size() == y.size(), "sample x/y length mismatch");
+  MTPERF_REQUIRE(!x.empty(), "sample set must contain at least one point");
+  for (std::size_t i = 1; i < x.size(); ++i) {
+    MTPERF_REQUIRE(x[i] > x[i - 1], "sample abscissae must strictly increase");
+  }
+}
+
+SampleSet SampleSet::subset(std::span<const std::size_t> indices) const {
+  SampleSet out;
+  out.x.reserve(indices.size());
+  out.y.reserve(indices.size());
+  for (std::size_t idx : indices) {
+    MTPERF_REQUIRE(idx < x.size(), "subset index out of range");
+    out.x.push_back(x[idx]);
+    out.y.push_back(y[idx]);
+  }
+  out.validate();
+  return out;
+}
+
+std::size_t find_interval(std::span<const double> knots, double x) {
+  MTPERF_REQUIRE(knots.size() >= 2, "interval lookup needs >= 2 knots");
+  if (x <= knots.front()) return 0;
+  if (x >= knots.back()) return knots.size() - 2;
+  const auto it = std::upper_bound(knots.begin(), knots.end(), x);
+  return static_cast<std::size_t>(std::distance(knots.begin(), it)) - 1;
+}
+
+}  // namespace mtperf::interp

@@ -1,0 +1,89 @@
+// Interpolation substrate for MVASD.
+//
+// The paper interpolates measured service demands with Scilab's `interp()`
+// — a piecewise-cubic, continuously differentiable function with constant
+// ("pegged") extrapolation outside the sampled range (its Eq. 14).  This
+// header defines the common 1-D interpolant interface all families in this
+// module implement, plus the sample container they consume.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mtperf::interp {
+
+/// Behaviour outside the sampled abscissa range [x_1, x_n].
+enum class Extrapolation {
+  kPegged,   ///< clamp to boundary ordinate (paper Eq. 14) — the default
+  kLinear,   ///< extend with the boundary slope
+  kNatural,  ///< evaluate the boundary polynomial piece beyond its interval
+  kThrow,    ///< refuse: throw mtperf::invalid_argument_error
+};
+
+/// An ordered set of (x, y) observations with strictly increasing x.
+struct SampleSet {
+  std::vector<double> x;
+  std::vector<double> y;
+
+  SampleSet() = default;
+  SampleSet(std::vector<double> xs, std::vector<double> ys);
+
+  std::size_t size() const noexcept { return x.size(); }
+  double x_min() const { return x.front(); }
+  double x_max() const { return x.back(); }
+
+  /// Validates invariants: equal lengths, >= 1 point, strictly increasing x.
+  void validate() const;
+
+  /// Subset at the given indices (must be increasing).
+  SampleSet subset(std::span<const std::size_t> indices) const;
+
+  /// Samples of y = f(x) taken at the given abscissae.
+  template <typename F>
+  static SampleSet tabulate(std::vector<double> xs, F&& f) {
+    std::vector<double> ys;
+    ys.reserve(xs.size());
+    for (double v : xs) ys.push_back(f(v));
+    return SampleSet(std::move(xs), std::move(ys));
+  }
+};
+
+/// Common interface of all 1-D interpolants in this module.
+class Interpolator1D {
+ public:
+  virtual ~Interpolator1D() = default;
+
+  /// Interpolated value at x (honouring the extrapolation policy).
+  virtual double value(double x) const = 0;
+
+  /// d-th derivative at x, d in [0, 3].  Outside the sampled range the
+  /// derivative of the extrapolant is returned (0 for pegged).
+  virtual double derivative(double x, int order) const = 0;
+
+  /// Human-readable family name ("cubic-spline[not-a-knot]", ...).
+  virtual std::string name() const = 0;
+
+  /// The sampled abscissa range this interpolant was built from.
+  virtual double x_min() const = 0;
+  virtual double x_max() const = 0;
+
+  /// Vectorized evaluation convenience.
+  std::vector<double> values(std::span<const double> xs) const {
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (double v : xs) out.push_back(value(v));
+    return out;
+  }
+
+  double operator()(double x) const { return value(x); }
+};
+
+/// Locate the interval index i such that x in [knots[i], knots[i+1]].
+/// Clamps to the boundary intervals for out-of-range x.
+std::size_t find_interval(std::span<const double> knots, double x);
+
+}  // namespace mtperf::interp

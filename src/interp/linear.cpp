@@ -1,0 +1,22 @@
+#include "interp/linear.hpp"
+
+namespace mtperf::interp {
+
+PiecewiseCubic build_linear(const SampleSet& samples,
+                            Extrapolation extrapolation) {
+  samples.validate();
+  const std::size_t n = samples.size();
+  if (n == 1) {
+    return PiecewiseCubic(samples.x, {samples.y[0]}, {0.0}, {0.0}, {0.0},
+                          extrapolation, "linear");
+  }
+  std::vector<double> a(n - 1), b(n - 1), c(n - 1, 0.0), d(n - 1, 0.0);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    a[i] = samples.y[i];
+    b[i] = (samples.y[i + 1] - samples.y[i]) / (samples.x[i + 1] - samples.x[i]);
+  }
+  return PiecewiseCubic(samples.x, std::move(a), std::move(b), std::move(c),
+                        std::move(d), extrapolation, "linear");
+}
+
+}  // namespace mtperf::interp

@@ -1,0 +1,16 @@
+// Piecewise-linear interpolation — the baseline the paper contrasts with
+// spline interpolation ("spline interpolation produces lower error at the
+// cost of higher computational complexity").
+#pragma once
+
+#include "interp/interpolator.hpp"
+#include "interp/piecewise_cubic.hpp"
+
+namespace mtperf::interp {
+
+/// Build a piecewise-linear interpolant (represented as a degenerate
+/// piecewise cubic so every consumer shares one evaluation path).
+PiecewiseCubic build_linear(const SampleSet& samples,
+                            Extrapolation extrapolation = Extrapolation::kPegged);
+
+}  // namespace mtperf::interp

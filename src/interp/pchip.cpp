@@ -1,0 +1,67 @@
+#include "interp/pchip.hpp"
+
+#include <cmath>
+
+namespace mtperf::interp {
+
+namespace {
+
+/// Boundary slope recipe from Fritsch–Butland as used by SciPy/MATLAB:
+/// one-sided three-point estimate, limited to preserve shape.
+double edge_slope(double h0, double h1, double d0, double d1) {
+  double slope = ((2.0 * h0 + h1) * d0 - h0 * d1) / (h0 + h1);
+  if (slope * d0 <= 0.0) {
+    slope = 0.0;
+  } else if (d0 * d1 <= 0.0 && std::abs(slope) > 3.0 * std::abs(d0)) {
+    slope = 3.0 * d0;
+  }
+  return slope;
+}
+
+}  // namespace
+
+PiecewiseCubic build_pchip(const SampleSet& samples,
+                           Extrapolation extrapolation) {
+  samples.validate();
+  const std::size_t n = samples.size();
+  if (n == 1) {
+    return PiecewiseCubic(samples.x, {samples.y[0]}, {0.0}, {0.0}, {0.0},
+                          extrapolation, "pchip");
+  }
+
+  std::vector<double> h(n - 1), delta(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    h[i] = samples.x[i + 1] - samples.x[i];
+    delta[i] = (samples.y[i + 1] - samples.y[i]) / h[i];
+  }
+
+  std::vector<double> slope(n, 0.0);
+  if (n == 2) {
+    slope[0] = slope[1] = delta[0];
+  } else {
+    slope[0] = edge_slope(h[0], h[1], delta[0], delta[1]);
+    slope[n - 1] = edge_slope(h[n - 2], h[n - 3], delta[n - 2], delta[n - 3]);
+    for (std::size_t i = 1; i + 1 < n; ++i) {
+      if (delta[i - 1] * delta[i] <= 0.0) {
+        slope[i] = 0.0;  // local extremum: flatten to preserve monotonicity
+      } else {
+        // Weighted harmonic mean of neighbouring secants (Fritsch–Carlson).
+        const double w1 = 2.0 * h[i] + h[i - 1];
+        const double w2 = h[i] + 2.0 * h[i - 1];
+        slope[i] = (w1 + w2) / (w1 / delta[i - 1] + w2 / delta[i]);
+      }
+    }
+  }
+
+  std::vector<double> a(n - 1), b(n - 1), c(n - 1), d(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    a[i] = samples.y[i];
+    b[i] = slope[i];
+    c[i] = (3.0 * delta[i] - 2.0 * slope[i] - slope[i + 1]) / h[i];
+    d[i] = (slope[i] + slope[i + 1] - 2.0 * delta[i]) / (h[i] * h[i]);
+  }
+  return PiecewiseCubic(samples.x, std::move(a), std::move(b), std::move(c),
+                        std::move(d), extrapolation, "pchip");
+}
+
+}  // namespace mtperf::interp

@@ -1,0 +1,16 @@
+// PCHIP — Piecewise Cubic Hermite Interpolating Polynomial with the
+// Fritsch–Carlson monotone slope limiter.  Only C¹, but it cannot overshoot
+// between samples, which matters for service demands: demands are physical
+// times and must stay positive even between sparse measurements.
+#pragma once
+
+#include "interp/interpolator.hpp"
+#include "interp/piecewise_cubic.hpp"
+
+namespace mtperf::interp {
+
+/// Build a monotonicity-preserving cubic Hermite interpolant of `samples`.
+PiecewiseCubic build_pchip(const SampleSet& samples,
+                           Extrapolation extrapolation = Extrapolation::kPegged);
+
+}  // namespace mtperf::interp

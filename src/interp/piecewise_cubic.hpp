@@ -1,0 +1,59 @@
+// Concrete piecewise-cubic interpolant shared by every cubic family in the
+// module (interpolating splines, PCHIP, smoothing splines).  Each interval
+// [x_i, x_{i+1}] carries coefficients of
+//   S_i(x) = a_i + b_i t + c_i t^2 + d_i t^3,   t = x - x_i.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "interp/interpolator.hpp"
+
+namespace mtperf::interp {
+
+class PiecewiseCubic final : public Interpolator1D {
+ public:
+  /// `knots` are the n sample abscissae; the coefficient arrays have n-1
+  /// entries (or, for a single-point set, one constant interval).
+  PiecewiseCubic(std::vector<double> knots, std::vector<double> a,
+                 std::vector<double> b, std::vector<double> c,
+                 std::vector<double> d, Extrapolation extrapolation,
+                 std::string family_name);
+
+  double value(double x) const override;
+  double derivative(double x, int order) const override;
+  std::string name() const override { return name_; }
+  double x_min() const override { return knots_.front(); }
+  double x_max() const override { return knots_.back(); }
+
+  const std::vector<double>& knots() const noexcept { return knots_; }
+  Extrapolation extrapolation() const noexcept { return extrapolation_; }
+
+  /// Second derivative at knot i — used by tests to verify C² continuity.
+  double second_derivative_at_knot(std::size_t i) const;
+
+ private:
+  /// Evaluate d-th derivative of interval `seg` at local offset t.
+  double eval(std::size_t seg, double t, int order) const;
+  /// Map x to (segment, local offset) applying the extrapolation policy.
+  /// Returns false when the policy resolves the query without a segment
+  /// (pegged outside the range), writing the answer to *out.
+  bool locate(double x, int order, std::size_t& seg, double& t,
+              double* out) const;
+
+  std::vector<double> knots_;
+  std::vector<double> a_, b_, c_, d_;
+  Extrapolation extrapolation_;
+  std::string name_;
+};
+
+/// Assemble a C²-continuous piecewise cubic from knot ordinates `y` and knot
+/// second derivatives `m` (the classic spline representation).  Shared by
+/// the interpolating and smoothing spline builders.
+PiecewiseCubic cubic_from_second_derivatives(std::span<const double> x,
+                                             std::span<const double> y,
+                                             std::span<const double> m,
+                                             Extrapolation extrapolation,
+                                             std::string family_name);
+
+}  // namespace mtperf::interp

@@ -1,0 +1,122 @@
+#include "interp/polynomial.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace mtperf::interp {
+
+namespace {
+
+/// Barycentric second-form evaluation with exact node handling.
+double barycentric_eval(const std::vector<double>& x,
+                        const std::vector<double>& y,
+                        const std::vector<double>& w, double at) {
+  double num = 0.0, den = 0.0;
+  for (std::size_t j = 0; j < x.size(); ++j) {
+    const double dx = at - x[j];
+    if (dx == 0.0) return y[j];
+    const double q = w[j] / dx;
+    num += q * y[j];
+    den += q;
+  }
+  return num / den;
+}
+
+/// Differentiation matrix row application: y' = D y where
+/// D_jk = (w_k / w_j) / (x_j - x_k), D_jj = -sum_{k != j} D_jk.
+/// The derivative of the degree-(n-1) interpolant has degree n-2, so it is
+/// reproduced exactly by barycentric interpolation of these nodal values.
+std::vector<double> apply_differentiation_matrix(const std::vector<double>& x,
+                                                 const std::vector<double>& w,
+                                                 const std::vector<double>& y) {
+  const std::size_t n = x.size();
+  std::vector<double> out(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = 0.0;
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k == j) continue;
+      const double djk = (w[k] / w[j]) / (x[j] - x[k]);
+      acc += djk * y[k];
+      diag -= djk;
+    }
+    out[j] = acc + diag * y[j];
+  }
+  return out;
+}
+
+}  // namespace
+
+BarycentricPolynomial::BarycentricPolynomial(const SampleSet& samples)
+    : x_(samples.x), y_(samples.y) {
+  samples.validate();
+  const std::size_t n = x_.size();
+  // Scale differences to avoid under/overflow of the weight products on
+  // wide ranges (Berrut & Trefethen, SIAM Review 2004, §3).
+  const double scale = n > 1 ? 4.0 / (x_.back() - x_.front()) : 1.0;
+  w_.assign(n, 1.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      if (k != j) w_[j] *= (x_[j] - x_[k]) * scale;
+    }
+    w_[j] = 1.0 / w_[j];
+  }
+}
+
+double BarycentricPolynomial::value(double x) const {
+  return barycentric_eval(x_, y_, w_, x);
+}
+
+double BarycentricPolynomial::derivative(double x, int order) const {
+  MTPERF_REQUIRE(order >= 0 && order <= 3, "derivative order must be in [0,3]");
+  std::vector<double> current = y_;
+  for (int m = 0; m < order; ++m) {
+    current = apply_differentiation_matrix(x_, w_, current);
+  }
+  return barycentric_eval(x_, current, w_, x);
+}
+
+NewtonPolynomial::NewtonPolynomial(const SampleSet& samples) : x_(samples.x) {
+  samples.validate();
+  coeff_ = samples.y;
+  const std::size_t n = x_.size();
+  // In-place divided-difference table; after pass k, coeff_[i] holds
+  // f[x_{i-k}, ..., x_i] for i >= k.
+  for (std::size_t k = 1; k < n; ++k) {
+    for (std::size_t i = n - 1; i >= k; --i) {
+      coeff_[i] = (coeff_[i] - coeff_[i - 1]) / (x_[i] - x_[i - k]);
+      if (i == k) break;
+    }
+  }
+}
+
+double NewtonPolynomial::value(double x) const { return derivative(x, 0); }
+
+double NewtonPolynomial::derivative(double x, int order) const {
+  MTPERF_REQUIRE(order >= 0 && order <= 3, "derivative order must be in [0,3]");
+  // Horner evaluation of the Newton form with forward-mode derivative
+  // propagation: running tuple (p, p', p'', p''').
+  const std::size_t n = coeff_.size();
+  double p = coeff_[n - 1], d1 = 0.0, d2 = 0.0, d3 = 0.0;
+  for (std::size_t i = n - 1; i-- > 0;) {
+    const double t = x - x_[i];
+    // Update highest derivatives first so each uses the previous level's
+    // pre-update value.
+    d3 = d3 * t + 3.0 * d2;
+    d2 = d2 * t + 2.0 * d1;
+    d1 = d1 * t + p;
+    p = p * t + coeff_[i];
+  }
+  switch (order) {
+    case 0:
+      return p;
+    case 1:
+      return d1;
+    case 2:
+      return d2;
+    default:
+      return d3;
+  }
+}
+
+}  // namespace mtperf::interp

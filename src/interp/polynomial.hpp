@@ -1,0 +1,55 @@
+// Global polynomial interpolation.  Included both as a baseline and to
+// demonstrate Runge's phenomenon (paper Section 8): a single degree-(n-1)
+// polynomial through equispaced samples oscillates wildly between points,
+// which is exactly what Chebyshev node placement suppresses.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "interp/interpolator.hpp"
+
+namespace mtperf::interp {
+
+/// Barycentric Lagrange interpolation (second form) — numerically stable
+/// evaluation of the unique interpolating polynomial (Berrut & Trefethen).
+class BarycentricPolynomial final : public Interpolator1D {
+ public:
+  explicit BarycentricPolynomial(const SampleSet& samples);
+
+  double value(double x) const override;
+  /// Derivatives via the differentiation matrix applied locally;
+  /// orders 1..3 use repeated analytic differentiation of the first form.
+  double derivative(double x, int order) const override;
+  std::string name() const override { return "polynomial[barycentric]"; }
+  double x_min() const override { return x_.front(); }
+  double x_max() const override { return x_.back(); }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> y_;
+  std::vector<double> w_;  // barycentric weights
+};
+
+/// Newton divided-difference form; kept for coefficient access and as an
+/// independent implementation the tests can cross-check against.
+class NewtonPolynomial final : public Interpolator1D {
+ public:
+  explicit NewtonPolynomial(const SampleSet& samples);
+
+  double value(double x) const override;
+  double derivative(double x, int order) const override;
+  std::string name() const override { return "polynomial[newton]"; }
+  double x_min() const override { return x_.front(); }
+  double x_max() const override { return x_.back(); }
+
+  /// Divided-difference coefficients c_k of
+  /// P(x) = c_0 + c_1 (x-x_0) + c_2 (x-x_0)(x-x_1) + ...
+  const std::vector<double>& coefficients() const noexcept { return coeff_; }
+
+ private:
+  std::vector<double> x_;
+  std::vector<double> coeff_;
+};
+
+}  // namespace mtperf::interp

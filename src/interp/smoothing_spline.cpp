@@ -1,0 +1,125 @@
+#include "interp/smoothing_spline.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "interp/tridiagonal.hpp"
+
+namespace mtperf::interp {
+
+namespace {
+
+/// Solve the symmetric positive-definite pentadiagonal system A u = rhs via
+/// LDLᵀ with bandwidth 2.  `d0` is the main diagonal (size n), `d1` the
+/// first super/sub-diagonal (size n-1), `d2` the second (size n-2).
+std::vector<double> solve_pentadiagonal_spd(std::vector<double> d0,
+                                            std::vector<double> d1,
+                                            std::vector<double> d2,
+                                            std::vector<double> rhs) {
+  const std::size_t n = d0.size();
+  MTPERF_REQUIRE(n >= 1 && d1.size() + 1 == n && d2.size() + 2 == n &&
+                     rhs.size() == n,
+                 "pentadiagonal band size mismatch");
+  // Factor A = L D Lᵀ in-place: d0 becomes D, d1/d2 become L's bands.
+  for (std::size_t i = 0; i < n; ++i) {
+    double di = d0[i];
+    if (i >= 1) di -= d1[i - 1] * d1[i - 1] * d0[i - 1];
+    if (i >= 2) di -= d2[i - 2] * d2[i - 2] * d0[i - 2];
+    if (di <= 0.0) throw numeric_error("pentadiagonal LDLt: non-SPD matrix");
+    d0[i] = di;
+    if (i + 1 < n) {
+      double e = d1[i];
+      if (i >= 1) e -= d1[i - 1] * d0[i - 1] * d2[i - 1];
+      d1[i] = e / di;
+    }
+    if (i + 2 < n) {
+      d2[i] = d2[i] / di;
+    }
+  }
+  // Forward substitution L z = rhs.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (i >= 1) rhs[i] -= d1[i - 1] * rhs[i - 1];
+    if (i >= 2) rhs[i] -= d2[i - 2] * rhs[i - 2];
+  }
+  // Diagonal solve D w = z.
+  for (std::size_t i = 0; i < n; ++i) rhs[i] /= d0[i];
+  // Back substitution Lᵀ u = w.
+  for (std::size_t i = n; i-- > 0;) {
+    if (i + 1 < n) rhs[i] -= d1[i] * rhs[i + 1];
+    if (i + 2 < n) rhs[i] -= d2[i] * rhs[i + 2];
+  }
+  return rhs;
+}
+
+}  // namespace
+
+PiecewiseCubic build_smoothing_spline(const SampleSet& samples, double lambda,
+                                      Extrapolation extrapolation) {
+  samples.validate();
+  MTPERF_REQUIRE(lambda >= 0.0, "smoothing parameter must be non-negative");
+  MTPERF_REQUIRE(samples.size() >= 3, "smoothing spline needs >= 3 samples");
+  const std::size_t n = samples.size();
+  const std::string name = "smoothing-spline[lambda=" + std::to_string(lambda) + "]";
+
+  // Green & Silverman banded formulation.  With
+  //   Q (n x n-2):  Q[j-1,j] = 1/h_{j-1}, Q[j,j] = -1/h_{j-1} - 1/h_j,
+  //                 Q[j+1,j] = 1/h_j           (columns j = 1..n-2)
+  //   R (n-2 x n-2): R[j,j] = (h_{j-1}+h_j)/3, R[j,j+1] = h_j/6
+  // the interior second derivatives gamma solve
+  //   (R + lambda QᵀQ) gamma = Qᵀ y
+  // and the fitted knot values are g = y - lambda Q gamma.
+  std::vector<double> h(n - 1);
+  for (std::size_t i = 0; i + 1 < n; ++i) h[i] = samples.x[i + 1] - samples.x[i];
+
+  const std::size_t m = n - 2;  // interior knots
+  // Column j of Q corresponds to interior knot j+1 (0-based interior index).
+  auto q_upper = [&](std::size_t j) { return 1.0 / h[j]; };          // row j
+  auto q_diag = [&](std::size_t j) { return -1.0 / h[j] - 1.0 / h[j + 1]; };  // row j+1
+  auto q_lower = [&](std::size_t j) { return 1.0 / h[j + 1]; };      // row j+2
+
+  // Assemble R + lambda QᵀQ (symmetric pentadiagonal, m x m).
+  std::vector<double> d0(m, 0.0), d1(m > 0 ? m - 1 : 0, 0.0),
+      d2(m > 1 ? m - 2 : 0, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    d0[j] = (h[j] + h[j + 1]) / 3.0 +
+            lambda * (q_upper(j) * q_upper(j) + q_diag(j) * q_diag(j) +
+                      q_lower(j) * q_lower(j));
+    if (j + 1 < m) {
+      // Columns j and j+1 overlap in rows j+1 and j+2.
+      d1[j] = h[j + 1] / 6.0 +
+              lambda * (q_diag(j) * q_upper(j + 1) + q_lower(j) * q_diag(j + 1));
+    }
+    if (j + 2 < m) {
+      // Columns j and j+2 overlap only in row j+2.
+      d2[j] = lambda * q_lower(j) * q_upper(j + 2);
+    }
+  }
+
+  // rhs = Qᵀ y — the usual second divided differences times 6 omitted
+  // factor is already folded into Q's definition.
+  std::vector<double> rhs(m, 0.0);
+  for (std::size_t j = 0; j < m; ++j) {
+    rhs[j] = q_upper(j) * samples.y[j] + q_diag(j) * samples.y[j + 1] +
+             q_lower(j) * samples.y[j + 2];
+  }
+
+  const std::vector<double> gamma = solve_pentadiagonal_spd(
+      std::move(d0), std::move(d1), std::move(d2), std::move(rhs));
+
+  // Fitted values g = y - lambda Q gamma.
+  std::vector<double> g(samples.y);
+  for (std::size_t j = 0; j < m; ++j) {
+    g[j] -= lambda * q_upper(j) * gamma[j];
+    g[j + 1] -= lambda * q_diag(j) * gamma[j];
+    g[j + 2] -= lambda * q_lower(j) * gamma[j];
+  }
+
+  // Natural spline: zero curvature at the boundary knots.
+  std::vector<double> m2(n, 0.0);
+  for (std::size_t j = 0; j < m; ++j) m2[j + 1] = gamma[j];
+
+  return cubic_from_second_derivatives(samples.x, g, m2, extrapolation, name);
+}
+
+}  // namespace mtperf::interp

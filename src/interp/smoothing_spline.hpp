@@ -1,0 +1,23 @@
+// Reinsch smoothing spline — the estimator of the paper's Eq. 12:
+//
+//   minimize  sum_i (y_i - h(x_i))^2  +  lambda * integral h''(x)^2 dx
+//
+// lambda = 0 reproduces the interpolating natural cubic spline; as
+// lambda -> infinity the fit tends to the least-squares straight line.
+// Useful when the measured service demands carry monitoring noise that an
+// exact interpolant would chase.
+#pragma once
+
+#include "interp/interpolator.hpp"
+#include "interp/piecewise_cubic.hpp"
+
+namespace mtperf::interp {
+
+/// Build the natural-spline minimizer of Eq. 12 with smoothing parameter
+/// lambda >= 0.  Requires at least 3 samples (below that smoothing is
+/// meaningless and the interpolating spline should be used).
+PiecewiseCubic build_smoothing_spline(
+    const SampleSet& samples, double lambda,
+    Extrapolation extrapolation = Extrapolation::kPegged);
+
+}  // namespace mtperf::interp

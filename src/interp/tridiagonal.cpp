@@ -1,0 +1,68 @@
+#include "interp/tridiagonal.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtperf::interp {
+
+std::vector<double> solve_tridiagonal(std::span<const double> sub,
+                                      std::span<const double> diag,
+                                      std::span<const double> super,
+                                      std::span<const double> rhs) {
+  const std::size_t n = diag.size();
+  MTPERF_REQUIRE(n >= 1, "empty tridiagonal system");
+  MTPERF_REQUIRE(sub.size() == n && super.size() == n && rhs.size() == n,
+                 "tridiagonal band length mismatch");
+
+  std::vector<double> c(n), d(n);
+  double pivot = diag[0];
+  if (pivot == 0.0) throw numeric_error("tridiagonal solve: zero pivot");
+  c[0] = super[0] / pivot;
+  d[0] = rhs[0] / pivot;
+  for (std::size_t i = 1; i < n; ++i) {
+    pivot = diag[i] - sub[i] * c[i - 1];
+    if (pivot == 0.0) throw numeric_error("tridiagonal solve: zero pivot");
+    c[i] = super[i] / pivot;
+    d[i] = (rhs[i] - sub[i] * d[i - 1]) / pivot;
+  }
+  std::vector<double> u(n);
+  u[n - 1] = d[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;) {
+    u[i] = d[i] - c[i] * u[i + 1];
+  }
+  return u;
+}
+
+std::vector<double> solve_tridiagonal_with_corners(
+    std::span<const double> sub, std::span<const double> diag,
+    std::span<const double> super, std::span<const double> rhs,
+    double corner_first_row, double corner_last_row) {
+  const std::size_t n = diag.size();
+  MTPERF_REQUIRE(n >= 3, "corner system needs at least 3 unknowns");
+
+  std::vector<double> a(sub.begin(), sub.end());
+  std::vector<double> d(diag.begin(), diag.end());
+  std::vector<double> s(super.begin(), super.end());
+  std::vector<double> r(rhs.begin(), rhs.end());
+
+  // Eliminate the u[2] coefficient of row 0 using row 1.
+  if (corner_first_row != 0.0) {
+    if (s[1] == 0.0) throw numeric_error("corner elimination: zero s[1]");
+    const double f = corner_first_row / s[1];
+    d[0] -= f * a[1];
+    s[0] -= f * d[1];
+    r[0] -= f * r[1];
+  }
+  // Eliminate the u[n-3] coefficient of row n-1 using row n-2.
+  if (corner_last_row != 0.0) {
+    if (a[n - 2] == 0.0) throw numeric_error("corner elimination: zero a[n-2]");
+    const double f = corner_last_row / a[n - 2];
+    a[n - 1] -= f * d[n - 2];
+    d[n - 1] -= f * s[n - 2];
+    r[n - 1] -= f * r[n - 2];
+  }
+  return solve_tridiagonal(a, d, s, r);
+}
+
+}  // namespace mtperf::interp

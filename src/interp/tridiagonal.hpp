@@ -1,0 +1,28 @@
+// Tridiagonal linear solves for spline construction.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace mtperf::interp {
+
+/// Solve a tridiagonal system (Thomas algorithm, O(n)):
+///   sub[i] * u[i-1] + diag[i] * u[i] + super[i] * u[i+1] = rhs[i]
+/// sub[0] and super[n-1] are ignored.  Throws mtperf::numeric_error when a
+/// pivot vanishes (the matrices built by the splines in this module are
+/// strictly diagonally dominant, so that indicates caller error).
+std::vector<double> solve_tridiagonal(std::span<const double> sub,
+                                      std::span<const double> diag,
+                                      std::span<const double> super,
+                                      std::span<const double> rhs);
+
+/// Solve an "almost tridiagonal" system with two extra corner entries
+/// (row 0 has a coefficient on u[2]; row n-1 on u[n-3]).  Needed by the
+/// not-a-knot spline end conditions.  Solved by reduction to tridiagonal
+/// form via one elimination step at each boundary.
+std::vector<double> solve_tridiagonal_with_corners(
+    std::span<const double> sub, std::span<const double> diag,
+    std::span<const double> super, std::span<const double> rhs,
+    double corner_first_row, double corner_last_row);
+
+}  // namespace mtperf::interp

@@ -1,0 +1,76 @@
+#include "ops/bounds.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mtperf::ops {
+
+double max_demand(std::span<const double> demands) {
+  MTPERF_REQUIRE(!demands.empty(), "bounds need at least one station");
+  double dmax = 0.0;
+  for (double d : demands) {
+    MTPERF_REQUIRE(d >= 0.0, "service demands must be non-negative");
+    dmax = std::max(dmax, d);
+  }
+  return dmax;
+}
+
+double total_demand(std::span<const double> demands) {
+  MTPERF_REQUIRE(!demands.empty(), "bounds need at least one station");
+  double total = 0.0;
+  for (double d : demands) {
+    MTPERF_REQUIRE(d >= 0.0, "service demands must be non-negative");
+    total += d;
+  }
+  return total;
+}
+
+double throughput_upper_bound(const BoundsInput& in, double population) {
+  MTPERF_REQUIRE(population >= 0.0, "population must be non-negative");
+  const double dmax = max_demand(in.demands);
+  const double dtot = total_demand(in.demands);
+  MTPERF_REQUIRE(dmax > 0.0, "at least one demand must be positive");
+  const double light_load = population / (dtot + in.think_time);
+  return std::min(1.0 / dmax, light_load);
+}
+
+double response_time_lower_bound(const BoundsInput& in, double population) {
+  MTPERF_REQUIRE(population >= 0.0, "population must be non-negative");
+  const double dmax = max_demand(in.demands);
+  const double dtot = total_demand(in.demands);
+  return std::max(dtot, population * dmax - in.think_time);
+}
+
+double knee_population(const BoundsInput& in) {
+  const double dmax = max_demand(in.demands);
+  MTPERF_REQUIRE(dmax > 0.0, "at least one demand must be positive");
+  return (total_demand(in.demands) + in.think_time) / dmax;
+}
+
+BalancedJobBounds balanced_job_bounds(const BoundsInput& in,
+                                      double population) {
+  MTPERF_REQUIRE(population >= 1.0, "balanced-job bounds need n >= 1");
+  const double n = population;
+  const double dmax = max_demand(in.demands);
+  const double dtot = total_demand(in.demands);
+  MTPERF_REQUIRE(dmax > 0.0, "at least one demand must be positive");
+  const double davg = dtot / static_cast<double>(in.demands.size());
+  const double z = in.think_time;
+
+  BalancedJobBounds out;
+  // Pessimistic bound: every one of the n-1 other customers is queued ahead
+  // at the bottleneck, adding Dmax each — X >= n / (D + Z + (n-1) Dmax).
+  out.throughput_lower = n / (dtot + z + dmax * (n - 1.0));
+  // Optimistic (balanced-system) bound, Lazowska et al. §5.4: the queueing
+  // inflation (n-1) Davg is discounted by D/(D+Z), the fraction of its
+  // cycle a competing customer spends at the service centers.
+  out.throughput_upper = std::min(
+      1.0 / dmax, n / (dtot + z + davg * (n - 1.0) * dtot / (dtot + z)));
+  // Map to response time through Little's law (cycle time minus think time).
+  out.response_upper = n / out.throughput_lower - z;
+  out.response_lower = std::max(dtot, n / out.throughput_upper - z);
+  return out;
+}
+
+}  // namespace mtperf::ops

@@ -1,0 +1,49 @@
+// Asymptotic and balanced-job bounds for closed queueing networks
+// (paper Eqs. 5–6 plus the classic Zahorjan balanced-job refinement).
+// Bounds are cheap sanity envelopes for both the measured data and the
+// MVA family's predictions — every prediction must fall inside them.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace mtperf::ops {
+
+/// Per-station inputs: total service demands D_i = V_i * S_i of the
+/// *queueing* stations (single-server view).  Pure-delay demands (LANs,
+/// infinite-server stages) never queue and must be folded into the
+/// think-time term instead — including them in `demands` spuriously
+/// tightens the balanced-job bound.
+struct BoundsInput {
+  std::span<const double> demands;  ///< D_i per queueing station
+  double think_time = 0.0;          ///< Z plus any pure-delay demands
+};
+
+/// max_i D_i — the Bottleneck Law denominator (Eq. 5).
+double max_demand(std::span<const double> demands);
+/// sum_i D_i — the zero-contention response time floor.
+double total_demand(std::span<const double> demands);
+
+/// Asymptotic upper bound on system throughput at population n (Eq. 5 and
+/// Little's law): X(n) <= min(1 / Dmax, n / (Dtot + Z)).
+double throughput_upper_bound(const BoundsInput& in, double population);
+
+/// Asymptotic lower bound on response time at population n (Eq. 6):
+/// R(n) >= max(Dtot, n * Dmax - Z).
+double response_time_lower_bound(const BoundsInput& in, double population);
+
+/// Population at which the two throughput asymptotes cross,
+/// N* = (Dtot + Z) / Dmax — the "knee" of the throughput curve.
+double knee_population(const BoundsInput& in);
+
+/// Balanced-job bounds (Zahorjan et al.): tighter two-sided envelopes that
+/// assume demands between the balanced and the bottleneck-only extremes.
+struct BalancedJobBounds {
+  double throughput_lower = 0.0;
+  double throughput_upper = 0.0;
+  double response_lower = 0.0;
+  double response_upper = 0.0;
+};
+BalancedJobBounds balanced_job_bounds(const BoundsInput& in, double population);
+
+}  // namespace mtperf::ops

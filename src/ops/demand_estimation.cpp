@@ -1,0 +1,60 @@
+#include "ops/demand_estimation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtperf::ops {
+
+DemandEstimate estimate_demand_regression(std::span<const double> throughput,
+                                          std::span<const double> utilization,
+                                          unsigned servers,
+                                          bool force_zero_intercept) {
+  MTPERF_REQUIRE(throughput.size() == utilization.size(),
+                 "throughput/utilization sample length mismatch");
+  MTPERF_REQUIRE(throughput.size() >= (force_zero_intercept ? 1u : 2u),
+                 "not enough samples for the requested regression");
+  MTPERF_REQUIRE(servers >= 1, "server count must be at least 1");
+  for (std::size_t i = 0; i < throughput.size(); ++i) {
+    MTPERF_REQUIRE(throughput[i] >= 0.0 && utilization[i] >= 0.0,
+                   "samples must be non-negative");
+  }
+
+  const auto n = static_cast<double>(throughput.size());
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < throughput.size(); ++i) {
+    sx += throughput[i];
+    sy += utilization[i];
+    sxx += throughput[i] * throughput[i];
+    sxy += throughput[i] * utilization[i];
+    syy += utilization[i] * utilization[i];
+  }
+
+  DemandEstimate est;
+  est.samples = throughput.size();
+  double slope, intercept;
+  if (force_zero_intercept) {
+    MTPERF_REQUIRE(sxx > 0.0, "regression needs non-zero throughput samples");
+    slope = sxy / sxx;
+    intercept = 0.0;
+  } else {
+    const double denom = n * sxx - sx * sx;
+    MTPERF_REQUIRE(denom != 0.0,
+                   "regression needs at least two distinct throughputs");
+    slope = (n * sxy - sx * sy) / denom;
+    intercept = (sy - slope * sx) / n;
+  }
+  est.demand = std::max(0.0, slope) * static_cast<double>(servers);
+  est.background_utilization = std::max(0.0, intercept);
+
+  const double ss_tot = syy - sy * sy / n;
+  double ss_res = 0.0;
+  for (std::size_t i = 0; i < throughput.size(); ++i) {
+    const double e = utilization[i] - (intercept + slope * throughput[i]);
+    ss_res += e * e;
+  }
+  est.r_squared = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+  return est;
+}
+
+}  // namespace mtperf::ops

@@ -1,0 +1,31 @@
+// Statistical service-demand estimation (paper §2 cites [21]/[22]: demand
+// estimation beyond the direct Service Demand Law).
+//
+// The direct law D = U C / X uses one (U, X) pair per level; with many
+// monitoring samples per level, regressing utilization on throughput is
+// more robust: the Utilization Law says U = (D / C) X + u0, where u0
+// captures background load (monitoring agents, OS housekeeping) that the
+// direct law silently folds into D.
+#pragma once
+
+#include <span>
+
+namespace mtperf::ops {
+
+struct DemandEstimate {
+  double demand = 0.0;            ///< D — seconds on one server per transaction
+  double background_utilization = 0.0;  ///< u0 — load present at X = 0
+  double r_squared = 0.0;         ///< fit quality
+  std::size_t samples = 0;
+};
+
+/// Regress utilization (fraction of aggregate capacity) on throughput:
+///   U = (D / C) X + u0.
+/// `servers` is the station's server count C.  With force_zero_intercept
+/// the background term is pinned to 0 (the textbook Utilization Law).
+DemandEstimate estimate_demand_regression(std::span<const double> throughput,
+                                          std::span<const double> utilization,
+                                          unsigned servers,
+                                          bool force_zero_intercept = false);
+
+}  // namespace mtperf::ops

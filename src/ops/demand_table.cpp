@@ -1,0 +1,141 @@
+#include "ops/demand_table.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "ops/laws.hpp"
+
+namespace mtperf::ops {
+
+DemandTable::DemandTable(std::vector<std::string> stations,
+                         std::vector<unsigned> servers_per_station)
+    : stations_(std::move(stations)), servers_(std::move(servers_per_station)) {
+  MTPERF_REQUIRE(!stations_.empty(), "demand table needs at least one station");
+  MTPERF_REQUIRE(stations_.size() == servers_.size(),
+                 "one server count per station required");
+  for (unsigned c : servers_) {
+    MTPERF_REQUIRE(c >= 1, "server counts must be at least 1");
+  }
+}
+
+void DemandTable::add_point(MeasuredLoadPoint point) {
+  MTPERF_REQUIRE(point.utilization.size() == stations_.size(),
+                 "utilization vector width must match station count");
+  MTPERF_REQUIRE(point.concurrency > 0.0, "concurrency must be positive");
+  MTPERF_REQUIRE(point.throughput > 0.0, "throughput must be positive");
+  if (!points_.empty()) {
+    MTPERF_REQUIRE(point.concurrency > points_.back().concurrency,
+                   "rows must arrive in increasing concurrency");
+  }
+  for (double u : point.utilization) {
+    MTPERF_REQUIRE(u >= 0.0, "utilization must be non-negative");
+  }
+  points_.push_back(std::move(point));
+}
+
+std::size_t DemandTable::station_index(const std::string& name) const {
+  const auto it = std::find(stations_.begin(), stations_.end(), name);
+  MTPERF_REQUIRE(it != stations_.end(), "unknown station: " + name);
+  return static_cast<std::size_t>(std::distance(stations_.begin(), it));
+}
+
+interp::SampleSet DemandTable::demand_vs_concurrency(std::size_t station) const {
+  MTPERF_REQUIRE(station < stations_.size(), "station index out of range");
+  MTPERF_REQUIRE(!points_.empty(), "no measurements recorded");
+  std::vector<double> xs, ys;
+  xs.reserve(points_.size());
+  ys.reserve(points_.size());
+  for (const auto& p : points_) {
+    xs.push_back(p.concurrency);
+    // Monitors report utilization of the *aggregate* capacity (e.g. vmstat
+    // CPU% averages all cores), so the Service Demand Law for a C-server
+    // resource is D = U * C / X — the time on one server per transaction.
+    ys.push_back(service_demand(p.utilization[station], p.throughput) *
+                 static_cast<double>(servers_[station]));
+  }
+  return interp::SampleSet(std::move(xs), std::move(ys));
+}
+
+interp::SampleSet DemandTable::demand_vs_throughput(std::size_t station) const {
+  MTPERF_REQUIRE(station < stations_.size(), "station index out of range");
+  MTPERF_REQUIRE(!points_.empty(), "no measurements recorded");
+  // Throughput is not guaranteed monotone in concurrency (it dips past
+  // saturation), so sort samples by X and drop duplicates, keeping the
+  // observation from the lower concurrency (the one an open system would
+  // reach first).
+  std::vector<std::pair<double, double>> pairs;
+  pairs.reserve(points_.size());
+  for (const auto& p : points_) {
+    pairs.emplace_back(p.throughput,
+                       service_demand(p.utilization[station], p.throughput) *
+                           static_cast<double>(servers_[station]));
+  }
+  std::stable_sort(pairs.begin(), pairs.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<double> xs, ys;
+  for (const auto& [x, y] : pairs) {
+    if (!xs.empty() && x <= xs.back()) continue;  // keep strictly increasing
+    xs.push_back(x);
+    ys.push_back(y);
+  }
+  return interp::SampleSet(std::move(xs), std::move(ys));
+}
+
+double DemandTable::nearest_measured_concurrency(double concurrency) const {
+  MTPERF_REQUIRE(!points_.empty(), "no measurements recorded");
+  double best = points_.front().concurrency;
+  double best_gap = std::abs(best - concurrency);
+  for (const auto& p : points_) {
+    const double gap = std::abs(p.concurrency - concurrency);
+    if (gap < best_gap) {
+      best_gap = gap;
+      best = p.concurrency;
+    }
+  }
+  return best;
+}
+
+std::vector<double> DemandTable::demands_at_concurrency(double concurrency) const {
+  const double target = nearest_measured_concurrency(concurrency);
+  const auto it = std::find_if(points_.begin(), points_.end(), [&](const auto& p) {
+    return p.concurrency == target;
+  });
+  std::vector<double> demands(stations_.size());
+  for (std::size_t k = 0; k < stations_.size(); ++k) {
+    demands[k] = service_demand(it->utilization[k], it->throughput) *
+                 static_cast<double>(servers_[k]);
+  }
+  return demands;
+}
+
+std::size_t DemandTable::bottleneck_station() const {
+  MTPERF_REQUIRE(!points_.empty(), "no measurements recorded");
+  const auto& last = points_.back();
+  return static_cast<std::size_t>(std::distance(
+      last.utilization.begin(),
+      std::max_element(last.utilization.begin(), last.utilization.end())));
+}
+
+std::vector<double> DemandTable::concurrency_series() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.concurrency);
+  return out;
+}
+
+std::vector<double> DemandTable::throughput_series() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.throughput);
+  return out;
+}
+
+std::vector<double> DemandTable::response_time_series() const {
+  std::vector<double> out;
+  out.reserve(points_.size());
+  for (const auto& p : points_) out.push_back(p.response_time);
+  return out;
+}
+
+}  // namespace mtperf::ops

@@ -1,0 +1,73 @@
+// The measured-demand data model: everything a load-testing campaign
+// produces that the MVA family consumes.  One row per tested concurrency
+// level, one utilization column per queueing station (paper Tables 2–3);
+// the Service Demand Law turns rows into per-station demand samples, and
+// spline interpolation of those samples is MVASD's input (Algorithm 3's
+// arrays a_k, b_k).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "interp/interpolator.hpp"
+
+namespace mtperf::ops {
+
+/// One steady-state load-test measurement (a row of Tables 2–3 plus the
+/// throughput / response-time columns The Grinder reports).
+struct MeasuredLoadPoint {
+  double concurrency = 0.0;    ///< N — virtual users
+  double throughput = 0.0;     ///< X — pages per second
+  double response_time = 0.0;  ///< R — seconds per page-set (cycle minus Z)
+  /// Utilization per station as a fraction in [0, 1]; order matches
+  /// DemandTable::stations.
+  std::vector<double> utilization;
+};
+
+/// Measurement campaign over one application deployment.
+class DemandTable {
+ public:
+  DemandTable(std::vector<std::string> stations,
+              std::vector<unsigned> servers_per_station);
+
+  /// Append a measurement; rows must arrive in increasing concurrency.
+  void add_point(MeasuredLoadPoint point);
+
+  const std::vector<std::string>& stations() const noexcept { return stations_; }
+  const std::vector<unsigned>& servers() const noexcept { return servers_; }
+  const std::vector<MeasuredLoadPoint>& points() const noexcept { return points_; }
+  std::size_t station_index(const std::string& name) const;
+
+  /// Service Demand Law column extraction sampled against concurrency (the
+  /// paper's default model).  Monitors report utilization of the aggregate
+  /// capacity, so for a C_k-server resource D_k(N) = U_k(N) * C_k / X(N) —
+  /// the per-transaction time on one server.
+  interp::SampleSet demand_vs_concurrency(std::size_t station) const;
+  /// Section 7 variant: the same demands sampled against throughput,
+  /// for open-system-style models where X is the controllable input.
+  interp::SampleSet demand_vs_throughput(std::size_t station) const;
+
+  /// Demands of every station at the row measured closest to the given
+  /// concurrency — the constant-demand inputs of plain MVA (the paper's
+  /// "MVA i" curves, e.g. MVA 203 = demands from the N=203 row).
+  std::vector<double> demands_at_concurrency(double concurrency) const;
+  /// Concurrency of the measured row closest to the requested level.
+  double nearest_measured_concurrency(double concurrency) const;
+
+  /// The station with the highest utilization in the last (highest-load)
+  /// row — the saturated bottleneck device.
+  std::size_t bottleneck_station() const;
+
+  /// Measured series for deviation computations.
+  std::vector<double> concurrency_series() const;
+  std::vector<double> throughput_series() const;
+  std::vector<double> response_time_series() const;
+
+ private:
+  std::vector<std::string> stations_;
+  std::vector<unsigned> servers_;
+  std::vector<MeasuredLoadPoint> points_;
+};
+
+}  // namespace mtperf::ops

@@ -1,0 +1,103 @@
+#include "ops/demand_table_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mtperf::ops {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> cells;
+  std::string cell;
+  std::istringstream is(line);
+  while (std::getline(is, cell, ',')) cells.push_back(cell);
+  return cells;
+}
+
+double parse_number(const std::string& cell, const char* what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(cell, &used);
+    MTPERF_REQUIRE(used == cell.size(), std::string("trailing junk in ") + what);
+    return v;
+  } catch (const invalid_argument_error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw invalid_argument_error(std::string("malformed ") + what + ": '" +
+                                 cell + "'");
+  }
+}
+
+}  // namespace
+
+void save_demand_table(std::ostream& out, const DemandTable& table) {
+  out << "concurrency,throughput,response_time";
+  for (std::size_t k = 0; k < table.stations().size(); ++k) {
+    out << ',' << table.stations()[k] << ':' << table.servers()[k];
+  }
+  out << '\n';
+  out.precision(12);
+  for (const auto& p : table.points()) {
+    out << p.concurrency << ',' << p.throughput << ',' << p.response_time;
+    for (double u : p.utilization) out << ',' << u;
+    out << '\n';
+  }
+}
+
+void save_demand_table_file(const std::string& path, const DemandTable& table) {
+  std::ofstream out(path);
+  MTPERF_REQUIRE(out.good(), "cannot open for writing: " + path);
+  save_demand_table(out, table);
+  MTPERF_REQUIRE(out.good(), "write failed: " + path);
+}
+
+DemandTable load_demand_table(std::istream& in) {
+  std::string line;
+  MTPERF_REQUIRE(static_cast<bool>(std::getline(in, line)),
+                 "empty campaign file");
+  const auto header = split_csv_line(line);
+  MTPERF_REQUIRE(header.size() >= 4 && header[0] == "concurrency" &&
+                     header[1] == "throughput" && header[2] == "response_time",
+                 "unexpected campaign header");
+  std::vector<std::string> stations;
+  std::vector<unsigned> servers;
+  for (std::size_t i = 3; i < header.size(); ++i) {
+    const auto colon = header[i].rfind(':');
+    MTPERF_REQUIRE(colon != std::string::npos && colon > 0,
+                   "station column must be name:servers — got '" + header[i] +
+                       "'");
+    stations.push_back(header[i].substr(0, colon));
+    servers.push_back(static_cast<unsigned>(
+        parse_number(header[i].substr(colon + 1), "server count")));
+  }
+
+  DemandTable table(std::move(stations), std::move(servers));
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto cells = split_csv_line(line);
+    MTPERF_REQUIRE(cells.size() == header.size(),
+                   "row width does not match header");
+    MeasuredLoadPoint point;
+    point.concurrency = parse_number(cells[0], "concurrency");
+    point.throughput = parse_number(cells[1], "throughput");
+    point.response_time = parse_number(cells[2], "response time");
+    for (std::size_t i = 3; i < cells.size(); ++i) {
+      point.utilization.push_back(parse_number(cells[i], "utilization"));
+    }
+    table.add_point(std::move(point));
+  }
+  MTPERF_REQUIRE(!table.points().empty(), "campaign file has no data rows");
+  return table;
+}
+
+DemandTable load_demand_table_file(const std::string& path) {
+  std::ifstream in(path);
+  MTPERF_REQUIRE(in.good(), "cannot open campaign file: " + path);
+  return load_demand_table(in);
+}
+
+}  // namespace mtperf::ops

@@ -1,0 +1,28 @@
+// Persistence for measurement campaigns.
+//
+// Load tests are the expensive part of the paper's workflow; the
+// utilization table they produce should be storable and re-loadable so
+// modeling can be re-run (different splines, what-ifs, more population)
+// without re-testing.  Format: plain CSV with a header of
+//   concurrency,throughput,response_time,<station>:<servers>,...
+// and utilization fractions per row — diff-friendly and readable by any
+// spreadsheet.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ops/demand_table.hpp"
+
+namespace mtperf::ops {
+
+/// Serialize the campaign to the stream / file.
+void save_demand_table(std::ostream& out, const DemandTable& table);
+void save_demand_table_file(const std::string& path, const DemandTable& table);
+
+/// Parse a campaign; throws mtperf::invalid_argument_error on malformed
+/// input (wrong header shape, non-numeric cells, unsorted rows).
+DemandTable load_demand_table(std::istream& in);
+DemandTable load_demand_table_file(const std::string& path);
+
+}  // namespace mtperf::ops

@@ -1,0 +1,69 @@
+#include "ops/laws.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace mtperf::ops {
+
+double utilization(double device_throughput_, double mean_service_time) {
+  MTPERF_REQUIRE(device_throughput_ >= 0.0 && mean_service_time >= 0.0,
+                 "utilization law inputs must be non-negative");
+  return device_throughput_ * mean_service_time;
+}
+
+double device_throughput(double visit_count, double system_throughput) {
+  MTPERF_REQUIRE(visit_count >= 0.0 && system_throughput >= 0.0,
+                 "forced flow law inputs must be non-negative");
+  return visit_count * system_throughput;
+}
+
+double service_demand(double device_utilization, double system_throughput) {
+  MTPERF_REQUIRE(system_throughput > 0.0,
+                 "service demand law requires positive throughput");
+  MTPERF_REQUIRE(device_utilization >= 0.0, "utilization must be non-negative");
+  return device_utilization / system_throughput;
+}
+
+double service_demand_from_visits(double visit_count,
+                                  double mean_service_time) {
+  MTPERF_REQUIRE(visit_count >= 0.0 && mean_service_time >= 0.0,
+                 "service demand inputs must be non-negative");
+  return visit_count * mean_service_time;
+}
+
+double littles_population(double throughput, double response_time,
+                          double think_time) {
+  MTPERF_REQUIRE(throughput >= 0.0 && response_time >= 0.0 && think_time >= 0.0,
+                 "Little's law inputs must be non-negative");
+  return throughput * (response_time + think_time);
+}
+
+double littles_throughput(double population, double response_time,
+                          double think_time) {
+  const double cycle = response_time + think_time;
+  MTPERF_REQUIRE(cycle > 0.0, "cycle time must be positive");
+  MTPERF_REQUIRE(population >= 0.0, "population must be non-negative");
+  return population / cycle;
+}
+
+double littles_response_time(double population, double throughput,
+                             double think_time) {
+  MTPERF_REQUIRE(throughput > 0.0, "throughput must be positive");
+  MTPERF_REQUIRE(population >= 0.0 && think_time >= 0.0,
+                 "inputs must be non-negative");
+  return std::max(0.0, population / throughput - think_time);
+}
+
+double network_utilization_percent(double packets, double packet_size_bytes,
+                                   double interval_seconds,
+                                   double bandwidth_bits_per_second) {
+  MTPERF_REQUIRE(interval_seconds > 0.0 && bandwidth_bits_per_second > 0.0,
+                 "interval and bandwidth must be positive");
+  MTPERF_REQUIRE(packets >= 0.0 && packet_size_bytes >= 0.0,
+                 "packet counters must be non-negative");
+  return packets * packet_size_bytes * 8.0 /
+         (interval_seconds * bandwidth_bits_per_second) * 100.0;
+}
+
+}  // namespace mtperf::ops

@@ -1,0 +1,38 @@
+// Operational laws (paper Section 3, Eqs. 1–7).  These are measurement
+// identities — they hold for any observed system, which is why the paper
+// can extract service demands from monitored utilization without knowing
+// anything about the application's internals.
+#pragma once
+
+namespace mtperf::ops {
+
+/// Utilization Law (Eq. 1): U_i = X_i * S_i.
+double utilization(double device_throughput, double mean_service_time);
+
+/// Forced Flow Law (Eq. 2): X_i = V_i * X.
+double device_throughput(double visit_count, double system_throughput);
+
+/// Service Demand Law (Eq. 3): D_i = U_i / X.  This is how demands are
+/// extracted from load tests: monitored utilization over measured system
+/// throughput.  Throws if throughput is not positive.
+double service_demand(double device_utilization, double system_throughput);
+
+/// Service demand from per-visit service time: D_i = V_i * S_i.
+double service_demand_from_visits(double visit_count, double mean_service_time);
+
+/// Little's Law (Eq. 4) solved for each variable in turn.
+double littles_population(double throughput, double response_time,
+                          double think_time);
+double littles_throughput(double population, double response_time,
+                          double think_time);
+/// R = N/X - Z; returns 0 when that would be negative (measurement noise).
+double littles_response_time(double population, double throughput,
+                             double think_time);
+
+/// Network utilization from switch packet counters (Eq. 7):
+///   util% = packets * packet_bytes * 8 / (seconds * bandwidth_bps) * 100.
+double network_utilization_percent(double packets, double packet_size_bytes,
+                                   double interval_seconds,
+                                   double bandwidth_bits_per_second);
+
+}  // namespace mtperf::ops

@@ -1,0 +1,184 @@
+#include "sim/closed_network_sim.hpp"
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "sim/simulator.hpp"
+#include "sim/station.hpp"
+
+namespace mtperf::sim {
+
+namespace {
+
+/// All mutable run state, wired together by customer-driving closures.
+struct Run {
+  Simulator sim;
+  std::vector<std::unique_ptr<IStation>> stations;
+  const std::vector<SimVisit>* workflow = nullptr;
+  std::vector<Rng> customer_rng;
+  ServiceDistribution think_dist{};
+  double think_mean = 0.0;
+
+  double warmup_end = 0.0;
+  bool measuring = false;
+
+  std::uint64_t transactions = 0;
+  RunningStats response_stats;
+  BatchMeans response_batches{20};
+  std::vector<double> response_samples;  // for percentile reporting
+
+  // Timeline (bucketed from t = 0, warm-up included).
+  double bucket_width = 0.0;
+  std::vector<std::uint64_t> bucket_count;
+  std::vector<double> bucket_rt_sum;
+
+  void record_completion(double start_time) {
+    const double rt = sim.now() - start_time;
+    if (measuring) {
+      ++transactions;
+      response_stats.add(rt);
+      response_batches.add(rt);
+      response_samples.push_back(rt);
+    }
+    if (bucket_width > 0.0) {
+      const auto b = static_cast<std::size_t>(sim.now() / bucket_width);
+      if (b < bucket_count.size()) {
+        ++bucket_count[b];
+        bucket_rt_sum[b] += rt;
+      }
+    }
+  }
+};
+
+/// Advance one customer: visit workflow[next] or, past the end, complete
+/// the transaction and go back to thinking.
+void advance(Run& run, unsigned customer, std::size_t next_visit,
+             double txn_start) {
+  if (next_visit == run.workflow->size()) {
+    run.record_completion(txn_start);
+    const double think =
+        run.think_dist.draw(run.customer_rng[customer], run.think_mean);
+    run.sim.schedule(think, [&run, customer] {
+      advance(run, customer, 0, run.sim.now());
+    });
+    return;
+  }
+  const SimVisit& visit = (*run.workflow)[next_visit];
+  const double service = visit.distribution.draw(run.customer_rng[customer],
+                                                 visit.mean_service_time);
+  run.stations[visit.station]->arrive(
+      service, [&run, customer, next_visit, txn_start] {
+        advance(run, customer, next_visit + 1, txn_start);
+      });
+}
+
+}  // namespace
+
+SimResult simulate_closed_network(const std::vector<SimStation>& stations,
+                                  const std::vector<SimVisit>& workflow,
+                                  const SimOptions& options) {
+  MTPERF_REQUIRE(!stations.empty(), "simulation needs at least one station");
+  MTPERF_REQUIRE(!workflow.empty(), "simulation needs a non-empty workflow");
+  MTPERF_REQUIRE(options.customers >= 1, "need at least one customer");
+  MTPERF_REQUIRE(options.warmup_time >= 0.0 && options.measure_time > 0.0,
+                 "invalid warmup/measure windows");
+  MTPERF_REQUIRE(options.think_time_mean >= 0.0,
+                 "think time must be non-negative");
+  for (const auto& v : workflow) {
+    MTPERF_REQUIRE(v.station < stations.size(), "workflow visit out of range");
+    MTPERF_REQUIRE(v.mean_service_time >= 0.0,
+                   "service times must be non-negative");
+  }
+
+  Run run;
+  run.workflow = &workflow;
+  run.warmup_end = options.warmup_time;
+  run.think_mean = options.think_time_mean;
+  if (options.think_distribution.has_value()) {
+    run.think_dist = *options.think_distribution;
+  } else if (options.exponential_think) {
+    run.think_dist = ServiceDistribution{DistributionKind::kExponential, 1.0};
+  } else {
+    run.think_dist = ServiceDistribution{DistributionKind::kDeterministic, 0.0};
+  }
+  for (const auto& st : stations) {
+    if (st.discipline == Discipline::kProcessorSharing) {
+      run.stations.push_back(std::make_unique<ProcessorSharingStation>(
+          run.sim, st.name, st.servers));
+    } else {
+      run.stations.push_back(
+          std::make_unique<MultiServerStation>(run.sim, st.name, st.servers));
+    }
+  }
+
+  Rng master(options.seed);
+  run.customer_rng.reserve(options.customers);
+  for (unsigned c = 0; c < options.customers; ++c) {
+    run.customer_rng.push_back(master.split());
+  }
+
+  const double horizon = options.warmup_time + options.measure_time;
+  if (options.timeline_bucket > 0.0) {
+    run.bucket_width = options.timeline_bucket;
+    const auto buckets =
+        static_cast<std::size_t>(std::ceil(horizon / run.bucket_width));
+    run.bucket_count.assign(buckets, 0);
+    run.bucket_rt_sum.assign(buckets, 0.0);
+  }
+
+  // Launch customers: ramp-up stagger plus optional random initial sleep,
+  // then the regular think-visit cycle.
+  for (unsigned c = 0; c < options.customers; ++c) {
+    double start = static_cast<double>(c) * options.ramp_up_interval;
+    if (options.initial_sleep_max > 0.0) {
+      start += run.customer_rng[c].uniform(0.0, options.initial_sleep_max);
+    }
+    run.sim.schedule(start, [&run, c] { advance(run, c, 0, run.sim.now()); });
+  }
+
+  run.sim.run_until(options.warmup_time);
+  for (auto& st : run.stations) st->reset_stats();
+  run.measuring = true;
+  run.sim.run_until(horizon);
+
+  SimResult result;
+  result.transactions = run.transactions;
+  result.throughput =
+      static_cast<double>(run.transactions) / options.measure_time;
+  result.response_time = run.response_stats.mean();
+  result.cycle_time = result.response_time + options.think_time_mean;
+  if (run.response_batches.complete_batches() >= 2) {
+    result.response_time_ci = run.response_batches.interval(0.95);
+  } else {
+    result.response_time_ci = {result.response_time, 0.0};
+  }
+  if (!run.response_samples.empty()) {
+    result.response_percentiles.p50 = percentile(run.response_samples, 50);
+    result.response_percentiles.p90 = percentile(run.response_samples, 90);
+    result.response_percentiles.p95 = percentile(run.response_samples, 95);
+    result.response_percentiles.p99 = percentile(run.response_samples, 99);
+  }
+  for (const auto& st : run.stations) {
+    result.stations.push_back(StationStats{st->name(), st->servers(),
+                                           st->utilization(), st->mean_jobs(),
+                                           st->completions()});
+  }
+  if (run.bucket_width > 0.0) {
+    for (std::size_t b = 0; b < run.bucket_count.size(); ++b) {
+      TimelineBucket bucket;
+      bucket.start_time = static_cast<double>(b) * run.bucket_width;
+      bucket.throughput =
+          static_cast<double>(run.bucket_count[b]) / run.bucket_width;
+      bucket.response_time =
+          run.bucket_count[b] > 0
+              ? run.bucket_rt_sum[b] / static_cast<double>(run.bucket_count[b])
+              : 0.0;
+      result.timeline.push_back(bucket);
+    }
+  }
+  return result;
+}
+
+}  // namespace mtperf::sim

@@ -1,0 +1,98 @@
+// Closed-network workload simulation: N virtual customers cycle through
+// think time and a fixed workflow of station visits (paper Fig. 2's model
+// of a load test).  Produces exactly the observables a real load test
+// yields: throughput, response times, and per-resource utilization.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "sim/distributions.hpp"
+
+namespace mtperf::sim {
+
+/// Queueing discipline of a simulated resource.
+enum class Discipline {
+  kFcfs,              ///< first-come-first-served over C servers
+  kProcessorSharing,  ///< egalitarian PS over the aggregate capacity
+};
+
+struct SimStation {
+  std::string name;
+  unsigned servers = 1;
+  Discipline discipline = Discipline::kFcfs;
+};
+
+/// One service visit within a transaction's workflow; service times are
+/// drawn from `distribution` with the given mean (exponential by default —
+/// the product-form FCFS assumption).
+struct SimVisit {
+  std::size_t station = 0;
+  double mean_service_time = 0.0;
+  ServiceDistribution distribution{};
+};
+
+struct SimOptions {
+  unsigned customers = 1;            ///< N — concurrent virtual users
+  double think_time_mean = 1.0;      ///< Z
+  bool exponential_think = true;     ///< false: deterministic think time
+  /// When set, overrides exponential_think: think times are drawn from
+  /// this distribution (Grinder's sleepTimeVariation maps here).
+  std::optional<ServiceDistribution> think_distribution;
+  double warmup_time = 300.0;        ///< transient removal (simulated s)
+  double measure_time = 1800.0;      ///< steady-state window (simulated s)
+  std::uint64_t seed = 1;
+  /// Stagger customer start times (Grinder processIncrementInterval):
+  /// customer i becomes active at i * ramp_up_interval.
+  double ramp_up_interval = 0.0;
+  /// Extra per-customer uniform random delay before the first cycle
+  /// (Grinder initialSleepTime).
+  double initial_sleep_max = 0.0;
+  /// When > 0, record a timeline of per-bucket throughput / response time
+  /// from t = 0 (including warm-up — Fig. 1's transient is the point).
+  double timeline_bucket = 0.0;
+};
+
+struct StationStats {
+  std::string name;
+  unsigned servers = 1;
+  double utilization = 0.0;  ///< fraction of aggregate capacity, [0, 1]
+  double mean_jobs = 0.0;
+  std::uint64_t completions = 0;
+};
+
+struct TimelineBucket {
+  double start_time = 0.0;
+  double throughput = 0.0;     ///< transactions per second in this bucket
+  double response_time = 0.0;  ///< mean transaction response time
+};
+
+/// Selected quantiles of the per-transaction response-time sample — what
+/// SLAs are actually written against ("95% of pages under 1 s").
+struct ResponsePercentiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+struct SimResult {
+  double throughput = 0.0;     ///< transactions/s over the measure window
+  double response_time = 0.0;  ///< mean seconds per transaction (excl. Z)
+  double cycle_time = 0.0;     ///< response_time + configured think time
+  mtperf::ConfidenceInterval response_time_ci;  ///< 95% batch-means CI
+  ResponsePercentiles response_percentiles;
+  std::uint64_t transactions = 0;
+  std::vector<StationStats> stations;
+  std::vector<TimelineBucket> timeline;
+};
+
+/// Run one steady-state load-test simulation.
+SimResult simulate_closed_network(const std::vector<SimStation>& stations,
+                                  const std::vector<SimVisit>& workflow,
+                                  const SimOptions& options);
+
+}  // namespace mtperf::sim

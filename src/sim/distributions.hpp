@@ -1,0 +1,50 @@
+// Service-time distribution selection for simulated visits.
+//
+// Exponential service keeps FCFS stations product-form (the MVA setting);
+// the other distributions exist for sensitivity ablations: how much do the
+// paper's conclusions depend on the exponential assumption?  (BCMP theory:
+// processor-sharing and delay stations are insensitive to the distribution
+// beyond its mean; FCFS is not.)
+#pragma once
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mtperf::sim {
+
+enum class DistributionKind {
+  kExponential,    ///< cv = 1 (the product-form FCFS assumption)
+  kDeterministic,  ///< cv = 0
+  kErlang,         ///< cv = 1/sqrt(k) < 1; shape from cv
+  kLogNormal,      ///< arbitrary cv, typically > 1
+};
+
+/// A distribution family plus its coefficient of variation (ignored where
+/// the family pins it).  The mean is supplied per draw.
+struct ServiceDistribution {
+  DistributionKind kind = DistributionKind::kExponential;
+  double cv = 1.0;
+
+  double draw(mtperf::Rng& rng, double mean) const {
+    switch (kind) {
+      case DistributionKind::kExponential:
+        return rng.exponential(mean);
+      case DistributionKind::kDeterministic:
+        return mean;
+      case DistributionKind::kErlang: {
+        MTPERF_REQUIRE(cv > 0.0 && cv <= 1.0,
+                       "Erlang requires cv in (0, 1]");
+        const auto k = static_cast<unsigned>(
+            std::max(1.0, std::round(1.0 / (cv * cv))));
+        return rng.erlang(k, mean);
+      }
+      case DistributionKind::kLogNormal:
+        return rng.lognormal(mean, cv);
+    }
+    throw invalid_argument_error("unknown service distribution");
+  }
+};
+
+}  // namespace mtperf::sim

@@ -1,0 +1,76 @@
+// Discrete-event simulation engine.
+//
+// This module is the substitute for the paper's physical testbed: a
+// stochastic simulator of the closed queueing network of Fig. 2.  The
+// workload layer drives it exactly like The Grinder drives real servers,
+// and the monitors sample it exactly like vmstat/iostat/netstat sample real
+// hosts — so the whole measurement-to-prediction pipeline is exercised
+// end to end.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mtperf::sim {
+
+/// Minimal event-list simulator: schedule closures at absolute times and
+/// process them in (time, insertion-order) order.
+class Simulator {
+ public:
+  using Action = std::function<void()>;
+
+  double now() const noexcept { return now_; }
+
+  /// Schedule `action` to fire `delay` seconds from now (delay >= 0).
+  void schedule(double delay, Action action) {
+    MTPERF_REQUIRE(delay >= 0.0, "cannot schedule events in the past");
+    events_.push(Event{now_ + delay, next_seq_++, std::move(action)});
+  }
+
+  /// Process events until the clock reaches `t` (events at exactly `t`
+  /// are processed).  The clock is left at `t`.
+  void run_until(double t) {
+    MTPERF_REQUIRE(t >= now_, "cannot run the clock backwards");
+    while (!events_.empty() && events_.top().time <= t) {
+      Event ev = events_.top();
+      events_.pop();
+      now_ = ev.time;
+      ev.action();
+    }
+    now_ = t;
+  }
+
+  /// Process a single event if one exists; returns false when idle.
+  bool step() {
+    if (events_.empty()) return false;
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.time;
+    ev.action();
+    return true;
+  }
+
+  std::size_t pending_events() const noexcept { return events_.size(); }
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // tie-break: FIFO among simultaneous events
+    Action action;
+
+    bool operator>(const Event& other) const noexcept {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace mtperf::sim

@@ -1,0 +1,193 @@
+#include "sim/station.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace mtperf::sim {
+
+// ---------------------------------------------------------------- StationAccounting
+
+void StationAccounting::accrue(double busy_servers, double jobs_present) {
+  const double dt = sim_.now() - last_accrual_;
+  if (dt > 0.0) {
+    busy_integral_ += dt * busy_servers;
+    jobs_integral_ += dt * jobs_present;
+    last_accrual_ = sim_.now();
+  }
+}
+
+void StationAccounting::reset(double busy_servers, double jobs_present) {
+  accrue(busy_servers, jobs_present);
+  stats_start_ = sim_.now();
+  last_accrual_ = sim_.now();
+  busy_integral_ = 0.0;
+  jobs_integral_ = 0.0;
+  completions_ = 0;
+}
+
+double StationAccounting::pending_busy(double busy_now) const {
+  return (sim_.now() - last_accrual_) * busy_now;
+}
+
+double StationAccounting::pending_jobs(double jobs_now) const {
+  return (sim_.now() - last_accrual_) * jobs_now;
+}
+
+double StationAccounting::utilization(double busy_now, unsigned servers) const {
+  const double elapsed = sim_.now() - stats_start_;
+  if (elapsed <= 0.0) return 0.0;
+  return (busy_integral_ + pending_busy(busy_now)) /
+         (elapsed * static_cast<double>(servers));
+}
+
+double StationAccounting::mean_jobs(double jobs_now) const {
+  const double elapsed = sim_.now() - stats_start_;
+  if (elapsed <= 0.0) return 0.0;
+  return (jobs_integral_ + pending_jobs(jobs_now)) / elapsed;
+}
+
+double StationAccounting::busy_time(double busy_now) const {
+  return busy_integral_ + pending_busy(busy_now);
+}
+
+// ---------------------------------------------------------- MultiServerStation
+
+MultiServerStation::MultiServerStation(Simulator& sim, std::string name,
+                                       unsigned servers)
+    : sim_(sim), name_(std::move(name)), servers_(servers), stats_(sim) {
+  MTPERF_REQUIRE(servers_ >= 1, "station needs at least one server");
+}
+
+void MultiServerStation::arrive(double service_time, Completion on_complete) {
+  MTPERF_REQUIRE(service_time >= 0.0, "service time must be non-negative");
+  stats_.accrue(busy_, static_cast<double>(busy_ + waiting_.size()));
+  if (busy_ < servers_) {
+    start_service(service_time, std::move(on_complete));
+  } else {
+    waiting_.emplace_back(service_time, std::move(on_complete));
+  }
+}
+
+void MultiServerStation::start_service(double service_time,
+                                       Completion on_complete) {
+  ++busy_;
+  sim_.schedule(service_time, [this, cb = std::move(on_complete)]() mutable {
+    on_departure();
+    cb();
+  });
+}
+
+void MultiServerStation::on_departure() {
+  stats_.accrue(busy_, static_cast<double>(busy_ + waiting_.size()));
+  --busy_;
+  stats_.count_completion();
+  if (!waiting_.empty()) {
+    auto [service_time, cb] = std::move(waiting_.front());
+    waiting_.pop_front();
+    start_service(service_time, std::move(cb));
+  }
+}
+
+void MultiServerStation::reset_stats() {
+  stats_.reset(busy_, static_cast<double>(busy_ + waiting_.size()));
+}
+
+double MultiServerStation::utilization() const {
+  return stats_.utilization(busy_, servers_);
+}
+
+double MultiServerStation::mean_jobs() const {
+  return stats_.mean_jobs(static_cast<double>(busy_ + waiting_.size()));
+}
+
+double MultiServerStation::busy_time() const { return stats_.busy_time(busy_); }
+
+// ---------------------------------------------------- ProcessorSharingStation
+
+ProcessorSharingStation::ProcessorSharingStation(Simulator& sim,
+                                                 std::string name,
+                                                 unsigned servers)
+    : sim_(sim), name_(std::move(name)), servers_(servers), stats_(sim) {
+  MTPERF_REQUIRE(servers_ >= 1, "station needs at least one server");
+}
+
+double ProcessorSharingStation::rate(std::size_t jobs) const {
+  if (jobs == 0) return 0.0;
+  return std::min(1.0, static_cast<double>(servers_) /
+                           static_cast<double>(jobs));
+}
+
+double ProcessorSharingStation::busy_now() const {
+  // Busy capacity: n jobs each at rate min(1, C/n) => min(n, C) servers.
+  return static_cast<double>(
+      std::min<std::size_t>(jobs_.size(), servers_));
+}
+
+void ProcessorSharingStation::progress() {
+  const double dt = sim_.now() - last_progress_;
+  if (dt > 0.0 && !jobs_.empty()) {
+    const double work = dt * rate(jobs_.size());
+    for (auto& job : jobs_) {
+      job.remaining = std::max(0.0, job.remaining - work);
+    }
+  }
+  last_progress_ = sim_.now();
+}
+
+void ProcessorSharingStation::schedule_next() {
+  ++generation_;
+  if (jobs_.empty()) return;
+  double soonest = std::numeric_limits<double>::infinity();
+  for (const auto& job : jobs_) soonest = std::min(soonest, job.remaining);
+  const double delay = soonest / rate(jobs_.size());
+  const std::uint64_t token = generation_;
+  sim_.schedule(delay, [this, token] { fire(token); });
+}
+
+void ProcessorSharingStation::fire(std::uint64_t generation) {
+  if (generation != generation_) return;  // superseded by a later arrival
+  stats_.accrue(busy_now(), static_cast<double>(jobs_.size()));
+  progress();
+  // Complete every job that has (numerically) finished.
+  std::vector<Completion> done;
+  for (std::size_t i = 0; i < jobs_.size();) {
+    if (jobs_[i].remaining <= 1e-12) {
+      done.push_back(std::move(jobs_[i].on_complete));
+      jobs_[i] = std::move(jobs_.back());
+      jobs_.pop_back();
+    } else {
+      ++i;
+    }
+  }
+  for (std::size_t i = 0; i < done.size(); ++i) stats_.count_completion();
+  schedule_next();
+  for (auto& cb : done) cb();
+}
+
+void ProcessorSharingStation::arrive(double service_time,
+                                     Completion on_complete) {
+  MTPERF_REQUIRE(service_time >= 0.0, "service time must be non-negative");
+  stats_.accrue(busy_now(), static_cast<double>(jobs_.size()));
+  progress();
+  jobs_.push_back(Job{service_time, std::move(on_complete)});
+  schedule_next();
+}
+
+void ProcessorSharingStation::reset_stats() {
+  stats_.reset(busy_now(), static_cast<double>(jobs_.size()));
+}
+
+double ProcessorSharingStation::utilization() const {
+  return stats_.utilization(busy_now(), servers_);
+}
+
+double ProcessorSharingStation::mean_jobs() const {
+  return stats_.mean_jobs(static_cast<double>(jobs_.size()));
+}
+
+double ProcessorSharingStation::busy_time() const {
+  return stats_.busy_time(busy_now());
+}
+
+}  // namespace mtperf::sim

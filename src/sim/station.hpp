@@ -1,0 +1,144 @@
+// Queueing stations for the discrete-event simulator — the simulated
+// counterparts of the monitored resources (multi-core CPU, disk, one NIC
+// direction).  Two service disciplines are provided:
+//  * MultiServerStation — FCFS with C identical servers (product-form with
+//    exponential service; the paper's model),
+//  * ProcessorSharingStation — egalitarian PS over C servers' capacity
+//    (product-form for *any* service distribution; used by the
+//    insensitivity ablation).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.hpp"
+
+namespace mtperf::sim {
+
+/// Common station interface the closed-network runner drives.
+class IStation {
+ public:
+  using Completion = std::function<void()>;
+
+  virtual ~IStation() = default;
+
+  /// A job arrives needing `service_time` seconds of one server's capacity.
+  virtual void arrive(double service_time, Completion on_complete) = 0;
+
+  /// Drop accumulated statistics (end of warm-up); in-flight jobs stay.
+  virtual void reset_stats() = 0;
+
+  virtual const std::string& name() const = 0;
+  virtual unsigned servers() const = 0;
+  /// busy-server-seconds / (servers * elapsed) since the last reset.
+  virtual double utilization() const = 0;
+  /// Time-averaged number of jobs present (waiting + in service).
+  virtual double mean_jobs() const = 0;
+  /// Busy-server-seconds accumulated since the last reset.
+  virtual double busy_time() const = 0;
+  virtual std::uint64_t completions() const = 0;
+};
+
+/// Shared utilization / queue-length integral accounting.
+class StationAccounting {
+ public:
+  explicit StationAccounting(const Simulator& sim) : sim_(sim) {}
+
+  /// Accrue integrals up to now given the state that held since the last
+  /// accrual.
+  void accrue(double busy_servers, double jobs_present);
+  void reset(double busy_servers, double jobs_present);
+  void count_completion() { ++completions_; }
+
+  double utilization(double busy_now, unsigned servers) const;
+  double mean_jobs(double jobs_now) const;
+  double busy_time(double busy_now) const;
+  std::uint64_t completions() const noexcept { return completions_; }
+
+ private:
+  double pending_busy(double busy_now) const;
+  double pending_jobs(double jobs_now) const;
+
+  const Simulator& sim_;
+  double stats_start_ = 0.0;
+  double last_accrual_ = 0.0;
+  double busy_integral_ = 0.0;
+  double jobs_integral_ = 0.0;
+  std::uint64_t completions_ = 0;
+};
+
+/// FCFS station with C identical servers.
+class MultiServerStation final : public IStation {
+ public:
+  MultiServerStation(Simulator& sim, std::string name, unsigned servers);
+
+  void arrive(double service_time, Completion on_complete) override;
+  void reset_stats() override;
+  const std::string& name() const override { return name_; }
+  unsigned servers() const override { return servers_; }
+  double utilization() const override;
+  double mean_jobs() const override;
+  double busy_time() const override;
+  std::uint64_t completions() const override { return stats_.completions(); }
+
+  unsigned busy_servers() const noexcept { return busy_; }
+  std::size_t waiting_jobs() const noexcept { return waiting_.size(); }
+
+ private:
+  void start_service(double service_time, Completion on_complete);
+  void on_departure();
+
+  Simulator& sim_;
+  std::string name_;
+  unsigned servers_;
+  unsigned busy_ = 0;
+  std::deque<std::pair<double, Completion>> waiting_;
+  StationAccounting stats_;
+};
+
+/// Egalitarian processor sharing over the aggregate capacity of C servers:
+/// with n jobs present each receives service at rate min(1, C/n), so up to
+/// C jobs run at full speed and beyond that the capacity is shared evenly.
+class ProcessorSharingStation final : public IStation {
+ public:
+  ProcessorSharingStation(Simulator& sim, std::string name, unsigned servers);
+
+  void arrive(double service_time, Completion on_complete) override;
+  void reset_stats() override;
+  const std::string& name() const override { return name_; }
+  unsigned servers() const override { return servers_; }
+  double utilization() const override;
+  double mean_jobs() const override;
+  double busy_time() const override;
+  std::uint64_t completions() const override { return stats_.completions(); }
+
+  std::size_t jobs_present() const noexcept { return jobs_.size(); }
+
+ private:
+  struct Job {
+    double remaining;
+    Completion on_complete;
+  };
+
+  /// Per-job service rate with n jobs present.
+  double rate(std::size_t jobs) const;
+  double busy_now() const;
+  /// Apply elapsed processing since last_progress_ to all jobs.
+  void progress();
+  /// Schedule (or re-schedule) the next completion event.
+  void schedule_next();
+  void fire(std::uint64_t generation);
+
+  Simulator& sim_;
+  std::string name_;
+  unsigned servers_;
+  std::vector<Job> jobs_;
+  double last_progress_ = 0.0;
+  std::uint64_t generation_ = 0;  // invalidates stale scheduled completions
+  StationAccounting stats_;
+};
+
+}  // namespace mtperf::sim

@@ -1,0 +1,85 @@
+#include "workload/application.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace mtperf::workload {
+
+ScalingLaw constant_law() {
+  return [](double) { return 1.0; };
+}
+
+ScalingLaw caching_law(double floor, double tau) {
+  MTPERF_REQUIRE(floor > 0.0 && floor <= 1.0, "caching floor must be in (0,1]");
+  MTPERF_REQUIRE(tau > 0.0, "caching tau must be positive");
+  return [floor, tau](double n) {
+    return floor + (1.0 - floor) * std::exp(-(n - 1.0) / tau);
+  };
+}
+
+ScalingLaw contention_law(double slope, double tau) {
+  MTPERF_REQUIRE(slope >= 0.0, "contention slope must be non-negative");
+  MTPERF_REQUIRE(tau > 0.0, "contention tau must be positive");
+  return [slope, tau](double n) {
+    return 1.0 + slope * (n - 1.0) / (n - 1.0 + tau);
+  };
+}
+
+ApplicationModel::ApplicationModel(std::string name,
+                                   std::vector<sim::SimStation> stations,
+                                   std::vector<Page> pages,
+                                   std::vector<ScalingLaw> demand_laws,
+                                   double think_time)
+    : name_(std::move(name)),
+      stations_(std::move(stations)),
+      pages_(std::move(pages)),
+      demand_laws_(std::move(demand_laws)),
+      think_time_(think_time) {
+  MTPERF_REQUIRE(!stations_.empty(), "application needs at least one station");
+  MTPERF_REQUIRE(!pages_.empty(), "application needs at least one page");
+  MTPERF_REQUIRE(demand_laws_.size() == stations_.size(),
+                 "one demand law per station required");
+  MTPERF_REQUIRE(think_time_ >= 0.0, "think time must be non-negative");
+  for (const auto& page : pages_) {
+    MTPERF_REQUIRE(page.base_demand.size() == stations_.size(),
+                   "page '" + page.name + "' demand width mismatch");
+    for (double d : page.base_demand) {
+      MTPERF_REQUIRE(d >= 0.0, "base demands must be non-negative");
+    }
+  }
+}
+
+double ApplicationModel::true_demand(std::size_t station,
+                                     double concurrency) const {
+  MTPERF_REQUIRE(station < stations_.size(), "station index out of range");
+  MTPERF_REQUIRE(concurrency >= 1.0, "concurrency must be at least 1");
+  double base = 0.0;
+  for (const auto& page : pages_) base += page.base_demand[station];
+  return base * demand_laws_[station](concurrency);
+}
+
+std::vector<double> ApplicationModel::true_demands(double concurrency) const {
+  std::vector<double> out(stations_.size());
+  for (std::size_t k = 0; k < stations_.size(); ++k) {
+    out[k] = true_demand(k, concurrency);
+  }
+  return out;
+}
+
+std::vector<sim::SimVisit> ApplicationModel::workflow(double concurrency) const {
+  MTPERF_REQUIRE(concurrency >= 1.0, "concurrency must be at least 1");
+  std::vector<sim::SimVisit> visits;
+  for (const auto& page : pages_) {
+    for (std::size_t k = 0; k < stations_.size(); ++k) {
+      const double demand = page.base_demand[k] * demand_laws_[k](concurrency);
+      if (demand > 0.0) {
+        visits.push_back(sim::SimVisit{k, demand});
+      }
+    }
+  }
+  MTPERF_REQUIRE(!visits.empty(), "workflow has no non-zero demand");
+  return visits;
+}
+
+}  // namespace mtperf::workload

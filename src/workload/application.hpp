@@ -1,0 +1,80 @@
+// Parametric model of a deployed multi-tier web application.
+//
+// An application is described the way the paper describes VINS and
+// JPetStore: a set of monitored resources (stations) across the load
+// injector / web-application / database servers, a workflow of pages, each
+// page exercising every station for some base time, and — crucially — a
+// per-station *demand scaling law* describing how effective demand varies
+// with concurrency (the caching / batching / branch-prediction effects of
+// Section 7 that make service demand decrease as load grows).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sim/closed_network_sim.hpp"
+
+namespace mtperf::workload {
+
+/// Demand multiplier as a function of concurrency; law(1) should be 1 so
+/// that base demands are the single-user demands.
+using ScalingLaw = std::function<double(double concurrency)>;
+
+/// law(n) = 1 for all n — constant demand (ideal product-form system).
+ScalingLaw constant_law();
+
+/// Exponentially decaying demand:
+///   law(n) = floor + (1 - floor) * exp(-(n - 1) / tau).
+/// Models warm caches / batched I/O: demand falls from the cold single-user
+/// value to `floor` (fraction of base) with characteristic load `tau`.
+ScalingLaw caching_law(double floor, double tau);
+
+/// Mildly *increasing* demand: law(n) = 1 + slope * (n - 1) / (n - 1 + tau),
+/// saturating at 1 + slope.  Models contention overhead (lock convoys,
+/// cache-line bouncing) that grows with load.
+ScalingLaw contention_law(double slope, double tau);
+
+/// One page of the application's workflow: the base (single-user) seconds
+/// of service it needs from every station, in station order.
+struct Page {
+  std::string name;
+  std::vector<double> base_demand;
+};
+
+/// Complete application + deployment description.
+class ApplicationModel {
+ public:
+  ApplicationModel(std::string name, std::vector<sim::SimStation> stations,
+                   std::vector<Page> pages,
+                   std::vector<ScalingLaw> demand_laws, double think_time);
+
+  const std::string& name() const noexcept { return name_; }
+  const std::vector<sim::SimStation>& stations() const noexcept {
+    return stations_;
+  }
+  const std::vector<Page>& pages() const noexcept { return pages_; }
+  double think_time() const noexcept { return think_time_; }
+  std::size_t page_count() const noexcept { return pages_.size(); }
+
+  /// Ground-truth total service demand of station k per transaction at
+  /// concurrency n (sum of scaled page demands) — what the Service Demand
+  /// Law should recover from monitored utilization.
+  double true_demand(std::size_t station, double concurrency) const;
+  /// All stations' ground-truth demands at concurrency n.
+  std::vector<double> true_demands(double concurrency) const;
+
+  /// The simulator workflow at concurrency n: one visit per (page, station)
+  /// pair with non-zero demand, in page order, with scaled mean service
+  /// times.
+  std::vector<sim::SimVisit> workflow(double concurrency) const;
+
+ private:
+  std::string name_;
+  std::vector<sim::SimStation> stations_;
+  std::vector<Page> pages_;
+  std::vector<ScalingLaw> demand_laws_;
+  double think_time_;
+};
+
+}  // namespace mtperf::workload

@@ -1,0 +1,72 @@
+#include "workload/campaign.hpp"
+
+#include "common/error.hpp"
+#include "workload/monitors.hpp"
+
+namespace mtperf::workload {
+
+std::vector<double> CampaignResult::page_throughput_series() const {
+  std::vector<double> out;
+  out.reserve(runs.size());
+  for (const auto& run : runs) {
+    out.push_back(run.sim.throughput *
+                  static_cast<double>(pages_per_transaction));
+  }
+  return out;
+}
+
+CampaignResult run_campaign(const ApplicationModel& app,
+                            const std::vector<unsigned>& levels,
+                            const CampaignSettings& settings) {
+  MTPERF_REQUIRE(!levels.empty(), "campaign needs at least one level");
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    MTPERF_REQUIRE(levels[i] > levels[i - 1],
+                   "campaign levels must be ascending and unique");
+  }
+
+  // Fire one simulated Grinder test per level (independent, so they can run
+  // on the shared pool).
+  std::vector<CampaignRun> runs(levels.size());
+  auto run_one = [&](std::size_t i) {
+    const unsigned n = levels[i];
+    sim::SimOptions options = settings.grinder.to_sim_options(
+        app.think_time(), settings.seed + i, settings.warmup_fraction);
+    options.customers = n;
+    CampaignRun run;
+    run.concurrency = n;
+    run.sim = simulate_closed_network(app.stations(), app.workflow(n), options);
+    runs[i] = std::move(run);
+  };
+  if (settings.pool != nullptr) {
+    parallel_for(*settings.pool, levels.size(), run_one);
+  } else {
+    for (std::size_t i = 0; i < levels.size(); ++i) run_one(i);
+  }
+
+  // Assemble the measurement table.
+  std::vector<std::string> names;
+  std::vector<unsigned> servers;
+  for (const auto& st : app.stations()) {
+    names.push_back(st.name);
+    servers.push_back(st.servers);
+  }
+  CampaignResult result{ops::DemandTable(std::move(names), std::move(servers)),
+                        {},
+                        app.page_count()};
+  for (auto& run : runs) {
+    ops::MeasuredLoadPoint point;
+    point.concurrency = static_cast<double>(run.concurrency);
+    point.throughput = run.sim.throughput;
+    point.response_time = run.sim.response_time;
+    const double monitored_interval =
+        settings.grinder.duration_s * (1.0 - settings.warmup_fraction);
+    const auto readings = collect_readings(run.sim, monitored_interval);
+    point.utilization.reserve(readings.size());
+    for (const auto& r : readings) point.utilization.push_back(r.utilization);
+    result.table.add_point(std::move(point));
+  }
+  result.runs = std::move(runs);
+  return result;
+}
+
+}  // namespace mtperf::workload

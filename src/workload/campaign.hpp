@@ -1,0 +1,49 @@
+// Load-test campaign runner — the full measurement pipeline of the paper's
+// Section 4: for each planned concurrency level, fire a (simulated) Grinder
+// load test, monitor every resource, and collect the utilization /
+// throughput / response-time rows that Tables 2 and 3 report.  The rows
+// feed ops::DemandTable, whose splined demands are MVASD's input.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "ops/demand_table.hpp"
+#include "sim/closed_network_sim.hpp"
+#include "workload/application.hpp"
+#include "workload/grinder.hpp"
+
+namespace mtperf::workload {
+
+struct CampaignSettings {
+  /// Template for per-level Grinder runs; duration / ramp-up / sleep fields
+  /// are honoured, thread/process counts are overridden per level.
+  GrinderConfig grinder;
+  std::uint64_t seed = 42;
+  double warmup_fraction = 0.25;
+  /// Optional pool to run the levels concurrently (they are independent
+  /// simulations); null runs them sequentially.
+  ThreadPool* pool = nullptr;
+};
+
+struct CampaignRun {
+  unsigned concurrency = 0;
+  sim::SimResult sim;
+};
+
+struct CampaignResult {
+  ops::DemandTable table;
+  std::vector<CampaignRun> runs;
+  std::size_t pages_per_transaction = 1;
+
+  /// Page-level throughput (what The Grinder reports) at each level.
+  std::vector<double> page_throughput_series() const;
+};
+
+/// Run the campaign at the given ascending concurrency levels.
+CampaignResult run_campaign(const ApplicationModel& app,
+                            const std::vector<unsigned>& levels,
+                            const CampaignSettings& settings);
+
+}  // namespace mtperf::workload

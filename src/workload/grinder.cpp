@@ -1,0 +1,109 @@
+#include "workload/grinder.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mtperf::workload {
+
+double GrinderConfig::per_user_ramp_interval() const noexcept {
+  if (process_increment == 0 || process_increment_interval_s <= 0.0) {
+    return 0.0;
+  }
+  // processes start in batches of `process_increment` every interval; each
+  // process carries `threads` users, so users activate at an average rate
+  // of increment * threads per interval.
+  const double users_per_interval =
+      static_cast<double>(process_increment) * static_cast<double>(threads);
+  return process_increment_interval_s / users_per_interval;
+}
+
+std::string GrinderConfig::to_properties() const {
+  std::ostringstream os;
+  os << "grinder.script = " << script << '\n';
+  os << "grinder.processes = " << processes << '\n';
+  os << "grinder.threads = " << threads << '\n';
+  os << "grinder.runs = " << runs << '\n';
+  os << "grinder.duration = " << static_cast<long long>(duration_s * 1000.0)
+     << '\n';  // Grinder uses milliseconds
+  os << "grinder.initialSleepTime = "
+     << static_cast<long long>(initial_sleep_time_s * 1000.0) << '\n';
+  os << "grinder.sleepTimeVariation = " << sleep_time_variation << '\n';
+  os << "grinder.processIncrement = " << process_increment << '\n';
+  os << "grinder.processIncrementInterval = "
+     << static_cast<long long>(process_increment_interval_s * 1000.0) << '\n';
+  return os.str();
+}
+
+GrinderConfig GrinderConfig::from_properties(const std::string& text) {
+  GrinderConfig cfg;
+  std::istringstream is(text);
+  std::string line;
+  auto trim = [](std::string s) {
+    const auto first = s.find_first_not_of(" \t\r");
+    const auto last = s.find_last_not_of(" \t\r");
+    if (first == std::string::npos) return std::string{};
+    return s.substr(first, last - first + 1);
+  };
+  while (std::getline(is, line)) {
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (value.empty()) continue;
+    try {
+      if (key == "grinder.script") {
+        cfg.script = value;
+      } else if (key == "grinder.processes") {
+        cfg.processes = static_cast<unsigned>(std::stoul(value));
+      } else if (key == "grinder.threads") {
+        cfg.threads = static_cast<unsigned>(std::stoul(value));
+      } else if (key == "grinder.runs") {
+        cfg.runs = static_cast<unsigned>(std::stoul(value));
+      } else if (key == "grinder.duration") {
+        cfg.duration_s = std::stod(value) / 1000.0;
+      } else if (key == "grinder.initialSleepTime") {
+        cfg.initial_sleep_time_s = std::stod(value) / 1000.0;
+      } else if (key == "grinder.sleepTimeVariation") {
+        cfg.sleep_time_variation = std::stod(value);
+      } else if (key == "grinder.processIncrement") {
+        cfg.process_increment = static_cast<unsigned>(std::stoul(value));
+      } else if (key == "grinder.processIncrementInterval") {
+        cfg.process_increment_interval_s = std::stod(value) / 1000.0;
+      }
+      // unknown keys: ignored, as The Grinder does for foreign properties
+    } catch (const std::exception&) {
+      throw invalid_argument_error("malformed grinder property: " + key +
+                                   " = " + value);
+    }
+  }
+  return cfg;
+}
+
+sim::SimOptions GrinderConfig::to_sim_options(double think_time_mean,
+                                              std::uint64_t seed,
+                                              double warmup_fraction) const {
+  MTPERF_REQUIRE(warmup_fraction >= 0.0 && warmup_fraction < 1.0,
+                 "warmup fraction must be in [0,1)");
+  MTPERF_REQUIRE(duration_s > 0.0, "duration must be positive");
+  sim::SimOptions opt;
+  opt.customers = virtual_users();
+  opt.think_time_mean = think_time_mean;
+  opt.warmup_time = duration_s * warmup_fraction;
+  opt.measure_time = duration_s - opt.warmup_time;
+  opt.seed = seed;
+  opt.ramp_up_interval = per_user_ramp_interval();
+  opt.initial_sleep_max = initial_sleep_time_s;
+  if (sleep_time_variation > 0.0) {
+    // grinder.sleepTimeVariation varies sleeps around the mean; we realize
+    // it as a log-normal think time with that coefficient of variation
+    // (a normal would need truncation at zero).
+    opt.think_distribution = sim::ServiceDistribution{
+        sim::DistributionKind::kLogNormal, sleep_time_variation};
+  }
+  return opt;
+}
+
+}  // namespace mtperf::workload

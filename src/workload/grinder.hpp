@@ -1,0 +1,54 @@
+// The Grinder-style load-injection configuration (paper Section 4.1).
+//
+// Models the grinder.properties parameters the paper lists, the virtual-
+// user arithmetic (users = threads x processes x agents), the ramp-up
+// schedule (processIncrement / processIncrementInterval, initialSleepTime),
+// and conversion to the simulator's SimOptions.  A small properties-file
+// parser/renderer keeps configurations interchangeable with real Grinder
+// property files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/closed_network_sim.hpp"
+
+namespace mtperf::workload {
+
+struct GrinderConfig {
+  std::string script = "workflow.py";
+  unsigned agents = 1;     ///< load injector machines
+  unsigned processes = 1;  ///< grinder.processes — worker processes/agent
+  unsigned threads = 1;    ///< grinder.threads — worker threads/process
+  unsigned runs = 0;       ///< grinder.runs — 0 means duration-bound
+  double duration_s = 1800.0;            ///< grinder.duration
+  double initial_sleep_time_s = 0.0;     ///< grinder.initialSleepTime (max)
+  double sleep_time_variation = 0.0;     ///< grinder.sleepTimeVariation
+  unsigned process_increment = 0;        ///< grinder.processIncrement
+  double process_increment_interval_s = 0.0;  ///< interval between increments
+
+  /// Simulated concurrent users (the paper's formula).
+  unsigned virtual_users() const noexcept {
+    return agents * processes * threads;
+  }
+
+  /// Ramp-up stagger per virtual user implied by the process-increment
+  /// schedule: with `process_increment` processes started every interval,
+  /// the users of one agent become active in batches; we spread the batch
+  /// boundary uniformly per user.
+  double per_user_ramp_interval() const noexcept;
+
+  /// Render as grinder.properties text.
+  std::string to_properties() const;
+  /// Parse a grinder.properties-style text (unknown keys ignored).
+  static GrinderConfig from_properties(const std::string& text);
+
+  /// Simulator options realizing this configuration at the given seed:
+  /// the duration is split into warm-up (first `warmup_fraction`) and
+  /// measurement windows, matching the paper's practice of discarding the
+  /// ramp-up transient.
+  sim::SimOptions to_sim_options(double think_time_mean, std::uint64_t seed,
+                                 double warmup_fraction = 0.25) const;
+};
+
+}  // namespace mtperf::workload

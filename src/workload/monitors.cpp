@@ -1,0 +1,48 @@
+#include "workload/monitors.hpp"
+
+#include "common/error.hpp"
+#include "ops/laws.hpp"
+
+namespace mtperf::workload {
+
+PacketCounters emulate_packet_counters(double utilization_fraction,
+                                       double interval_seconds,
+                                       double bandwidth_bps,
+                                       double packet_size_bytes) {
+  MTPERF_REQUIRE(utilization_fraction >= 0.0, "utilization must be >= 0");
+  MTPERF_REQUIRE(interval_seconds > 0.0, "interval must be positive");
+  PacketCounters counters;
+  counters.interval_seconds = interval_seconds;
+  counters.bandwidth_bps = bandwidth_bps;
+  counters.packet_size_bytes = packet_size_bytes;
+  counters.packets = utilization_fraction * interval_seconds * bandwidth_bps /
+                     (8.0 * packet_size_bytes);
+  return counters;
+}
+
+std::vector<MonitorReading> collect_readings(const sim::SimResult& result,
+                                             double interval_seconds) {
+  std::vector<MonitorReading> readings;
+  readings.reserve(result.stations.size());
+  for (const auto& st : result.stations) {
+    MonitorReading reading;
+    reading.station = st.name;
+    if (st.name.find("net") != std::string::npos) {
+      // netstat path: utilization -> packet counters -> Eq. 7 -> %.
+      const PacketCounters counters =
+          emulate_packet_counters(st.utilization, interval_seconds);
+      reading.utilization =
+          ops::network_utilization_percent(
+              counters.packets, counters.packet_size_bytes,
+              counters.interval_seconds, counters.bandwidth_bps) /
+          100.0;
+    } else {
+      // vmstat / iostat path: direct busy-fraction sampling.
+      reading.utilization = st.utilization;
+    }
+    readings.push_back(reading);
+  }
+  return readings;
+}
+
+}  // namespace mtperf::workload

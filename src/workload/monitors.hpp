@@ -1,0 +1,44 @@
+// Resource monitors (paper Section 4.2).
+//
+// During a real load test the servers are sampled with vmstat (CPU),
+// iostat (disk) and netstat (network counters, converted to utilization by
+// Eq. 7).  Here the monitors read the simulator's station statistics and
+// — for network stations — round-trip through emulated packet counters so
+// the Eq. 7 code path is exercised exactly as in a physical campaign.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sim/closed_network_sim.hpp"
+
+namespace mtperf::workload {
+
+/// One monitored resource sample (a cell of the paper's Tables 2/3).
+struct MonitorReading {
+  std::string station;
+  double utilization = 0.0;  ///< fraction in [0, 1]
+};
+
+/// Emulated switch counters for one NIC direction over an interval.
+struct PacketCounters {
+  double packets = 0.0;
+  double packet_size_bytes = 1500.0;  ///< standard Ethernet MTU payload
+  double interval_seconds = 0.0;
+  double bandwidth_bps = 1e9;  ///< the paper's 1 GBps switch
+};
+
+/// Invert Eq. 7: produce the packet count a switch would report for the
+/// given utilization over the interval.
+PacketCounters emulate_packet_counters(double utilization_fraction,
+                                       double interval_seconds,
+                                       double bandwidth_bps = 1e9,
+                                       double packet_size_bytes = 1500.0);
+
+/// Collect monitor readings from a finished simulation.  Stations whose
+/// name contains "net" are passed through the packet-counter emulation and
+/// Eq. 7 (netstat); all others are read directly (vmstat/iostat).
+std::vector<MonitorReading> collect_readings(const sim::SimResult& result,
+                                             double interval_seconds);
+
+}  // namespace mtperf::workload

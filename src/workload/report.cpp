@@ -1,0 +1,69 @@
+#include "workload/report.hpp"
+
+#include <utility>
+#include <vector>
+
+namespace mtperf::workload {
+
+namespace {
+
+std::pair<std::string, std::string> split_station(const std::string& name) {
+  const auto slash = name.find('/');
+  if (slash == std::string::npos) return {"", name};
+  return {name.substr(0, slash), name.substr(slash + 1)};
+}
+
+}  // namespace
+
+mtperf::TextTable utilization_table(const CampaignResult& campaign,
+                                    const std::string& title) {
+  mtperf::TextTable table(title);
+  const auto& stations = campaign.table.stations();
+
+  // Group header: one label per server, spanning its resources.
+  std::vector<std::pair<std::string, std::size_t>> groups;
+  groups.emplace_back("", 1);  // the Users column
+  for (const auto& name : stations) {
+    const auto [server, resource] = split_station(name);
+    (void)resource;
+    if (!groups.empty() && groups.back().first == server) {
+      ++groups.back().second;
+    } else {
+      groups.emplace_back(server, 1);
+    }
+  }
+  table.set_group_header(std::move(groups));
+
+  std::vector<std::string> header{"Users"};
+  for (const auto& name : stations) {
+    header.push_back(split_station(name).second);
+  }
+  table.set_header(std::move(header));
+
+  for (const auto& point : campaign.table.points()) {
+    std::vector<std::string> row;
+    row.push_back(mtperf::fmt(static_cast<long long>(point.concurrency)));
+    for (double u : point.utilization) {
+      row.push_back(mtperf::fmt(u * 100.0, 2));
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+mtperf::TextTable measurement_table(const CampaignResult& campaign,
+                                    const std::string& title) {
+  mtperf::TextTable table(title);
+  table.set_header({"Users", "Throughput (pages/s)", "Response time (s)",
+                    "Transactions"});
+  const auto pages = static_cast<double>(campaign.pages_per_transaction);
+  for (const auto& run : campaign.runs) {
+    table.add_row({mtperf::fmt(static_cast<long long>(run.concurrency)),
+                   mtperf::fmt(run.sim.throughput * pages, 2),
+                   mtperf::fmt(run.sim.response_time, 3),
+                   mtperf::fmt(static_cast<long long>(run.sim.transactions))});
+  }
+  return table;
+}
+
+}  // namespace mtperf::workload

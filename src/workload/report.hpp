@@ -1,0 +1,23 @@
+// Presentation of campaign results in the paper's table formats.
+#pragma once
+
+#include <string>
+
+#include "common/table.hpp"
+#include "workload/campaign.hpp"
+
+namespace mtperf::workload {
+
+/// Render the campaign as the paper's Tables 2/3: one row per concurrency
+/// level, utilization % per monitored resource, grouped by server.  Station
+/// names are expected to follow the "server/resource" convention (e.g.
+/// "db/disk"); the group header row shows each server once.
+mtperf::TextTable utilization_table(const CampaignResult& campaign,
+                                    const std::string& title);
+
+/// Render measured throughput (pages/s) and response time per level —
+/// the Grinder summary the figures plot as "Measured".
+mtperf::TextTable measurement_table(const CampaignResult& campaign,
+                                    const std::string& title);
+
+}  // namespace mtperf::workload

@@ -1,0 +1,58 @@
+#include "workload/test_plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "interp/chebyshev.hpp"
+
+namespace mtperf::workload {
+
+std::vector<unsigned> plan_concurrency_levels(unsigned min_users,
+                                              unsigned max_users,
+                                              std::size_t points,
+                                              SamplingStrategy strategy,
+                                              std::uint64_t seed,
+                                              bool include_single_user) {
+  MTPERF_REQUIRE(min_users >= 1, "minimum concurrency is 1 user");
+  MTPERF_REQUIRE(max_users > min_users, "need max_users > min_users");
+  MTPERF_REQUIRE(points >= 1, "need at least one test point");
+
+  std::vector<unsigned> levels;
+  switch (strategy) {
+    case SamplingStrategy::kEquispaced: {
+      const auto raw = interp::equispaced_nodes(
+          static_cast<double>(min_users), static_cast<double>(max_users),
+          points);
+      for (double x : raw) {
+        levels.push_back(static_cast<unsigned>(std::lround(x)));
+      }
+      break;
+    }
+    case SamplingStrategy::kRandom: {
+      Rng rng(seed);
+      const auto raw = interp::random_nodes(static_cast<double>(min_users),
+                                            static_cast<double>(max_users),
+                                            points, rng);
+      for (double x : raw) {
+        levels.push_back(static_cast<unsigned>(std::lround(x)));
+      }
+      break;
+    }
+    case SamplingStrategy::kChebyshev: {
+      levels = interp::chebyshev_concurrency_levels(min_users, max_users,
+                                                    points);
+      break;
+    }
+  }
+  for (unsigned& level : levels) {
+    level = std::clamp(level, min_users, max_users);
+  }
+  if (include_single_user) levels.push_back(1);
+  std::sort(levels.begin(), levels.end());
+  levels.erase(std::unique(levels.begin(), levels.end()), levels.end());
+  return levels;
+}
+
+}  // namespace mtperf::workload

@@ -1,0 +1,31 @@
+// Load-test point selection (paper Section 8, Fig. 17 Step 1).
+//
+// Where should the few affordable load tests be run?  Equispaced points
+// invite Runge oscillation in the demand splines; ad-hoc (random) points do
+// too; Chebyshev nodes provably suppress it.  These generators produce the
+// concurrency levels for a campaign under each strategy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace mtperf::workload {
+
+enum class SamplingStrategy {
+  kEquispaced,
+  kRandom,
+  kChebyshev,
+};
+
+/// Generate `points` concurrency levels in [min_users, max_users] under the
+/// given strategy.  Levels are integer, deduplicated, ascending, and always
+/// include at least one level (the paper additionally always measures
+/// N = 1 to anchor the splines; pass include_single_user=true for that).
+std::vector<unsigned> plan_concurrency_levels(unsigned min_users,
+                                              unsigned max_users,
+                                              std::size_t points,
+                                              SamplingStrategy strategy,
+                                              std::uint64_t seed = 1,
+                                              bool include_single_user = false);
+
+}  // namespace mtperf::workload

@@ -1,0 +1,175 @@
+// Tests of the VINS and JPetStore application models: structure, demand
+// laws, and the bottleneck signatures the paper reports for each.
+#include <gtest/gtest.h>
+
+#include "apps/jpetstore.hpp"
+#include "apps/testbed.hpp"
+#include "apps/vins.hpp"
+#include "common/error.hpp"
+
+namespace mtperf::apps {
+namespace {
+
+// ----------------------------------------------------------------- testbed
+
+TEST(Testbed, TwelveStationsInTableOrder) {
+  const auto stations = three_tier_stations(16);
+  ASSERT_EQ(stations.size(), static_cast<std::size_t>(kStationCount));
+  EXPECT_EQ(stations[kLoadCpu].name, "load/cpu");
+  EXPECT_EQ(stations[kDbNetRx].name, "db/net-rx");
+  EXPECT_EQ(stations[kDbCpu].servers, 16u);
+  EXPECT_EQ(stations[kDbDisk].servers, 1u);
+  EXPECT_EQ(stations[kAppNetTx].servers, 1u);
+}
+
+TEST(Testbed, DistributePagesPreservesTotals) {
+  const auto pages = distribute_pages({"a", "b"}, {0.10, 0.02}, {0.7, 0.3});
+  ASSERT_EQ(pages.size(), 2u);
+  EXPECT_NEAR(pages[0].base_demand[0] + pages[1].base_demand[0], 0.10, 1e-12);
+  EXPECT_NEAR(pages[0].base_demand[1] + pages[1].base_demand[1], 0.02, 1e-12);
+  EXPECT_NEAR(pages[0].base_demand[0], 0.07, 1e-12);
+}
+
+TEST(Testbed, DistributePagesValidatesWeights) {
+  EXPECT_THROW(distribute_pages({"a"}, {0.1}, {0.5}), invalid_argument_error);
+  EXPECT_THROW(distribute_pages({"a", "b"}, {0.1}, {1.0}),
+               invalid_argument_error);
+}
+
+// -------------------------------------------------------------------- VINS
+
+TEST(Vins, SevenPageRenewPolicyWorkflow) {
+  const auto app = make_vins();
+  EXPECT_EQ(app.page_count(), 7u);  // the paper's Renew Policy length
+  EXPECT_EQ(app.stations().size(), static_cast<std::size_t>(kStationCount));
+  EXPECT_DOUBLE_EQ(app.think_time(), 1.0);
+  EXPECT_EQ(app.stations()[kDbCpu].servers, 16u);
+}
+
+TEST(Vins, DbDiskIsTheBottleneckResource) {
+  // The VINS signature (Table 2): the DB disk carries the largest
+  // *effective* demand (demand over server count) at high concurrency.
+  const auto app = make_vins();
+  const auto demands = app.true_demands(1500.0);
+  const auto& stations = app.stations();
+  const double db_disk = demands[kDbDisk] /
+                         static_cast<double>(stations[kDbDisk].servers);
+  for (std::size_t k = 0; k < demands.size(); ++k) {
+    if (k == kDbDisk) continue;
+    EXPECT_GE(db_disk,
+              demands[k] / static_cast<double>(stations[k].servers))
+        << "station " << stations[k].name;
+  }
+}
+
+TEST(Vins, DemandsDecreaseWithConcurrency) {
+  const auto app = make_vins();
+  for (std::size_t k = 0; k < app.stations().size(); ++k) {
+    const double d1 = app.true_demand(k, 1.0);
+    const double d500 = app.true_demand(k, 500.0);
+    const double d1500 = app.true_demand(k, 1500.0);
+    EXPECT_GT(d1, d500) << app.stations()[k].name;
+    EXPECT_GE(d500, d1500) << app.stations()[k].name;
+  }
+}
+
+TEST(Vins, CampaignLevelsAscendAndCoverPaperRange) {
+  const auto levels = vins_campaign_levels();
+  ASSERT_GE(levels.size(), 5u);
+  EXPECT_EQ(levels.front(), 1u);
+  EXPECT_EQ(levels.back(), 1500u);
+  for (std::size_t i = 1; i < levels.size(); ++i) {
+    EXPECT_GT(levels[i], levels[i - 1]);
+  }
+}
+
+TEST(Vins, ConfigurableCoreCount) {
+  VinsConfig cfg;
+  cfg.cpu_cores = 8;
+  const auto app = make_vins(cfg);
+  EXPECT_EQ(app.stations()[kLoadCpu].servers, 8u);
+}
+
+
+TEST(Vins, AllFourWorkflowsBuild) {
+  for (auto wf : {VinsWorkflow::kRegistration, VinsWorkflow::kNewPolicy,
+                  VinsWorkflow::kRenewPolicy,
+                  VinsWorkflow::kReadPolicyDetails}) {
+    VinsConfig cfg;
+    cfg.workflow = wf;
+    const auto app = make_vins(cfg);
+    EXPECT_GE(app.page_count(), 4u);
+    EXPECT_EQ(app.stations().size(), static_cast<std::size_t>(kStationCount));
+    // Every workflow touches the database.
+    EXPECT_GT(app.true_demand(kDbCpu, 1.0), 0.0);
+  }
+}
+
+TEST(Vins, ReadWorkflowIsLightestOnTheDatabase) {
+  VinsConfig read_cfg;
+  read_cfg.workflow = VinsWorkflow::kReadPolicyDetails;
+  const auto read = make_vins(read_cfg);
+  const auto renew = make_vins();
+  // Read-only flow stresses the DB disk far less than Renew Policy,
+  // increasingly so at load (caches).
+  EXPECT_LT(read.true_demand(kDbDisk, 1.0), renew.true_demand(kDbDisk, 1.0));
+  EXPECT_LT(read.true_demand(kDbDisk, 500.0),
+            0.5 * renew.true_demand(kDbDisk, 500.0));
+}
+
+TEST(Vins, WriteWorkflowsAreDiskHeavierThanRenew) {
+  VinsConfig reg_cfg;
+  reg_cfg.workflow = VinsWorkflow::kRegistration;
+  const auto reg = make_vins(reg_cfg);
+  const auto renew = make_vins();
+  EXPECT_GT(reg.true_demand(kDbDisk, 1.0), renew.true_demand(kDbDisk, 1.0));
+}
+
+// --------------------------------------------------------------- JPetStore
+
+TEST(JPetStore, FourteenPageShoppingWorkflow) {
+  const auto app = make_jpetstore();
+  EXPECT_EQ(app.page_count(), 14u);  // the paper's JPetStore length
+  EXPECT_DOUBLE_EQ(app.think_time(), 1.0);
+}
+
+TEST(JPetStore, DbCpuDominatesTotalDemand) {
+  // "Typically this is a CPU heavy application."
+  const auto app = make_jpetstore();
+  const auto demands = app.true_demands(140.0);
+  for (std::size_t k = 0; k < demands.size(); ++k) {
+    if (k == kDbCpu) continue;
+    EXPECT_GT(demands[kDbCpu], demands[k]);
+  }
+}
+
+TEST(JPetStore, DbCpuAndDiskShareTheBottleneck) {
+  // Table 3: DB CPU and DB disk saturate together near 140 users — their
+  // effective demands must be close and jointly the largest.
+  const auto app = make_jpetstore();
+  const auto demands = app.true_demands(200.0);
+  const auto& st = app.stations();
+  const double cpu_eff = demands[kDbCpu] / st[kDbCpu].servers;
+  const double disk_eff = demands[kDbDisk] / st[kDbDisk].servers;
+  EXPECT_NEAR(cpu_eff, disk_eff, 0.25 * std::max(cpu_eff, disk_eff));
+  for (std::size_t k = 0; k < demands.size(); ++k) {
+    if (k == kDbCpu || k == kDbDisk) continue;
+    EXPECT_LT(demands[k] / st[k].servers, std::max(cpu_eff, disk_eff));
+  }
+}
+
+TEST(JPetStore, DbCpuDemandRisesPastSaturation) {
+  // The 140-168 user contention bump behind Fig. 7's throughput dip.
+  const auto app = make_jpetstore();
+  const double before = app.true_demand(kDbCpu, 120.0);
+  const double after = app.true_demand(kDbCpu, 180.0);
+  EXPECT_GT(after, before);
+}
+
+TEST(JPetStore, CampaignLevelsMatchPaperTable3) {
+  const auto levels = jpetstore_campaign_levels();
+  EXPECT_EQ(levels, (std::vector<unsigned>{1, 14, 28, 70, 140, 168, 210, 280}));
+}
+
+}  // namespace
+}  // namespace mtperf::apps

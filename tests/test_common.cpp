@@ -1,0 +1,409 @@
+// Unit tests for mtperf::common — statistics, RNG, formatting, thread pool.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <set>
+#include <thread>
+
+#include "common/ascii_chart.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/thread_pool.hpp"
+
+namespace mtperf {
+namespace {
+
+// ---------------------------------------------------------------- RunningStats
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.5);
+  EXPECT_DOUBLE_EQ(s.max(), 42.5);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample variance of this classic data set is 32/7.
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  Rng rng(7);
+  RunningStats all, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    all.add(x);
+    (i % 2 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a, b;
+  a.add(1.0);
+  a.add(3.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, NumericallyStableAroundLargeOffset) {
+  RunningStats s;
+  const double offset = 1e9;
+  for (double x : {offset + 1.0, offset + 2.0, offset + 3.0}) s.add(x);
+  EXPECT_NEAR(s.mean(), offset + 2.0, 1e-3);
+  EXPECT_NEAR(s.variance(), 1.0, 1e-6);
+}
+
+// ---------------------------------------------------------------- t quantile
+
+TEST(StudentT, MatchesTabulatedValues) {
+  // Two-sided 95% critical values from standard tables.
+  EXPECT_NEAR(student_t_quantile(1, 0.95), 12.706, 0.01);
+  EXPECT_NEAR(student_t_quantile(2, 0.95), 4.303, 0.005);
+  EXPECT_NEAR(student_t_quantile(5, 0.95), 2.571, 0.01);
+  EXPECT_NEAR(student_t_quantile(10, 0.95), 2.228, 0.01);
+  EXPECT_NEAR(student_t_quantile(30, 0.95), 2.042, 0.01);
+  EXPECT_NEAR(student_t_quantile(120, 0.95), 1.980, 0.01);
+}
+
+TEST(StudentT, MatchesTabulated99) {
+  EXPECT_NEAR(student_t_quantile(10, 0.99), 3.169, 0.02);
+  EXPECT_NEAR(student_t_quantile(30, 0.99), 2.750, 0.02);
+}
+
+TEST(StudentT, ApproachesNormalForLargeDf) {
+  EXPECT_NEAR(student_t_quantile(100000, 0.95), 1.95996, 1e-3);
+}
+
+TEST(StudentT, RejectsBadInputs) {
+  EXPECT_THROW(student_t_quantile(0, 0.95), invalid_argument_error);
+  EXPECT_THROW(student_t_quantile(5, 0.0), invalid_argument_error);
+  EXPECT_THROW(student_t_quantile(5, 1.0), invalid_argument_error);
+}
+
+// ---------------------------------------------------------------- BatchMeans
+
+TEST(BatchMeans, MeanMatchesStream) {
+  BatchMeans bm(10);
+  RunningStats ref;
+  Rng rng(11);
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.exponential(2.0);
+    bm.add(x);
+    ref.add(x);
+  }
+  EXPECT_EQ(bm.observations(), 50000u);
+  EXPECT_NEAR(bm.mean(), ref.mean(), 1e-12);
+}
+
+TEST(BatchMeans, IntervalCoversTrueMeanForIidData) {
+  // With i.i.d. exponential data the CI should cover the true mean in the
+  // vast majority of replications; check a modest batch of replications.
+  int covered = 0;
+  const int reps = 40;
+  for (int rep = 0; rep < reps; ++rep) {
+    BatchMeans bm(20);
+    Rng rng(1000 + rep);
+    for (int i = 0; i < 20000; ++i) bm.add(rng.exponential(5.0));
+    if (bm.interval(0.95).contains(5.0)) ++covered;
+  }
+  EXPECT_GE(covered, reps * 8 / 10);  // allow slack below nominal 95%
+}
+
+TEST(BatchMeans, ThrowsWithoutTwoCompleteBatches) {
+  BatchMeans bm(10);
+  bm.add(1.0);
+  EXPECT_THROW(bm.interval(), invalid_argument_error);
+}
+
+TEST(BatchMeans, RejectsOddOrTinyBatchCounts) {
+  EXPECT_THROW(BatchMeans(1), invalid_argument_error);
+  EXPECT_THROW(BatchMeans(7), invalid_argument_error);
+  EXPECT_NO_THROW(BatchMeans(2));
+}
+
+TEST(BatchMeans, RebatchingPreservesTotals) {
+  BatchMeans bm(4);
+  // 64 * 4 fills all batches; keep adding to force several rebatches.
+  double sum = 0.0;
+  for (int i = 0; i < 3000; ++i) {
+    bm.add(static_cast<double>(i));
+    sum += i;
+  }
+  EXPECT_EQ(bm.observations(), 3000u);
+  EXPECT_NEAR(bm.mean(), sum / 3000.0, 1e-9);
+}
+
+// ---------------------------------------------------------------- percentile
+
+TEST(Percentile, MedianAndExtremes) {
+  std::vector<double> v{5.0, 1.0, 3.0, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+}
+
+TEST(Percentile, InterpolatesBetweenOrderStatistics) {
+  std::vector<double> v{10.0, 20.0};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 12.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 17.5);
+}
+
+TEST(Percentile, RejectsBadInputs) {
+  EXPECT_THROW(percentile({}, 50), invalid_argument_error);
+  EXPECT_THROW(percentile({1.0}, -1), invalid_argument_error);
+  EXPECT_THROW(percentile({1.0}, 101), invalid_argument_error);
+}
+
+// ------------------------------------------------------ mean % deviation
+
+TEST(Deviation, ZeroForIdenticalSeries) {
+  EXPECT_DOUBLE_EQ(mean_percent_deviation({1, 2, 3}, {1, 2, 3}), 0.0);
+}
+
+TEST(Deviation, MatchesHandComputation) {
+  // |10-8|/8 = 25%, |20-25|/25 = 20% -> mean 22.5%
+  EXPECT_NEAR(mean_percent_deviation({10, 20}, {8, 25}), 22.5, 1e-12);
+}
+
+TEST(Deviation, SkipsZeroMeasurements) {
+  EXPECT_NEAR(mean_percent_deviation({10, 5}, {0, 4}), 25.0, 1e-12);
+}
+
+TEST(Deviation, RejectsLengthMismatch) {
+  EXPECT_THROW(mean_percent_deviation({1.0}, {1.0, 2.0}),
+               invalid_argument_error);
+}
+
+// ---------------------------------------------------------------------- Rng
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DistinctSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(3.0, 7.0);
+    EXPECT_GE(u, 3.0);
+    EXPECT_LT(u, 7.0);
+  }
+}
+
+TEST(Rng, ExponentialMeanConverges) {
+  Rng rng(9);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.exponential(0.25));
+  EXPECT_NEAR(s.mean(), 0.25, 0.005);
+  // Exponential: stddev == mean.
+  EXPECT_NEAR(s.stddev(), 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialWithZeroMeanIsZero) {
+  Rng rng(10);
+  EXPECT_DOUBLE_EQ(rng.exponential(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(rng.exponential(-1.0), 0.0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(12);
+  RunningStats s;
+  for (int i = 0; i < 200000; ++i) s.add(rng.normal(10.0, 3.0));
+  EXPECT_NEAR(s.mean(), 10.0, 0.05);
+  EXPECT_NEAR(s.stddev(), 3.0, 0.05);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(3, 8);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);  // all values hit
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(14);
+  EXPECT_THROW(rng.uniform_int(5, 4), invalid_argument_error);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(99);
+  Rng b = a.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(15);
+  int hits = 0;
+  for (int i = 0; i < 100000; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+}
+
+// -------------------------------------------------------------------- Table
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t("Title");
+  t.set_header({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Title"), std::string::npos);
+  EXPECT_NE(s.find("| a "), std::string::npos);
+  EXPECT_NE(s.find("| 1 "), std::string::npos);
+}
+
+TEST(TextTable, RejectsRowWidthMismatch) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), invalid_argument_error);
+}
+
+TEST(TextTable, GroupHeaderSpansColumns) {
+  TextTable t;
+  t.set_group_header({{"", 1}, {"Server", 2}});
+  t.set_header({"n", "cpu", "disk"});
+  t.add_row({"1", "10", "20"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Server"), std::string::npos);
+}
+
+TEST(Fmt, FixedPrecision) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(2.0, 0), "2");
+  EXPECT_EQ(fmt_percent(93.216, 1), "93.2%");
+  EXPECT_EQ(fmt(static_cast<long long>(42)), "42");
+}
+
+// -------------------------------------------------------------- AsciiChart
+
+TEST(AsciiChart, RendersSeriesAndLegend) {
+  AsciiChart chart("T", "x", "y", 40, 10);
+  chart.add_series({"up", {0, 1, 2, 3}, {0, 1, 2, 3}, '*'});
+  const std::string s = chart.render();
+  EXPECT_NE(s.find('*'), std::string::npos);
+  EXPECT_NE(s.find("up"), std::string::npos);
+  EXPECT_NE(s.find("x: x"), std::string::npos);
+}
+
+TEST(AsciiChart, HandlesEmptyData) {
+  AsciiChart chart("T", "x", "y");
+  EXPECT_NE(chart.render().find("(no data)"), std::string::npos);
+}
+
+TEST(AsciiChart, RejectsMismatchedSeries) {
+  AsciiChart chart("T", "x", "y");
+  EXPECT_THROW(chart.add_series({"bad", {1, 2}, {1}, '*'}),
+               invalid_argument_error);
+}
+
+TEST(AsciiChart, RejectsTinyGrid) {
+  EXPECT_THROW(AsciiChart("T", "x", "y", 2, 2), invalid_argument_error);
+}
+
+// -------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  parallel_for(pool, 1000, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 1000);
+}
+
+TEST(ThreadPool, SubmitReturnsValue) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 7 * 6; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ParallelMapPreservesOrder) {
+  ThreadPool pool(4);
+  const auto out = parallel_map<std::size_t>(
+      pool, 100, [](std::size_t i) { return i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ThreadPool, PropagatesTaskException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 10,
+                   [](std::size_t i) {
+                     if (i == 5) throw std::runtime_error("boom");
+                   }),
+      std::runtime_error);
+}
+
+TEST(ThreadPool, DefaultSizeAtLeastOne) {
+  ThreadPool pool;
+  EXPECT_GE(pool.size(), 1u);
+}
+
+// ----------------------------------------------------------- ConfidenceInterval
+
+TEST(ConfidenceInterval, BoundsAndContainment) {
+  ConfidenceInterval ci{10.0, 2.0};
+  EXPECT_DOUBLE_EQ(ci.lower(), 8.0);
+  EXPECT_DOUBLE_EQ(ci.upper(), 12.0);
+  EXPECT_TRUE(ci.contains(9.0));
+  EXPECT_FALSE(ci.contains(12.5));
+  EXPECT_DOUBLE_EQ(ci.relative_half_width(), 0.2);
+}
+
+}  // namespace
+}  // namespace mtperf

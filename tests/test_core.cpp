@@ -1,0 +1,618 @@
+// Unit and property tests for mtperf::core — the MVA family.
+//
+// Exactness anchors:
+//  * closed-form results for single-queue and balanced networks,
+//  * an independent birth-death oracle for machine-repair (M/M/C//N)
+//    models with think time,
+//  * cross-checks between independent solver implementations
+//    (Algorithm 2 vs the full load-dependent recursion),
+//  * the operational-analysis bounds every prediction must respect.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <tuple>
+
+#include "common/error.hpp"
+#include "core/demand_model.hpp"
+#include "core/mva_exact.hpp"
+#include "core/mva_load_dependent.hpp"
+#include "core/mva_multiserver.hpp"
+#include "core/mva_schweitzer.hpp"
+#include "core/mvasd.hpp"
+#include "core/network.hpp"
+#include "core/prediction.hpp"
+#include "core/seidmann.hpp"
+#include "core/sweep.hpp"
+#include "interp/cubic_spline.hpp"
+#include "ops/bounds.hpp"
+
+namespace mtperf::core {
+namespace {
+
+/// Birth-death oracle for the machine-repair model: N customers, think time
+/// Z (exponential), one station with C servers of mean service time S.
+/// Returns system throughput at population N.
+double machine_repair_throughput(unsigned n_customers, double z, double s,
+                                 unsigned servers) {
+  // State j = customers at the station.  lambda(j) = (N - j)/Z,
+  // mu(j) = min(j, C)/S.  pi via the product form of birth-death chains.
+  std::vector<double> pi(n_customers + 1, 0.0);
+  pi[0] = 1.0;
+  for (unsigned j = 1; j <= n_customers; ++j) {
+    const double lambda = static_cast<double>(n_customers - (j - 1)) / z;
+    const double mu = static_cast<double>(std::min(j, servers)) / s;
+    pi[j] = pi[j - 1] * lambda / mu;
+  }
+  double total = 0.0;
+  for (double p : pi) total += p;
+  for (double& p : pi) p /= total;
+  double x = 0.0;
+  for (unsigned j = 1; j <= n_customers; ++j) {
+    x += pi[j] * static_cast<double>(std::min(j, servers)) / s;
+  }
+  return x;
+}
+
+ClosedNetwork single_station(unsigned servers, double z) {
+  return ClosedNetwork({Station{"st", 1.0, servers, StationKind::kQueueing}}, z);
+}
+
+// --------------------------------------------------------------- network
+
+TEST(Network, Validation) {
+  EXPECT_THROW(ClosedNetwork({}, 1.0), invalid_argument_error);
+  EXPECT_THROW(ClosedNetwork({Station{"a", 1.0, 0}}, 1.0),
+               invalid_argument_error);
+  EXPECT_THROW(ClosedNetwork({Station{"a", -1.0, 1}}, 1.0),
+               invalid_argument_error);
+  EXPECT_THROW(ClosedNetwork({Station{"a", 1.0, 1}}, -1.0),
+               invalid_argument_error);
+}
+
+TEST(Network, IndexLookup) {
+  const auto net = make_network({"a", "b"}, {1, 2}, 0.5);
+  EXPECT_EQ(net.index_of("b"), 1u);
+  EXPECT_THROW(net.index_of("c"), invalid_argument_error);
+  EXPECT_EQ(net.station(1).servers, 2u);
+}
+
+// -------------------------------------------------------------- exact MVA
+
+TEST(ExactMva, SingleQueueNoThinkSaturatesImmediately) {
+  // One queue, Z = 0: all customers queue, X = 1/S, R = n S.
+  const auto net = single_station(1, 0.0);
+  const std::vector<double> s{0.25};
+  const auto r = exact_mva(net, s, 10);
+  for (std::size_t i = 0; i < r.levels(); ++i) {
+    EXPECT_NEAR(r.throughput[i], 4.0, 1e-12);
+    EXPECT_NEAR(r.response_time[i], 0.25 * static_cast<double>(i + 1), 1e-12);
+  }
+}
+
+TEST(ExactMva, MachineRepairMatchesBirthDeathOracle) {
+  const auto net = single_station(1, 2.0);
+  const std::vector<double> s{0.5};
+  const auto r = exact_mva(net, s, 20);
+  for (unsigned n = 1; n <= 20; ++n) {
+    EXPECT_NEAR(r.throughput[r.row_for(n)],
+                machine_repair_throughput(n, 2.0, 0.5, 1), 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(ExactMva, BalancedNetworkClosedForm) {
+  // K identical single-server queues, Z = 0: X(n) = n / (S (K + n - 1)).
+  const auto net = make_network({"a", "b", "c"}, {1, 1, 1}, 0.0);
+  const std::vector<double> s{0.2, 0.2, 0.2};
+  const auto r = exact_mva(net, s, 15);
+  for (unsigned n = 1; n <= 15; ++n) {
+    const double expected =
+        static_cast<double>(n) / (0.2 * (3.0 + static_cast<double>(n) - 1.0));
+    EXPECT_NEAR(r.throughput[r.row_for(n)], expected, 1e-12);
+  }
+}
+
+TEST(ExactMva, LittlesLawHoldsExactlyAtEveryLevel) {
+  const auto net = make_network({"a", "b"}, {1, 1}, 1.5);
+  const std::vector<double> s{0.1, 0.3};
+  const auto r = exact_mva(net, s, 50);
+  for (std::size_t i = 0; i < r.levels(); ++i) {
+    EXPECT_NEAR(r.throughput[i] * r.cycle_time[i],
+                static_cast<double>(r.population[i]), 1e-9);
+  }
+}
+
+TEST(ExactMva, CustomersConservedAcrossQueuesAndThink) {
+  const auto net = make_network({"a", "b"}, {1, 1}, 2.0);
+  const std::vector<double> s{0.1, 0.3};
+  const auto r = exact_mva(net, s, 30);
+  for (std::size_t i = 0; i < r.levels(); ++i) {
+    const double in_queues = r.station_queue[i][0] + r.station_queue[i][1];
+    const double thinking = r.throughput[i] * 2.0;
+    EXPECT_NEAR(in_queues + thinking, static_cast<double>(r.population[i]),
+                1e-9);
+  }
+}
+
+TEST(ExactMva, ThroughputMonotoneAndBounded) {
+  const auto net = make_network({"a", "b", "c"}, {1, 1, 1}, 1.0);
+  const std::vector<double> s{0.05, 0.12, 0.03};
+  const auto r = exact_mva(net, s, 200);
+  ops::BoundsInput bounds{s, 1.0};
+  double prev = 0.0;
+  for (std::size_t i = 0; i < r.levels(); ++i) {
+    EXPECT_GE(r.throughput[i], prev - 1e-12);
+    prev = r.throughput[i];
+    EXPECT_LE(r.throughput[i],
+              ops::throughput_upper_bound(
+                  bounds, static_cast<double>(r.population[i])) + 1e-9);
+    EXPECT_GE(r.response_time[i],
+              ops::response_time_lower_bound(
+                  bounds, static_cast<double>(r.population[i])) - 1e-9);
+  }
+  // Saturation: X -> 1/Dmax.
+  EXPECT_NEAR(r.throughput.back(), 1.0 / 0.12, 1e-3);
+}
+
+TEST(ExactMva, BalancedJobBoundsSandwichExactSolution) {
+  const auto net = make_network({"a", "b", "c"}, {1, 1, 1}, 0.75);
+  const std::vector<double> s{0.08, 0.10, 0.06};
+  const auto r = exact_mva(net, s, 60);
+  ops::BoundsInput in{s, 0.75};
+  for (unsigned n : {1u, 5u, 15u, 40u, 60u}) {
+    const auto bjb = ops::balanced_job_bounds(in, n);
+    const double x = r.throughput[r.row_for(n)];
+    EXPECT_GE(x, bjb.throughput_lower - 1e-9) << "n=" << n;
+    EXPECT_LE(x, bjb.throughput_upper + 1e-9) << "n=" << n;
+  }
+}
+
+TEST(ExactMva, DelayStationAddsPureLatency) {
+  // A delay station never queues: throughput matches an equivalent think
+  // time increase.
+  const ClosedNetwork with_delay(
+      {Station{"q", 1.0, 1, StationKind::kQueueing},
+       Station{"d", 1.0, 1, StationKind::kDelay}},
+      1.0);
+  const auto net_bigger_z = single_station(1, 1.5);
+  const std::vector<double> s2{0.2, 0.5};
+  const std::vector<double> s1{0.2};
+  const auto a = exact_mva(with_delay, s2, 25);
+  const auto b = exact_mva(net_bigger_z, s1, 25);
+  for (std::size_t i = 0; i < a.levels(); ++i) {
+    EXPECT_NEAR(a.throughput[i], b.throughput[i], 1e-9);
+  }
+}
+
+TEST(ExactMva, VisitCountsFoldIntoDemands) {
+  // V=3, S=0.1 must behave exactly like V=1, S=0.3.
+  const ClosedNetwork visits(
+      {Station{"q", 3.0, 1, StationKind::kQueueing}}, 1.0);
+  const ClosedNetwork folded(
+      {Station{"q", 1.0, 1, StationKind::kQueueing}}, 1.0);
+  const auto a = exact_mva(visits, std::vector<double>{0.1}, 20);
+  const auto b = exact_mva(folded, std::vector<double>{0.3}, 20);
+  for (std::size_t i = 0; i < a.levels(); ++i) {
+    EXPECT_NEAR(a.throughput[i], b.throughput[i], 1e-12);
+    EXPECT_NEAR(a.response_time[i], b.response_time[i], 1e-12);
+  }
+}
+
+TEST(ExactMva, Validation) {
+  const auto net = single_station(1, 1.0);
+  EXPECT_THROW(exact_mva(net, std::vector<double>{0.1, 0.2}, 5),
+               invalid_argument_error);
+  EXPECT_THROW(exact_mva(net, std::vector<double>{-0.1}, 5),
+               invalid_argument_error);
+  EXPECT_THROW(exact_mva(net, std::vector<double>{0.1}, 0),
+               invalid_argument_error);
+}
+
+// -------------------------------------------------------------- Schweitzer
+
+TEST(Schweitzer, ExactAtPopulationOne) {
+  const auto net = make_network({"a", "b"}, {1, 1}, 1.0);
+  const std::vector<double> s{0.2, 0.4};
+  const auto approx = schweitzer_mva(net, s, 1);
+  const auto exact = exact_mva(net, s, 1);
+  EXPECT_NEAR(approx.throughput[0], exact.throughput[0], 1e-8);
+}
+
+TEST(Schweitzer, WithinAFewPercentOfExact) {
+  const auto net = make_network({"a", "b", "c"}, {1, 1, 1}, 1.0);
+  const std::vector<double> s{0.05, 0.12, 0.03};
+  const auto approx = schweitzer_mva(net, s, 100);
+  const auto exact = exact_mva(net, s, 100);
+  for (unsigned n : {5u, 20u, 50u, 100u}) {
+    const double a = approx.throughput[approx.row_for(n)];
+    const double e = exact.throughput[exact.row_for(n)];
+    EXPECT_NEAR(a, e, 0.05 * e) << "n=" << n;
+  }
+}
+
+TEST(Schweitzer, RespectsAsymptoticBounds) {
+  const auto net = make_network({"a", "b"}, {1, 1}, 0.5);
+  const std::vector<double> s{0.07, 0.11};
+  const auto r = schweitzer_mva(net, s, 150);
+  ops::BoundsInput bounds{s, 0.5};
+  for (std::size_t i = 0; i < r.levels(); ++i) {
+    EXPECT_LE(r.throughput[i],
+              ops::throughput_upper_bound(
+                  bounds, static_cast<double>(r.population[i])) + 1e-6);
+  }
+}
+
+// ----------------------------------------------------- multi-server exact
+
+TEST(MultiServer, SingleServerReducesToExactMva) {
+  const auto net = make_network({"a", "b"}, {1, 1}, 1.0);
+  const std::vector<double> s{0.1, 0.25};
+  const auto ms = exact_multiserver_mva(net, s, 40);
+  const auto ex = exact_mva(net, s, 40);
+  for (std::size_t i = 0; i < ms.levels(); ++i) {
+    EXPECT_NEAR(ms.throughput[i], ex.throughput[i], 1e-12);
+    EXPECT_NEAR(ms.response_time[i], ex.response_time[i], 1e-12);
+  }
+}
+
+class MachineRepairMultiServer
+    : public ::testing::TestWithParam<std::tuple<unsigned, double, double>> {};
+
+TEST_P(MachineRepairMultiServer, MatchesBirthDeathOracle) {
+  const auto [servers, s, z] = GetParam();
+  const auto net = single_station(servers, z);
+  const std::vector<double> demands{s};
+  const unsigned n_max = 4 * servers + 12;
+  const auto r = exact_multiserver_mva(net, demands, n_max);
+  for (unsigned n = 1; n <= n_max; ++n) {
+    const double oracle = machine_repair_throughput(n, z, s, servers);
+    EXPECT_NEAR(r.throughput[r.row_for(n)], oracle, 0.002 * oracle)
+        << "C=" << servers << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MachineRepairMultiServer,
+    ::testing::Values(std::make_tuple(2u, 1.0, 1.0),
+                      std::make_tuple(4u, 0.5, 1.0),
+                      std::make_tuple(4u, 2.0, 3.0),
+                      std::make_tuple(8u, 0.25, 0.5),
+                      std::make_tuple(16u, 1.0, 2.0)));
+
+TEST(MultiServer, AgreesWithLoadDependentRecursion) {
+  const ClosedNetwork net(
+      {Station{"cpu", 1.0, 8, StationKind::kQueueing},
+       Station{"disk", 1.0, 1, StationKind::kQueueing},
+       Station{"db", 1.0, 4, StationKind::kQueueing}},
+      2.0);
+  const std::vector<double> s{0.04, 0.012, 0.06};
+  const std::vector<RateMultiplier> rates{multiserver_rate(8),
+                                          multiserver_rate(1),
+                                          multiserver_rate(4)};
+  const auto ms = exact_multiserver_mva(net, s, 150);
+  const auto ld = load_dependent_mva(net, s, rates, 150);
+  for (unsigned n : {1u, 5u, 20u, 60u, 100u, 150u}) {
+    const double a = ms.throughput[ms.row_for(n)];
+    const double b = ld.throughput[ld.row_for(n)];
+    EXPECT_NEAR(a, b, 0.01 * b) << "n=" << n;
+  }
+}
+
+TEST(MultiServer, ThroughputMonotoneAndBottleneckBounded) {
+  const ClosedNetwork net(
+      {Station{"cpu", 1.0, 8, StationKind::kQueueing},
+       Station{"disk", 1.0, 1, StationKind::kQueueing}},
+      1.0);
+  const std::vector<double> s{0.08, 0.012};
+  const auto r = exact_multiserver_mva(net, s, 400);
+  double prev = 0.0;
+  for (std::size_t i = 0; i < r.levels(); ++i) {
+    // Near saturation the stabilized marginal-probability recursion can dip
+    // by a fraction of a percent; require monotonicity up to that noise.
+    EXPECT_GE(r.throughput[i], prev * (1.0 - 2e-3));
+    prev = std::max(prev, r.throughput[i]);
+    // Capacity bound: min over stations of C_k / D_k (up to the same
+    // saturation-region numerical noise).
+    EXPECT_LE(r.throughput[i],
+              std::min(8.0 / 0.08, 1.0 / 0.012) * (1.0 + 1e-3));
+  }
+  EXPECT_NEAR(r.throughput.back(), 1.0 / 0.012, 0.05 / 0.012);
+}
+
+TEST(MultiServer, MarginalTraceIsDistribution) {
+  const auto net = single_station(4, 1.0);
+  const std::vector<double> s{0.5};
+  MarginalProbabilityTrace trace;
+  const auto r =
+      exact_multiserver_mva_traced(net, s, 60, "st", trace);
+  ASSERT_EQ(trace.rows.size(), 60u);
+  for (const auto& row : trace.rows) {
+    ASSERT_EQ(row.size(), 4u);
+    double sum = 0.0;
+    for (double p : row) {
+      EXPECT_GE(p, -1e-12);
+      EXPECT_LE(p, 1.0 + 1e-12);
+      sum += p;
+    }
+    EXPECT_LE(sum, 1.0 + 1e-9);
+  }
+  (void)r;
+}
+
+TEST(MultiServer, MarginalsVanishAtSaturation) {
+  // Saturated 4-core station: queueing dominates and P(j < C) -> 0.
+  const auto net = single_station(4, 0.5);
+  const std::vector<double> s{1.0};
+  MarginalProbabilityTrace trace;
+  exact_multiserver_mva_traced(net, s, 100, "st", trace);
+  for (double p : trace.rows.back()) {
+    EXPECT_NEAR(p, 0.0, 1e-6);
+  }
+}
+
+TEST(MultiServer, NormalizedSingleServerDistortsLightLoad) {
+  // Fig. 8's root cause: dividing the demand by the core count erases the
+  // service-time floor.  At light load a job on the real C-server station
+  // still needs the full S seconds (R = S below C customers), while the
+  // normalized model promises S/C — so the normalization *underestimates*
+  // response time and *overestimates* throughput before saturation.  Both
+  // models share the C/S saturation ceiling.
+  const auto ms_net = single_station(8, 1.0);
+  const auto ss_net = single_station(1, 1.0);
+  const auto ms = exact_multiserver_mva(ms_net, std::vector<double>{0.8}, 200);
+  const auto ss = exact_mva(ss_net, std::vector<double>{0.1}, 200);
+  // At n <= C, the multi-server station has no queueing at all: R = S.
+  EXPECT_NEAR(ms.response_time[ms.row_for(6)], 0.8, 0.01);
+  EXPECT_LT(ss.response_time[ss.row_for(6)], 0.2);
+  EXPECT_GT(ss.throughput[ss.row_for(6)], ms.throughput[ms.row_for(6)]);
+  // Same asymptote: C / S = 10.
+  EXPECT_NEAR(ms.throughput.back(), 10.0, 0.1);
+  EXPECT_NEAR(ss.throughput.back(), 10.0, 0.1);
+}
+
+// ------------------------------------------------------------ DemandModel
+
+TEST(DemandModel, ConstantModel) {
+  const auto m = DemandModel::constant({0.1, 0.2});
+  EXPECT_TRUE(m.is_constant());
+  EXPECT_EQ(m.stations(), 2u);
+  EXPECT_DOUBLE_EQ(m.at(0, 5.0), 0.1);
+  EXPECT_DOUBLE_EQ(m.at(1, 500.0), 0.2);
+  EXPECT_EQ(m.all_at(1.0), (std::vector<double>{0.1, 0.2}));
+}
+
+TEST(DemandModel, InterpolatedEvaluatesSpline) {
+  auto spline = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(interp::SampleSet({1, 10}, {1.0, 0.5})));
+  const auto m = DemandModel::interpolated({spline});
+  EXPECT_DOUBLE_EQ(m.at(0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 10.0), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 100.0), 0.5);  // pegged
+}
+
+TEST(DemandModel, ClampsNegativeInterpolantsToZero) {
+  auto spline = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(interp::SampleSet({0, 1}, {-1.0, -0.5})));
+  const auto m = DemandModel::interpolated({spline});
+  EXPECT_DOUBLE_EQ(m.at(0, 0.5), 0.0);
+}
+
+TEST(DemandModel, Validation) {
+  EXPECT_THROW(DemandModel::constant({}), invalid_argument_error);
+  EXPECT_THROW(DemandModel::constant({-0.1}), invalid_argument_error);
+  EXPECT_THROW(DemandModel::interpolated({nullptr}), invalid_argument_error);
+  const auto m = DemandModel::constant({0.1});
+  EXPECT_THROW(m.at(1, 1.0), invalid_argument_error);
+}
+
+// ------------------------------------------------------------------ MVASD
+
+TEST(Mvasd, ConstantDemandsReproduceAlgorithm2Exactly) {
+  const ClosedNetwork net(
+      {Station{"cpu", 1.0, 8, StationKind::kQueueing},
+       Station{"disk", 1.0, 1, StationKind::kQueueing}},
+      1.0);
+  const std::vector<double> s{0.06, 0.015};
+  const auto fixed = exact_multiserver_mva(net, s, 120);
+  const auto varying = mvasd(net, DemandModel::constant(s), 120);
+  for (std::size_t i = 0; i < fixed.levels(); ++i) {
+    EXPECT_DOUBLE_EQ(fixed.throughput[i], varying.throughput[i]);
+    EXPECT_DOUBLE_EQ(fixed.response_time[i], varying.response_time[i]);
+  }
+}
+
+TEST(Mvasd, DecreasingDemandLiftsThroughputCeiling) {
+  const auto net = single_station(1, 1.0);
+  auto spline = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(
+          interp::SampleSet({1, 100, 200}, {0.02, 0.012, 0.01})));
+  const auto adaptive = mvasd(net, DemandModel::interpolated({spline}), 300);
+  const auto fixed =
+      exact_multiserver_mva(net, std::vector<double>{0.02}, 300);
+  // Constant-demand model saturates at 1/0.02 = 50; MVASD reaches ~1/0.01.
+  EXPECT_NEAR(fixed.throughput.back(), 50.0, 0.5);
+  EXPECT_GT(adaptive.throughput.back(), 90.0);
+}
+
+TEST(Mvasd, FinalThroughputTracksFinalDemand) {
+  // Past the sampled range the pegged spline holds D(n) = D_final, so the
+  // saturated throughput must be 1/D_final.
+  const auto net = single_station(1, 0.5);
+  auto spline = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(
+          interp::SampleSet({1, 50}, {0.05, 0.04})));
+  const auto r = mvasd(net, DemandModel::interpolated({spline}), 400);
+  EXPECT_NEAR(r.throughput.back(), 25.0, 0.2);
+}
+
+TEST(Mvasd, ThroughputAxisModelRuns) {
+  const auto net = single_station(1, 1.0);
+  auto spline = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(
+          interp::SampleSet({0.5, 25.0, 50.0}, {0.02, 0.015, 0.012})));
+  const auto r = mvasd(
+      net,
+      DemandModel::interpolated({spline}, DemandModel::Axis::kThroughput),
+      200);
+  // Saturation: demand at the saturated X (~1/0.012) pegs to 0.012.
+  EXPECT_NEAR(r.throughput.back(), 1.0 / 0.012, 1.5);
+  // Monotone non-decreasing throughput even with the feedback lookup.
+  for (std::size_t i = 1; i < r.levels(); ++i) {
+    EXPECT_GE(r.throughput[i], r.throughput[i - 1] - 1e-6);
+  }
+}
+
+TEST(Mvasd, SingleServerVariantMatchesMvasdWhenAllSingleServer) {
+  const auto net = make_network({"a", "b"}, {1, 1}, 1.0);
+  auto sp1 = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(interp::SampleSet({1, 100}, {0.05, 0.04})));
+  auto sp2 = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(interp::SampleSet({1, 100}, {0.02, 0.015})));
+  const auto model = DemandModel::interpolated({sp1, sp2});
+  const auto a = mvasd(net, model, 80);
+  const auto b = mvasd_single_server(net, model, 80);
+  for (std::size_t i = 0; i < a.levels(); ++i) {
+    EXPECT_NEAR(a.throughput[i], b.throughput[i], 1e-9);
+  }
+}
+
+TEST(Mvasd, SingleServerNormalizationUnderestimatesMultiServerResponse) {
+  // Fig. 8's lesson: at light load the normalized model is optimistic about
+  // response time (no multi-server parallelism modeling error there —
+  // it *underestimates* R because S/C < S even when no queueing occurs).
+  const auto net = single_station(8, 1.0);
+  const auto model = DemandModel::constant({0.8});
+  const auto ms = mvasd(net, model, 8);
+  const auto ss = mvasd_single_server(net, model, 8);
+  EXPECT_LT(ss.response_time[ss.row_for(4)], ms.response_time[ms.row_for(4)]);
+}
+
+TEST(Mvasd, TracedVariantExposesMarginals) {
+  const auto net = single_station(4, 1.0);
+  MarginalProbabilityTrace trace;
+  const auto model = DemandModel::constant({0.4});
+  mvasd_traced(net, model, 30, "st", trace);
+  ASSERT_EQ(trace.rows.size(), 30u);
+  ASSERT_EQ(trace.rows.front().size(), 4u);
+}
+
+// ---------------------------------------------------------- load-dependent
+
+TEST(LoadDependent, SingleServerRateMatchesExactMva) {
+  const auto net = make_network({"a", "b"}, {1, 1}, 1.0);
+  const std::vector<double> s{0.1, 0.2};
+  const auto ld = load_dependent_mva(
+      net, s, {single_server_rate(), single_server_rate()}, 40);
+  const auto ex = exact_mva(net, s, 40);
+  for (std::size_t i = 0; i < ld.levels(); ++i) {
+    EXPECT_NEAR(ld.throughput[i], ex.throughput[i], 1e-9);
+  }
+}
+
+TEST(LoadDependent, FasterRatesRaiseThroughput) {
+  const auto net = single_station(1, 1.0);
+  const std::vector<double> s{0.5};
+  const auto slow = load_dependent_mva(net, s, {single_server_rate()}, 30);
+  const auto fast = load_dependent_mva(net, s, {multiserver_rate(4)}, 30);
+  EXPECT_GT(fast.throughput.back(), slow.throughput.back());
+}
+
+TEST(LoadDependent, RejectsNonPositiveRate) {
+  const auto net = single_station(1, 1.0);
+  EXPECT_THROW(load_dependent_mva(net, std::vector<double>{0.5},
+                                  {[](unsigned) { return 0.0; }}, 5),
+               invalid_argument_error);
+}
+
+// --------------------------------------------------------------- Seidmann
+
+TEST(Seidmann, TransformSplitsMultiServerStations) {
+  const ClosedNetwork net(
+      {Station{"cpu", 1.0, 4, StationKind::kQueueing},
+       Station{"disk", 1.0, 1, StationKind::kQueueing}},
+      1.0);
+  const std::vector<double> s{0.4, 0.1};
+  const auto t = seidmann_transform(net, s);
+  ASSERT_EQ(t.network.size(), 3u);
+  EXPECT_EQ(t.network.station(0).name, "cpu/queue");
+  EXPECT_EQ(t.network.station(1).name, "cpu/delay");
+  EXPECT_EQ(t.network.station(1).kind, StationKind::kDelay);
+  EXPECT_EQ(t.network.station(2).name, "disk");
+  EXPECT_DOUBLE_EQ(t.service_times[0], 0.1);        // S/C
+  EXPECT_DOUBLE_EQ(t.service_times[1], 0.3);        // S(C-1)/C
+  EXPECT_DOUBLE_EQ(t.service_times[2], 0.1);
+  EXPECT_EQ(t.queueing_leg, (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(Seidmann, SingleServerNetworkUnchanged) {
+  const auto net = make_network({"a"}, {1}, 1.0);
+  const std::vector<double> s{0.2};
+  const auto a = seidmann_mva(net, s, 20);
+  const auto b = exact_mva(net, s, 20);
+  for (std::size_t i = 0; i < a.levels(); ++i) {
+    EXPECT_DOUBLE_EQ(a.throughput[i], b.throughput[i]);
+  }
+}
+
+TEST(Seidmann, ApproximatesExactMultiServerReasonably) {
+  const auto net = single_station(4, 2.0);
+  const std::vector<double> s{1.0};
+  const auto approx = seidmann_mva(net, s, 40);
+  const auto exact = exact_multiserver_mva(net, s, 40);
+  for (unsigned n : {1u, 4u, 10u, 25u, 40u}) {
+    const double a = approx.throughput[approx.row_for(n)];
+    const double e = exact.throughput[exact.row_for(n)];
+    EXPECT_NEAR(a, e, 0.15 * e) << "n=" << n;  // it is an approximation
+  }
+  // Both saturate at C/S.
+  EXPECT_NEAR(approx.throughput.back(), 4.0, 0.15);
+}
+
+TEST(Seidmann, SchweitzerVariantRuns) {
+  const auto net = single_station(4, 2.0);
+  const std::vector<double> s{1.0};
+  const auto r = seidmann_schweitzer_mva(net, s, 30);
+  EXPECT_EQ(r.levels(), 30u);
+  EXPECT_LE(r.throughput.back(), 4.0 + 1e-6);
+}
+
+// ----------------------------------------------------------------- result
+
+TEST(Result, RowLookupAndSeries) {
+  const auto net = make_network({"a", "b"}, {1, 1}, 1.0);
+  const auto r = exact_mva(net, std::vector<double>{0.1, 0.2}, 10);
+  EXPECT_EQ(r.row_for(7), 6u);
+  EXPECT_THROW(r.row_for(11), invalid_argument_error);
+  EXPECT_EQ(r.utilization_series(1).size(), 10u);
+  EXPECT_EQ(r.queue_series(0).size(), 10u);
+  EXPECT_THROW(r.utilization_series(5), invalid_argument_error);
+  const auto xs = r.throughput_at({1.0, 5.0, 10.0});
+  EXPECT_EQ(xs.size(), 3u);
+  EXPECT_DOUBLE_EQ(xs[0], r.throughput[0]);
+  EXPECT_THROW(r.throughput_at({42.0}), invalid_argument_error);
+}
+
+// ------------------------------------------------------------------ sweep
+
+TEST(Sweep, PreservesOrderSequentialAndParallel) {
+  const auto net = make_network({"a"}, {1}, 1.0);
+  auto make = [&](double s) {
+    return [=]() { return exact_mva(net, std::vector<double>{s}, 5); };
+  };
+  std::vector<Scenario> scenarios{{"slow", make(0.4)}, {"fast", make(0.1)}};
+  const auto seq = run_scenarios(scenarios);
+  ASSERT_EQ(seq.size(), 2u);
+  EXPECT_EQ(seq[0].label, "slow");
+  EXPECT_LT(seq[0].result.throughput.back(), seq[1].result.throughput.back());
+
+  ThreadPool pool(2);
+  const auto par = run_scenarios(scenarios, &pool);
+  ASSERT_EQ(par.size(), 2u);
+  EXPECT_EQ(par[1].label, "fast");
+  EXPECT_DOUBLE_EQ(par[0].result.throughput.back(),
+                   seq[0].result.throughput.back());
+}
+
+}  // namespace
+}  // namespace mtperf::core

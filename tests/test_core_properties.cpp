@@ -1,0 +1,233 @@
+// Randomized property sweeps over the MVA family: invariants that must
+// hold on *any* well-formed closed network, checked over dozens of
+// generated topologies.  These catch the failure modes unit tests anchored
+// to hand-picked networks cannot.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "core/demand_model.hpp"
+#include "core/mva_exact.hpp"
+#include "core/mva_interval.hpp"
+#include "core/mva_load_dependent.hpp"
+#include "core/mva_multiclass.hpp"
+#include "core/mva_multiserver.hpp"
+#include "core/mva_schweitzer.hpp"
+#include "core/mvasd.hpp"
+#include "core/network.hpp"
+#include "interp/cubic_spline.hpp"
+#include "ops/bounds.hpp"
+
+namespace mtperf::core {
+namespace {
+
+struct RandomCase {
+  ClosedNetwork network;
+  std::vector<double> demands;
+  unsigned max_population;
+};
+
+RandomCase make_case(std::uint64_t seed) {
+  Rng rng(seed);
+  const auto k_count = 1 + static_cast<std::size_t>(rng.uniform_int(0, 5));
+  std::vector<Station> stations;
+  std::vector<double> demands;
+  for (std::size_t k = 0; k < k_count; ++k) {
+    Station st;
+    st.name = "s" + std::to_string(k);
+    st.visits = 1.0;
+    const auto pick = rng.uniform_int(0, 3);
+    st.servers = pick == 0 ? 1u : static_cast<unsigned>(rng.uniform_int(2, 16));
+    st.kind = (k > 0 && rng.bernoulli(0.15)) ? StationKind::kDelay
+                                             : StationKind::kQueueing;
+    stations.push_back(st);
+    demands.push_back(rng.uniform(0.001, 0.2));
+  }
+  const double z = rng.bernoulli(0.2) ? 0.0 : rng.uniform(0.1, 3.0);
+  const auto n = static_cast<unsigned>(rng.uniform_int(5, 120));
+  return RandomCase{ClosedNetwork(std::move(stations), z), std::move(demands),
+                    n};
+}
+
+class RandomNetworks : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomNetworks, LittlesLawAndConservationHold) {
+  const RandomCase c = make_case(1000 + GetParam());
+  const auto r = exact_multiserver_mva(c.network, c.demands, c.max_population);
+  for (std::size_t i = 0; i < r.levels(); ++i) {
+    // Little's law at the system level.
+    EXPECT_NEAR(r.throughput[i] * r.cycle_time[i],
+                static_cast<double>(r.population[i]), 1e-7);
+    // Customer conservation: queues + thinking customers = population.
+    double total = r.throughput[i] * c.network.think_time();
+    for (std::size_t k = 0; k < c.network.size(); ++k) {
+      total += r.station_queue[i][k];
+    }
+    EXPECT_NEAR(total, static_cast<double>(r.population[i]), 1e-6);
+  }
+}
+
+TEST_P(RandomNetworks, ThroughputMonotoneAndCapacityBounded) {
+  const RandomCase c = make_case(2000 + GetParam());
+  const auto r = exact_multiserver_mva(c.network, c.demands, c.max_population);
+  double capacity = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < c.network.size(); ++k) {
+    const Station& st = c.network.station(k);
+    if (st.kind == StationKind::kQueueing && c.demands[k] > 0.0) {
+      capacity = std::min(capacity,
+                          static_cast<double>(st.servers) / c.demands[k]);
+    }
+  }
+  double prev = 0.0;
+  for (std::size_t i = 0; i < r.levels(); ++i) {
+    EXPECT_GE(r.throughput[i], prev * (1.0 - 5e-3)) << "i=" << i;
+    prev = std::max(prev, r.throughput[i]);
+    EXPECT_LE(r.throughput[i], capacity * (1.0 + 5e-3)) << "i=" << i;
+    for (double u : r.station_utilization[i]) {
+      EXPECT_LE(u, 1.0 + 5e-3);
+      EXPECT_GE(u, 0.0);
+    }
+  }
+}
+
+TEST_P(RandomNetworks, MultiServerAgreesWithLoadDependent) {
+  const RandomCase c = make_case(3000 + GetParam());
+  std::vector<RateMultiplier> rates;
+  for (const auto& st : c.network.stations()) {
+    rates.push_back(multiserver_rate(st.servers));
+  }
+  const auto ms = exact_multiserver_mva(c.network, c.demands,
+                                        c.max_population);
+  const auto ld =
+      load_dependent_mva(c.network, c.demands, rates, c.max_population);
+  for (std::size_t i = 0; i < ms.levels(); ++i) {
+    EXPECT_NEAR(ms.throughput[i], ld.throughput[i],
+                0.02 * std::max(ms.throughput[i], 1e-9))
+        << "population " << ms.population[i];
+  }
+}
+
+TEST_P(RandomNetworks, SchweitzerTracksExactOnSingleServerNetworks) {
+  RandomCase c = make_case(4000 + GetParam());
+  // Restrict to single-server queueing stations (Schweitzer's setting).
+  std::vector<Station> stations = c.network.stations();
+  for (auto& st : stations) st.servers = 1;
+  const ClosedNetwork net(std::move(stations), c.network.think_time());
+  const auto exact = exact_mva(net, c.demands, c.max_population);
+  const auto approx = schweitzer_mva(net, c.demands, c.max_population);
+  for (unsigned n :
+       {1u, c.max_population / 2 + 1, c.max_population}) {
+    const double e = exact.throughput[exact.row_for(n)];
+    const double a = approx.throughput[approx.row_for(n)];
+    EXPECT_NEAR(a, e, 0.08 * e) << "n=" << n;
+  }
+}
+
+TEST_P(RandomNetworks, AsymptoticBoundsContainExactSolution) {
+  const RandomCase c = make_case(5000 + GetParam());
+  // Single-server view for the classic bounds; delay-station demands are
+  // pure latency and belong in the think-time term, not in the queueing
+  // demands (they would otherwise spuriously tighten the balanced bound).
+  std::vector<Station> stations = c.network.stations();
+  for (auto& st : stations) st.servers = 1;
+  const ClosedNetwork net(std::move(stations), c.network.think_time());
+  const auto r = exact_mva(net, c.demands, c.max_population);
+  std::vector<double> queueing_demands;
+  double z = c.network.think_time();
+  for (std::size_t k = 0; k < net.size(); ++k) {
+    if (net.station(k).kind == StationKind::kDelay) {
+      z += c.demands[k];
+    } else {
+      queueing_demands.push_back(c.demands[k]);
+    }
+  }
+  if (queueing_demands.empty()) return;  // pure-delay network: no bounds
+  ops::BoundsInput in{queueing_demands, z};
+  for (std::size_t i = 0; i < r.levels(); ++i) {
+    const auto n = static_cast<double>(r.population[i]);
+    EXPECT_LE(r.throughput[i], ops::throughput_upper_bound(in, n) + 1e-9);
+    EXPECT_GE(r.response_time[i],
+              ops::response_time_lower_bound(in, n) - 1e-9);
+    const auto bjb = ops::balanced_job_bounds(in, n);
+    EXPECT_GE(r.throughput[i], bjb.throughput_lower - 1e-9);
+    EXPECT_LE(r.throughput[i], bjb.throughput_upper + 1e-9);
+  }
+}
+
+TEST_P(RandomNetworks, IntervalMvaBracketsInteriorDemandVectors) {
+  const RandomCase c = make_case(6000 + GetParam());
+  Rng rng(7000 + GetParam());
+  const auto intervals = intervals_around(c.demands, 0.15);
+  const auto banded = interval_mva(c.network, intervals, c.max_population);
+  // Any demand vector inside the box must produce results inside the band.
+  std::vector<double> inner(c.demands);
+  for (double& d : inner) d *= rng.uniform(0.85, 1.15);
+  const auto mid = exact_multiserver_mva(c.network, inner, c.max_population);
+  for (unsigned n : {1u, c.max_population}) {
+    const std::size_t i = mid.row_for(n);
+    EXPECT_LE(banded.pessimistic.throughput[i],
+              mid.throughput[i] * (1.0 + 1e-6));
+    EXPECT_GE(banded.optimistic.throughput[i],
+              mid.throughput[i] * (1.0 - 1e-6));
+  }
+}
+
+TEST_P(RandomNetworks, MvasdWithConstantSplineEqualsConstantModel) {
+  const RandomCase c = make_case(8000 + GetParam());
+  // A spline through constant samples is the constant function, so MVASD
+  // must reproduce the fixed-demand solution exactly.
+  std::vector<std::shared_ptr<const interp::Interpolator1D>> interpolants;
+  for (double d : c.demands) {
+    interpolants.push_back(std::make_shared<interp::PiecewiseCubic>(
+        interp::build_cubic_spline(
+            interp::SampleSet({1.0, 10.0, 100.0}, {d, d, d}))));
+  }
+  const auto varying = mvasd(
+      c.network, DemandModel::interpolated(std::move(interpolants)),
+      c.max_population);
+  const auto fixed =
+      exact_multiserver_mva(c.network, c.demands, c.max_population);
+  for (std::size_t i = 0; i < fixed.levels(); ++i) {
+    EXPECT_NEAR(varying.throughput[i], fixed.throughput[i],
+                1e-9 * std::max(1.0, fixed.throughput[i]));
+  }
+}
+
+TEST_P(RandomNetworks, MulticlassSplitInvariance) {
+  // Splitting one class into two identical halves must not change totals.
+  RandomCase c = make_case(9000 + GetParam());
+  std::vector<Station> stations = c.network.stations();
+  for (auto& st : stations) st.servers = 1;  // multiclass setting
+  const ClosedNetwork net(std::move(stations), c.network.think_time());
+  const unsigned n = std::min(c.max_population, 24u) | 1u;  // keep it odd+small
+  const std::vector<CustomerClass> merged{
+      {"all", n, net.think_time(), c.demands}};
+  const std::vector<CustomerClass> split{
+      {"a", n / 2, net.think_time(), c.demands},
+      {"b", n - n / 2, net.think_time(), c.demands}};
+  const auto one = exact_mva_multiclass(net, merged);
+  const auto two = exact_mva_multiclass(net, split);
+  EXPECT_NEAR(one.total_throughput(), two.total_throughput(),
+              1e-8 * std::max(1.0, one.total_throughput()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RandomNetworks, ::testing::Range(0, 12));
+
+TEST(NetworkAscii, SketchMentionsEveryStation) {
+  const ClosedNetwork net(
+      {Station{"cpu", 2.0, 8, StationKind::kQueueing},
+       Station{"lan", 1.0, 1, StationKind::kDelay}},
+      1.5);
+  const std::string sketch = network_ascii(net);
+  EXPECT_NE(sketch.find("cpu"), std::string::npos);
+  EXPECT_NE(sketch.find("8 servers"), std::string::npos);
+  EXPECT_NE(sketch.find("delay"), std::string::npos);
+  EXPECT_NE(sketch.find("V=2"), std::string::npos);
+  EXPECT_NE(sketch.find("Z = 1.5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mtperf::core

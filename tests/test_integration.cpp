@@ -1,0 +1,223 @@
+// Integration tests: the full paper pipeline — simulate load tests, extract
+// demands via the Service Demand Law, spline them, predict with the MVA
+// family — and the paper's headline claims about which model wins.
+//
+// These use shortened simulation windows; the bench binaries reproduce the
+// full-scale figures.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/jpetstore.hpp"
+#include "apps/testbed.hpp"
+#include "apps/vins.hpp"
+#include "common/stats.hpp"
+#include "core/mva_multiserver.hpp"
+#include "core/mvasd.hpp"
+#include "core/prediction.hpp"
+#include "ops/bounds.hpp"
+#include "workload/campaign.hpp"
+#include "workload/test_plan.hpp"
+
+namespace mtperf {
+namespace {
+
+workload::CampaignSettings test_settings(double duration = 400.0) {
+  workload::CampaignSettings s;
+  s.grinder.duration_s = duration;
+  s.warmup_fraction = 0.25;
+  s.seed = 2026;
+  return s;
+}
+
+/// Shared fixture: one shortened JPetStore campaign reused by many tests.
+class JPetStorePipeline : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    const auto app = apps::make_jpetstore();
+    campaign_ = new workload::CampaignResult(workload::run_campaign(
+        app, apps::jpetstore_campaign_levels(), test_settings()));
+  }
+  static void TearDownTestSuite() {
+    delete campaign_;
+    campaign_ = nullptr;
+  }
+
+  static const workload::CampaignResult& campaign() { return *campaign_; }
+  static constexpr double kThink = 1.0;
+  static constexpr unsigned kMaxUsers = 280;
+
+  static workload::CampaignResult* campaign_;
+};
+
+workload::CampaignResult* JPetStorePipeline::campaign_ = nullptr;
+
+TEST_F(JPetStorePipeline, SaturationNear140Users) {
+  // Table 3's signature: DB CPU (or disk) utilization crosses ~90% by 140
+  // users and the throughput curve flattens beyond.
+  const auto& points = campaign().table.points();
+  const auto row140 = std::find_if(points.begin(), points.end(), [](auto& p) {
+    return p.concurrency == 140.0;
+  });
+  ASSERT_NE(row140, points.end());
+  const double db_cpu = row140->utilization[apps::kDbCpu];
+  const double db_disk = row140->utilization[apps::kDbDisk];
+  EXPECT_GT(std::max(db_cpu, db_disk), 0.85);
+  const double x140 = row140->throughput;
+  const double x280 = points.back().throughput;
+  EXPECT_LT(std::abs(x280 - x140) / x140, 0.15);  // flat past saturation
+}
+
+TEST_F(JPetStorePipeline, BottleneckIdentifiedAtDatabase) {
+  const std::size_t b = campaign().table.bottleneck_station();
+  EXPECT_TRUE(b == apps::kDbCpu || b == apps::kDbDisk)
+      << "bottleneck was " << campaign().table.stations()[b];
+}
+
+TEST_F(JPetStorePipeline, MvasdTracksMeasuredThroughputWithinAFewPercent) {
+  const auto prediction =
+      core::predict_mvasd(campaign().table, kThink, kMaxUsers);
+  const auto report = core::deviation_against_measurements(
+      "MVASD", prediction, campaign().table, kThink);
+  // Paper Table 5 reports ~1-2%; allow slack for the shortened windows.
+  EXPECT_LT(report.throughput_deviation_pct, 6.0);
+  EXPECT_LT(report.cycle_time_deviation_pct, 6.0);
+}
+
+TEST_F(JPetStorePipeline, MvasdBeatsFixedDemandMva) {
+  const auto mvasd_report = core::deviation_against_measurements(
+      "MVASD", core::predict_mvasd(campaign().table, kThink, kMaxUsers),
+      campaign().table, kThink);
+  // MVA with single-user demands (the worst choice the paper plots).
+  const auto mva1_report = core::deviation_against_measurements(
+      "MVA 1", core::predict_mva_fixed(campaign().table, kThink, kMaxUsers, 1),
+      campaign().table, kThink);
+  EXPECT_LT(mvasd_report.throughput_deviation_pct,
+            mva1_report.throughput_deviation_pct);
+  EXPECT_LT(mvasd_report.cycle_time_deviation_pct,
+            mva1_report.cycle_time_deviation_pct);
+}
+
+TEST_F(JPetStorePipeline, MultiServerBeatsSingleServerNormalization) {
+  // Fig. 8: MVASD with the exact multi-server model outperforms the S/C
+  // normalized single-server variant on this CPU-bound application.
+  const auto ms = core::deviation_against_measurements(
+      "MVASD", core::predict_mvasd(campaign().table, kThink, kMaxUsers),
+      campaign().table, kThink);
+  const auto ss = core::deviation_against_measurements(
+      "MVASD:SS",
+      core::predict_mvasd_single_server(campaign().table, kThink, kMaxUsers),
+      campaign().table, kThink);
+  EXPECT_LT(ms.throughput_deviation_pct, ss.throughput_deviation_pct);
+}
+
+TEST_F(JPetStorePipeline, DemandVsThroughputAxisIsWorseButReasonable) {
+  // Section 7: interpolating demands against throughput instead of
+  // concurrency degrades accuracy (paper: 6.68% / 6.9%) but stays usable.
+  const auto conc = core::deviation_against_measurements(
+      "MVASD", core::predict_mvasd(campaign().table, kThink, kMaxUsers),
+      campaign().table, kThink);
+  const auto thru = core::deviation_against_measurements(
+      "MVASD-X",
+      core::predict_mvasd(campaign().table, kThink, kMaxUsers,
+                          core::DemandModel::Axis::kThroughput),
+      campaign().table, kThink);
+  EXPECT_GE(thru.throughput_deviation_pct,
+            conc.throughput_deviation_pct - 0.5);
+  EXPECT_LT(thru.throughput_deviation_pct, 20.0);
+}
+
+TEST_F(JPetStorePipeline, PredictedDbUtilizationTracksMeasured) {
+  // Fig. 9: MVASD's per-station utilization curves follow the monitors.
+  const auto prediction =
+      core::predict_mvasd(campaign().table, kThink, kMaxUsers);
+  for (const auto& point : campaign().table.points()) {
+    const std::size_t row =
+        prediction.row_for(static_cast<unsigned>(point.concurrency));
+    for (std::size_t k : {static_cast<std::size_t>(apps::kDbCpu),
+                          static_cast<std::size_t>(apps::kDbDisk)}) {
+      const double measured = point.utilization[k];
+      const double predicted = prediction.station_utilization[row][k];
+      EXPECT_NEAR(predicted, measured, 0.10)
+          << "station " << k << " at N=" << point.concurrency;
+    }
+  }
+}
+
+TEST_F(JPetStorePipeline, PredictionsRespectOperationalBounds) {
+  const auto prediction =
+      core::predict_mvasd(campaign().table, kThink, kMaxUsers);
+  // Capacity-aware asymptotic bound for multi-server stations:
+  //   X(n) <= min( n / (Dtot + Z),  min_k C_k / D_k ).
+  // Evaluate it with the demands measured at the row nearest each n
+  // (demands vary with load, so each row bounds its own neighbourhood);
+  // 15% slack absorbs monitor noise in the shortened campaign.
+  const auto& servers = campaign().table.servers();
+  for (unsigned n : {1u, 14u, 28u, 140u, 280u}) {
+    const auto d = campaign().table.demands_at_concurrency(n);
+    double dtot = 0.0;
+    double capacity = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < d.size(); ++k) {
+      dtot += d[k];
+      if (d[k] > 0.0) {
+        capacity = std::min(capacity, static_cast<double>(servers[k]) / d[k]);
+      }
+    }
+    const double bound = std::min(static_cast<double>(n) / (dtot + kThink),
+                                  capacity);
+    EXPECT_LE(prediction.throughput[prediction.row_for(n)], bound * 1.15)
+        << "n=" << n;
+  }
+}
+
+// --------------------------------------------------------------- VINS side
+
+TEST(VinsPipeline, DiskBottleneckAndMvasdAccuracy) {
+  const auto app = apps::make_vins();
+  // Shortened campaign on a reduced range to keep the test fast.
+  const std::vector<unsigned> levels{1, 23, 57, 102, 203, 373, 680};
+  const auto campaign =
+      workload::run_campaign(app, levels, test_settings(300.0));
+
+  // Table 2 signature: DB disk is the saturated bottleneck, DB CPU modest.
+  const auto& last = campaign.table.points().back();
+  EXPECT_GT(last.utilization[apps::kDbDisk], 0.80);
+  EXPECT_LT(last.utilization[apps::kDbCpu], 0.60);
+  const std::size_t b = campaign.table.bottleneck_station();
+  EXPECT_TRUE(b == apps::kDbDisk || b == apps::kLoadDisk);
+
+  const auto mvasd_report = core::deviation_against_measurements(
+      "MVASD", core::predict_mvasd(campaign.table, 1.0, 680),
+      campaign.table, 1.0);
+  // Paper Table 4: < 3% X, < 9% R+Z; slack for shortened windows.
+  EXPECT_LT(mvasd_report.throughput_deviation_pct, 8.0);
+  EXPECT_LT(mvasd_report.cycle_time_deviation_pct, 10.0);
+
+  const auto mva1_report = core::deviation_against_measurements(
+      "MVA 1", core::predict_mva_fixed(campaign.table, 1.0, 680, 1),
+      campaign.table, 1.0);
+  EXPECT_LT(mvasd_report.throughput_deviation_pct,
+            mva1_report.throughput_deviation_pct);
+}
+
+// ------------------------------------------------- Chebyshev sampling (Fig. 16)
+
+TEST(ChebyshevPipeline, ThreeNodesAlreadyPredictWell) {
+  const auto app = apps::make_jpetstore();
+  const auto levels = workload::plan_concurrency_levels(
+      1, 300, 3, workload::SamplingStrategy::kChebyshev, 1,
+      /*include_single_user=*/true);
+  const auto campaign = workload::run_campaign(app, levels, test_settings());
+
+  // Dense reference campaign for the measured series.
+  const auto reference = workload::run_campaign(
+      app, apps::jpetstore_campaign_levels(), test_settings());
+
+  const auto prediction = core::predict_mvasd(campaign.table, 1.0, 280);
+  const auto report = core::deviation_against_measurements(
+      "MVASD (Chebyshev 3)", prediction, reference.table, 1.0);
+  EXPECT_LT(report.throughput_deviation_pct, 8.0);
+}
+
+}  // namespace
+}  // namespace mtperf

@@ -1,0 +1,640 @@
+// Unit and property tests for mtperf::interp — splines, polynomial
+// interpolation, Chebyshev nodes, and the solvers beneath them.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "interp/chebyshev.hpp"
+#include "interp/cubic_spline.hpp"
+#include "interp/linear.hpp"
+#include "interp/pchip.hpp"
+#include "interp/polynomial.hpp"
+#include "interp/smoothing_spline.hpp"
+#include "interp/tridiagonal.hpp"
+
+namespace mtperf::interp {
+namespace {
+
+// ------------------------------------------------------------- tridiagonal
+
+TEST(Tridiagonal, SolvesIdentity) {
+  const std::vector<double> one{1, 1, 1};
+  const std::vector<double> zero{0, 0, 0};
+  const std::vector<double> rhs{3, -1, 7};
+  const auto u = solve_tridiagonal(zero, one, zero, rhs);
+  EXPECT_EQ(u, rhs);
+}
+
+TEST(Tridiagonal, SolvesKnownSystem) {
+  // [2 1 0; 1 2 1; 0 1 2] u = [4; 8; 8] -> u = [1; 2; 3]
+  const std::vector<double> sub{0, 1, 1};
+  const std::vector<double> diag{2, 2, 2};
+  const std::vector<double> super{1, 1, 0};
+  const std::vector<double> rhs{4, 8, 8};
+  const auto u = solve_tridiagonal(sub, diag, super, rhs);
+  EXPECT_NEAR(u[0], 1.0, 1e-12);
+  EXPECT_NEAR(u[1], 2.0, 1e-12);
+  EXPECT_NEAR(u[2], 3.0, 1e-12);
+}
+
+TEST(Tridiagonal, RandomizedResidualProperty) {
+  Rng rng(4);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 3 + static_cast<std::size_t>(rng.uniform_int(0, 20));
+    std::vector<double> sub(n), diag(n), super(n), rhs(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      sub[i] = rng.uniform(-1.0, 1.0);
+      super[i] = rng.uniform(-1.0, 1.0);
+      diag[i] = 3.0 + rng.uniform(0.0, 1.0);  // diagonally dominant
+      rhs[i] = rng.uniform(-5.0, 5.0);
+    }
+    const auto u = solve_tridiagonal(sub, diag, super, rhs);
+    for (std::size_t i = 0; i < n; ++i) {
+      double lhs = diag[i] * u[i];
+      if (i > 0) lhs += sub[i] * u[i - 1];
+      if (i + 1 < n) lhs += super[i] * u[i + 1];
+      EXPECT_NEAR(lhs, rhs[i], 1e-9);
+    }
+  }
+}
+
+TEST(Tridiagonal, ThrowsOnZeroPivot) {
+  EXPECT_THROW(solve_tridiagonal(std::vector<double>{0.0},
+                                 std::vector<double>{0.0},
+                                 std::vector<double>{0.0},
+                                 std::vector<double>{1.0}),
+               numeric_error);
+}
+
+TEST(Tridiagonal, RejectsBandMismatch) {
+  EXPECT_THROW(solve_tridiagonal(std::vector<double>{0.0},
+                                 std::vector<double>{1.0, 1.0},
+                                 std::vector<double>{0.0, 0.0},
+                                 std::vector<double>{1.0, 1.0}),
+               invalid_argument_error);
+}
+
+TEST(TridiagonalCorners, ReducesToPlainWhenCornersZero) {
+  const std::vector<double> sub{0, 1, 1, 1};
+  const std::vector<double> diag{4, 4, 4, 4};
+  const std::vector<double> super{1, 1, 1, 0};
+  const std::vector<double> rhs{5, 6, 6, 5};
+  const auto a = solve_tridiagonal(sub, diag, super, rhs);
+  const auto b = solve_tridiagonal_with_corners(sub, diag, super, rhs, 0, 0);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(a[i], b[i], 1e-12);
+}
+
+TEST(TridiagonalCorners, SolvesSystemWithCorners) {
+  // Verify residual of the full (corner-augmented) system.
+  const std::vector<double> sub{0, 1, 2, 1};
+  const std::vector<double> diag{5, 6, 6, 5};
+  const std::vector<double> super{1, 2, 1, 0};
+  const std::vector<double> rhs{1, 2, 3, 4};
+  const double c_first = 0.5, c_last = -0.5;
+  const auto u = solve_tridiagonal_with_corners(sub, diag, super, rhs, c_first,
+                                                c_last);
+  EXPECT_NEAR(diag[0] * u[0] + super[0] * u[1] + c_first * u[2], rhs[0], 1e-9);
+  EXPECT_NEAR(sub[1] * u[0] + diag[1] * u[1] + super[1] * u[2], rhs[1], 1e-9);
+  EXPECT_NEAR(sub[2] * u[1] + diag[2] * u[2] + super[2] * u[3], rhs[2], 1e-9);
+  EXPECT_NEAR(c_last * u[1] + sub[3] * u[2] + diag[3] * u[3], rhs[3], 1e-9);
+}
+
+// ---------------------------------------------------------------- SampleSet
+
+TEST(SampleSet, RejectsNonIncreasingX) {
+  EXPECT_THROW(SampleSet({1.0, 1.0}, {0.0, 1.0}), invalid_argument_error);
+  EXPECT_THROW(SampleSet({2.0, 1.0}, {0.0, 1.0}), invalid_argument_error);
+}
+
+TEST(SampleSet, RejectsLengthMismatchAndEmpty) {
+  EXPECT_THROW(SampleSet({1.0}, {}), invalid_argument_error);
+  EXPECT_THROW(SampleSet({}, {}), invalid_argument_error);
+}
+
+TEST(SampleSet, SubsetSelectsPoints) {
+  SampleSet s({1, 2, 3, 4}, {10, 20, 30, 40});
+  const std::vector<std::size_t> idx{0, 2};
+  const SampleSet sub = s.subset(idx);
+  EXPECT_EQ(sub.size(), 2u);
+  EXPECT_DOUBLE_EQ(sub.x[1], 3.0);
+  EXPECT_DOUBLE_EQ(sub.y[1], 30.0);
+}
+
+TEST(SampleSet, TabulateAppliesFunction) {
+  const auto s = SampleSet::tabulate({0.0, 1.0, 2.0},
+                                     [](double x) { return x * x; });
+  EXPECT_DOUBLE_EQ(s.y[2], 4.0);
+}
+
+TEST(FindInterval, LocatesAndClamps) {
+  const std::vector<double> knots{0.0, 1.0, 2.0, 3.0};
+  EXPECT_EQ(find_interval(knots, -5.0), 0u);
+  EXPECT_EQ(find_interval(knots, 0.5), 0u);
+  EXPECT_EQ(find_interval(knots, 1.0), 1u);
+  EXPECT_EQ(find_interval(knots, 2.5), 2u);
+  EXPECT_EQ(find_interval(knots, 99.0), 2u);
+}
+
+// ------------------------------------------------------------------ linear
+
+TEST(Linear, InterpolatesExactlyAtAndBetweenKnots) {
+  const auto f = build_linear(SampleSet({0, 2, 4}, {0, 4, 0}));
+  EXPECT_DOUBLE_EQ(f.value(0), 0.0);
+  EXPECT_DOUBLE_EQ(f.value(1), 2.0);
+  EXPECT_DOUBLE_EQ(f.value(2), 4.0);
+  EXPECT_DOUBLE_EQ(f.value(3), 2.0);
+}
+
+TEST(Linear, PeggedExtrapolation) {
+  const auto f = build_linear(SampleSet({1, 2}, {5, 9}));
+  EXPECT_DOUBLE_EQ(f.value(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(f.value(10.0), 9.0);
+  EXPECT_DOUBLE_EQ(f.derivative(10.0, 1), 0.0);
+}
+
+TEST(Linear, SinglePointIsConstant) {
+  const auto f = build_linear(SampleSet({3.0}, {7.0}));
+  EXPECT_DOUBLE_EQ(f.value(-1.0), 7.0);
+  EXPECT_DOUBLE_EQ(f.value(100.0), 7.0);
+}
+
+// ------------------------------------------------------------ cubic spline
+
+class SplineBoundaryTest
+    : public ::testing::TestWithParam<SplineBoundary> {};
+
+TEST_P(SplineBoundaryTest, InterpolatesAtKnots) {
+  SampleSet s({0, 1, 2.5, 4, 5.5, 7}, {1.0, 3.0, -2.0, 0.5, 4.0, 4.5});
+  CubicSplineOptions opt;
+  opt.boundary = GetParam();
+  if (opt.boundary == SplineBoundary::kClamped) {
+    opt.start_slope = 1.0;
+    opt.end_slope = -1.0;
+  }
+  const auto f = build_cubic_spline(s, opt);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(f.value(s.x[i]), s.y[i], 1e-10) << "knot " << i;
+  }
+}
+
+TEST_P(SplineBoundaryTest, IsC2Continuous) {
+  SampleSet s({0, 1, 2, 3.5, 5, 6}, {0.0, 2.0, 1.0, -1.0, 0.5, 2.0});
+  CubicSplineOptions opt;
+  opt.boundary = GetParam();
+  if (opt.boundary == SplineBoundary::kClamped) {
+    opt.start_slope = 0.0;
+    opt.end_slope = 0.0;
+  }
+  const auto f = build_cubic_spline(s, opt);
+  const double eps = 1e-7;
+  for (std::size_t i = 1; i + 1 < s.size(); ++i) {
+    for (int d = 0; d <= 2; ++d) {
+      const double left = f.derivative(s.x[i] - eps, d);
+      const double right = f.derivative(s.x[i] + eps, d);
+      EXPECT_NEAR(left, right, 1e-4) << "knot " << i << " derivative " << d;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBoundaries, SplineBoundaryTest,
+                         ::testing::Values(SplineBoundary::kNatural,
+                                           SplineBoundary::kClamped,
+                                           SplineBoundary::kNotAKnot));
+
+TEST(CubicSpline, NaturalBoundarySecondDerivativesVanish) {
+  SampleSet s({0, 1, 2, 3, 4}, {0, 1, 0, 1, 0});
+  CubicSplineOptions opt;
+  opt.boundary = SplineBoundary::kNatural;
+  const auto f = build_cubic_spline(s, opt);
+  EXPECT_NEAR(f.second_derivative_at_knot(0), 0.0, 1e-10);
+  EXPECT_NEAR(f.second_derivative_at_knot(4), 0.0, 1e-10);
+}
+
+TEST(CubicSpline, ClampedBoundaryHonoursSlopes) {
+  SampleSet s({0, 1, 2, 3}, {0, 1, 4, 9});
+  CubicSplineOptions opt;
+  opt.boundary = SplineBoundary::kClamped;
+  opt.start_slope = 0.0;
+  opt.end_slope = 6.0;
+  const auto f = build_cubic_spline(s, opt);
+  EXPECT_NEAR(f.derivative(0.0, 1), 0.0, 1e-10);
+  EXPECT_NEAR(f.derivative(3.0, 1), 6.0, 1e-10);
+}
+
+TEST(CubicSpline, ClampedRequiresSlopes) {
+  SampleSet s({0, 1, 2, 3}, {0, 1, 4, 9});
+  CubicSplineOptions opt;
+  opt.boundary = SplineBoundary::kClamped;
+  EXPECT_THROW(build_cubic_spline(s, opt), invalid_argument_error);
+}
+
+TEST(CubicSpline, NotAKnotReproducesCubicExactly) {
+  // A single cubic sampled at >= 4 points must be reproduced exactly by the
+  // not-a-knot spline (both end conditions are consistent with one cubic).
+  auto cubic = [](double x) { return 2.0 + x - 0.5 * x * x + 0.25 * x * x * x; };
+  const auto s = SampleSet::tabulate({0, 1, 2, 3, 4, 5}, cubic);
+  CubicSplineOptions opt;
+  opt.boundary = SplineBoundary::kNotAKnot;
+  opt.extrapolation = Extrapolation::kNatural;
+  const auto f = build_cubic_spline(s, opt);
+  for (double x = -1.0; x <= 6.0; x += 0.17) {
+    EXPECT_NEAR(f.value(x), cubic(x), 1e-9) << "x=" << x;
+  }
+  // ... including derivatives.
+  for (double x : {0.3, 2.7, 4.9}) {
+    EXPECT_NEAR(f.derivative(x, 1), 1.0 - x + 0.75 * x * x, 1e-9);
+    EXPECT_NEAR(f.derivative(x, 2), -1.0 + 1.5 * x, 1e-8);
+    EXPECT_NEAR(f.derivative(x, 3), 1.5, 1e-8);
+  }
+}
+
+TEST(CubicSpline, ClampedReproducesQuadratic) {
+  auto quad = [](double x) { return 1.0 + 2.0 * x + 3.0 * x * x; };
+  const auto s = SampleSet::tabulate({0, 1, 2, 3}, quad);
+  CubicSplineOptions opt;
+  opt.boundary = SplineBoundary::kClamped;
+  opt.start_slope = 2.0;          // f'(0)
+  opt.end_slope = 2.0 + 6.0 * 3;  // f'(3)
+  const auto f = build_cubic_spline(s, opt);
+  for (double x = 0.0; x <= 3.0; x += 0.1) {
+    EXPECT_NEAR(f.value(x), quad(x), 1e-9);
+  }
+}
+
+TEST(CubicSpline, PeggedExtrapolationMatchesPaperEq14) {
+  SampleSet s({1, 100, 200}, {0.010, 0.008, 0.007});
+  const auto f = build_cubic_spline(s);  // default: pegged
+  EXPECT_DOUBLE_EQ(f.value(0.5), 0.010);   // below x_1 -> y_1
+  EXPECT_DOUBLE_EQ(f.value(500.0), 0.007); // above x_n -> y_n
+  EXPECT_DOUBLE_EQ(f.derivative(0.5, 1), 0.0);
+  EXPECT_DOUBLE_EQ(f.derivative(500.0, 2), 0.0);
+}
+
+TEST(CubicSpline, ThrowExtrapolationPolicy) {
+  SampleSet s({0, 1, 2, 3}, {0, 1, 0, 1});
+  CubicSplineOptions opt;
+  opt.extrapolation = Extrapolation::kThrow;
+  const auto f = build_cubic_spline(s, opt);
+  EXPECT_NO_THROW(f.value(1.5));
+  EXPECT_THROW(f.value(-0.1), invalid_argument_error);
+  EXPECT_THROW(f.value(3.1), invalid_argument_error);
+}
+
+TEST(CubicSpline, LinearExtrapolationContinuesSlope) {
+  const auto s = SampleSet::tabulate({0, 1, 2, 3}, [](double x) { return 2 * x; });
+  CubicSplineOptions opt;
+  opt.extrapolation = Extrapolation::kLinear;
+  const auto f = build_cubic_spline(s, opt);
+  EXPECT_NEAR(f.value(5.0), 10.0, 1e-9);
+  EXPECT_NEAR(f.value(-2.0), -4.0, 1e-9);
+  EXPECT_NEAR(f.derivative(5.0, 1), 2.0, 1e-9);
+}
+
+TEST(CubicSpline, TwoPointsDegradeToLine) {
+  const auto f = build_cubic_spline(SampleSet({0, 10}, {0, 5}));
+  EXPECT_DOUBLE_EQ(f.value(4.0), 2.0);
+}
+
+TEST(CubicSpline, OnePointIsConstant) {
+  const auto f = build_cubic_spline(SampleSet({2.0}, {9.0}));
+  EXPECT_DOUBLE_EQ(f.value(2.0), 9.0);
+  EXPECT_DOUBLE_EQ(f.value(-3.0), 9.0);
+}
+
+TEST(CubicSpline, ThreePointNotAKnotFallsBackToNatural) {
+  SampleSet s({0, 1, 2}, {0, 1, 0});
+  const auto naw = build_cubic_spline(s);  // not-a-knot requested
+  CubicSplineOptions nat;
+  nat.boundary = SplineBoundary::kNatural;
+  const auto f_nat = build_cubic_spline(s, nat);
+  for (double x = 0.0; x <= 2.0; x += 0.25) {
+    EXPECT_DOUBLE_EQ(naw.value(x), f_nat.value(x));
+  }
+}
+
+TEST(PiecewiseCubic, DerivativeOrderValidation) {
+  const auto f = build_cubic_spline(SampleSet({0, 1, 2, 3}, {0, 1, 0, 1}));
+  EXPECT_THROW(f.derivative(1.0, 4), invalid_argument_error);
+  EXPECT_THROW(f.derivative(1.0, -1), invalid_argument_error);
+}
+
+// ------------------------------------------------------------------- PCHIP
+
+TEST(Pchip, InterpolatesAtKnots) {
+  SampleSet s({0, 1, 3, 4, 7}, {2.0, 0.5, 0.4, 0.39, 0.2});
+  const auto f = build_pchip(s);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(f.value(s.x[i]), s.y[i], 1e-12);
+  }
+}
+
+TEST(Pchip, PreservesMonotonicity) {
+  // Strictly decreasing data: interpolant must never increase.
+  SampleSet s({0, 1, 2, 3, 10}, {10.0, 4.0, 3.8, 1.0, 0.9});
+  const auto f = build_pchip(s);
+  double prev = f.value(0.0);
+  for (double x = 0.01; x <= 10.0; x += 0.01) {
+    const double y = f.value(x);
+    EXPECT_LE(y, prev + 1e-12) << "x=" << x;
+    prev = y;
+  }
+}
+
+TEST(Pchip, NoOvershootBeyondDataRange) {
+  SampleSet s({0, 1, 2, 3}, {0.0, 0.0, 1.0, 1.0});
+  const auto f = build_pchip(s);
+  for (double x = 0.0; x <= 3.0; x += 0.01) {
+    EXPECT_GE(f.value(x), -1e-12);
+    EXPECT_LE(f.value(x), 1.0 + 1e-12);
+  }
+}
+
+TEST(Pchip, FlattensAtLocalExtrema) {
+  SampleSet s({0, 1, 2}, {0.0, 1.0, 0.0});
+  const auto f = build_pchip(s);
+  EXPECT_NEAR(f.derivative(1.0, 1), 0.0, 1e-12);
+}
+
+TEST(Pchip, TwoPointsLinear) {
+  const auto f = build_pchip(SampleSet({0, 2}, {0, 4}));
+  EXPECT_DOUBLE_EQ(f.value(1.0), 2.0);
+}
+
+// -------------------------------------------------------- smoothing spline
+
+TEST(SmoothingSpline, ZeroLambdaInterpolates) {
+  SampleSet s({0, 1, 2, 3, 4}, {1.0, 3.0, 2.0, 5.0, 4.0});
+  const auto f = build_smoothing_spline(s, 0.0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(f.value(s.x[i]), s.y[i], 1e-9);
+  }
+}
+
+TEST(SmoothingSpline, ZeroLambdaMatchesNaturalSpline) {
+  SampleSet s({0, 1, 2.5, 4, 5}, {1.0, -1.0, 2.0, 0.0, 1.5});
+  const auto smooth = build_smoothing_spline(s, 0.0);
+  CubicSplineOptions opt;
+  opt.boundary = SplineBoundary::kNatural;
+  const auto nat = build_cubic_spline(s, opt);
+  for (double x = 0.0; x <= 5.0; x += 0.13) {
+    EXPECT_NEAR(smooth.value(x), nat.value(x), 1e-8) << "x=" << x;
+  }
+}
+
+TEST(SmoothingSpline, LargeLambdaApproachesLeastSquaresLine) {
+  // Noisy samples around y = 2x + 1.
+  Rng rng(3);
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 20; ++i) {
+    xs.push_back(i);
+    ys.push_back(2.0 * i + 1.0 + rng.normal(0.0, 0.05));
+  }
+  const auto f = build_smoothing_spline(SampleSet(xs, ys), 1e9);
+  // A straight line has zero curvature everywhere.
+  for (double x : {2.0, 10.0, 18.0}) {
+    EXPECT_NEAR(f.derivative(x, 2), 0.0, 1e-6);
+    EXPECT_NEAR(f.derivative(x, 1), 2.0, 0.05);
+  }
+}
+
+TEST(SmoothingSpline, ResidualGrowsWithLambda) {
+  Rng rng(8);
+  std::vector<double> xs, ys;
+  for (int i = 0; i <= 15; ++i) {
+    xs.push_back(i);
+    ys.push_back(std::sin(0.7 * i) + rng.normal(0.0, 0.1));
+  }
+  const SampleSet s(xs, ys);
+  auto sum_sq_residual = [&](double lambda) {
+    const auto f = build_smoothing_spline(s, lambda);
+    double r = 0.0;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      const double e = f.value(s.x[i]) - s.y[i];
+      r += e * e;
+    }
+    return r;
+  };
+  const double r0 = sum_sq_residual(0.0);
+  const double r1 = sum_sq_residual(1.0);
+  const double r2 = sum_sq_residual(100.0);
+  EXPECT_LE(r0, r1 + 1e-12);
+  EXPECT_LT(r1, r2);
+}
+
+TEST(SmoothingSpline, RejectsBadInputs) {
+  SampleSet s({0, 1, 2}, {0, 1, 0});
+  EXPECT_THROW(build_smoothing_spline(s, -1.0), invalid_argument_error);
+  EXPECT_THROW(build_smoothing_spline(SampleSet({0, 1}, {0, 1}), 1.0),
+               invalid_argument_error);
+}
+
+// -------------------------------------------------------------- polynomial
+
+TEST(Polynomial, NewtonAndBarycentricAgree) {
+  const auto s = SampleSet::tabulate({-2, -1, 0.5, 1, 3},
+                                     [](double x) { return std::sin(x); });
+  const NewtonPolynomial newton(s);
+  const BarycentricPolynomial bary(s);
+  for (double x = -2.0; x <= 3.0; x += 0.11) {
+    EXPECT_NEAR(newton.value(x), bary.value(x), 1e-10) << "x=" << x;
+  }
+}
+
+TEST(Polynomial, ReproducesPolynomialExactly) {
+  auto poly = [](double x) { return 1 - 2 * x + 3 * x * x - x * x * x; };
+  const auto s = SampleSet::tabulate({-1, 0, 1, 2, 4}, poly);
+  const BarycentricPolynomial f(s);
+  for (double x = -1.0; x <= 4.0; x += 0.2) {
+    EXPECT_NEAR(f.value(x), poly(x), 1e-9);
+  }
+}
+
+TEST(Polynomial, ValueAtNodeIsExact) {
+  const SampleSet s({0, 1, 2}, {5.0, -3.0, 11.0});
+  const BarycentricPolynomial f(s);
+  EXPECT_DOUBLE_EQ(f.value(1.0), -3.0);
+}
+
+TEST(Polynomial, NewtonDerivativesMatchAnalytic) {
+  auto poly = [](double x) { return x * x * x - 2 * x; };
+  const auto s = SampleSet::tabulate({-2, -1, 0, 1, 2}, poly);
+  const NewtonPolynomial f(s);
+  for (double x : {-1.5, 0.3, 1.7}) {
+    EXPECT_NEAR(f.derivative(x, 1), 3 * x * x - 2, 1e-9);
+    EXPECT_NEAR(f.derivative(x, 2), 6 * x, 1e-8);
+    EXPECT_NEAR(f.derivative(x, 3), 6.0, 1e-8);
+  }
+}
+
+TEST(Polynomial, BarycentricDerivativeMatchesNewton) {
+  const auto s = SampleSet::tabulate({0, 0.5, 1.2, 2, 3},
+                                     [](double x) { return std::exp(x); });
+  const NewtonPolynomial newton(s);
+  const BarycentricPolynomial bary(s);
+  for (double x : {0.25, 1.0, 2.5}) {
+    for (int d = 1; d <= 3; ++d) {
+      EXPECT_NEAR(newton.derivative(x, d), bary.derivative(x, d),
+                  1e-6 * std::max(1.0, std::abs(newton.derivative(x, d))));
+    }
+  }
+}
+
+TEST(Polynomial, RungePhenomenonOnEquispacedNodes) {
+  // f(x) = 1/(1+25x^2) on [-1,1]: equispaced interpolation error grows with
+  // n while Chebyshev-node interpolation error shrinks — the Section 8
+  // motivation.
+  auto runge = [](double x) { return 1.0 / (1.0 + 25.0 * x * x); };
+  auto error_with_nodes = [&](const std::vector<double>& nodes) {
+    const auto s = SampleSet::tabulate(nodes, runge);
+    const BarycentricPolynomial p(s);
+    return max_abs_error(runge, [&](double x) { return p.value(x); }, -1, 1);
+  };
+  const double equi11 = error_with_nodes(equispaced_nodes(-1, 1, 11));
+  const double equi21 = error_with_nodes(equispaced_nodes(-1, 1, 21));
+  const double cheb11 = error_with_nodes(chebyshev_nodes(-1, 1, 11));
+  const double cheb21 = error_with_nodes(chebyshev_nodes(-1, 1, 21));
+  EXPECT_GT(equi21, equi11);          // diverges on equispaced nodes
+  EXPECT_LT(cheb21, cheb11);          // converges on Chebyshev nodes
+  EXPECT_LT(cheb11, equi11);
+  EXPECT_GT(equi21, 1.0);             // the classic wild oscillation
+  EXPECT_LT(cheb21, 0.1);
+}
+
+// --------------------------------------------------------------- chebyshev
+
+TEST(Chebyshev, UnitNodesAreCosines) {
+  const auto nodes = chebyshev_nodes_unit(4);
+  ASSERT_EQ(nodes.size(), 4u);
+  // Ascending; symmetric about 0.
+  EXPECT_NEAR(nodes[0], -std::cos(M_PI / 8.0), 1e-12);
+  EXPECT_NEAR(nodes[3], std::cos(M_PI / 8.0), 1e-12);
+  EXPECT_NEAR(nodes[0] + nodes[3], 0.0, 1e-12);
+  EXPECT_NEAR(nodes[1] + nodes[2], 0.0, 1e-12);
+}
+
+TEST(Chebyshev, NodesAreChebyshevPolynomialRoots) {
+  for (std::size_t n : {3u, 5u, 8u}) {
+    for (double x : chebyshev_nodes_unit(n)) {
+      // T_n(x) = cos(n arccos x) must vanish at the nodes.
+      EXPECT_NEAR(std::cos(static_cast<double>(n) * std::acos(x)), 0.0, 1e-10);
+    }
+  }
+}
+
+TEST(Chebyshev, AffineMapCoversInterval) {
+  const auto nodes = chebyshev_nodes(10.0, 20.0, 7);
+  for (double x : nodes) {
+    EXPECT_GT(x, 10.0);
+    EXPECT_LT(x, 20.0);
+  }
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_GT(nodes[i], nodes[i - 1]);
+  }
+}
+
+TEST(Chebyshev, PaperConcurrencyLevels) {
+  // The exact node sets the paper reports for [1, 300] (Section 8).
+  EXPECT_EQ(chebyshev_concurrency_levels(1, 300, 3),
+            (std::vector<unsigned>{22, 151, 280}));
+  EXPECT_EQ(chebyshev_concurrency_levels(1, 300, 5),
+            (std::vector<unsigned>{9, 63, 151, 239, 293}));
+  EXPECT_EQ(chebyshev_concurrency_levels(1, 300, 7),
+            (std::vector<unsigned>{5, 34, 86, 151, 216, 268, 297}));
+}
+
+TEST(Chebyshev, ErrorBoundMatchesFormula) {
+  // n = 4: bound = M / (2^3 * 4!) = M / 192.
+  EXPECT_NEAR(chebyshev_error_bound(4, 192.0), 1.0, 1e-12);
+  // n = 1: bound = M / (2^0 * 1!) = M.
+  EXPECT_NEAR(chebyshev_error_bound(1, 3.5), 3.5, 1e-12);
+}
+
+TEST(Chebyshev, ErrorBoundDecreasesWithNodes) {
+  double prev = 1e300;
+  for (std::size_t n = 1; n <= 10; ++n) {
+    const double bound = chebyshev_error_bound_exponential(n, 1.0);
+    EXPECT_LT(bound, prev);
+    prev = bound;
+  }
+}
+
+TEST(Chebyshev, PaperFig13DropsBelowPointTwoPercentAfterFiveNodes) {
+  // "for greater than 5 nodes, the error rate drops to less than 0.2%".
+  for (double mu : {1.0, 2.0, 4.0}) {
+    EXPECT_LT(chebyshev_error_bound_exponential(6, mu), 0.002)
+        << "mu=" << mu;
+  }
+}
+
+TEST(Chebyshev, BoundDominatesEmpiricalError) {
+  // The Eq. 19 bound must upper-bound the actual max interpolation error
+  // for the exponential family on [-1, 1].
+  for (double mu : {1.0, 2.0}) {
+    for (std::size_t n : {3u, 5u, 7u}) {
+      auto f = [mu](double x) { return std::exp(x / mu); };
+      const auto s = SampleSet::tabulate(chebyshev_nodes(-1, 1, n), f);
+      const BarycentricPolynomial p(s);
+      const double measured =
+          max_abs_error(f, [&](double x) { return p.value(x); }, -1, 1);
+      EXPECT_LE(measured, chebyshev_error_bound_exponential(n, mu) + 1e-12)
+          << "mu=" << mu << " n=" << n;
+    }
+  }
+}
+
+TEST(Chebyshev, RandomNodesSortedWithSeparation) {
+  Rng rng(21);
+  const auto nodes = random_nodes(0.0, 100.0, 5, rng);
+  ASSERT_EQ(nodes.size(), 5u);
+  for (std::size_t i = 1; i < nodes.size(); ++i) {
+    EXPECT_GE(nodes[i] - nodes[i - 1], 100.0 / 20.0);
+  }
+}
+
+TEST(Chebyshev, EquispacedEndpointsIncluded) {
+  const auto nodes = equispaced_nodes(2.0, 6.0, 5);
+  EXPECT_DOUBLE_EQ(nodes.front(), 2.0);
+  EXPECT_DOUBLE_EQ(nodes.back(), 6.0);
+  EXPECT_DOUBLE_EQ(nodes[2], 4.0);
+}
+
+TEST(Chebyshev, InputValidation) {
+  EXPECT_THROW(chebyshev_nodes(5.0, 5.0, 3), invalid_argument_error);
+  EXPECT_THROW(chebyshev_nodes_unit(0), invalid_argument_error);
+  EXPECT_THROW(chebyshev_error_bound_exponential(3, 0.0),
+               invalid_argument_error);
+}
+
+// Property sweep: every interpolating family reproduces its samples at the
+// knots; run over several sample-set shapes.
+class FamiliesAtKnots : public ::testing::TestWithParam<int> {};
+
+TEST_P(FamiliesAtKnots, AllFamiliesInterpolate) {
+  Rng rng(100 + GetParam());
+  std::vector<double> xs, ys;
+  double x = 0.0;
+  const int n = 4 + GetParam();
+  for (int i = 0; i < n; ++i) {
+    x += rng.uniform(0.3, 2.0);
+    xs.push_back(x);
+    ys.push_back(rng.uniform(-3.0, 3.0));
+  }
+  const SampleSet s(xs, ys);
+  const auto spline = build_cubic_spline(s);
+  const auto pchip = build_pchip(s);
+  const auto lin = build_linear(s);
+  const BarycentricPolynomial poly(s);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    EXPECT_NEAR(spline.value(s.x[i]), s.y[i], 1e-9);
+    EXPECT_NEAR(pchip.value(s.x[i]), s.y[i], 1e-9);
+    EXPECT_NEAR(lin.value(s.x[i]), s.y[i], 1e-9);
+    EXPECT_NEAR(poly.value(s.x[i]), s.y[i], 1e-7);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FamiliesAtKnots, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace mtperf::interp

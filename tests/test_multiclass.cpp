@@ -1,0 +1,206 @@
+// Tests for multi-class MVA (exact and Schweitzer).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "core/mva_exact.hpp"
+#include "core/mva_multiclass.hpp"
+#include "core/mva_multiserver.hpp"
+#include "core/seidmann.hpp"
+#include "core/network.hpp"
+
+namespace mtperf::core {
+namespace {
+
+ClosedNetwork two_station_net(double think = 0.0) {
+  return make_network({"cpu", "disk"}, {1, 1}, think);
+}
+
+TEST(Multiclass, SingleClassMatchesExactMva) {
+  const auto net = two_station_net(1.0);
+  const std::vector<double> demands{0.05, 0.12};
+  const std::vector<CustomerClass> classes{{"only", 15, 1.0, demands}};
+  const auto mc = exact_mva_multiclass(net, classes);
+  const auto sc = exact_mva(net, demands, 15);
+  EXPECT_NEAR(mc.class_throughput[0], sc.throughput.back(), 1e-10);
+  EXPECT_NEAR(mc.class_response_time[0], sc.response_time.back(), 1e-10);
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_NEAR(mc.station_queue[k], sc.station_queue.back()[k], 1e-10);
+  }
+}
+
+TEST(Multiclass, TwoIdenticalClassesEqualOneMergedClass) {
+  const auto net = two_station_net(2.0);
+  const std::vector<double> demands{0.03, 0.08};
+  const std::vector<CustomerClass> split{{"a", 6, 2.0, demands},
+                                         {"b", 9, 2.0, demands}};
+  const auto mc = exact_mva_multiclass(net, split);
+  const auto merged = exact_mva(net, demands, 15);
+  EXPECT_NEAR(mc.total_throughput(), merged.throughput.back(), 1e-9);
+  // Throughput shares proportional to populations (identical classes).
+  EXPECT_NEAR(mc.class_throughput[0] / mc.class_throughput[1], 6.0 / 9.0,
+              1e-9);
+}
+
+TEST(Multiclass, LittlesLawPerClass) {
+  const auto net = two_station_net(1.5);
+  const std::vector<CustomerClass> classes{
+      {"renew", 8, 1.5, {0.05, 0.15}},
+      {"read", 12, 1.5, {0.02, 0.01}},
+  };
+  const auto r = exact_mva_multiclass(net, classes);
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    EXPECT_NEAR(r.class_throughput[c] *
+                    (r.class_response_time[c] + classes[c].think_time),
+                static_cast<double>(classes[c].population), 1e-9);
+  }
+}
+
+TEST(Multiclass, CustomersConserved) {
+  const auto net = two_station_net(1.0);
+  const std::vector<CustomerClass> classes{
+      {"a", 5, 1.0, {0.05, 0.15}},
+      {"b", 7, 1.0, {0.02, 0.01}},
+  };
+  const auto r = exact_mva_multiclass(net, classes);
+  double total = 0.0;
+  for (std::size_t k = 0; k < 2; ++k) total += r.station_queue[k];
+  for (std::size_t c = 0; c < 2; ++c) {
+    total += r.class_throughput[c] * classes[c].think_time;
+  }
+  EXPECT_NEAR(total, 12.0, 1e-9);
+}
+
+TEST(Multiclass, UtilizationsSumClassContributions) {
+  const auto net = two_station_net(1.0);
+  const std::vector<CustomerClass> classes{
+      {"a", 5, 1.0, {0.05, 0.15}},
+      {"b", 7, 1.0, {0.02, 0.01}},
+  };
+  const auto r = exact_mva_multiclass(net, classes);
+  for (std::size_t k = 0; k < 2; ++k) {
+    const double expected = r.class_throughput[0] * classes[0].demands[k] +
+                            r.class_throughput[1] * classes[1].demands[k];
+    EXPECT_NEAR(r.station_utilization[k], expected, 1e-12);
+    EXPECT_LE(r.station_utilization[k], 1.0 + 1e-9);
+  }
+}
+
+TEST(Multiclass, ZeroPopulationClassContributesNothing) {
+  const auto net = two_station_net(1.0);
+  const std::vector<CustomerClass> classes{
+      {"active", 10, 1.0, {0.05, 0.15}},
+      {"idle", 0, 1.0, {0.5, 0.5}},
+  };
+  const auto r = exact_mva_multiclass(net, classes);
+  EXPECT_DOUBLE_EQ(r.class_throughput[1], 0.0);
+  const auto single = exact_mva(net, std::vector<double>{0.05, 0.15}, 10);
+  EXPECT_NEAR(r.class_throughput[0], single.throughput.back(), 1e-10);
+}
+
+TEST(Multiclass, DelayStationsSupported) {
+  const ClosedNetwork net(
+      {Station{"q", 1.0, 1, StationKind::kQueueing},
+       Station{"lan", 1.0, 1, StationKind::kDelay}},
+      1.0);
+  const std::vector<CustomerClass> classes{{"a", 10, 1.0, {0.05, 0.2}}};
+  const auto r = exact_mva_multiclass(net, classes);
+  EXPECT_GT(r.class_throughput[0], 0.0);
+  // Delay residence is exactly the demand, independent of load.
+  EXPECT_GE(r.class_response_time[0], 0.2);
+}
+
+TEST(Multiclass, SchweitzerCloseToExact) {
+  const auto net = two_station_net(1.0);
+  const std::vector<CustomerClass> classes{
+      {"a", 10, 1.0, {0.05, 0.15}},
+      {"b", 20, 1.0, {0.02, 0.01}},
+  };
+  const auto exact = exact_mva_multiclass(net, classes);
+  const auto approx = schweitzer_mva_multiclass(net, classes);
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    // Schweitzer's proportional estimate carries a few percent of error at
+    // small per-class populations; 10% is the usual engineering envelope.
+    EXPECT_NEAR(approx.class_throughput[c], exact.class_throughput[c],
+                0.10 * exact.class_throughput[c])
+        << "class " << c;
+  }
+}
+
+TEST(Multiclass, SchweitzerLittlesLawHolds) {
+  const auto net = two_station_net(0.5);
+  const std::vector<CustomerClass> classes{
+      {"a", 40, 0.5, {0.02, 0.05}},
+      {"b", 60, 0.5, {0.01, 0.002}},
+  };
+  const auto r = schweitzer_mva_multiclass(net, classes);
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    EXPECT_NEAR(r.class_throughput[c] *
+                    (r.class_response_time[c] + classes[c].think_time),
+                static_cast<double>(classes[c].population), 1e-6);
+  }
+}
+
+TEST(Multiclass, SchweitzerHandlesLargeMixesExactCannot) {
+  // 3 classes x 200 users each: the exact state space would be 201^3.
+  const auto net = two_station_net(1.0);
+  const std::vector<CustomerClass> classes{
+      {"a", 200, 1.0, {0.004, 0.002}},
+      {"b", 200, 1.0, {0.001, 0.006}},
+      {"c", 200, 1.0, {0.002, 0.002}},
+  };
+  const auto r = schweitzer_mva_multiclass(net, classes);
+  EXPECT_GT(r.total_throughput(), 0.0);
+  for (double u : r.station_utilization) EXPECT_LE(u, 1.0 + 1e-9);
+}
+
+
+TEST(Multiclass, SeidmannTransformEnablesMultiServerMulticlass) {
+  // The workflow examples/multiclass_workload_mix uses: fold multi-core
+  // CPUs via the Seidmann transform, then run multi-class MVA.  With a
+  // single class the result must approximate the exact multi-server
+  // solution of the original network.
+  const ClosedNetwork net(
+      {Station{"cpu", 1.0, 8, StationKind::kQueueing},
+       Station{"disk", 1.0, 1, StationKind::kQueueing}},
+      1.0);
+  const std::vector<double> demands{0.08, 0.012};
+  const auto t = seidmann_transform(net, demands);
+  const std::vector<CustomerClass> classes{
+      {"only", 60, 1.0, t.service_times}};
+  const auto mc = exact_mva_multiclass(t.network, classes);
+  const auto exact = exact_multiserver_mva(net, demands, 60);
+  const double e = exact.throughput.back();
+  EXPECT_NEAR(mc.class_throughput[0], e, 0.15 * e);  // Seidmann approximation
+}
+
+TEST(Multiclass, RejectsMultiServerStations) {
+  const auto net = make_network({"cpu"}, {4}, 1.0);
+  const std::vector<CustomerClass> classes{{"a", 5, 1.0, {0.1}}};
+  EXPECT_THROW(exact_mva_multiclass(net, classes), invalid_argument_error);
+}
+
+TEST(Multiclass, Validation) {
+  const auto net = two_station_net(1.0);
+  EXPECT_THROW(exact_mva_multiclass(net, {}), invalid_argument_error);
+  EXPECT_THROW(exact_mva_multiclass(net, {{"a", 5, 1.0, {0.1}}}),
+               invalid_argument_error);  // demand width
+  EXPECT_THROW(exact_mva_multiclass(net, {{"a", 5, -1.0, {0.1, 0.1}}}),
+               invalid_argument_error);
+  EXPECT_THROW(exact_mva_multiclass(net, {{"a", 0, 1.0, {0.1, 0.1}}}),
+               invalid_argument_error);  // all-zero population
+}
+
+TEST(Multiclass, ExactRejectsHugeStateSpace) {
+  const auto net = two_station_net(1.0);
+  const std::vector<CustomerClass> classes{
+      {"a", 4000, 1.0, {0.001, 0.001}},
+      {"b", 4000, 1.0, {0.001, 0.001}},
+      {"c", 4000, 1.0, {0.001, 0.001}},
+  };
+  EXPECT_THROW(exact_mva_multiclass(net, classes), invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace mtperf::core

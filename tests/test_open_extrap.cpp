@@ -1,0 +1,357 @@
+// Tests for the open-network analysis, the extrapolation baselines, the
+// approximate multi-server MVA, and demand regression estimation.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "core/extrapolation.hpp"
+#include "core/mva_approx_multiserver.hpp"
+#include "core/mva_interval.hpp"
+#include "core/mva_multiserver.hpp"
+#include "core/network.hpp"
+#include "core/open_network.hpp"
+#include "interp/cubic_spline.hpp"
+#include "ops/demand_estimation.hpp"
+
+namespace mtperf::core {
+namespace {
+
+// ---------------------------------------------------------------- Erlang C
+
+TEST(ErlangC, SingleServerEqualsRho) {
+  // M/M/1: P(wait) = rho.
+  for (double rho : {0.1, 0.5, 0.9}) {
+    EXPECT_NEAR(erlang_c(1, rho), rho, 1e-12);
+  }
+}
+
+TEST(ErlangC, KnownTwoServerValue) {
+  // M/M/2 with a = 1 (rho = 0.5): C(2,1) = 1/3.
+  EXPECT_NEAR(erlang_c(2, 1.0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(ErlangC, MonotoneInLoadAndServers) {
+  EXPECT_LT(erlang_c(4, 1.0), erlang_c(4, 3.0));
+  EXPECT_LT(erlang_c(8, 3.0), erlang_c(4, 3.0));
+  EXPECT_DOUBLE_EQ(erlang_c(4, 0.0), 0.0);
+}
+
+TEST(ErlangC, RejectsUnstableLoad) {
+  EXPECT_THROW(erlang_c(2, 2.0), invalid_argument_error);
+  EXPECT_THROW(erlang_c(2, 2.5), invalid_argument_error);
+}
+
+// ------------------------------------------------------------ open network
+
+TEST(OpenNetwork, MM1ResponseTimeClosedForm) {
+  // Single M/M/1 station: R = S / (1 - rho).
+  const auto net = make_network({"cpu"}, {1}, 0.0);
+  const std::vector<double> d{0.1};
+  const auto r = open_network_analysis(net, d, 5.0);  // rho = 0.5
+  ASSERT_TRUE(r.stable);
+  EXPECT_NEAR(r.response_time, 0.1 / 0.5, 1e-9);
+  EXPECT_NEAR(r.stations[0].utilization, 0.5, 1e-12);
+  EXPECT_NEAR(r.jobs_in_system, 5.0 * 0.2, 1e-9);  // L = lambda W = 1
+}
+
+TEST(OpenNetwork, MMCFasterThanMM1SameCapacity) {
+  // M/M/4 with demand S vs M/M/1 with demand S/4 (same capacity): the
+  // pooled single fast server wins on response time, but both stay stable
+  // to the same limit.
+  const auto net4 = make_network({"cpu"}, {4}, 0.0);
+  const auto net1 = make_network({"cpu"}, {1}, 0.0);
+  const double lambda = 30.0;
+  const auto r4 = open_network_analysis(net4, std::vector<double>{0.1}, lambda);
+  const auto r1 = open_network_analysis(net1, std::vector<double>{0.025}, lambda);
+  ASSERT_TRUE(r4.stable);
+  ASSERT_TRUE(r1.stable);
+  EXPECT_NEAR(r4.stations[0].utilization, r1.stations[0].utilization, 1e-12);
+  EXPECT_GT(r4.response_time, r1.response_time);
+}
+
+TEST(OpenNetwork, TandemSumsResponseTimes) {
+  const auto net = make_network({"a", "b"}, {1, 1}, 0.0);
+  const std::vector<double> d{0.05, 0.02};
+  const auto r = open_network_analysis(net, d, 4.0);
+  ASSERT_TRUE(r.stable);
+  const double ra = 0.05 / (1.0 - 4.0 * 0.05);
+  const double rb = 0.02 / (1.0 - 4.0 * 0.02);
+  EXPECT_NEAR(r.response_time, ra + rb, 1e-9);
+}
+
+TEST(OpenNetwork, DetectsInstability) {
+  const auto net = make_network({"cpu"}, {1}, 0.0);
+  const auto r = open_network_analysis(net, std::vector<double>{0.1}, 12.0);
+  EXPECT_FALSE(r.stable);
+  EXPECT_TRUE(std::isinf(r.response_time));
+  EXPECT_GE(r.stations[0].utilization, 1.0);
+}
+
+TEST(OpenNetwork, VisitsScaleOfferedLoad) {
+  const ClosedNetwork net(
+      {Station{"disk", 3.0, 1, StationKind::kQueueing}}, 0.0);
+  const auto r = open_network_analysis(net, std::vector<double>{0.05}, 4.0);
+  // offered = lambda * V * D = 4 * 3 * 0.05 = 0.6.
+  EXPECT_NEAR(r.stations[0].utilization, 0.6, 1e-12);
+}
+
+TEST(OpenNetwork, MaxStableRateConstantDemands) {
+  const auto net = make_network({"a", "b"}, {2, 1}, 0.0);
+  const auto model = DemandModel::constant({0.1, 0.02});
+  // min(2/0.1, 1/0.02) = 20.
+  EXPECT_NEAR(max_stable_arrival_rate(net, model, 1000.0), 20.0, 0.01);
+}
+
+TEST(OpenNetwork, MaxStableRateWithThroughputVaryingDemands) {
+  // Demand falls with throughput: the stable region extends beyond the
+  // cold-demand bound 1/D(0).
+  const auto net = make_network({"a"}, {1}, 0.0);
+  auto spline = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(
+          interp::SampleSet({0.0, 50.0, 100.0}, {0.02, 0.015, 0.0125})));
+  const auto model = DemandModel::interpolated(
+      {spline}, DemandModel::Axis::kThroughput);
+  const double max_rate = max_stable_arrival_rate(net, model, 1000.0);
+  // Beyond the cold bound 1/D(0) = 50, but below the floor bound
+  // 1/D(inf) = 80: instability hits at the fixed point lambda D(lambda) = 1,
+  // which lands mid-spline (~74).
+  EXPECT_GT(max_rate, 1.0 / 0.02);
+  EXPECT_LT(max_rate, 1.0 / 0.0125);
+  const auto at_limit = open_network_analysis(net, model, max_rate * 0.999);
+  EXPECT_TRUE(at_limit.stable);
+}
+
+TEST(OpenNetwork, DelayStationAddsLatencyNoContention) {
+  const ClosedNetwork net(
+      {Station{"q", 1.0, 1, StationKind::kQueueing},
+       Station{"lan", 1.0, 1, StationKind::kDelay}},
+      0.0);
+  const auto r =
+      open_network_analysis(net, std::vector<double>{0.05, 0.3}, 2.0);
+  ASSERT_TRUE(r.stable);
+  EXPECT_NEAR(r.stations[1].response_time, 0.3, 1e-12);
+  EXPECT_DOUBLE_EQ(r.stations[1].utilization, 0.0);
+}
+
+// ----------------------------------------------------------- extrapolation
+
+TEST(Extrapolation, LinearFitRecoversLine) {
+  const std::vector<double> x{1, 2, 3, 4, 5};
+  const std::vector<double> y{3.0, 5.0, 7.0, 9.0, 11.0};
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-9);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  EXPECT_NEAR(fit(10.0), 21.0, 1e-9);
+}
+
+TEST(Extrapolation, LinearFitRSquaredDropsWithNoise) {
+  Rng rng(5);
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * i + rng.normal(0.0, 5.0));
+  }
+  const auto fit = fit_linear(x, y);
+  EXPECT_NEAR(fit.slope, 2.0, 0.3);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.r_squared, 0.8);
+}
+
+TEST(Extrapolation, SigmoidFitRecoversParameters) {
+  const double L = 120.0, x0 = 80.0, k = 0.06;
+  std::vector<double> x, y;
+  for (double xi = 5.0; xi <= 200.0; xi += 10.0) {
+    x.push_back(xi);
+    y.push_back(L / (1.0 + std::exp(-k * (xi - x0))));
+  }
+  const auto fit = fit_sigmoid(x, y);
+  EXPECT_NEAR(fit.ceiling, L, 0.05 * L);
+  EXPECT_NEAR(fit.midpoint, x0, 8.0);
+  EXPECT_LT(fit.rmse, 1.0);
+}
+
+TEST(Extrapolation, ChoosesSigmoidForSaturatingSeries) {
+  std::vector<double> x, y;
+  for (double xi = 10.0; xi <= 300.0; xi += 20.0) {
+    x.push_back(xi);
+    y.push_back(100.0 / (1.0 + std::exp(-0.05 * (xi - 100.0))));
+  }
+  const auto r = extrapolate_throughput(x, y, std::vector<double>{400.0});
+  EXPECT_TRUE(r.used_sigmoid);
+  EXPECT_NEAR(r.predictions[0], 100.0, 5.0);
+}
+
+TEST(Extrapolation, ChoosesLinearForRisingSeries) {
+  const std::vector<double> x{10, 20, 30, 40};
+  const std::vector<double> y{11, 20.5, 30.2, 40.1};
+  const auto r = extrapolate_throughput(x, y, std::vector<double>{80.0});
+  EXPECT_FALSE(r.used_sigmoid);
+  EXPECT_NEAR(r.predictions[0], 80.0, 4.0);
+}
+
+TEST(Extrapolation, Validation) {
+  EXPECT_THROW(fit_linear(std::vector<double>{1.0}, std::vector<double>{1.0}),
+               invalid_argument_error);
+  EXPECT_THROW(fit_sigmoid(std::vector<double>{1.0, 2.0},
+                           std::vector<double>{1.0, 2.0}),
+               invalid_argument_error);
+}
+
+// ----------------------------------------- approximate multi-server MVA
+
+TEST(ApproxMultiserver, CloseToExactAcrossLoads) {
+  const ClosedNetwork net(
+      {Station{"cpu", 1.0, 8, StationKind::kQueueing},
+       Station{"disk", 1.0, 1, StationKind::kQueueing}},
+      1.0);
+  const std::vector<double> s{0.08, 0.012};
+  const auto exact = exact_multiserver_mva(net, s, 150);
+  const auto approx = approx_multiserver_mva(net, s, 150);
+  for (unsigned n : {1u, 10u, 40u, 100u, 150u}) {
+    const double e = exact.throughput[exact.row_for(n)];
+    const double a = approx.throughput[approx.row_for(n)];
+    EXPECT_NEAR(a, e, 0.10 * e) << "n=" << n;
+  }
+}
+
+TEST(ApproxMultiserver, SingleServerMatchesSchweitzerBehaviour) {
+  // With C = 1 everywhere the correction vanishes; results must satisfy
+  // Little's law and saturate at 1/Dmax.
+  const auto net = make_network({"a", "b"}, {1, 1}, 1.0);
+  const std::vector<double> s{0.02, 0.05};
+  const auto r = approx_multiserver_mva(net, s, 200);
+  EXPECT_NEAR(r.throughput.back(), 1.0 / 0.05, 0.3);
+  for (std::size_t i = 0; i < r.levels(); ++i) {
+    EXPECT_NEAR(r.throughput[i] * r.cycle_time[i],
+                static_cast<double>(r.population[i]), 1e-6);
+  }
+}
+
+TEST(ApproxMultiserver, VaryingDemandVariantTracksDemandFloor) {
+  const ClosedNetwork net(
+      {Station{"cpu", 1.0, 4, StationKind::kQueueing}}, 1.0);
+  auto spline = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(
+          interp::SampleSet({1, 100}, {0.2, 0.16})));
+  const auto model = DemandModel::interpolated({spline});
+  const auto r = approx_mvasd(net, model, 300);
+  EXPECT_NEAR(r.throughput.back(), 4.0 / 0.16, 0.05 * 4.0 / 0.16);
+}
+
+// ------------------------------------------------- demand regression
+
+TEST(DemandRegression, RecoversDemandFromCleanSamples) {
+  // U = (D/C) X with D = 0.08, C = 4.
+  std::vector<double> x, u;
+  for (double xi = 5.0; xi <= 45.0; xi += 5.0) {
+    x.push_back(xi);
+    u.push_back(0.08 / 4.0 * xi);
+  }
+  const auto est = ops::estimate_demand_regression(x, u, 4);
+  EXPECT_NEAR(est.demand, 0.08, 1e-9);
+  EXPECT_NEAR(est.background_utilization, 0.0, 1e-9);
+  EXPECT_NEAR(est.r_squared, 1.0, 1e-9);
+}
+
+TEST(DemandRegression, SeparatesBackgroundLoad) {
+  // 10% background utilization that the direct law would fold into D.
+  std::vector<double> x, u;
+  for (double xi = 5.0; xi <= 45.0; xi += 5.0) {
+    x.push_back(xi);
+    u.push_back(0.10 + 0.002 * xi);
+  }
+  const auto est = ops::estimate_demand_regression(x, u, 1);
+  EXPECT_NEAR(est.demand, 0.002, 1e-9);
+  EXPECT_NEAR(est.background_utilization, 0.10, 1e-9);
+  // Forcing the intercept to zero inflates the demand estimate.
+  const auto forced = ops::estimate_demand_regression(x, u, 1, true);
+  EXPECT_GT(forced.demand, est.demand);
+}
+
+TEST(DemandRegression, RobustToNoise) {
+  Rng rng(17);
+  std::vector<double> x, u;
+  for (int i = 1; i <= 60; ++i) {
+    x.push_back(i);
+    u.push_back(std::max(0.0, 0.005 * i + rng.normal(0.0, 0.01)));
+  }
+  const auto est = ops::estimate_demand_regression(x, u, 1);
+  EXPECT_NEAR(est.demand, 0.005, 0.001);
+}
+
+TEST(DemandRegression, Validation) {
+  EXPECT_THROW(ops::estimate_demand_regression(
+                   std::vector<double>{1.0}, std::vector<double>{0.1, 0.2}, 1),
+               invalid_argument_error);
+  EXPECT_THROW(ops::estimate_demand_regression(std::vector<double>{1.0},
+                                               std::vector<double>{0.1}, 0),
+               invalid_argument_error);
+  EXPECT_THROW(
+      ops::estimate_demand_regression(std::vector<double>{1.0, 1.0},
+                                      std::vector<double>{0.1, 0.2}, 1),
+      invalid_argument_error);  // identical throughputs
+}
+
+
+// ------------------------------------------------------------ interval MVA
+
+TEST(IntervalMva, DegenerateIntervalsMatchPointSolution) {
+  const ClosedNetwork net(
+      {Station{"cpu", 1.0, 4, StationKind::kQueueing},
+       Station{"disk", 1.0, 1, StationKind::kQueueing}},
+      1.0);
+  const std::vector<double> d{0.08, 0.02};
+  const auto intervals = intervals_around(d, 0.0);
+  const auto banded = interval_mva(net, intervals, 50);
+  const auto point = exact_multiserver_mva(net, d, 50);
+  for (std::size_t i = 0; i < point.levels(); ++i) {
+    EXPECT_DOUBLE_EQ(banded.optimistic.throughput[i], point.throughput[i]);
+    EXPECT_DOUBLE_EQ(banded.pessimistic.throughput[i], point.throughput[i]);
+  }
+  EXPECT_DOUBLE_EQ(banded.throughput_band_relative(50), 0.0);
+}
+
+TEST(IntervalMva, BandBracketsNominal) {
+  const ClosedNetwork net(
+      {Station{"cpu", 1.0, 4, StationKind::kQueueing},
+       Station{"disk", 1.0, 1, StationKind::kQueueing}},
+      1.0);
+  const std::vector<double> d{0.08, 0.02};
+  const auto banded = interval_mva(net, intervals_around(d, 0.10), 100);
+  const auto point = exact_multiserver_mva(net, d, 100);
+  for (unsigned n : {1u, 20u, 60u, 100u}) {
+    const std::size_t i = point.row_for(n);
+    EXPECT_LE(banded.pessimistic.throughput[i], point.throughput[i] + 1e-9);
+    EXPECT_GE(banded.optimistic.throughput[i], point.throughput[i] - 1e-9);
+    EXPECT_GE(banded.pessimistic.response_time[i],
+              point.response_time[i] - 1e-9);
+    EXPECT_LE(banded.optimistic.response_time[i],
+              point.response_time[i] + 1e-9);
+  }
+  EXPECT_GT(banded.throughput_band_relative(100), 0.0);
+}
+
+TEST(IntervalMva, SaturatedBandWidthTracksDemandUncertainty) {
+  // At saturation X ~ 1/D, so a +/-10% demand box gives a ~20% X band.
+  const auto net = make_network({"disk"}, {1}, 1.0);
+  const std::vector<double> d{0.02};
+  const auto banded = interval_mva(net, intervals_around(d, 0.10), 500);
+  EXPECT_NEAR(banded.throughput_band_relative(500), 0.20, 0.01);
+}
+
+TEST(IntervalMva, Validation) {
+  const auto net = make_network({"a"}, {1}, 1.0);
+  std::vector<DemandInterval> bad{{0.2, 0.1}};
+  EXPECT_THROW(interval_mva(net, bad, 5), invalid_argument_error);
+  EXPECT_THROW(intervals_around(std::vector<double>{0.1}, 1.5),
+               invalid_argument_error);
+  EXPECT_THROW(interval_mva(net, std::vector<DemandInterval>{}, 5),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace mtperf::core

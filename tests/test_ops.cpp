@@ -1,0 +1,294 @@
+// Unit tests for mtperf::ops — operational laws, bounds, demand extraction.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "ops/bounds.hpp"
+#include "ops/demand_table.hpp"
+#include "ops/demand_table_io.hpp"
+#include "ops/laws.hpp"
+
+namespace mtperf::ops {
+namespace {
+
+// -------------------------------------------------------------------- laws
+
+TEST(Laws, UtilizationLaw) {
+  EXPECT_DOUBLE_EQ(utilization(10.0, 0.05), 0.5);
+  EXPECT_DOUBLE_EQ(utilization(0.0, 0.05), 0.0);
+  EXPECT_THROW(utilization(-1.0, 0.05), invalid_argument_error);
+}
+
+TEST(Laws, ForcedFlowLaw) {
+  EXPECT_DOUBLE_EQ(device_throughput(3.0, 7.0), 21.0);
+}
+
+TEST(Laws, ServiceDemandLaw) {
+  // D = U / X — the paper's extraction identity.
+  EXPECT_DOUBLE_EQ(service_demand(0.93, 100.0), 0.0093);
+  EXPECT_THROW(service_demand(0.5, 0.0), invalid_argument_error);
+  EXPECT_THROW(service_demand(-0.1, 10.0), invalid_argument_error);
+}
+
+TEST(Laws, ServiceDemandFromVisits) {
+  EXPECT_DOUBLE_EQ(service_demand_from_visits(4.0, 0.002), 0.008);
+}
+
+TEST(Laws, LittlesLawRoundTrip) {
+  const double n = littles_population(10.0, 0.5, 1.0);
+  EXPECT_DOUBLE_EQ(n, 15.0);
+  EXPECT_DOUBLE_EQ(littles_throughput(n, 0.5, 1.0), 10.0);
+  EXPECT_DOUBLE_EQ(littles_response_time(n, 10.0, 1.0), 0.5);
+}
+
+TEST(Laws, LittlesResponseClampsAtZero) {
+  // Measurement noise can make N/X < Z; the law helper saturates at 0.
+  EXPECT_DOUBLE_EQ(littles_response_time(5.0, 10.0, 1.0), 0.0);
+}
+
+TEST(Laws, LittlesValidation) {
+  EXPECT_THROW(littles_throughput(5.0, 0.0, 0.0), invalid_argument_error);
+  EXPECT_THROW(littles_response_time(5.0, 0.0, 1.0), invalid_argument_error);
+}
+
+TEST(Laws, NetworkUtilizationEq7) {
+  // 1 Gbps link, 1500-byte packets: exactly saturating packet rate is
+  // 1e9 / (1500*8) pkt/s; over 10 s that count must give 100%.
+  const double saturating = 1e9 / (1500.0 * 8.0) * 10.0;
+  EXPECT_NEAR(network_utilization_percent(saturating, 1500, 10.0, 1e9), 100.0,
+              1e-9);
+  EXPECT_NEAR(network_utilization_percent(saturating / 4, 1500, 10.0, 1e9),
+              25.0, 1e-9);
+  EXPECT_THROW(network_utilization_percent(1, 1500, 0.0, 1e9),
+               invalid_argument_error);
+}
+
+// ------------------------------------------------------------------ bounds
+
+TEST(Bounds, MaxAndTotalDemand) {
+  const std::vector<double> d{0.1, 0.4, 0.2};
+  EXPECT_DOUBLE_EQ(max_demand(d), 0.4);
+  EXPECT_DOUBLE_EQ(total_demand(d), 0.7);
+  EXPECT_THROW(max_demand(std::vector<double>{}), invalid_argument_error);
+}
+
+TEST(Bounds, ThroughputUpperBoundTwoRegimes) {
+  const std::vector<double> d{0.1, 0.4};
+  BoundsInput in{d, 1.0};
+  // Light load: n / (Dtot + Z) = 1 / 1.5.
+  EXPECT_NEAR(throughput_upper_bound(in, 1), 1.0 / 1.5, 1e-12);
+  // Heavy load: capped by 1 / Dmax = 2.5.
+  EXPECT_NEAR(throughput_upper_bound(in, 1000), 2.5, 1e-12);
+}
+
+TEST(Bounds, ResponseTimeLowerBoundEq6) {
+  const std::vector<double> d{0.1, 0.4};
+  BoundsInput in{d, 1.0};
+  // Light load floor: Dtot.
+  EXPECT_DOUBLE_EQ(response_time_lower_bound(in, 1), 0.5);
+  // Heavy load: n * Dmax - Z.
+  EXPECT_DOUBLE_EQ(response_time_lower_bound(in, 100), 100 * 0.4 - 1.0);
+}
+
+TEST(Bounds, KneePopulation) {
+  const std::vector<double> d{0.1, 0.4};
+  BoundsInput in{d, 1.0};
+  EXPECT_NEAR(knee_population(in), 1.5 / 0.4, 1e-12);
+}
+
+TEST(Bounds, BalancedJobBoundsSandwichAsymptotic) {
+  const std::vector<double> d{0.2, 0.2, 0.1};
+  BoundsInput in{d, 0.5};
+  for (double n : {1.0, 5.0, 20.0, 100.0}) {
+    const auto bjb = balanced_job_bounds(in, n);
+    EXPECT_LE(bjb.throughput_lower, bjb.throughput_upper + 1e-12);
+    EXPECT_LE(bjb.throughput_upper, throughput_upper_bound(in, n) + 1e-12);
+    EXPECT_GE(bjb.response_upper, bjb.response_lower - 1e-12);
+    EXPECT_GE(bjb.response_lower, response_time_lower_bound(in, n) - 1e-9);
+  }
+}
+
+TEST(Bounds, SingleUserBalancedBoundsAreTight) {
+  const std::vector<double> d{0.2, 0.3};
+  BoundsInput in{d, 1.0};
+  const auto bjb = balanced_job_bounds(in, 1.0);
+  // With n = 1 there is no queueing: X = 1 / (D + Z) exactly.
+  EXPECT_NEAR(bjb.throughput_lower, 1.0 / 1.5, 1e-12);
+  EXPECT_NEAR(bjb.throughput_upper, 1.0 / 1.5, 1e-12);
+}
+
+TEST(Bounds, Validation) {
+  const std::vector<double> zero{0.0};
+  BoundsInput in{zero, 0.0};
+  EXPECT_THROW(throughput_upper_bound(in, 1.0), invalid_argument_error);
+  const std::vector<double> neg{-0.1};
+  BoundsInput in2{neg, 0.0};
+  EXPECT_THROW(total_demand(in2.demands), invalid_argument_error);
+}
+
+// ------------------------------------------------------------ DemandTable
+
+DemandTable small_table() {
+  DemandTable t({"cpu", "disk"}, {4, 1});
+  t.add_point({10.0, 5.0, 0.4, {0.20, 0.10}});
+  t.add_point({50.0, 20.0, 0.6, {0.60, 0.30}});
+  t.add_point({100.0, 25.0, 1.2, {0.70, 0.50}});
+  return t;
+}
+
+TEST(DemandTable, ExtractsDemandsViaServiceDemandLaw) {
+  const DemandTable t = small_table();
+  // The cpu station has 4 servers: monitored utilization is a fraction of
+  // aggregate capacity, so D = U * C / X.
+  const auto cpu = t.demand_vs_concurrency(0);
+  ASSERT_EQ(cpu.size(), 3u);
+  EXPECT_DOUBLE_EQ(cpu.x[0], 10.0);
+  EXPECT_DOUBLE_EQ(cpu.y[0], 0.20 * 4 / 5.0);
+  EXPECT_DOUBLE_EQ(cpu.y[2], 0.70 * 4 / 25.0);
+  const auto disk = t.demand_vs_concurrency(1);
+  EXPECT_DOUBLE_EQ(disk.y[0], 0.10 / 5.0);  // single server: plain U / X
+}
+
+TEST(DemandTable, DemandVsThroughputUsesThroughputAxis) {
+  const DemandTable t = small_table();
+  const auto disk = t.demand_vs_throughput(1);
+  ASSERT_EQ(disk.size(), 3u);
+  EXPECT_DOUBLE_EQ(disk.x[0], 5.0);
+  EXPECT_DOUBLE_EQ(disk.x[2], 25.0);
+  EXPECT_DOUBLE_EQ(disk.y[0], 0.10 / 5.0);
+  const auto cpu = t.demand_vs_throughput(0);
+  EXPECT_DOUBLE_EQ(cpu.y[0], 0.20 * 4 / 5.0);
+}
+
+TEST(DemandTable, DemandVsThroughputDropsNonMonotoneDuplicates) {
+  DemandTable t({"cpu"}, {1});
+  t.add_point({10.0, 5.0, 0.4, {0.2}});
+  t.add_point({50.0, 20.0, 0.6, {0.6}});
+  t.add_point({100.0, 19.0, 1.2, {0.7}});  // throughput dipped
+  const auto s = t.demand_vs_throughput(0);
+  // Sorted by X and strictly increasing: 5, 19, 20.
+  ASSERT_EQ(s.size(), 3u);
+  EXPECT_DOUBLE_EQ(s.x[0], 5.0);
+  EXPECT_DOUBLE_EQ(s.x[1], 19.0);
+  EXPECT_DOUBLE_EQ(s.x[2], 20.0);
+}
+
+TEST(DemandTable, NearestConcurrencyAndFixedDemands) {
+  const DemandTable t = small_table();
+  EXPECT_DOUBLE_EQ(t.nearest_measured_concurrency(48.0), 50.0);
+  EXPECT_DOUBLE_EQ(t.nearest_measured_concurrency(1000.0), 100.0);
+  const auto d = t.demands_at_concurrency(55.0);
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 0.60 * 4 / 20.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.30 / 20.0);
+}
+
+TEST(DemandTable, BottleneckIsHighestUtilizationAtTopLoad) {
+  const DemandTable t = small_table();
+  EXPECT_EQ(t.bottleneck_station(), 0u);  // cpu at 0.70 vs disk 0.50
+}
+
+TEST(DemandTable, SeriesAccessors) {
+  const DemandTable t = small_table();
+  EXPECT_EQ(t.concurrency_series(), (std::vector<double>{10, 50, 100}));
+  EXPECT_EQ(t.throughput_series(), (std::vector<double>{5, 20, 25}));
+  EXPECT_EQ(t.response_time_series(), (std::vector<double>{0.4, 0.6, 1.2}));
+}
+
+TEST(DemandTable, StationIndexLookup) {
+  const DemandTable t = small_table();
+  EXPECT_EQ(t.station_index("disk"), 1u);
+  EXPECT_THROW(t.station_index("gpu"), invalid_argument_error);
+}
+
+TEST(DemandTable, RejectsDisorderedOrMalformedRows) {
+  DemandTable t({"cpu"}, {1});
+  t.add_point({10.0, 5.0, 0.4, {0.2}});
+  EXPECT_THROW(t.add_point({10.0, 6.0, 0.4, {0.3}}), invalid_argument_error);
+  EXPECT_THROW(t.add_point({20.0, 6.0, 0.4, {0.3, 0.4}}),
+               invalid_argument_error);
+  EXPECT_THROW(t.add_point({30.0, 0.0, 0.4, {0.3}}), invalid_argument_error);
+}
+
+TEST(DemandTable, RejectsBadConstruction) {
+  EXPECT_THROW(DemandTable({}, {}), invalid_argument_error);
+  EXPECT_THROW(DemandTable({"a"}, {1, 2}), invalid_argument_error);
+  EXPECT_THROW(DemandTable({"a"}, {0}), invalid_argument_error);
+}
+
+
+// ---------------------------------------------------------- table persistence
+
+TEST(DemandTableIo, RoundTripPreservesEverything) {
+  const DemandTable original = small_table();
+  std::ostringstream out;
+  save_demand_table(out, original);
+  std::istringstream in(out.str());
+  const DemandTable loaded = load_demand_table(in);
+  EXPECT_EQ(loaded.stations(), original.stations());
+  EXPECT_EQ(loaded.servers(), original.servers());
+  ASSERT_EQ(loaded.points().size(), original.points().size());
+  for (std::size_t i = 0; i < original.points().size(); ++i) {
+    EXPECT_DOUBLE_EQ(loaded.points()[i].concurrency,
+                     original.points()[i].concurrency);
+    EXPECT_DOUBLE_EQ(loaded.points()[i].throughput,
+                     original.points()[i].throughput);
+    EXPECT_DOUBLE_EQ(loaded.points()[i].response_time,
+                     original.points()[i].response_time);
+    EXPECT_EQ(loaded.points()[i].utilization,
+              original.points()[i].utilization);
+  }
+  // Derived quantities survive the trip too.
+  EXPECT_EQ(loaded.bottleneck_station(), original.bottleneck_station());
+}
+
+TEST(DemandTableIo, HeaderCarriesServerCounts) {
+  std::ostringstream out;
+  save_demand_table(out, small_table());
+  EXPECT_NE(out.str().find("cpu:4"), std::string::npos);
+  EXPECT_NE(out.str().find("disk:1"), std::string::npos);
+}
+
+TEST(DemandTableIo, RejectsMalformedInput) {
+  {
+    std::istringstream in("");
+    EXPECT_THROW(load_demand_table(in), invalid_argument_error);
+  }
+  {
+    std::istringstream in("bogus,header\n1,2\n");
+    EXPECT_THROW(load_demand_table(in), invalid_argument_error);
+  }
+  {
+    std::istringstream in(
+        "concurrency,throughput,response_time,cpu:1\n10,5,0.4\n");
+    EXPECT_THROW(load_demand_table(in), invalid_argument_error);  // width
+  }
+  {
+    std::istringstream in(
+        "concurrency,throughput,response_time,cpu:1\n10,abc,0.4,0.2\n");
+    EXPECT_THROW(load_demand_table(in), invalid_argument_error);
+  }
+  {
+    std::istringstream in("concurrency,throughput,response_time,cpu:1\n");
+    EXPECT_THROW(load_demand_table(in), invalid_argument_error);  // no rows
+  }
+  {
+    std::istringstream in(
+        "concurrency,throughput,response_time,cpunoservers\n10,5,0.4,0.2\n");
+    EXPECT_THROW(load_demand_table(in), invalid_argument_error);
+  }
+}
+
+TEST(DemandTableIo, FileRoundTrip) {
+  const std::string path = ::testing::TempDir() + "mtperf_campaign_test.csv";
+  save_demand_table_file(path, small_table());
+  const DemandTable loaded = load_demand_table_file(path);
+  EXPECT_EQ(loaded.points().size(), 3u);
+  EXPECT_THROW(load_demand_table_file(path + ".missing"),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace mtperf::ops

@@ -1,0 +1,308 @@
+// Unit and statistical tests for mtperf::sim — the discrete-event
+// simulator that substitutes for the paper's physical testbed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/mva_exact.hpp"
+#include "core/mva_multiserver.hpp"
+#include "core/network.hpp"
+#include "sim/closed_network_sim.hpp"
+#include "sim/simulator.hpp"
+#include "sim/station.hpp"
+
+namespace mtperf::sim {
+namespace {
+
+// --------------------------------------------------------------- Simulator
+
+TEST(Simulator, ProcessesEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule(3.0, [&] { order.push_back(3); });
+  sim.schedule(1.0, [&] { order.push_back(1); });
+  sim.schedule(2.0, [&] { order.push_back(2); });
+  sim.run_until(10.0);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now(), 10.0);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule(1.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run_until(1.0);
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(2.5, [&] { ++fired; });
+  sim.run_until(2.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_until(3.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulator, EventsCanScheduleEvents) {
+  Simulator sim;
+  int chain = 0;
+  std::function<void()> next = [&] {
+    if (++chain < 5) sim.schedule(1.0, next);
+  };
+  sim.schedule(1.0, next);
+  sim.run_until(100.0);
+  EXPECT_EQ(chain, 5);
+}
+
+TEST(Simulator, RejectsPastScheduling) {
+  Simulator sim;
+  sim.run_until(5.0);
+  EXPECT_THROW(sim.schedule(-1.0, [] {}), invalid_argument_error);
+  EXPECT_THROW(sim.run_until(4.0), invalid_argument_error);
+}
+
+TEST(Simulator, StepProcessesOneEvent) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule(1.0, [&] { ++fired; });
+  sim.schedule(2.0, [&] { ++fired; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+// ----------------------------------------------------------------- Station
+
+TEST(Station, ServesImmediatelyWhenIdle) {
+  Simulator sim;
+  MultiServerStation st(sim, "cpu", 2);
+  int done = 0;
+  st.arrive(1.0, [&] { ++done; });
+  st.arrive(1.0, [&] { ++done; });
+  EXPECT_EQ(st.busy_servers(), 2u);
+  EXPECT_EQ(st.waiting_jobs(), 0u);
+  sim.run_until(1.0);
+  EXPECT_EQ(done, 2);
+  EXPECT_EQ(st.completions(), 2u);
+}
+
+TEST(Station, QueuesBeyondServerCount) {
+  Simulator sim;
+  MultiServerStation st(sim, "disk", 1);
+  std::vector<double> completion_times;
+  for (int i = 0; i < 3; ++i) {
+    st.arrive(2.0, [&] { completion_times.push_back(sim.now()); });
+  }
+  EXPECT_EQ(st.waiting_jobs(), 2u);
+  sim.run_until(10.0);
+  EXPECT_EQ(completion_times,
+            (std::vector<double>{2.0, 4.0, 6.0}));  // strict FCFS
+}
+
+TEST(Station, UtilizationOfDeterministicLoad) {
+  Simulator sim;
+  MultiServerStation st(sim, "cpu", 2);
+  st.arrive(4.0, [] {});
+  st.arrive(2.0, [] {});
+  sim.run_until(8.0);
+  // Busy-server-seconds = 4 + 2 = 6 over 8 s of 2 servers -> 6/16.
+  EXPECT_NEAR(st.utilization(), 6.0 / 16.0, 1e-12);
+  EXPECT_NEAR(st.busy_time(), 6.0, 1e-12);
+}
+
+TEST(Station, MeanJobsTimeAverage) {
+  Simulator sim;
+  MultiServerStation st(sim, "cpu", 1);
+  st.arrive(2.0, [] {});  // one job for [0,2]
+  sim.run_until(4.0);
+  EXPECT_NEAR(st.mean_jobs(), 0.5, 1e-12);  // 2 job-seconds over 4 s
+}
+
+TEST(Station, ResetStatsDropsHistoryKeepsJobs) {
+  Simulator sim;
+  MultiServerStation st(sim, "cpu", 1);
+  st.arrive(2.0, [] {});
+  st.arrive(2.0, [] {});
+  sim.run_until(1.0);
+  st.reset_stats();
+  sim.run_until(4.0);  // first job ends at 2, second at 4
+  EXPECT_EQ(st.completions(), 2u);  // both completed after reset
+  // After reset the station was busy the whole [1,4] window.
+  EXPECT_NEAR(st.utilization(), 1.0, 1e-12);
+}
+
+TEST(Station, ZeroServiceTimeCompletes) {
+  Simulator sim;
+  MultiServerStation st(sim, "nic", 1);
+  bool done = false;
+  st.arrive(0.0, [&] { done = true; });
+  sim.run_until(0.0);
+  EXPECT_TRUE(done);
+}
+
+TEST(Station, RejectsInvalidConfig) {
+  Simulator sim;
+  EXPECT_THROW(MultiServerStation(sim, "x", 0), invalid_argument_error);
+  MultiServerStation st(sim, "x", 1);
+  EXPECT_THROW(st.arrive(-1.0, [] {}), invalid_argument_error);
+}
+
+// -------------------------------------------------- closed network (stats)
+
+SimOptions quick_options(unsigned customers, std::uint64_t seed) {
+  SimOptions o;
+  o.customers = customers;
+  o.think_time_mean = 1.0;
+  o.warmup_time = 50.0;
+  o.measure_time = 400.0;
+  o.seed = seed;
+  return o;
+}
+
+TEST(ClosedNetworkSim, SingleUserThroughputMatchesCycleTime) {
+  // One customer, one queue: X = 1 / (S + Z) exactly in expectation.
+  const std::vector<SimStation> stations{{"cpu", 1}};
+  const std::vector<SimVisit> flow{{0, 0.5}};
+  const auto r = simulate_closed_network(stations, flow, quick_options(1, 3));
+  EXPECT_NEAR(r.throughput, 1.0 / 1.5, 0.03);
+  EXPECT_NEAR(r.response_time, 0.5, 0.03);
+  EXPECT_NEAR(r.cycle_time, 1.5, 0.03);
+}
+
+TEST(ClosedNetworkSim, UtilizationLawHolds) {
+  // U = X * D must hold for the measured window (operational identity).
+  const std::vector<SimStation> stations{{"cpu", 1}, {"disk", 1}};
+  const std::vector<SimVisit> flow{{0, 0.05}, {1, 0.02}, {0, 0.05}};
+  const auto r = simulate_closed_network(stations, flow, quick_options(5, 7));
+  EXPECT_NEAR(r.stations[0].utilization, r.throughput * 0.10, 0.01);
+  EXPECT_NEAR(r.stations[1].utilization, r.throughput * 0.02, 0.005);
+}
+
+TEST(ClosedNetworkSim, MatchesExactMvaOnProductFormNetwork) {
+  // The central validation: DES and exact MVA must agree on a product-form
+  // closed network (single-server stations, exponential everything).
+  const std::vector<SimStation> stations{{"a", 1}, {"b", 1}};
+  const std::vector<SimVisit> flow{{0, 0.08}, {1, 0.12}};
+  const auto net = core::make_network({"a", "b"}, {1, 1}, 1.0);
+  const std::vector<double> demands{0.08, 0.12};
+  const auto mva = core::exact_mva(net, demands, 20);
+  for (unsigned n : {1u, 5u, 12u, 20u}) {
+    SimOptions o = quick_options(n, 100 + n);
+    o.measure_time = 800.0;
+    const auto sim = simulate_closed_network(stations, flow, o);
+    const double predicted = mva.throughput[mva.row_for(n)];
+    EXPECT_NEAR(sim.throughput, predicted, 0.04 * predicted) << "n=" << n;
+  }
+}
+
+TEST(ClosedNetworkSim, MatchesMultiServerMvaWithMultiCoreStation) {
+  const std::vector<SimStation> stations{{"cpu", 4}};
+  const std::vector<SimVisit> flow{{0, 0.8}};
+  const core::ClosedNetwork net(
+      {core::Station{"cpu", 1.0, 4, core::StationKind::kQueueing}}, 1.0);
+  const auto mva =
+      core::exact_multiserver_mva(net, std::vector<double>{0.8}, 16);
+  for (unsigned n : {2u, 6u, 10u, 16u}) {
+    SimOptions o = quick_options(n, 200 + n);
+    o.measure_time = 800.0;
+    const auto sim = simulate_closed_network(stations, flow, o);
+    const double predicted = mva.throughput[mva.row_for(n)];
+    EXPECT_NEAR(sim.throughput, predicted, 0.05 * predicted) << "n=" << n;
+  }
+}
+
+TEST(ClosedNetworkSim, DeterministicForSeed) {
+  const std::vector<SimStation> stations{{"cpu", 1}};
+  const std::vector<SimVisit> flow{{0, 0.3}};
+  const auto a = simulate_closed_network(stations, flow, quick_options(4, 9));
+  const auto b = simulate_closed_network(stations, flow, quick_options(4, 9));
+  EXPECT_EQ(a.transactions, b.transactions);
+  EXPECT_DOUBLE_EQ(a.throughput, b.throughput);
+  EXPECT_DOUBLE_EQ(a.response_time, b.response_time);
+}
+
+TEST(ClosedNetworkSim, SeedChangesRealization) {
+  const std::vector<SimStation> stations{{"cpu", 1}};
+  const std::vector<SimVisit> flow{{0, 0.3}};
+  const auto a = simulate_closed_network(stations, flow, quick_options(4, 1));
+  const auto b = simulate_closed_network(stations, flow, quick_options(4, 2));
+  EXPECT_NE(a.transactions, b.transactions);
+}
+
+TEST(ClosedNetworkSim, ConfidenceIntervalCoversMeanEstimate) {
+  const std::vector<SimStation> stations{{"cpu", 1}};
+  const std::vector<SimVisit> flow{{0, 0.4}};
+  SimOptions o = quick_options(3, 17);
+  o.measure_time = 1500.0;
+  const auto r = simulate_closed_network(stations, flow, o);
+  EXPECT_GT(r.response_time_ci.half_width, 0.0);
+  EXPECT_TRUE(r.response_time_ci.contains(r.response_time));
+}
+
+TEST(ClosedNetworkSim, TimelineShowsRampUpTransient) {
+  const std::vector<SimStation> stations{{"cpu", 1}};
+  const std::vector<SimVisit> flow{{0, 0.05}};
+  SimOptions o = quick_options(50, 23);
+  o.ramp_up_interval = 2.0;       // users trickle in over 100 s
+  o.warmup_time = 150.0;
+  o.measure_time = 300.0;
+  o.timeline_bucket = 15.0;
+  const auto r = simulate_closed_network(stations, flow, o);
+  ASSERT_FALSE(r.timeline.empty());
+  // Early bucket throughput well below late-bucket steady state.
+  const double early = r.timeline[0].throughput;
+  const double late = r.timeline[r.timeline.size() - 2].throughput;
+  EXPECT_LT(early, 0.6 * late);
+}
+
+TEST(ClosedNetworkSim, DeterministicThinkTimeSupported) {
+  const std::vector<SimStation> stations{{"cpu", 1}};
+  const std::vector<SimVisit> flow{{0, 0.2}};
+  SimOptions o = quick_options(1, 31);
+  o.exponential_think = false;
+  const auto r = simulate_closed_network(stations, flow, o);
+  EXPECT_NEAR(r.throughput, 1.0 / 1.2, 0.02);
+}
+
+
+TEST(ClosedNetworkSim, ResponsePercentilesOrderedAndBracketMean) {
+  const std::vector<SimStation> stations{{"cpu", 1}};
+  const std::vector<SimVisit> flow{{0, 0.3}};
+  SimOptions o = quick_options(5, 77);
+  o.measure_time = 1000.0;
+  const auto r = simulate_closed_network(stations, flow, o);
+  const auto& p = r.response_percentiles;
+  EXPECT_LT(p.p50, p.p90);
+  EXPECT_LE(p.p90, p.p95);
+  EXPECT_LE(p.p95, p.p99);
+  // Exponential-ish right skew: median below mean, p99 well above.
+  EXPECT_LT(p.p50, r.response_time);
+  EXPECT_GT(p.p99, 2.0 * r.response_time);
+}
+
+TEST(ClosedNetworkSim, Validation) {
+  const std::vector<SimStation> stations{{"cpu", 1}};
+  const std::vector<SimVisit> flow{{0, 0.1}};
+  EXPECT_THROW(simulate_closed_network({}, flow, quick_options(1, 1)),
+               invalid_argument_error);
+  EXPECT_THROW(simulate_closed_network(stations, {}, quick_options(1, 1)),
+               invalid_argument_error);
+  EXPECT_THROW(
+      simulate_closed_network(stations, {{3, 0.1}}, quick_options(1, 1)),
+      invalid_argument_error);
+  SimOptions bad = quick_options(0, 1);
+  EXPECT_THROW(simulate_closed_network(stations, flow, bad),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace mtperf::sim
