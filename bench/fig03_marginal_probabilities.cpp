@@ -34,7 +34,7 @@ int main() {
     table.add_row({fmt(static_cast<long long>(result.population[i])),
                    fmt(row[0], 4), fmt(row[1], 4), fmt(row[2], 4),
                    fmt(row[3], 4),
-                   fmt_percent(result.station_utilization[i][0] * 100.0, 1),
+                   fmt_percent(result.utilization(i, 0) * 100.0, 1),
                    fmt(result.throughput[i], 2)});
   }
   for (std::size_t i = 0; i < trace.rows.size(); ++i) {

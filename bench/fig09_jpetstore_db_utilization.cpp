@@ -27,9 +27,9 @@ int main() {
   for (std::size_t i = 0; i < levels.size(); ++i) {
     const auto row = prediction.row_for(static_cast<unsigned>(levels[i]));
     cpu_m.push_back(table.points()[i].utilization[apps::kDbCpu] * 100.0);
-    cpu_p.push_back(prediction.station_utilization[row][apps::kDbCpu] * 100.0);
+    cpu_p.push_back(prediction.utilization(row, apps::kDbCpu) * 100.0);
     disk_m.push_back(table.points()[i].utilization[apps::kDbDisk] * 100.0);
-    disk_p.push_back(prediction.station_utilization[row][apps::kDbDisk] * 100.0);
+    disk_p.push_back(prediction.utilization(row, apps::kDbDisk) * 100.0);
     t.add_row({fmt(static_cast<long long>(levels[i])), fmt(cpu_m[i], 1),
                fmt(cpu_p[i], 1), fmt(disk_m[i], 1), fmt(disk_p[i], 1)});
   }
@@ -40,7 +40,7 @@ int main() {
   std::vector<double> xs, ys;
   for (std::size_t i = 0; i < prediction.population.size(); ++i) {
     xs.push_back(prediction.population[i]);
-    ys.push_back(prediction.station_utilization[i][apps::kDbCpu] * 100.0);
+    ys.push_back(prediction.utilization(i, apps::kDbCpu) * 100.0);
   }
   chart.add_series({"MVASD", xs, ys, '*'});
   std::printf("%s\n", chart.render().c_str());

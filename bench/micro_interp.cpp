@@ -67,6 +67,41 @@ void BM_SplineEval(benchmark::State& state) {
 }
 BENCHMARK(BM_SplineEval)->Range(8, 4096);
 
+// Monotone sweep (the MVA access pattern: x = 1, 2, ..., N ascending):
+// per-call binary search vs the amortized-O(1) segment cursor.
+void BM_SplineEvalMonotoneBinarySearch(benchmark::State& state) {
+  const auto s = make_samples(static_cast<std::size_t>(state.range(0)));
+  const auto spline = interp::build_cubic_spline(s);
+  const double lo = s.x_min(), hi = s.x_max();
+  constexpr int kSteps = 4096;
+  const double dx = (hi - lo) / kSteps;
+  for (auto _ : state) {
+    double acc = 0.0;
+    for (int i = 0; i <= kSteps; ++i) {
+      acc += spline.value(lo + dx * i);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SplineEvalMonotoneBinarySearch)->Range(8, 4096);
+
+void BM_SplineEvalMonotoneCursor(benchmark::State& state) {
+  const auto s = make_samples(static_cast<std::size_t>(state.range(0)));
+  const auto spline = interp::build_cubic_spline(s);
+  const double lo = s.x_min(), hi = s.x_max();
+  constexpr int kSteps = 4096;
+  const double dx = (hi - lo) / kSteps;
+  for (auto _ : state) {
+    double acc = 0.0;
+    std::size_t cursor = 0;
+    for (int i = 0; i <= kSteps; ++i) {
+      acc += spline.value_with_cursor(lo + dx * i, cursor);
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_SplineEvalMonotoneCursor)->Range(8, 4096);
+
 void BM_LinearEval(benchmark::State& state) {
   const auto s = make_samples(static_cast<std::size_t>(state.range(0)));
   const auto lin = interp::build_linear(s);

@@ -54,7 +54,7 @@ int main() {
                    fmt(fixed.throughput[i], 2), fmt(adaptive.throughput[i], 2),
                    fmt(fixed.response_time[i], 4),
                    fmt(adaptive.response_time[i], 4),
-                   fmt_percent(adaptive.station_utilization[i][2] * 100.0, 1)});
+                   fmt_percent(adaptive.utilization(i, 2) * 100.0, 1)});
   }
   std::printf("%s\n", table.to_string().c_str());
 

@@ -56,8 +56,7 @@ int main() {
     t.add_row({fmt(static_cast<long long>(n)),
                fmt(prediction.throughput[i] * pages, 1),
                fmt(prediction.response_time[i] / pages * 1000.0, 1),
-               fmt_percent(prediction.station_utilization[i][bottleneck] * 100.0,
-                           1)});
+               fmt_percent(prediction.utilization(i, bottleneck) * 100.0, 1)});
   }
   std::printf("%s\n", t.to_string().c_str());
   std::printf("Bottleneck device: %s\n\n",

@@ -70,15 +70,15 @@ int main() {
         core::make_network(campaign.table.stations(), c.servers, think);
     const auto r = core::exact_multiserver_mva(net, c.demands, max_users);
     // Find the busiest station at top load.
-    const auto& util = r.station_utilization.back();
+    const std::size_t top = r.levels() - 1;
     std::size_t busiest = 0;
-    for (std::size_t k = 1; k < util.size(); ++k) {
-      if (util[k] > util[busiest]) busiest = k;
+    for (std::size_t k = 1; k < r.stations(); ++k) {
+      if (r.utilization(top, k) > r.utilization(top, busiest)) busiest = k;
     }
     t.add_row({c.label, fmt(r.throughput.back() * pages, 1),
                fmt(r.response_time.back() / pages * 1000.0, 1),
                campaign.table.stations()[busiest] + " (" +
-                   fmt(util[busiest] * 100.0, 0) + "%)"});
+                   fmt(r.utilization(top, busiest) * 100.0, 0) + "%)"});
   }
   std::printf("%s\n", t.to_string().c_str());
   (void)baseline_net;

@@ -183,16 +183,36 @@ ConfidenceInterval BatchMeans::interval(double confidence) const {
   return ci;
 }
 
-double percentile(std::vector<double> values, double p) {
+namespace {
+
+// Type-7 percentile of an already-sorted sample.
+double percentile_sorted(const std::vector<double>& values, double p) {
   MTPERF_REQUIRE(!values.empty(), "percentile of empty sample");
   MTPERF_REQUIRE(p >= 0.0 && p <= 100.0, "percentile p must be in [0,100]");
-  std::sort(values.begin(), values.end());
   if (values.size() == 1) return values.front();
   const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
   const auto lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, values.size() - 1);
   const double frac = rank - static_cast<double>(lo);
   return values[lo] + frac * (values[hi] - values[lo]);
+}
+
+}  // namespace
+
+double percentile(std::vector<double> values, double p) {
+  MTPERF_REQUIRE(!values.empty(), "percentile of empty sample");
+  std::sort(values.begin(), values.end());
+  return percentile_sorted(values, p);
+}
+
+std::vector<double> percentiles(std::vector<double>& values,
+                                std::initializer_list<double> ps) {
+  MTPERF_REQUIRE(!values.empty(), "percentile of empty sample");
+  std::sort(values.begin(), values.end());
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(percentile_sorted(values, p));
+  return out;
 }
 
 double mean_of(const std::vector<double>& values) {

@@ -3,6 +3,7 @@
 #pragma once
 
 #include <cstddef>
+#include <initializer_list>
 #include <vector>
 
 namespace mtperf {
@@ -80,6 +81,14 @@ class BatchMeans {
 /// Percentile of a sample (linear interpolation between order statistics,
 /// the "type 7" definition used by R and NumPy).  `p` in [0, 100].
 double percentile(std::vector<double> values, double p);
+
+/// Several percentiles of one sample with a single in-place sort — the
+/// copy-and-resort cost of calling percentile() once per level dominates
+/// simulator post-processing for large sample vectors.  `values` is left
+/// sorted ascending.  Results are in the same order as `ps`, each identical
+/// to what percentile() returns for that level.
+std::vector<double> percentiles(std::vector<double>& values,
+                                std::initializer_list<double> ps);
 
 /// Mean of a vector; 0 for empty input.
 double mean_of(const std::vector<double>& values);

@@ -1,6 +1,7 @@
 #include "common/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <exception>
 
 namespace mtperf {
@@ -40,20 +41,43 @@ void ThreadPool::worker_loop() {
 
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);  // not worth a queue round-trip
+    return;
+  }
+  // Shared state for the chunked dispatch: each worker task pulls the next
+  // unclaimed index until the range is exhausted.  A failing fn does not
+  // stop other indices from running; the first exception is rethrown once
+  // everything has been attempted.
+  struct SharedState {
+    std::atomic<std::size_t> next{0};
+    std::mutex error_mutex;
+    std::exception_ptr first_error;
+  };
+  auto state = std::make_shared<SharedState>();
+  const std::size_t task_count = std::min(pool.size(), n);
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(pool.submit([&fn, i] { fn(i); }));
+  futures.reserve(task_count);
+  for (std::size_t t = 0; t < task_count; ++t) {
+    futures.push_back(pool.submit([state, &fn, n] {
+      for (;;) {
+        const std::size_t i =
+            state->next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= n) return;
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard<std::mutex> lock(state->error_mutex);
+          if (!state->first_error) {
+            state->first_error = std::current_exception();
+          }
+        }
+      }
+    }));
   }
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+  for (auto& f : futures) f.get();
+  if (state->first_error) std::rethrow_exception(state->first_error);
 }
 
 }  // namespace mtperf

@@ -5,8 +5,10 @@
 // pool's own queue.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -29,6 +31,13 @@ class ThreadPool {
 
   std::size_t size() const noexcept { return workers_.size(); }
 
+  /// Total number of tasks ever enqueued on this pool.  parallel_for
+  /// submits O(size()) tasks per call regardless of n; tests use this
+  /// counter to verify that bound.
+  std::uint64_t tasks_submitted() const noexcept {
+    return tasks_submitted_.load(std::memory_order_relaxed);
+  }
+
   /// Enqueue a task; the returned future yields its result.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
@@ -40,6 +49,7 @@ class ThreadPool {
       MTPERF_REQUIRE(!stopping_, "submit on a stopped ThreadPool");
       tasks_.emplace([task] { (*task)(); });
     }
+    tasks_submitted_.fetch_add(1, std::memory_order_relaxed);
     cv_.notify_one();
     return result;
   }
@@ -51,11 +61,15 @@ class ThreadPool {
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;
   std::condition_variable cv_;
+  std::atomic<std::uint64_t> tasks_submitted_{0};
   bool stopping_ = false;
 };
 
 /// Run fn(i) for i in [0, n) across the pool's threads and wait for all.
-/// Exceptions from tasks are rethrown (first one wins) after all complete.
+/// Dispatch is chunked: min(size(), n) worker tasks share one atomic index,
+/// so the queue sees O(workers) submissions instead of O(n) packaged
+/// tasks.  Exceptions from tasks are rethrown (first one wins) after all
+/// indices have been attempted.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 

@@ -27,7 +27,9 @@ DemandModel DemandModel::interpolated(
     MTPERF_REQUIRE(ip != nullptr, "null interpolant");
     fns.emplace_back([ip](double x) { return ip->value(x); });
   }
-  return DemandModel(std::move(fns), axis, /*constant=*/false);
+  DemandModel model(std::move(fns), axis, /*constant=*/false);
+  model.interpolants_ = std::move(interpolants);
+  return model;
 }
 
 DemandModel DemandModel::from_table(const ops::DemandTable& table, Axis axis,
@@ -50,11 +52,78 @@ double DemandModel::at(std::size_t station, double axis_value) const {
 }
 
 std::vector<double> DemandModel::all_at(double axis_value) const {
-  std::vector<double> out(per_station_.size());
+  std::vector<double> out;
+  all_at(axis_value, out);
+  return out;
+}
+
+void DemandModel::all_at(double axis_value, std::vector<double>& out) const {
+  out.resize(per_station_.size());
   for (std::size_t k = 0; k < per_station_.size(); ++k) {
     out[k] = at(k, axis_value);
   }
-  return out;
+}
+
+const interp::Interpolator1D* DemandModel::interpolant(
+    std::size_t station) const {
+  MTPERF_REQUIRE(station < per_station_.size(), "station index out of range");
+  return station < interpolants_.size() ? interpolants_[station].get() : nullptr;
+}
+
+// ----------------------------------------------------------------- DemandGrid
+
+DemandGrid::DemandGrid(const DemandModel& model, unsigned max_population)
+    : model_(&model),
+      stations_(model.stations()),
+      max_population_(max_population),
+      tabulated_(model.axis() == DemandModel::Axis::kConcurrency) {
+  MTPERF_REQUIRE(max_population >= 1, "population must be at least 1");
+  cubics_.resize(stations_, nullptr);
+  cursors_.assign(stations_, 0);
+  for (std::size_t k = 0; k < stations_; ++k) {
+    cubics_[k] =
+        dynamic_cast<const interp::PiecewiseCubic*>(model.interpolant(k));
+  }
+  if (!tabulated_) return;
+
+  if (model.is_constant()) {
+    // One shared row: every population sees the same demands.
+    grid_.resize(stations_);
+    for (std::size_t k = 0; k < stations_; ++k) grid_[k] = model.at(k, 1.0);
+    return;
+  }
+  grid_.resize(static_cast<std::size_t>(max_population) * stations_);
+  // Row-major fill, one monotone cursor per station: n = 1..N is
+  // non-decreasing so segment lookup never searches — O(N K + segments)
+  // total — and each cache line of the buffer is written exactly once
+  // (a column-order fill would touch every line stations() times).
+  std::vector<std::size_t> cursor(stations_, 0);
+  double* out = grid_.data();
+  for (unsigned n = 1; n <= max_population; ++n, out += stations_) {
+    for (std::size_t k = 0; k < stations_; ++k) {
+      out[k] = cubics_[k] != nullptr
+                   ? std::max(0.0, cubics_[k]->value_with_cursor(
+                                       static_cast<double>(n), cursor[k]))
+                   : model.at(k, static_cast<double>(n));
+    }
+  }
+}
+
+const double* DemandGrid::row(unsigned n) const {
+  MTPERF_REQUIRE(tabulated_, "demand grid not tabulated (throughput axis)");
+  MTPERF_REQUIRE(n >= 1 && n <= max_population_,
+                 "population outside tabulated range");
+  if (model_->is_constant()) return grid_.data();
+  return grid_.data() + static_cast<std::size_t>(n - 1) * stations_;
+}
+
+void DemandGrid::eval_into(double axis_value, double* out) const {
+  for (std::size_t k = 0; k < stations_; ++k) {
+    out[k] = cubics_[k] != nullptr
+                 ? std::max(0.0, cubics_[k]->value_with_cursor(axis_value,
+                                                               cursors_[k]))
+                 : model_->at(k, axis_value);
+  }
 }
 
 }  // namespace mtperf::core

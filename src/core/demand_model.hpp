@@ -6,6 +6,12 @@
 // h(a_k, b_k, n)).  Section 7 additionally explores demands indexed by
 // *throughput*.  DemandModel abstracts over all three so every solver can
 // share one input type.
+//
+// DemandGrid is the hot-path companion: it pre-tabulates a DemandModel
+// into a flat row-major population × station buffer (concurrency axis) or
+// holds per-station monotone segment cursors (throughput axis), so the
+// O(N K) MVA inner loop pays a single indexed load per (n, k) instead of a
+// std::function → shared_ptr → virtual → binary-search chain.
 #pragma once
 
 #include <functional>
@@ -14,6 +20,7 @@
 
 #include "interp/cubic_spline.hpp"
 #include "interp/interpolator.hpp"
+#include "interp/piecewise_cubic.hpp"
 #include "ops/demand_table.hpp"
 
 namespace mtperf::core {
@@ -52,6 +59,13 @@ class DemandModel {
 
   /// Demands of all stations at one axis value.
   std::vector<double> all_at(double axis_value) const;
+  /// Allocation-free variant for callers that loop over axis values:
+  /// resizes `out` to stations() and fills it in place.
+  void all_at(double axis_value, std::vector<double>& out) const;
+
+  /// The interpolant backing station k, or nullptr for constant models.
+  /// Lets hot paths (DemandGrid) bypass the std::function indirection.
+  const interp::Interpolator1D* interpolant(std::size_t station) const;
 
  private:
   DemandModel(std::vector<std::function<double(double)>> fns, Axis axis,
@@ -59,8 +73,69 @@ class DemandModel {
       : per_station_(std::move(fns)), axis_(axis), constant_(constant) {}
 
   std::vector<std::function<double(double)>> per_station_;
+  std::vector<std::shared_ptr<const interp::Interpolator1D>> interpolants_;
   Axis axis_;
   bool constant_;
+};
+
+/// Pre-tabulated view of a DemandModel for one solver run.
+///
+/// Concurrency-axis (and constant) models are tabulated once into a flat
+/// row-major max_population × stations buffer — each station's column is
+/// filled with a monotone segment cursor walking the spline left to right,
+/// so tabulation itself is O(N + segments) per station.  Throughput-axis
+/// models cannot be tabulated ahead of the recursion (the axis value is the
+/// previous iteration's throughput); they evaluate on demand through
+/// per-station cursors, which is amortized O(1) per call because MVA
+/// throughput is non-decreasing in the population.
+///
+/// All values are clamped at zero exactly like DemandModel::at, and are
+/// bit-identical to it.  A DemandGrid borrows the model: it must not
+/// outlive the DemandModel it was built from.  Not thread-safe (the
+/// throughput-axis cursors are mutable state); build one per solve.
+class DemandGrid {
+ public:
+  DemandGrid(const DemandModel& model, unsigned max_population);
+
+  std::size_t stations() const noexcept { return stations_; }
+  unsigned max_population() const noexcept { return max_population_; }
+  DemandModel::Axis axis() const noexcept { return model_->axis(); }
+
+  /// True when row() is available (concurrency-axis or constant models).
+  bool tabulated() const noexcept { return tabulated_; }
+
+  /// The stations() demands at population n (1-based), as one contiguous
+  /// row of the tabulated buffer.  Requires tabulated().
+  const double* row(unsigned n) const;
+
+  /// Demand of one station at population n via the tabulated buffer.
+  double at(unsigned n, std::size_t station) const {
+    return row(n)[station];
+  }
+
+  /// Raw tabulated buffer for solvers that sweep every population: row n
+  /// starts at data() + (n-1) * row_stride().  The stride is 0 for constant
+  /// models (all populations share one row), so the same expression works
+  /// unconditionally.  Requires tabulated(); the pointer is valid for the
+  /// grid's lifetime.
+  const double* data() const noexcept { return grid_.data(); }
+  std::size_t row_stride() const noexcept {
+    return model_->is_constant() ? 0 : stations_;
+  }
+
+  /// Evaluate every station at an arbitrary axis value into out[0..K).
+  /// This is the throughput-axis path; it also works for tabulated models
+  /// (delegating to DemandModel::at for non-integer axis values).
+  void eval_into(double axis_value, double* out) const;
+
+ private:
+  const DemandModel* model_;
+  std::size_t stations_;
+  unsigned max_population_;
+  bool tabulated_;
+  std::vector<double> grid_;  ///< row-major; one row for constant models
+  std::vector<const interp::PiecewiseCubic*> cubics_;  ///< per station; may hold nullptr
+  mutable std::vector<std::size_t> cursors_;
 };
 
 }  // namespace mtperf::core

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "core/detail/solver_workspace.hpp"
 
 namespace mtperf::core::detail {
 
@@ -29,6 +30,15 @@ namespace mtperf::core::detail {
 //     Q_k(n)     = X_n V_k R_k
 //
 // P_k(0|n) is clamped at 0 against floating-point undershoot at saturation.
+//
+// Hot-path note.  Demands are evaluated through a DemandGrid: for the
+// concurrency axis each population's row is one pre-tabulated contiguous
+// load, for the throughput axis the grid's monotone segment cursors make
+// spline lookup amortized O(1).  Marginals live in one flat workspace
+// buffer (station k at ws.p_offset[k]) and are updated in place, writing
+// j = C_k-1 down to 1 so each write reads the previous population's j-1
+// entry.  Results are written into pre-sized SoA rows — the inner loop
+// performs no allocation at all.
 
 MvaResult run_multiserver_mva(const ClosedNetwork& network,
                               const DemandModel& demands,
@@ -42,75 +52,94 @@ MvaResult run_multiserver_mva(const ClosedNetwork& network,
     trace->rows.clear();
   }
 
+  std::vector<std::string> names;
+  names.reserve(k_count);
+  for (const auto& st : network.stations()) names.push_back(st.name);
   MvaResult result;
-  for (const auto& st : network.stations()) result.station_names.push_back(st.name);
+  result.reset(std::move(names), max_population);
 
-  std::vector<double> queue(k_count, 0.0);
-  std::vector<double> residence(k_count, 0.0);
-  // P[k][j] = marginal probability of j customers at station k, for
-  // j = 0..C_k-1, conditioned on the previous population level.
-  std::vector<std::vector<double>> p(k_count);
-  std::vector<std::vector<double>> p_next(k_count);
-  for (std::size_t k = 0; k < k_count; ++k) {
-    p[k].assign(network.station(k).servers, 0.0);
-    p[k][0] = 1.0;
-    p_next[k].assign(network.station(k).servers, 0.0);
-  }
+  const DemandGrid grid(demands, max_population);
+  const bool by_concurrency = grid.tabulated();
+
+  SolverWorkspace& ws = tls_solver_workspace();
+  ws.prepare_stations(k_count);
+  ws.prepare_marginals(network);
+  ws.prepare_station_fields(network);
+  double* const queue = ws.queue.data();
+  double* const residence = ws.residence.data();
+  const double* const visits = ws.visits.data();
+  const double* const cap = ws.cap.data();
+  const unsigned* const servers = ws.servers.data();
+  const unsigned char* const is_delay = ws.is_delay.data();
+
+  // Concurrency-axis demands index straight into the tabulated buffer;
+  // stride 0 for constant models makes the expression uniform.
+  const double* const grid_base = by_concurrency ? grid.data() : nullptr;
+  const std::size_t grid_stride = by_concurrency ? grid.row_stride() : 0;
 
   double previous_throughput = 0.0;
-  std::vector<double> s_now(k_count, 0.0);
+  const double think = network.think_time();
 
   for (unsigned n = 1; n <= max_population; ++n) {
-    // Demand axis: concurrency level n (Algorithm 3's SS_k^n), or the
-    // previous iteration's throughput (Section 7's open-system variant).
-    const double axis_value = demands.axis() == DemandModel::Axis::kConcurrency
-                                  ? static_cast<double>(n)
-                                  : previous_throughput;
-    for (std::size_t k = 0; k < k_count; ++k) {
-      s_now[k] = demands.at(k, axis_value);
+    // Demand axis: concurrency level n (Algorithm 3's SS_k^n, one tabulated
+    // row), or the previous iteration's throughput (Section 7's variant,
+    // evaluated through the monotone cursors).
+    const double* s_now;
+    if (by_concurrency) {
+      s_now = grid_base + static_cast<std::size_t>(n - 1) * grid_stride;
+    } else {
+      grid.eval_into(previous_throughput, ws.s_now.data());
+      s_now = ws.s_now.data();
     }
 
     double total_residence = 0.0;
     for (std::size_t k = 0; k < k_count; ++k) {
-      const Station& st = network.station(k);
       double wait;
-      if (st.kind == StationKind::kDelay) {
+      if (is_delay[k] != 0) {
         wait = s_now[k];
-      } else if (st.servers == 1) {
+      } else if (servers[k] == 1) {
         wait = s_now[k] * (1.0 + queue[k]);
       } else {
-        const auto c = static_cast<double>(st.servers);
+        const double* pk = ws.p.data() + ws.p_offset[k];
+        const double c = cap[k];
         double f = 0.0;
-        for (unsigned j = 0; j + 1 < st.servers; ++j) {
-          f += (c - 1.0 - static_cast<double>(j)) * p[k][j];
+        for (unsigned j = 0; j + 1 < servers[k]; ++j) {
+          f += (c - 1.0 - static_cast<double>(j)) * pk[j];
         }
         wait = s_now[k] / c * (1.0 + queue[k] + f);
       }
-      residence[k] = st.visits * wait;
+      residence[k] = visits[k] * wait;
       total_residence += residence[k];
     }
-    const double cycle = total_residence + network.think_time();
+    const double cycle = total_residence + think;
     MTPERF_REQUIRE(cycle > 0.0, "degenerate network: zero cycle time");
     const double x = static_cast<double>(n) / cycle;
 
-    std::vector<double> util(k_count, 0.0);
+    const std::size_t level = n - 1;
+    double* const util_row = result.utilization_row(level);
     for (std::size_t k = 0; k < k_count; ++k) {
-      const Station& st = network.station(k);
       queue[k] = x * residence[k];
-      util[k] = x * st.visits * s_now[k] / static_cast<double>(st.servers);
-      if (st.kind == StationKind::kQueueing && st.servers > 1) {
-        const double xs = x * st.visits * s_now[k];  // expected busy servers
-        const auto c = static_cast<double>(st.servers);
+      util_row[k] = x * visits[k] * s_now[k] / cap[k];
+      if (servers[k] > 1 && is_delay[k] == 0) {
+        double* const pk = ws.p.data() + ws.p_offset[k];
+        const double xs = x * visits[k] * s_now[k];  // expected busy servers
+        const double c = cap[k];
         if (xs >= c) {
           // Station fully saturated: queueing dominates, the correction
           // vanishes (R -> (S/C)(1 + Q)); zeroing the marginals is the
           // exact asymptote and avoids the recursion's instability.
-          std::fill(p[k].begin(), p[k].end(), 0.0);
+          std::fill(pk, pk + servers[k], 0.0);
         } else {
+          // In-place update, highest occupancy first: writing j reads the
+          // previous population's j-1 entry, which a descending sweep has
+          // not yet overwritten.  The arithmetic (divide by j, single
+          // accumulator) is kept bit-identical to the seed recursion: near
+          // saturation the recursion is ill-conditioned enough that any
+          // reassociation is amplified past the 1e-12 parity budget.
           double weighted_tail = 0.0;
-          for (unsigned j = 1; j < st.servers; ++j) {
-            p_next[k][j] = xs * p[k][j - 1] / static_cast<double>(j);
-            weighted_tail += (c - static_cast<double>(j)) * p_next[k][j];
+          for (unsigned j = servers[k] - 1; j >= 1; --j) {
+            pk[j] = xs * pk[j - 1] / static_cast<double>(j);
+            weighted_tail += (c - static_cast<double>(j)) * pk[j];
           }
           // Exact arithmetic maintains the idle-server identity
           //   C p(0) + sum_j (C-j) p(j) = C - xs;
@@ -118,29 +147,33 @@ MvaResult run_multiserver_mva(const ClosedNetwork& network,
           // saturation (negative p(0), unbounded mass).  Project back onto
           // the identity: rescale the tail when it alone exceeds the idle
           // budget, otherwise solve for p(0) exactly.
+          //
+          // Next level's correction, from the same pass:
+          //   F_k = sum_{j<=C-2} (C-1-j) P(j)
+          //       = (C-1) P(0) + weighted_tail - tail_sum
+          // (the j = C-1 term of the extended sum is zero).
           const double idle = c - xs;
           if (weighted_tail > idle && weighted_tail > 0.0) {
             const double scale = idle / weighted_tail;
-            for (unsigned j = 1; j < st.servers; ++j) p_next[k][j] *= scale;
-            p_next[k][0] = 0.0;
+            for (unsigned j = 1; j < servers[k]; ++j) pk[j] *= scale;
+            pk[0] = 0.0;
           } else {
-            p_next[k][0] = (idle - weighted_tail) / c;
+            pk[0] = (idle - weighted_tail) / c;
           }
-          std::swap(p[k], p_next[k]);
         }
       }
     }
     if (trace != nullptr) {
-      trace->rows.push_back(p[trace->station]);
+      const double* pk = ws.p.data() + ws.p_offset[trace->station];
+      trace->rows.emplace_back(pk,
+                               pk + network.station(trace->station).servers);
     }
 
-    result.population.push_back(n);
-    result.throughput.push_back(x);
-    result.response_time.push_back(total_residence);
-    result.cycle_time.push_back(cycle);
-    result.station_queue.push_back(queue);
-    result.station_utilization.push_back(std::move(util));
-    result.station_residence.push_back(residence);
+    result.throughput[level] = x;
+    result.response_time[level] = total_residence;
+    result.cycle_time[level] = cycle;
+    std::copy(queue, queue + k_count, result.queue_row(level));
+    std::copy(residence, residence + k_count, result.residence_row(level));
     previous_throughput = x;
   }
   return result;

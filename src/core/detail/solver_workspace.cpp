@@ -1,0 +1,10 @@
+#include "core/detail/solver_workspace.hpp"
+
+namespace mtperf::core::detail {
+
+SolverWorkspace& tls_solver_workspace() {
+  static thread_local SolverWorkspace workspace;
+  return workspace;
+}
+
+}  // namespace mtperf::core::detail

@@ -1,6 +1,9 @@
 #include "core/mva_exact.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "core/detail/solver_workspace.hpp"
 
 namespace mtperf::core {
 
@@ -15,13 +18,16 @@ MvaResult exact_mva(const ClosedNetwork& network,
     MTPERF_REQUIRE(s >= 0.0, "service times must be non-negative");
   }
 
+  std::vector<std::string> names;
+  names.reserve(k_count);
+  for (const auto& st : network.stations()) names.push_back(st.name);
   MvaResult result;
-  result.population.reserve(max_population);
-  result.station_names.reserve(k_count);
-  for (const auto& st : network.stations()) result.station_names.push_back(st.name);
+  result.reset(std::move(names), max_population);
 
-  std::vector<double> queue(k_count, 0.0);
-  std::vector<double> residence(k_count, 0.0);
+  detail::SolverWorkspace& ws = detail::tls_solver_workspace();
+  ws.prepare_stations(k_count);
+  double* const queue = ws.queue.data();
+  double* const residence = ws.residence.data();
 
   for (unsigned n = 1; n <= max_population; ++n) {
     double total_residence = 0.0;
@@ -36,18 +42,17 @@ MvaResult exact_mva(const ClosedNetwork& network,
     const double cycle = total_residence + network.think_time();
     MTPERF_REQUIRE(cycle > 0.0, "degenerate network: zero cycle time");
     const double x = static_cast<double>(n) / cycle;
-    std::vector<double> util(k_count, 0.0);
+    const std::size_t level = n - 1;
+    double* const util_row = result.utilization_row(level);
     for (std::size_t k = 0; k < k_count; ++k) {
       queue[k] = x * residence[k];
-      util[k] = x * network.station(k).visits * service_times[k];
+      util_row[k] = x * network.station(k).visits * service_times[k];
     }
-    result.population.push_back(n);
-    result.throughput.push_back(x);
-    result.response_time.push_back(total_residence);
-    result.cycle_time.push_back(cycle);
-    result.station_queue.push_back(queue);
-    result.station_utilization.push_back(std::move(util));
-    result.station_residence.push_back(residence);
+    result.throughput[level] = x;
+    result.response_time[level] = total_residence;
+    result.cycle_time[level] = cycle;
+    std::copy(queue, queue + k_count, result.queue_row(level));
+    std::copy(residence, residence + k_count, result.residence_row(level));
   }
   return result;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/error.hpp"
+#include "core/detail/solver_workspace.hpp"
 
 namespace mtperf::core {
 
@@ -27,18 +28,20 @@ MvaResult load_dependent_mva(const ClosedNetwork& network,
   MTPERF_REQUIRE(rates.size() == k_count, "one rate multiplier per station");
   MTPERF_REQUIRE(max_population >= 1, "population must be at least 1");
 
+  std::vector<std::string> names;
+  names.reserve(k_count);
+  for (const auto& st : network.stations()) names.push_back(st.name);
   MvaResult result;
-  for (const auto& st : network.stations()) result.station_names.push_back(st.name);
+  result.reset(std::move(names), max_population);
 
-  // p[k][j] = marginal probability of j customers at station k, conditioned
-  // on the *previous* population; updated in place each iteration.
-  std::vector<std::vector<double>> p(k_count);
-  for (std::size_t k = 0; k < k_count; ++k) {
-    p[k].assign(max_population + 1, 0.0);
-    p[k][0] = 1.0;
-  }
+  // ws.p holds, per station, the marginal probability of j customers
+  // (j = 0..N) conditioned on the *previous* population; updated in place
+  // each iteration.
+  detail::SolverWorkspace& ws = detail::tls_solver_workspace();
+  ws.prepare_stations(k_count);
+  ws.prepare_marginals_uniform(k_count, max_population + 1);
+  double* const residence = ws.residence.data();
 
-  std::vector<double> residence(k_count, 0.0);
   for (unsigned n = 1; n <= max_population; ++n) {
     double total_residence = 0.0;
     for (std::size_t k = 0; k < k_count; ++k) {
@@ -47,12 +50,13 @@ MvaResult load_dependent_mva(const ClosedNetwork& network,
         residence[k] = st.visits * service_times[k];
       } else {
         // R_k(n) = sum_j  j * S_k / alpha_k(j) * p_k(j-1 | n-1).
+        const double* pk = ws.p.data() + ws.p_offset[k];
         double wait = 0.0;
         for (unsigned j = 1; j <= n; ++j) {
           const double alpha = rates[k](j);
           MTPERF_REQUIRE(alpha > 0.0, "rate multiplier must be positive");
           wait += static_cast<double>(j) * service_times[k] / alpha *
-                  p[k][j - 1];
+                  pk[j - 1];
         }
         residence[k] = st.visits * wait;
       }
@@ -62,47 +66,46 @@ MvaResult load_dependent_mva(const ClosedNetwork& network,
     MTPERF_REQUIRE(cycle > 0.0, "degenerate network: zero cycle time");
     const double x = static_cast<double>(n) / cycle;
 
-    std::vector<double> queue(k_count, 0.0);
-    std::vector<double> util(k_count, 0.0);
+    const std::size_t level = n - 1;
+    double* const queue_row = result.queue_row(level);
+    double* const util_row = result.utilization_row(level);
     for (std::size_t k = 0; k < k_count; ++k) {
       const Station& st = network.station(k);
       if (st.kind == StationKind::kDelay) {
-        queue[k] = x * residence[k];
-        util[k] = x * st.visits * service_times[k];
+        queue_row[k] = x * residence[k];
+        util_row[k] = x * st.visits * service_times[k];
         continue;
       }
       // Update the marginal distribution, highest occupancy first so each
-      // p[k][j] reads the previous population's p[k][j-1].
+      // pk[j] reads the previous population's pk[j-1].
+      double* const pk = ws.p.data() + ws.p_offset[k];
       const double xk = x * st.visits;
       double tail = 0.0;
       for (unsigned j = n; j >= 1; --j) {
-        p[k][j] = xk * service_times[k] / rates[k](j) * p[k][j - 1];
-        tail += p[k][j];
+        pk[j] = xk * service_times[k] / rates[k](j) * pk[j - 1];
+        tail += pk[j];
       }
       // p(0|n) = 1 - tail suffers catastrophic cancellation once the
       // station saturates (the classic LD-MVA instability); project the
       // distribution back onto the simplex when the tail overshoots.
       if (tail > 1.0) {
-        for (unsigned j = 1; j <= n; ++j) p[k][j] /= tail;
-        p[k][0] = 0.0;
+        for (unsigned j = 1; j <= n; ++j) pk[j] /= tail;
+        pk[0] = 0.0;
       } else {
-        p[k][0] = 1.0 - tail;
+        pk[0] = 1.0 - tail;
       }
       double q = 0.0;
-      for (unsigned j = 1; j <= n; ++j) q += static_cast<double>(j) * p[k][j];
-      queue[k] = q;
+      for (unsigned j = 1; j <= n; ++j) q += static_cast<double>(j) * pk[j];
+      queue_row[k] = q;
       // Per-server utilization: offered work over full capacity
       // alpha(N) — for alpha(j) = min(j, C) this is the X V S / C the other
       // solvers report.
-      util[k] = x * st.visits * service_times[k] / rates[k](max_population);
+      util_row[k] = x * st.visits * service_times[k] / rates[k](max_population);
     }
-    result.population.push_back(n);
-    result.throughput.push_back(x);
-    result.response_time.push_back(total_residence);
-    result.cycle_time.push_back(cycle);
-    result.station_queue.push_back(std::move(queue));
-    result.station_utilization.push_back(std::move(util));
-    result.station_residence.push_back(residence);
+    result.throughput[level] = x;
+    result.response_time[level] = total_residence;
+    result.cycle_time[level] = cycle;
+    std::copy(residence, residence + k_count, result.residence_row(level));
   }
   return result;
 }

@@ -1,8 +1,10 @@
 #include "core/mva_schweitzer.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "core/detail/solver_workspace.hpp"
 
 namespace mtperf::core {
 
@@ -16,14 +18,22 @@ MvaResult schweitzer_mva(const ClosedNetwork& network,
   MTPERF_REQUIRE(max_population >= 1, "population must be at least 1");
   MTPERF_REQUIRE(options.tolerance > 0.0, "tolerance must be positive");
 
+  std::vector<std::string> names;
+  names.reserve(k_count);
+  for (const auto& st : network.stations()) names.push_back(st.name);
   MvaResult result;
-  for (const auto& st : network.stations()) result.station_names.push_back(st.name);
+  result.reset(std::move(names), max_population);
+
+  detail::SolverWorkspace& ws = detail::tls_solver_workspace();
+  ws.prepare_stations(k_count);
+  double* const queue = ws.queue.data();
+  double* const residence = ws.residence.data();
 
   for (unsigned n = 1; n <= max_population; ++n) {
     const double nd = static_cast<double>(n);
     // Start from an even spread of customers over queueing stations.
-    std::vector<double> queue(k_count, nd / static_cast<double>(k_count));
-    std::vector<double> residence(k_count, 0.0);
+    std::fill(queue, queue + k_count, nd / static_cast<double>(k_count));
+    std::fill(residence, residence + k_count, 0.0);
     double x = 0.0;
     double total_residence = 0.0;
     bool converged = false;
@@ -57,17 +67,16 @@ MvaResult schweitzer_mva(const ClosedNetwork& network,
       throw numeric_error("Schweitzer MVA did not converge at population " +
                           std::to_string(n));
     }
-    std::vector<double> util(k_count, 0.0);
+    const std::size_t level = n - 1;
+    double* const util_row = result.utilization_row(level);
     for (std::size_t k = 0; k < k_count; ++k) {
-      util[k] = x * network.station(k).visits * service_times[k];
+      util_row[k] = x * network.station(k).visits * service_times[k];
     }
-    result.population.push_back(n);
-    result.throughput.push_back(x);
-    result.response_time.push_back(total_residence);
-    result.cycle_time.push_back(total_residence + network.think_time());
-    result.station_queue.push_back(queue);
-    result.station_utilization.push_back(std::move(util));
-    result.station_residence.push_back(residence);
+    result.throughput[level] = x;
+    result.response_time[level] = total_residence;
+    result.cycle_time[level] = total_residence + network.think_time();
+    std::copy(queue, queue + k_count, result.queue_row(level));
+    std::copy(residence, residence + k_count, result.residence_row(level));
   }
   return result;
 }

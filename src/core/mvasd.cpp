@@ -1,7 +1,10 @@
 #include "core/mvasd.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 #include "core/detail/multiserver_engine.hpp"
+#include "core/detail/solver_workspace.hpp"
 
 namespace mtperf::core {
 
@@ -30,24 +33,34 @@ MvaResult mvasd_single_server(const ClosedNetwork& network,
                  "demand model width must match station count");
   MTPERF_REQUIRE(max_population >= 1, "population must be at least 1");
 
+  std::vector<std::string> names;
+  names.reserve(k_count);
+  for (const auto& st : network.stations()) names.push_back(st.name);
   MvaResult result;
-  for (const auto& st : network.stations()) result.station_names.push_back(st.name);
+  result.reset(std::move(names), max_population);
 
-  std::vector<double> queue(k_count, 0.0);
-  std::vector<double> residence(k_count, 0.0);
-  std::vector<double> s_now(k_count, 0.0);
+  const DemandGrid grid(demands, max_population);
+  const bool by_concurrency = grid.tabulated();
+
+  detail::SolverWorkspace& ws = detail::tls_solver_workspace();
+  ws.prepare_stations(k_count);
+  double* const queue = ws.queue.data();
+  double* const residence = ws.residence.data();
+  double* const s_now = ws.s_now.data();
   double previous_throughput = 0.0;
 
   for (unsigned n = 1; n <= max_population; ++n) {
-    const double axis_value = demands.axis() == DemandModel::Axis::kConcurrency
-                                  ? static_cast<double>(n)
-                                  : previous_throughput;
+    if (by_concurrency) {
+      std::copy(grid.row(n), grid.row(n) + k_count, s_now);
+    } else {
+      grid.eval_into(previous_throughput, s_now);
+    }
     double total_residence = 0.0;
     for (std::size_t k = 0; k < k_count; ++k) {
       const Station& st = network.station(k);
       // Normalize the varying demand by the server count — the heuristic
       // multi-core treatment the paper evaluates (and rejects) in Fig. 8.
-      s_now[k] = demands.at(k, axis_value) / static_cast<double>(st.servers);
+      s_now[k] /= static_cast<double>(st.servers);
       const double wait = st.kind == StationKind::kDelay
                               ? s_now[k]
                               : s_now[k] * (1.0 + queue[k]);
@@ -57,18 +70,17 @@ MvaResult mvasd_single_server(const ClosedNetwork& network,
     const double cycle = total_residence + network.think_time();
     MTPERF_REQUIRE(cycle > 0.0, "degenerate network: zero cycle time");
     const double x = static_cast<double>(n) / cycle;
-    std::vector<double> util(k_count, 0.0);
+    const std::size_t level = n - 1;
+    double* const util_row = result.utilization_row(level);
     for (std::size_t k = 0; k < k_count; ++k) {
       queue[k] = x * residence[k];
-      util[k] = x * network.station(k).visits * s_now[k];
+      util_row[k] = x * network.station(k).visits * s_now[k];
     }
-    result.population.push_back(n);
-    result.throughput.push_back(x);
-    result.response_time.push_back(total_residence);
-    result.cycle_time.push_back(cycle);
-    result.station_queue.push_back(queue);
-    result.station_utilization.push_back(std::move(util));
-    result.station_residence.push_back(residence);
+    result.throughput[level] = x;
+    result.response_time[level] = total_residence;
+    result.cycle_time[level] = cycle;
+    std::copy(queue, queue + k_count, result.queue_row(level));
+    std::copy(residence, residence + k_count, result.residence_row(level));
     previous_throughput = x;
   }
   return result;

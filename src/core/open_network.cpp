@@ -89,8 +89,9 @@ double max_stable_arrival_rate(const ClosedNetwork& network,
                                const DemandModel& demands,
                                double search_upper_bound) {
   MTPERF_REQUIRE(search_upper_bound > 0.0, "search bound must be positive");
+  std::vector<double> d(demands.stations());
   auto stable_at = [&](double lambda) {
-    const auto d = demands.all_at(lambda);
+    demands.all_at(lambda, d);  // reuses the hoisted buffer per bisection step
     for (std::size_t k = 0; k < network.size(); ++k) {
       const Station& st = network.station(k);
       if (st.kind == StationKind::kDelay) continue;

@@ -6,6 +6,21 @@
 
 namespace mtperf::core {
 
+void MvaResult::reset(std::vector<std::string> names, std::size_t n_levels) {
+  station_names = std::move(names);
+  const std::size_t k_count = station_names.size();
+  population.resize(n_levels);
+  for (std::size_t i = 0; i < n_levels; ++i) {
+    population[i] = static_cast<unsigned>(i + 1);
+  }
+  throughput.assign(n_levels, 0.0);
+  response_time.assign(n_levels, 0.0);
+  cycle_time.assign(n_levels, 0.0);
+  station_queue.assign(n_levels * k_count, 0.0);
+  station_utilization.assign(n_levels * k_count, 0.0);
+  station_residence.assign(n_levels * k_count, 0.0);
+}
+
 std::size_t MvaResult::row_for(unsigned n) const {
   for (std::size_t i = 0; i < population.size(); ++i) {
     if (population[i] == n) return i;
@@ -17,16 +32,16 @@ std::size_t MvaResult::row_for(unsigned n) const {
 std::vector<double> MvaResult::utilization_series(std::size_t station) const {
   MTPERF_REQUIRE(station < station_names.size(), "station index out of range");
   std::vector<double> out;
-  out.reserve(station_utilization.size());
-  for (const auto& row : station_utilization) out.push_back(row[station]);
+  out.reserve(levels());
+  for (std::size_t i = 0; i < levels(); ++i) out.push_back(utilization(i, station));
   return out;
 }
 
 std::vector<double> MvaResult::queue_series(std::size_t station) const {
   MTPERF_REQUIRE(station < station_names.size(), "station index out of range");
   std::vector<double> out;
-  out.reserve(station_queue.size());
-  for (const auto& row : station_queue) out.push_back(row[station]);
+  out.reserve(levels());
+  for (std::size_t i = 0; i < levels(); ++i) out.push_back(queue(i, station));
   return out;
 }
 

@@ -1,6 +1,11 @@
 // Output of every MVA-family solver: the full recursion trace from 1 to N
 // customers.  The paper's figures plot exactly these series (throughput and
 // cycle time vs concurrency; per-station utilization vs concurrency).
+//
+// Per-station series are stored structure-of-arrays: one flat row-major
+// levels × stations buffer per quantity, pre-sized once by reset().  The
+// solvers write rows in place (no per-population allocation) and readers go
+// through the (level, station) accessors.
 #pragma once
 
 #include <cstddef>
@@ -18,16 +23,45 @@ struct MvaResult {
   std::vector<double> response_time;
   /// R_n + Z — cycle time (what the paper's response-time tables report).
   std::vector<double> cycle_time;
-  /// Q_k at each population: station_queue[n-1][k].
-  std::vector<std::vector<double>> station_queue;
-  /// Per-server utilization at each population: X_n V_k S_k / C_k.
-  std::vector<std::vector<double>> station_utilization;
-  /// Residence time V_k R_k at each population.
-  std::vector<std::vector<double>> station_residence;
-  /// Station names, aligned with the inner vectors above.
+  /// Q_k at each population, flat row-major: station_queue[(n-1)*K + k].
+  std::vector<double> station_queue;
+  /// Per-server utilization X_n V_k S_k / C_k, same layout.
+  std::vector<double> station_utilization;
+  /// Residence time V_k R_k, same layout.
+  std::vector<double> station_residence;
+  /// Station names; their count is the row stride of the flat buffers.
   std::vector<std::string> station_names;
 
   std::size_t levels() const noexcept { return population.size(); }
+  std::size_t stations() const noexcept { return station_names.size(); }
+
+  /// Pre-size every buffer for `levels` population levels over the named
+  /// stations and fill `population` with 1..levels.  Solvers call this once
+  /// up front and then write rows in place.
+  void reset(std::vector<std::string> names, std::size_t levels);
+
+  /// (level, station) accessors into the flat buffers; `level` is the
+  /// 0-based row index (population n lives at level n-1).
+  double queue(std::size_t level, std::size_t station) const noexcept {
+    return station_queue[level * station_names.size() + station];
+  }
+  double utilization(std::size_t level, std::size_t station) const noexcept {
+    return station_utilization[level * station_names.size() + station];
+  }
+  double residence(std::size_t level, std::size_t station) const noexcept {
+    return station_residence[level * station_names.size() + station];
+  }
+
+  /// Mutable row pointers for solver inner loops.
+  double* queue_row(std::size_t level) noexcept {
+    return station_queue.data() + level * station_names.size();
+  }
+  double* utilization_row(std::size_t level) noexcept {
+    return station_utilization.data() + level * station_names.size();
+  }
+  double* residence_row(std::size_t level) noexcept {
+    return station_residence.data() + level * station_names.size();
+  }
 
   /// Index of the row for population n; throws if the recursion did not
   /// visit n.

@@ -85,6 +85,31 @@ bool PiecewiseCubic::locate(double x, int order, std::size_t& seg, double& t,
   throw invalid_argument_error("unknown extrapolation policy");
 }
 
+double PiecewiseCubic::value_with_cursor(double x, std::size_t& cursor) const {
+  const double lo = knots_.front();
+  const double hi = knots_.back();
+  if (x < lo || x > hi) {
+    // Out-of-range queries take the (rare) extrapolation path unchanged;
+    // park the cursor at the matching boundary segment so a later return
+    // into range stays amortized O(1).
+    cursor = x > hi && knots_.size() > 1 ? knots_.size() - 2 : 0;
+    return value(x);
+  }
+  if (knots_.size() == 1) {
+    cursor = 0;
+    return eval(0, x - knots_[0], 0);
+  }
+  const std::size_t max_seg = knots_.size() - 2;
+  std::size_t seg = cursor > max_seg ? max_seg : cursor;
+  if (x < knots_[seg]) {
+    seg = find_interval(knots_, x);  // non-monotone query: full search
+  } else {
+    while (seg < max_seg && x >= knots_[seg + 1]) ++seg;
+  }
+  cursor = seg;
+  return eval(seg, x - knots_[seg], 0);
+}
+
 double PiecewiseCubic::value(double x) const {
   std::size_t seg = 0;
   double t = 0.0, out = 0.0;

@@ -29,6 +29,17 @@ class PiecewiseCubic final : public Interpolator1D {
   const std::vector<double>& knots() const noexcept { return knots_; }
   Extrapolation extrapolation() const noexcept { return extrapolation_; }
 
+  /// Evaluation with a caller-owned segment cursor.  For non-decreasing
+  /// query sequences (the MVA recursion's concurrency or throughput axis)
+  /// the segment lookup advances the cursor instead of binary-searching,
+  /// making evaluation amortized O(1) per call instead of O(log m).  The
+  /// cursor is an opaque segment hint: initialize it to 0, pass the same
+  /// variable for each subsequent query, and reuse per evaluation stream
+  /// (never share one cursor across threads).  Arbitrary (non-monotone) x
+  /// are still answered correctly — they just fall back to the binary
+  /// search.  Results are bit-identical to value().
+  double value_with_cursor(double x, std::size_t& cursor) const;
+
   /// Second derivative at knot i — used by tests to verify C² continuity.
   double second_derivative_at_knot(std::size_t i) const;
 

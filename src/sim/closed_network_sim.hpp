@@ -35,6 +35,12 @@ struct SimVisit {
   ServiceDistribution distribution{};
 };
 
+/// Note on memory: every completed transaction in the measure window adds
+/// one 8-byte response-time sample for percentile reporting.  The buffer is
+/// reserved up front from the throughput bound N / (Z + sum of mean service
+/// times), i.e. roughly 8 * measure_time * N / (Z + sum S) bytes (capped at
+/// 512 MiB); budget accordingly for long windows with many customers and
+/// short cycles.
 struct SimOptions {
   unsigned customers = 1;            ///< N — concurrent virtual users
   double think_time_mean = 1.0;      ///< Z

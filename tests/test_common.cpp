@@ -1,6 +1,7 @@
 // Unit tests for mtperf::common — statistics, RNG, formatting, thread pool.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <numeric>
@@ -182,6 +183,31 @@ TEST(Percentile, RejectsBadInputs) {
   EXPECT_THROW(percentile({}, 50), invalid_argument_error);
   EXPECT_THROW(percentile({1.0}, -1), invalid_argument_error);
   EXPECT_THROW(percentile({1.0}, 101), invalid_argument_error);
+}
+
+TEST(Percentiles, MatchesSingleLevelCalls) {
+  const std::vector<double> original{5.0, 1.0, 3.0, 2.0, 4.0, 9.5, -2.0};
+  std::vector<double> v = original;
+  const auto q = percentiles(v, {0, 25, 50, 75, 90, 100});
+  const std::vector<double> levels{0, 25, 50, 75, 90, 100};
+  ASSERT_EQ(q.size(), levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    EXPECT_DOUBLE_EQ(q[i], percentile(original, levels[i])) << levels[i];
+  }
+}
+
+TEST(Percentiles, SortsSampleInPlace) {
+  std::vector<double> v{3.0, 1.0, 2.0};
+  percentiles(v, {50});
+  EXPECT_TRUE(std::is_sorted(v.begin(), v.end()));
+}
+
+TEST(Percentiles, RejectsBadInputs) {
+  std::vector<double> empty;
+  EXPECT_THROW(percentiles(empty, {50}), invalid_argument_error);
+  std::vector<double> one{1.0};
+  EXPECT_THROW(percentiles(one, {-1}), invalid_argument_error);
+  EXPECT_THROW(percentiles(one, {50, 101}), invalid_argument_error);
 }
 
 // ------------------------------------------------------ mean % deviation
@@ -392,6 +418,69 @@ TEST(ThreadPool, PropagatesTaskException) {
 TEST(ThreadPool, DefaultSizeAtLeastOne) {
   ThreadPool pool;
   EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForManyMoreItemsThanWorkers) {
+  ThreadPool pool(3);
+  constexpr std::size_t n = 100000;  // n >> workers
+  std::vector<std::atomic<int>> hits(n);
+  parallel_for(pool, n, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ParallelForSubmitsPerWorkerNotPerItem) {
+  ThreadPool pool(4);
+  const std::uint64_t before = pool.tasks_submitted();
+  std::atomic<int> count{0};
+  parallel_for(pool, 50000, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 50000);
+  // Chunked dispatch: one queued task per worker, not per index.
+  EXPECT_LE(pool.tasks_submitted() - before, pool.size());
+}
+
+TEST(ThreadPool, ParallelForRunsEveryIndexDespiteThrow) {
+  ThreadPool pool(2);
+  constexpr std::size_t n = 1000;
+  std::atomic<int> ran{0};
+  EXPECT_THROW(parallel_for(pool, n,
+                            [&](std::size_t i) {
+                              ++ran;
+                              if (i == 17) throw std::runtime_error("boom");
+                            }),
+               std::runtime_error);
+  // All indices are still attempted; the failure does not abandon the range.
+  EXPECT_EQ(ran.load(), static_cast<int>(n));
+}
+
+TEST(ThreadPool, ParallelForEmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  const std::uint64_t before = pool.tasks_submitted();
+  std::atomic<int> count{0};
+  parallel_for(pool, 0, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 0);
+  EXPECT_EQ(pool.tasks_submitted(), before);
+}
+
+TEST(ThreadPool, ParallelForSingleItemRunsInline) {
+  ThreadPool pool(2);
+  const std::uint64_t before = pool.tasks_submitted();
+  std::atomic<int> count{0};
+  parallel_for(pool, 1, [&](std::size_t i) {
+    EXPECT_EQ(i, 0u);
+    ++count;
+  });
+  EXPECT_EQ(count.load(), 1);
+  EXPECT_EQ(pool.tasks_submitted(), before);  // no queue round-trip for n=1
+}
+
+TEST(ThreadPool, ParallelForSingleItemPropagatesException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(
+      parallel_for(pool, 1,
+                   [](std::size_t) { throw std::runtime_error("boom"); }),
+      std::runtime_error);
 }
 
 // ----------------------------------------------------------- ConfidenceInterval

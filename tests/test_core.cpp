@@ -13,6 +13,8 @@
 #include <memory>
 #include <tuple>
 
+#include "apps/jpetstore.hpp"
+#include "apps/vins.hpp"
 #include "common/error.hpp"
 #include "core/demand_model.hpp"
 #include "core/mva_exact.hpp"
@@ -128,7 +130,7 @@ TEST(ExactMva, CustomersConservedAcrossQueuesAndThink) {
   const std::vector<double> s{0.1, 0.3};
   const auto r = exact_mva(net, s, 30);
   for (std::size_t i = 0; i < r.levels(); ++i) {
-    const double in_queues = r.station_queue[i][0] + r.station_queue[i][1];
+    const double in_queues = r.queue(i, 0) + r.queue(i, 1);
     const double thinking = r.throughput[i] * 2.0;
     EXPECT_NEAR(in_queues + thinking, static_cast<double>(r.population[i]),
                 1e-9);
@@ -404,6 +406,106 @@ TEST(DemandModel, Validation) {
   EXPECT_THROW(DemandModel::interpolated({nullptr}), invalid_argument_error);
   const auto m = DemandModel::constant({0.1});
   EXPECT_THROW(m.at(1, 1.0), invalid_argument_error);
+}
+
+TEST(DemandModel, AllAtOutParamMatchesReturningOverload) {
+  auto spline = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(interp::SampleSet({1, 10}, {1.0, 0.5})));
+  const auto m = DemandModel::interpolated({spline, spline});
+  std::vector<double> out;
+  for (double x : {1.0, 3.7, 10.0, 50.0}) {
+    m.all_at(x, out);
+    EXPECT_EQ(out, m.all_at(x)) << "x=" << x;
+  }
+}
+
+// -------------------------------------------------------------- DemandGrid
+
+/// Spline demand model through an application's ground-truth demand laws,
+/// sampled at campaign-like concurrency knots — the same shape the
+/// prediction pipeline feeds the solvers.
+DemandModel app_spline_demands(const workload::ApplicationModel& app,
+                               const std::vector<double>& knots) {
+  const std::size_t k_count = app.stations().size();
+  std::vector<std::shared_ptr<const interp::Interpolator1D>> splines;
+  for (std::size_t k = 0; k < k_count; ++k) {
+    std::vector<double> ys;
+    for (double n : knots) ys.push_back(app.true_demand(k, n));
+    splines.push_back(std::make_shared<interp::PiecewiseCubic>(
+        interp::build_cubic_spline(interp::SampleSet(knots, ys))));
+  }
+  return DemandModel::interpolated(std::move(splines));
+}
+
+TEST(DemandGrid, BitIdenticalToModelAtOnVinsShapedSplines) {
+  const auto app = apps::make_vins();
+  const auto model =
+      app_spline_demands(app, {1, 50, 200, 500, 900, 1500});
+  constexpr unsigned kMax = 2000;  // runs past the knots into extrapolation
+  const DemandGrid grid(model, kMax);
+  ASSERT_TRUE(grid.tabulated());
+  EXPECT_EQ(grid.stations(), model.stations());
+  for (unsigned n = 1; n <= kMax; ++n) {
+    const double* row = grid.row(n);
+    for (std::size_t k = 0; k < model.stations(); ++k) {
+      ASSERT_EQ(row[k], model.at(k, static_cast<double>(n)))
+          << "n=" << n << " k=" << k;
+      ASSERT_EQ(grid.at(n, k), row[k]);
+    }
+  }
+}
+
+TEST(DemandGrid, BitIdenticalToModelAtOnJPetStoreShapedSplines) {
+  const auto app = apps::make_jpetstore();
+  const auto model = app_spline_demands(app, {1, 40, 120, 200, 280});
+  constexpr unsigned kMax = 400;
+  const DemandGrid grid(model, kMax);
+  ASSERT_TRUE(grid.tabulated());
+  for (unsigned n = 1; n <= kMax; ++n) {
+    for (std::size_t k = 0; k < model.stations(); ++k) {
+      ASSERT_EQ(grid.at(n, k), model.at(k, static_cast<double>(n)))
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(DemandGrid, ConstantModelTabulates) {
+  const auto m = DemandModel::constant({0.1, 0.2, 0.3});
+  const DemandGrid grid(m, 100);
+  ASSERT_TRUE(grid.tabulated());
+  for (unsigned n : {1u, 42u, 100u}) {
+    EXPECT_DOUBLE_EQ(grid.at(n, 0), 0.1);
+    EXPECT_DOUBLE_EQ(grid.at(n, 1), 0.2);
+    EXPECT_DOUBLE_EQ(grid.at(n, 2), 0.3);
+  }
+}
+
+TEST(DemandGrid, ThroughputAxisEvalIntoMatchesModelAt) {
+  auto spline = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(
+          interp::SampleSet({0.5, 25.0, 50.0}, {0.02, 0.015, 0.012})));
+  const auto m = DemandModel::interpolated(
+      {spline, spline}, DemandModel::Axis::kThroughput);
+  const DemandGrid grid(m, 100);
+  EXPECT_FALSE(grid.tabulated());
+  std::vector<double> out(2);
+  // MVA feeds non-decreasing throughputs; verify against the slow path.
+  for (double x : {0.0, 0.5, 3.0, 17.5, 25.0, 44.0, 49.9, 60.0, 80.0}) {
+    grid.eval_into(x, out.data());
+    for (std::size_t k = 0; k < 2; ++k) {
+      ASSERT_EQ(out[k], m.at(k, x)) << "x=" << x << " k=" << k;
+    }
+  }
+}
+
+TEST(DemandGrid, ClampsNegativeSplineValuesLikeModelAt) {
+  auto spline = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(interp::SampleSet({0, 10}, {-1.0, -0.5})));
+  const auto m = DemandModel::interpolated({spline});
+  const DemandGrid grid(m, 10);
+  for (unsigned n = 1; n <= 10; ++n) {
+    EXPECT_DOUBLE_EQ(grid.at(n, 0), 0.0);
+  }
 }
 
 // ------------------------------------------------------------------ MVASD

@@ -64,7 +64,7 @@ TEST_P(RandomNetworks, LittlesLawAndConservationHold) {
     // Customer conservation: queues + thinking customers = population.
     double total = r.throughput[i] * c.network.think_time();
     for (std::size_t k = 0; k < c.network.size(); ++k) {
-      total += r.station_queue[i][k];
+      total += r.queue(i, k);
     }
     EXPECT_NEAR(total, static_cast<double>(r.population[i]), 1e-6);
   }
@@ -86,7 +86,8 @@ TEST_P(RandomNetworks, ThroughputMonotoneAndCapacityBounded) {
     EXPECT_GE(r.throughput[i], prev * (1.0 - 5e-3)) << "i=" << i;
     prev = std::max(prev, r.throughput[i]);
     EXPECT_LE(r.throughput[i], capacity * (1.0 + 5e-3)) << "i=" << i;
-    for (double u : r.station_utilization[i]) {
+    for (std::size_t k = 0; k < r.stations(); ++k) {
+      const double u = r.utilization(i, k);
       EXPECT_LE(u, 1.0 + 5e-3);
       EXPECT_GE(u, 0.0);
     }

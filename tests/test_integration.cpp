@@ -7,14 +7,19 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
+#include <memory>
 
 #include "apps/jpetstore.hpp"
 #include "apps/testbed.hpp"
 #include "apps/vins.hpp"
 #include "common/stats.hpp"
+#include "core/demand_model.hpp"
 #include "core/mva_multiserver.hpp"
 #include "core/mvasd.hpp"
+#include "core/network.hpp"
 #include "core/prediction.hpp"
+#include "interp/cubic_spline.hpp"
 #include "ops/bounds.hpp"
 #include "workload/campaign.hpp"
 #include "workload/test_plan.hpp"
@@ -127,6 +132,163 @@ TEST_F(JPetStorePipeline, DemandVsThroughputAxisIsWorseButReasonable) {
   EXPECT_LT(thru.throughput_deviation_pct, 20.0);
 }
 
+/// Functional-path reference: the multi-server MVASD recursion evaluated
+/// with per-(n, k) DemandModel::at calls and per-level allocations — the
+/// pre-DemandGrid implementation, kept here as the parity oracle for the
+/// tabulated hot path.
+struct ReferenceResult {
+  std::vector<double> throughput, response_time;
+  std::vector<std::vector<double>> queue, utilization, residence;
+};
+
+ReferenceResult reference_mvasd(const core::ClosedNetwork& network,
+                                const core::DemandModel& demands,
+                                unsigned max_population) {
+  const std::size_t k_count = network.size();
+  ReferenceResult result;
+  std::vector<double> queue(k_count, 0.0), residence(k_count, 0.0);
+  std::vector<std::vector<double>> p(k_count), p_next(k_count);
+  for (std::size_t k = 0; k < k_count; ++k) {
+    p[k].assign(network.station(k).servers, 0.0);
+    p[k][0] = 1.0;
+    p_next[k].assign(network.station(k).servers, 0.0);
+  }
+  double previous_throughput = 0.0;
+  std::vector<double> s_now(k_count, 0.0);
+  for (unsigned n = 1; n <= max_population; ++n) {
+    const double axis_value =
+        demands.axis() == core::DemandModel::Axis::kConcurrency
+            ? static_cast<double>(n)
+            : previous_throughput;
+    for (std::size_t k = 0; k < k_count; ++k) {
+      s_now[k] = demands.at(k, axis_value);
+    }
+    double total_residence = 0.0;
+    for (std::size_t k = 0; k < k_count; ++k) {
+      const core::Station& st = network.station(k);
+      double wait;
+      if (st.kind == core::StationKind::kDelay) {
+        wait = s_now[k];
+      } else if (st.servers == 1) {
+        wait = s_now[k] * (1.0 + queue[k]);
+      } else {
+        const auto c = static_cast<double>(st.servers);
+        double f = 0.0;
+        for (unsigned j = 0; j + 1 < st.servers; ++j) {
+          f += (c - 1.0 - static_cast<double>(j)) * p[k][j];
+        }
+        wait = s_now[k] / c * (1.0 + queue[k] + f);
+      }
+      residence[k] = st.visits * wait;
+      total_residence += residence[k];
+    }
+    const double x =
+        static_cast<double>(n) / (total_residence + network.think_time());
+    std::vector<double> util(k_count, 0.0);
+    for (std::size_t k = 0; k < k_count; ++k) {
+      const core::Station& st = network.station(k);
+      queue[k] = x * residence[k];
+      util[k] = x * st.visits * s_now[k] / static_cast<double>(st.servers);
+      if (st.kind == core::StationKind::kQueueing && st.servers > 1) {
+        const double xs = x * st.visits * s_now[k];
+        const auto c = static_cast<double>(st.servers);
+        if (xs >= c) {
+          std::fill(p[k].begin(), p[k].end(), 0.0);
+        } else {
+          double weighted_tail = 0.0;
+          for (unsigned j = st.servers - 1; j >= 1; --j) {
+            p_next[k][j] = xs * p[k][j - 1] / static_cast<double>(j);
+            weighted_tail += (c - static_cast<double>(j)) * p_next[k][j];
+          }
+          const double idle = c - xs;
+          if (weighted_tail > idle && weighted_tail > 0.0) {
+            const double scale = idle / weighted_tail;
+            for (unsigned j = 1; j < st.servers; ++j) p_next[k][j] *= scale;
+            p_next[k][0] = 0.0;
+          } else {
+            p_next[k][0] = (idle - weighted_tail) / c;
+          }
+          std::swap(p[k], p_next[k]);
+        }
+      }
+    }
+    result.throughput.push_back(x);
+    result.response_time.push_back(total_residence);
+    result.queue.push_back(queue);
+    result.utilization.push_back(util);
+    result.residence.push_back(residence);
+    previous_throughput = x;
+  }
+  return result;
+}
+
+void expect_relative_parity(const core::MvaResult& got,
+                            const ReferenceResult& want, double tol) {
+  ASSERT_EQ(got.levels(), want.throughput.size());
+  const auto close = [tol](double a, double b) {
+    const double scale = std::max({std::abs(a), std::abs(b), 1e-300});
+    return std::abs(a - b) / scale <= tol;
+  };
+  for (std::size_t i = 0; i < got.levels(); ++i) {
+    ASSERT_TRUE(close(got.throughput[i], want.throughput[i])) << "X at " << i;
+    ASSERT_TRUE(close(got.response_time[i], want.response_time[i]))
+        << "R at " << i;
+    for (std::size_t k = 0; k < got.stations(); ++k) {
+      ASSERT_TRUE(close(got.queue(i, k), want.queue[i][k]))
+          << "Q at " << i << "," << k;
+      ASSERT_TRUE(close(got.utilization(i, k), want.utilization[i][k]))
+          << "U at " << i << "," << k;
+      ASSERT_TRUE(close(got.residence(i, k), want.residence[i][k]))
+          << "Res at " << i << "," << k;
+    }
+  }
+}
+
+TEST_F(JPetStorePipeline, GridSolveMatchesFunctionalReference) {
+  // The tabulated DemandGrid hot path must reproduce the functional-path
+  // recursion to ~machine precision (<= 1e-12 relative on every series).
+  const auto network = core::network_from_table(campaign().table, kThink);
+  const auto demands = core::DemandModel::from_table(campaign().table);
+  const auto got = core::mvasd(network, demands, kMaxUsers);
+  const auto want = reference_mvasd(network, demands, kMaxUsers);
+  expect_relative_parity(got, want, 1e-12);
+}
+
+TEST_F(JPetStorePipeline, GridSolveMatchesFunctionalReferenceThroughputAxis) {
+  const auto network = core::network_from_table(campaign().table, kThink);
+  const auto demands = core::DemandModel::from_table(
+      campaign().table, core::DemandModel::Axis::kThroughput);
+  const auto got = core::mvasd(network, demands, kMaxUsers);
+  const auto want = reference_mvasd(network, demands, kMaxUsers);
+  expect_relative_parity(got, want, 1e-12);
+}
+
+TEST(VinsGridParity, GridSolveMatchesFunctionalReference) {
+  // Same parity check on a VINS-shaped model built from the application's
+  // ground-truth demand laws (no simulation needed).
+  const auto app = apps::make_vins();
+  const std::size_t k_count = app.stations().size();
+  std::vector<std::string> names;
+  std::vector<unsigned> servers;
+  for (const auto& st : app.stations()) {
+    names.push_back(st.name);
+    servers.push_back(st.servers);
+  }
+  const auto network = core::make_network(names, servers, app.think_time());
+  std::vector<std::shared_ptr<const interp::Interpolator1D>> splines;
+  const std::vector<double> knots{1, 100, 400, 800, 1500};
+  for (std::size_t k = 0; k < k_count; ++k) {
+    std::vector<double> ys;
+    for (double n : knots) ys.push_back(app.true_demand(k, n));
+    splines.push_back(std::make_shared<interp::PiecewiseCubic>(
+        interp::build_cubic_spline(interp::SampleSet(knots, ys))));
+  }
+  const auto demands = core::DemandModel::interpolated(std::move(splines));
+  const auto got = core::mvasd(network, demands, 1500);
+  const auto want = reference_mvasd(network, demands, 1500);
+  expect_relative_parity(got, want, 1e-12);
+}
+
 TEST_F(JPetStorePipeline, PredictedDbUtilizationTracksMeasured) {
   // Fig. 9: MVASD's per-station utilization curves follow the monitors.
   const auto prediction =
@@ -137,7 +299,7 @@ TEST_F(JPetStorePipeline, PredictedDbUtilizationTracksMeasured) {
     for (std::size_t k : {static_cast<std::size_t>(apps::kDbCpu),
                           static_cast<std::size_t>(apps::kDbDisk)}) {
       const double measured = point.utilization[k];
-      const double predicted = prediction.station_utilization[row][k];
+      const double predicted = prediction.utilization(row, k);
       EXPECT_NEAR(predicted, measured, 0.10)
           << "station " << k << " at N=" << point.concurrency;
     }

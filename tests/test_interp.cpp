@@ -137,6 +137,28 @@ TEST(FindInterval, LocatesAndClamps) {
   EXPECT_EQ(find_interval(knots, 99.0), 2u);
 }
 
+TEST(ValueWithCursor, BitIdenticalToValueOnMonotoneSweep) {
+  const auto f = build_cubic_spline(
+      SampleSet({0.0, 1.0, 2.5, 4.0, 7.0}, {1.0, 0.5, 2.0, -1.0, 3.0}));
+  std::size_t cursor = 0;
+  for (double x = -1.0; x <= 8.0; x += 0.01) {  // includes both extrap sides
+    EXPECT_EQ(f.value_with_cursor(x, cursor), f.value(x)) << "x=" << x;
+  }
+}
+
+TEST(ValueWithCursor, HandlesNonMonotoneQueries) {
+  const auto f = build_cubic_spline(
+      SampleSet({0.0, 1.0, 2.5, 4.0, 7.0}, {1.0, 0.5, 2.0, -1.0, 3.0}));
+  std::size_t cursor = 0;
+  // Jump forward, backward, out of range, back in: the cursor must recover.
+  for (double x : {6.5, 0.5, 3.0, -2.0, 5.0, 9.0, 1.5}) {
+    EXPECT_EQ(f.value_with_cursor(x, cursor), f.value(x)) << "x=" << x;
+  }
+  // A stale out-of-range cursor value must not fault or mislead.
+  cursor = 1000;
+  EXPECT_EQ(f.value_with_cursor(2.0, cursor), f.value(2.0));
+}
+
 // ------------------------------------------------------------------ linear
 
 TEST(Linear, InterpolatesExactlyAtAndBetweenKnots) {

@@ -26,7 +26,7 @@ TEST(Multiclass, SingleClassMatchesExactMva) {
   EXPECT_NEAR(mc.class_throughput[0], sc.throughput.back(), 1e-10);
   EXPECT_NEAR(mc.class_response_time[0], sc.response_time.back(), 1e-10);
   for (std::size_t k = 0; k < 2; ++k) {
-    EXPECT_NEAR(mc.station_queue[k], sc.station_queue.back()[k], 1e-10);
+    EXPECT_NEAR(mc.station_queue[k], sc.queue(sc.levels() - 1, k), 1e-10);
   }
 }
 
