@@ -18,15 +18,14 @@ int main() {
   const double think = 1.0;
   const unsigned max_users = apps::kVinsMaxUsers;
 
-  std::vector<core::Scenario> scenarios;
+  std::vector<core::ScenarioSpec> scenarios;
   for (double i : {1.0, 203.0, 680.0, 1500.0}) {
-    scenarios.push_back(core::Scenario{
-        "MVA " + std::to_string(static_cast<int>(i)), [&, i] {
-          return core::predict_mva_fixed(campaign.table, think, max_users, i);
-        }});
+    scenarios.push_back(core::mva_fixed_scenario(
+        "MVA " + std::to_string(static_cast<int>(i)), campaign.table, think,
+        max_users, i));
   }
   ThreadPool pool;
-  const auto models = core::run_scenarios(std::move(scenarios), &pool);
+  const auto models = core::run_scenarios(scenarios, &pool);
 
   bench::print_model_comparison(campaign, think, models,
                                 "fig04_vins_mva_deviation.csv");

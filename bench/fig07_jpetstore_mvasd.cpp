@@ -17,18 +17,16 @@ int main() {
   const double think = 1.0;
   const unsigned max_users = apps::kJPetStoreMaxUsers;
 
-  std::vector<core::Scenario> scenarios;
-  scenarios.push_back(core::Scenario{"MVASD", [&] {
-    return core::predict_mvasd(campaign.table, think, max_users);
-  }});
+  std::vector<core::ScenarioSpec> scenarios;
+  scenarios.push_back(
+      core::mvasd_scenario("MVASD", campaign.table, think, max_users));
   for (double i : {28.0, 70.0, 140.0, 210.0}) {
-    scenarios.push_back(core::Scenario{
-        "MVA " + std::to_string(static_cast<int>(i)), [&, i] {
-          return core::predict_mva_fixed(campaign.table, think, max_users, i);
-        }});
+    scenarios.push_back(core::mva_fixed_scenario(
+        "MVA " + std::to_string(static_cast<int>(i)), campaign.table, think,
+        max_users, i));
   }
   ThreadPool pool;
-  const auto models = core::run_scenarios(std::move(scenarios), &pool);
+  const auto models = core::run_scenarios(scenarios, &pool);
 
   bench::print_model_comparison(campaign, think, models,
                                 "fig07_jpetstore_mvasd.csv");

@@ -7,7 +7,6 @@
 // for carrying the exact multi-server correction factor.
 #include "bench_util.hpp"
 #include "core/prediction.hpp"
-#include "core/seidmann.hpp"
 
 int main() {
   using namespace mtperf;
@@ -18,22 +17,23 @@ int main() {
   const double think = 1.0;
   const unsigned max_users = apps::kJPetStoreMaxUsers;
 
-  std::vector<core::Scenario> scenarios;
-  scenarios.push_back(core::Scenario{"MVASD", [&] {
-    return core::predict_mvasd(campaign.table, think, max_users);
-  }});
-  scenarios.push_back(core::Scenario{"MVASD:SingleServer", [&] {
-    return core::predict_mvasd_single_server(campaign.table, think, max_users);
-  }});
+  std::vector<core::ScenarioSpec> scenarios;
+  scenarios.push_back(
+      core::mvasd_scenario("MVASD", campaign.table, think, max_users));
+  scenarios.push_back(core::mvasd_single_server_scenario(
+      "MVASD:SingleServer", campaign.table, think, max_users));
   // Ablation beyond the paper: the Seidmann-transform approximation used by
   // approximate multi-server MVA ([19]-style baselines).
-  scenarios.push_back(core::Scenario{"Seidmann (D@140)", [&] {
-    const auto net = core::network_from_table(campaign.table, think);
-    const auto demands = campaign.table.demands_at_concurrency(140.0);
-    return core::seidmann_mva(net, demands, max_users);
-  }});
+  core::ScenarioSpec seidmann;
+  seidmann.label = "Seidmann (D@140)";
+  seidmann.network = core::network_from_table(campaign.table, think);
+  seidmann.demands = core::DemandModel::constant(
+      campaign.table.demands_at_concurrency(140.0));
+  seidmann.options.solver = core::SolverKind::kSeidmann;
+  seidmann.options.max_population = max_users;
+  scenarios.push_back(std::move(seidmann));
   ThreadPool pool;
-  const auto models = core::run_scenarios(std::move(scenarios), &pool);
+  const auto models = core::run_scenarios(scenarios, &pool);
 
   bench::print_model_comparison(campaign, think, models,
                                 "fig08_singleserver_vs_multiserver.csv");

@@ -59,8 +59,9 @@ int main() {
               ops::knee_population(bounds));
 
   // MVASD refines the envelope into the full curve.
-  const auto prediction =
-      core::predict_mvasd(table, think, apps::kJPetStoreMaxUsers);
+  const auto spec =
+      core::mvasd_scenario("MVASD", table, think, apps::kJPetStoreMaxUsers);
+  const auto prediction = core::solve(spec.network, spec.demands, spec.options);
   TextTable t("Bounds vs MVASD");
   t.set_header({"Users", "X upper bound (tx/s)", "MVASD X (tx/s)",
                 "R lower bound (s)", "MVASD R (s)"});

@@ -11,9 +11,8 @@
 
 #include "common/table.hpp"
 #include "core/demand_model.hpp"
-#include "core/mva_multiserver.hpp"
-#include "core/mvasd.hpp"
 #include "core/network.hpp"
+#include "core/solve.hpp"
 #include "interp/cubic_spline.hpp"
 
 int main() {
@@ -40,10 +39,18 @@ int main() {
       spline_of({1, 50, 150, 400}, {0.060, 0.052, 0.046, 0.044}),
   });
 
+  // core::solve is the single entry point: pick a solver kind, hand it the
+  // network and a demand model, and ask for the population range.
   const unsigned max_users = 400;
+  core::SolveOptions options;
+  options.max_population = max_users;
+
+  options.solver = core::SolverKind::kExactMultiserver;
   const core::MvaResult fixed =
-      core::exact_multiserver_mva(network, demands, max_users);
-  const core::MvaResult adaptive = core::mvasd(network, varying, max_users);
+      core::solve(network, core::DemandModel::constant(demands), options);
+
+  options.solver = core::SolverKind::kMvasd;
+  const core::MvaResult adaptive = core::solve(network, varying, options);
 
   TextTable table("MVA (constant demands) vs MVASD (varying demands)");
   table.set_header({"Users", "X mva (tx/s)", "X mvasd (tx/s)", "R mva (s)",

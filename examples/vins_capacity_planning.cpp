@@ -44,8 +44,10 @@ int main() {
                   .to_string()
                   .c_str());
 
-  // Step 3+4: demands -> splines -> MVASD.
-  const auto prediction = core::predict_mvasd(campaign.table, think, max_users);
+  // Step 3+4: demands -> splines -> MVASD, via the declarative facade.
+  const auto spec =
+      core::mvasd_scenario("MVASD", campaign.table, think, max_users);
+  const auto prediction = core::solve(spec.network, spec.demands, spec.options);
 
   const double pages = static_cast<double>(campaign.pages_per_transaction);
   TextTable t("MVASD capacity forecast");

@@ -1,9 +1,11 @@
 // Error handling primitives shared by all mtperf modules.
 //
-// The library throws exceptions derived from std::logic_error /
-// std::runtime_error for precondition violations and data errors; the
-// MTPERF_REQUIRE macro gives call sites a one-line way to validate inputs
-// while keeping the failure message informative (expression + user text).
+// Every exception the library throws derives from mtperf::Error, and every
+// message carries the stable "mtperf: " prefix — callers (CLI, serve tool,
+// tests) can match on the prefix and on the category that follows it
+// without depending on solver-specific wording.  The MTPERF_REQUIRE macro
+// gives call sites a one-line way to validate inputs while keeping the
+// failure message informative (expression + user text).
 #pragma once
 
 #include <sstream>
@@ -12,17 +14,35 @@
 
 namespace mtperf {
 
-/// Thrown when a caller violates a documented API precondition.
-class invalid_argument_error : public std::invalid_argument {
+/// Root of the library's exception hierarchy.  The what() string of every
+/// Error (and subclass) starts with the stable prefix "mtperf: ".
+class Error : public std::runtime_error {
  public:
-  using std::invalid_argument::invalid_argument;
+  explicit Error(const std::string& message)
+      : std::runtime_error(with_prefix(message)) {}
+
+  /// The prefix every library error message starts with.
+  static const char* prefix() noexcept { return "mtperf: "; }
+
+ private:
+  static std::string with_prefix(const std::string& message) {
+    if (message.rfind(prefix(), 0) == 0) return message;
+    return prefix() + message;
+  }
+};
+
+/// Thrown when a caller violates a documented API precondition (invalid
+/// inputs: zero stations, non-monotone knots, max_population == 0, ...).
+class invalid_argument_error : public Error {
+ public:
+  using Error::Error;
 };
 
 /// Thrown when an algorithm fails to make progress (non-convergence,
 /// singular systems, and similar numeric failures).
-class numeric_error : public std::runtime_error {
+class numeric_error : public Error {
  public:
-  using std::runtime_error::runtime_error;
+  using Error::Error;
 };
 
 namespace detail {
@@ -31,7 +51,8 @@ namespace detail {
                                                    const char* file, int line,
                                                    const std::string& msg) {
   std::ostringstream os;
-  os << "mtperf requirement failed: (" << expr << ") at " << file << ':' << line;
+  os << Error::prefix() << "requirement failed: (" << expr << ") at " << file
+     << ':' << line;
   if (!msg.empty()) os << " — " << msg;
   throw invalid_argument_error(os.str());
 }

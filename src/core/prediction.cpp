@@ -1,8 +1,7 @@
 #include "core/prediction.hpp"
 
 #include "common/stats.hpp"
-#include "core/mva_multiserver.hpp"
-#include "core/mvasd.hpp"
+#include "core/solve.hpp"
 
 namespace mtperf::core {
 
@@ -11,31 +10,70 @@ ClosedNetwork network_from_table(const ops::DemandTable& table,
   return make_network(table.stations(), table.servers(), think_time);
 }
 
+ScenarioSpec mvasd_scenario(std::string label, const ops::DemandTable& table,
+                            double think_time, unsigned max_population,
+                            DemandModel::Axis axis,
+                            const interp::CubicSplineOptions& spline) {
+  ScenarioSpec spec;
+  spec.label = std::move(label);
+  spec.network = network_from_table(table, think_time);
+  spec.demands = DemandModel::from_table(table, axis, spline);
+  spec.options.solver = SolverKind::kMvasd;
+  spec.options.max_population = max_population;
+  return spec;
+}
+
+ScenarioSpec mvasd_single_server_scenario(
+    std::string label, const ops::DemandTable& table, double think_time,
+    unsigned max_population, const interp::CubicSplineOptions& spline) {
+  ScenarioSpec spec;
+  spec.label = std::move(label);
+  spec.network = network_from_table(table, think_time);
+  spec.demands =
+      DemandModel::from_table(table, DemandModel::Axis::kConcurrency, spline);
+  spec.options.solver = SolverKind::kMvasdSingleServer;
+  spec.options.max_population = max_population;
+  return spec;
+}
+
+ScenarioSpec mva_fixed_scenario(std::string label,
+                                const ops::DemandTable& table,
+                                double think_time, unsigned max_population,
+                                double demand_source_concurrency) {
+  ScenarioSpec spec;
+  spec.label = std::move(label);
+  spec.network = network_from_table(table, think_time);
+  spec.demands = DemandModel::constant(
+      table.demands_at_concurrency(demand_source_concurrency));
+  spec.options.solver = SolverKind::kExactMultiserver;
+  spec.options.max_population = max_population;
+  return spec;
+}
+
 MvaResult predict_mvasd(const ops::DemandTable& table, double think_time,
                         unsigned max_population, DemandModel::Axis axis,
                         const interp::CubicSplineOptions& spline) {
-  const ClosedNetwork network = network_from_table(table, think_time);
-  const DemandModel demands = DemandModel::from_table(table, axis, spline);
-  return mvasd(network, demands, max_population);
+  const ScenarioSpec spec =
+      mvasd_scenario("MVASD", table, think_time, max_population, axis, spline);
+  return solve(spec.network, &spec.demands, spec.options);
 }
 
 MvaResult predict_mvasd_single_server(const ops::DemandTable& table,
                                       double think_time,
                                       unsigned max_population,
                                       const interp::CubicSplineOptions& spline) {
-  const ClosedNetwork network = network_from_table(table, think_time);
-  const DemandModel demands =
-      DemandModel::from_table(table, DemandModel::Axis::kConcurrency, spline);
-  return mvasd_single_server(network, demands, max_population);
+  const ScenarioSpec spec = mvasd_single_server_scenario(
+      "MVASD: Single-Server", table, think_time, max_population, spline);
+  return solve(spec.network, &spec.demands, spec.options);
 }
 
 MvaResult predict_mva_fixed(const ops::DemandTable& table, double think_time,
                             unsigned max_population,
                             double demand_source_concurrency) {
-  const ClosedNetwork network = network_from_table(table, think_time);
-  const std::vector<double> demands =
-      table.demands_at_concurrency(demand_source_concurrency);
-  return exact_multiserver_mva(network, demands, max_population);
+  const ScenarioSpec spec =
+      mva_fixed_scenario("MVA", table, think_time, max_population,
+                         demand_source_concurrency);
+  return solve(spec.network, &spec.demands, spec.options);
 }
 
 DeviationReport deviation_against_measurements(const std::string& model,

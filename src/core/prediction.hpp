@@ -11,6 +11,8 @@
 #include "core/demand_model.hpp"
 #include "core/network.hpp"
 #include "core/result.hpp"
+#include "core/solve.hpp"
+#include "core/sweep.hpp"
 #include "ops/demand_table.hpp"
 
 namespace mtperf::core {
@@ -47,6 +49,23 @@ MvaResult predict_mvasd_single_server(
 MvaResult predict_mva_fixed(const ops::DemandTable& table, double think_time,
                             unsigned max_population,
                             double demand_source_concurrency);
+
+/// Declarative forms of the predictions above: each returns a ScenarioSpec
+/// ready for run_scenarios() or service::Engine, so benches and examples
+/// state *what* to evaluate and let the facade/engine decide how.
+ScenarioSpec mvasd_scenario(std::string label, const ops::DemandTable& table,
+                            double think_time, unsigned max_population,
+                            DemandModel::Axis axis = DemandModel::Axis::kConcurrency,
+                            const interp::CubicSplineOptions& spline = {});
+
+ScenarioSpec mvasd_single_server_scenario(
+    std::string label, const ops::DemandTable& table, double think_time,
+    unsigned max_population, const interp::CubicSplineOptions& spline = {});
+
+ScenarioSpec mva_fixed_scenario(std::string label,
+                                const ops::DemandTable& table,
+                                double think_time, unsigned max_population,
+                                double demand_source_concurrency);
 
 /// Eq. 15 deviation of a prediction against the campaign's measured
 /// throughput and cycle time (R + Z), at the measured concurrency levels.

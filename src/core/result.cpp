@@ -29,6 +29,32 @@ std::size_t MvaResult::row_for(unsigned n) const {
                                std::to_string(n));
 }
 
+MvaResult MvaResult::prefix(unsigned max_population) const {
+  MTPERF_REQUIRE(max_population >= 1, "population must be at least 1");
+  MTPERF_REQUIRE(max_population <= levels(),
+                 "prefix deeper than the solved population range");
+  MTPERF_REQUIRE(!population.empty() && population.front() == 1 &&
+                     population.back() == levels(),
+                 "prefix requires the canonical 1..N population numbering");
+  const std::size_t n_levels = max_population;
+  const std::size_t k_count = station_names.size();
+  MvaResult out;
+  out.station_names = station_names;
+  out.population.assign(population.begin(), population.begin() + n_levels);
+  out.throughput.assign(throughput.begin(), throughput.begin() + n_levels);
+  out.response_time.assign(response_time.begin(),
+                           response_time.begin() + n_levels);
+  out.cycle_time.assign(cycle_time.begin(), cycle_time.begin() + n_levels);
+  const std::size_t cells = n_levels * k_count;
+  out.station_queue.assign(station_queue.begin(),
+                           station_queue.begin() + cells);
+  out.station_utilization.assign(station_utilization.begin(),
+                                 station_utilization.begin() + cells);
+  out.station_residence.assign(station_residence.begin(),
+                               station_residence.begin() + cells);
+  return out;
+}
+
 std::vector<double> MvaResult::utilization_series(std::size_t station) const {
   MTPERF_REQUIRE(station < station_names.size(), "station index out of range");
   std::vector<double> out;

@@ -67,6 +67,14 @@ struct MvaResult {
   /// visit n.
   std::size_t row_for(unsigned n) const;
 
+  /// Copy of the first `max_population` levels (1..N' of this result's
+  /// 1..N).  Every MVA recursion here computes level n from levels below
+  /// it only, so the prefix of a deep solve is identical to a shallower
+  /// solve — the property the scenario engine's cached-prefix reuse rests
+  /// on.  Requires levels() >= max_population >= 1 and the canonical
+  /// population numbering 1..N that reset() establishes.
+  MvaResult prefix(unsigned max_population) const;
+
   /// Series of one station's utilization across all populations.
   std::vector<double> utilization_series(std::size_t station) const;
   /// Series of one station's mean queue length across all populations.

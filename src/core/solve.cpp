@@ -1,0 +1,111 @@
+#include "core/solve.hpp"
+
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/mva_exact.hpp"
+#include "core/mva_multiserver.hpp"
+#include "core/mvasd.hpp"
+#include "core/seidmann.hpp"
+
+namespace mtperf::core {
+
+namespace {
+
+struct KindName {
+  SolverKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {SolverKind::kExactSingleServer, "exact"},
+    {SolverKind::kExactMultiserver, "exact-multiserver"},
+    {SolverKind::kSchweitzer, "schweitzer"},
+    {SolverKind::kApproxMultiserver, "approx-multiserver"},
+    {SolverKind::kLoadDependent, "load-dependent"},
+    {SolverKind::kMvasd, "mvasd"},
+    {SolverKind::kMvasdSingleServer, "mvasd-single-server"},
+    {SolverKind::kSeidmann, "seidmann"},
+    {SolverKind::kSeidmannSchweitzer, "seidmann-schweitzer"},
+};
+
+/// Constant demands as the span the fixed-demand entry points take.
+std::vector<double> constant_demands(const DemandModel& demands,
+                                     SolverKind kind) {
+  MTPERF_REQUIRE(demands.is_constant(),
+                 std::string("solver '") + solver_kind_name(kind) +
+                     "' requires constant demands (DemandModel::constant)");
+  return demands.all_at(1.0);
+}
+
+}  // namespace
+
+const char* solver_kind_name(SolverKind kind) {
+  for (const auto& [k, name] : kKindNames) {
+    if (k == kind) return name;
+  }
+  MTPERF_REQUIRE(false, "unknown SolverKind value");
+  return "";  // unreachable
+}
+
+SolverKind parse_solver_kind(const std::string& name) {
+  for (const auto& [kind, n] : kKindNames) {
+    if (name == n) return kind;
+  }
+  throw invalid_argument_error("unknown solver kind: '" + name + "'");
+}
+
+MvaResult solve(const ClosedNetwork& network, const DemandModel* demands,
+                const SolveOptions& options) {
+  MTPERF_REQUIRE(demands != nullptr, "solve() needs a demand model");
+  MTPERF_REQUIRE(demands->stations() == network.size(),
+                 "demand model width must match station count");
+  MTPERF_REQUIRE(options.max_population >= 1, "population must be at least 1");
+
+  const unsigned n = options.max_population;
+  switch (options.solver) {
+    case SolverKind::kExactSingleServer:
+      return exact_mva(network, constant_demands(*demands, options.solver), n);
+    case SolverKind::kExactMultiserver:
+      // Algorithm 2; with a varying-demand model this is exactly
+      // Algorithm 3 (the same recursion over per-population demands).
+      return mvasd(network, *demands, n);
+    case SolverKind::kSchweitzer:
+      return schweitzer_mva(network,
+                            constant_demands(*demands, options.solver), n,
+                            options.schweitzer);
+    case SolverKind::kApproxMultiserver:
+      if (demands->is_constant()) {
+        return approx_multiserver_mva(network, demands->all_at(1.0), n,
+                                      options.approx);
+      }
+      return approx_mvasd(network, *demands, n, options.approx);
+    case SolverKind::kLoadDependent: {
+      std::vector<RateMultiplier> rates = options.rates;
+      if (rates.empty()) {
+        rates.reserve(network.size());
+        for (const auto& st : network.stations()) {
+          rates.push_back(multiserver_rate(st.servers));
+        }
+      }
+      MTPERF_REQUIRE(rates.size() == network.size(),
+                     "one rate multiplier per station required");
+      return load_dependent_mva(
+          network, constant_demands(*demands, options.solver), rates, n);
+    }
+    case SolverKind::kMvasd:
+      return mvasd(network, *demands, n);
+    case SolverKind::kMvasdSingleServer:
+      return mvasd_single_server(network, *demands, n);
+    case SolverKind::kSeidmann:
+      return seidmann_mva(network, constant_demands(*demands, options.solver),
+                          n);
+    case SolverKind::kSeidmannSchweitzer:
+      return seidmann_schweitzer_mva(
+          network, constant_demands(*demands, options.solver), n);
+  }
+  MTPERF_REQUIRE(false, "unknown SolverKind value");
+  return MvaResult{};  // unreachable
+}
+
+}  // namespace mtperf::core

@@ -1,0 +1,82 @@
+// The unified solver facade: one entry point over the whole MVA family.
+//
+// Historically every solver was its own free function with its own
+// signature (constant demands as a span, varying demands as a DemandModel,
+// options structs here and there).  Capacity-planning callers — what-if
+// sweeps, Chebyshev test plans, the scenario-evaluation engine — want to
+// treat "which solver" as *data*, so this header folds all entry points
+// into a single declarative call:
+//
+//   MvaResult r = solve(network, &demands, {SolverKind::kMvasd, 1500});
+//
+// The legacy free functions (mvasd, exact_mva, exact_multiserver_mva, ...)
+// remain as thin wrappers; solve() forwards to them, so results are
+// bit-identical to the historical entry points.
+#pragma once
+
+#include <string>
+
+#include "core/demand_model.hpp"
+#include "core/mva_approx_multiserver.hpp"
+#include "core/mva_load_dependent.hpp"
+#include "core/mva_schweitzer.hpp"
+#include "core/network.hpp"
+#include "core/result.hpp"
+
+namespace mtperf::core {
+
+/// Which member of the MVA family evaluates the scenario.
+enum class SolverKind {
+  kExactSingleServer,   ///< Algorithm 1 (exact_mva) — constant demands
+  kExactMultiserver,    ///< Algorithm 2 (exact_multiserver_mva)
+  kSchweitzer,          ///< Eq. 9 fixed point (schweitzer_mva) — constant
+  kApproxMultiserver,   ///< approx_multiserver_mva / approx_mvasd
+  kLoadDependent,       ///< full marginal recursion (load_dependent_mva)
+  kMvasd,               ///< Algorithm 3 (mvasd) — varying demands
+  kMvasdSingleServer,   ///< Fig. 8 baseline (mvasd_single_server)
+  kSeidmann,            ///< Seidmann transform + exact recursion — constant
+  kSeidmannSchweitzer,  ///< Seidmann transform + Schweitzer — constant
+};
+
+/// Stable lower-case identifier ("mvasd", "exact-multiserver", ...) used by
+/// the CLI, the serve tool's JSON protocol, and error messages.
+const char* solver_kind_name(SolverKind kind);
+
+/// Inverse of solver_kind_name; throws mtperf::invalid_argument_error for
+/// unknown names.
+SolverKind parse_solver_kind(const std::string& name);
+
+/// Everything a solver invocation needs beyond the network and demands.
+/// Aggregate-initializable: `{SolverKind::kMvasd, 1500}`.
+struct SolveOptions {
+  SolverKind solver = SolverKind::kMvasd;
+  /// Solve populations 1..max_population (must be >= 1).
+  unsigned max_population = 1;
+  /// Fixed-point controls for the approximate solvers; ignored by the exact
+  /// recursions.
+  SchweitzerOptions schweitzer{};
+  ApproxMultiserverOptions approx{};
+  /// kLoadDependent only: per-station rate multipliers.  Empty selects the
+  /// multi-server law alpha_k(j) = min(j, C_k) derived from the network.
+  std::vector<RateMultiplier> rates{};
+};
+
+/// Solve the network with the solver selected by `options`.
+///
+/// `demands` must be non-null and match the network's station count.
+/// Solvers without a varying-demand variant (kExactSingleServer,
+/// kSchweitzer, kLoadDependent, kSeidmann*) require a constant model
+/// (DemandModel::constant); kApproxMultiserver dispatches to approx_mvasd
+/// for non-constant models, and the exact multi-server kinds accept any
+/// model (Algorithm 3 *is* Algorithm 2 with demand arrays).
+/// All validation failures throw mtperf::invalid_argument_error.
+MvaResult solve(const ClosedNetwork& network, const DemandModel* demands,
+                const SolveOptions& options);
+
+/// Reference convenience overload.
+inline MvaResult solve(const ClosedNetwork& network, const DemandModel& demands,
+                       const SolveOptions& options) {
+  return solve(network, &demands, options);
+}
+
+}  // namespace mtperf::core

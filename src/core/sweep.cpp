@@ -2,6 +2,31 @@
 
 namespace mtperf::core {
 
+std::vector<LabeledResult> run_scenarios(
+    const std::vector<ScenarioSpec>& scenarios, ThreadPool* pool,
+    ScenarioEvaluator* evaluator) {
+  const auto evaluate = [&](const ScenarioSpec& spec) {
+    return evaluator != nullptr
+               ? evaluator->evaluate_spec(spec)
+               : solve(spec.network, &spec.demands, spec.options);
+  };
+  std::vector<LabeledResult> out(scenarios.size());
+  if (pool == nullptr) {
+    for (std::size_t i = 0; i < scenarios.size(); ++i) {
+      out[i] = LabeledResult{scenarios[i].label, evaluate(scenarios[i])};
+    }
+    return out;
+  }
+  parallel_for(*pool, scenarios.size(), [&](std::size_t i) {
+    out[i] = LabeledResult{scenarios[i].label, evaluate(scenarios[i])};
+  });
+  return out;
+}
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 std::vector<LabeledResult> run_scenarios(std::vector<Scenario> scenarios,
                                          ThreadPool* pool) {
   std::vector<LabeledResult> out(scenarios.size());
@@ -16,5 +41,8 @@ std::vector<LabeledResult> run_scenarios(std::vector<Scenario> scenarios,
   });
   return out;
 }
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace mtperf::core

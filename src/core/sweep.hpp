@@ -1,7 +1,11 @@
-// Parallel evaluation of independent model scenarios (the "MVA 28 / 70 /
-// 140 / 210 vs MVASD" comparisons every figure bench runs).  Each scenario
-// is an independent solver invocation, so they parallelize trivially over
-// the shared thread pool.
+// Batch evaluation of independent model scenarios (the "MVA 28 / 70 /
+// 140 / 210 vs MVASD" comparisons every figure bench runs, and the
+// capacity-planning what-if sweeps).
+//
+// A scenario is *data*: a network, a demand model, and SolveOptions
+// naming the solver — not a closure.  Declarative specs let the runner
+// parallelize, and let the service-layer engine fingerprint and memoize
+// them (see service::Engine, which plugs in through ScenarioEvaluator).
 #pragma once
 
 #include <functional>
@@ -9,13 +13,24 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "core/demand_model.hpp"
+#include "core/network.hpp"
 #include "core/result.hpp"
+#include "core/solve.hpp"
 
 namespace mtperf::core {
 
-struct Scenario {
+/// One declarative solver invocation: everything solve() needs, plus a
+/// display label.  The label is presentation-only — evaluators must not
+/// let it influence the result (the engine excludes it from fingerprints).
+///
+/// Default-constructs to a trivial single-station, zero-demand placeholder
+/// so specs can be built up field by field.
+struct ScenarioSpec {
   std::string label;
-  std::function<MvaResult()> run;
+  ClosedNetwork network{{Station{}}, 0.0};
+  DemandModel demands = DemandModel::constant({0.0});
+  SolveOptions options;
 };
 
 struct LabeledResult {
@@ -23,9 +38,43 @@ struct LabeledResult {
   MvaResult result;
 };
 
-/// Run all scenarios, in parallel when a pool is supplied (order of the
-/// returned vector always matches the input order).
+/// Evaluation strategy hook for run_scenarios: the default evaluator calls
+/// core::solve directly; service::Engine implements this interface to serve
+/// repeated and overlapping specs from its cache.  Implementations must be
+/// safe to call concurrently from pool workers.
+class ScenarioEvaluator {
+ public:
+  virtual ~ScenarioEvaluator() = default;
+  virtual MvaResult evaluate_spec(const ScenarioSpec& spec) = 0;
+};
+
+/// Evaluate all specs — in parallel when a pool is supplied — through
+/// `evaluator` (or directly through solve() when null).  The returned
+/// vector always matches the input order.
+std::vector<LabeledResult> run_scenarios(
+    const std::vector<ScenarioSpec>& scenarios, ThreadPool* pool = nullptr,
+    ScenarioEvaluator* evaluator = nullptr);
+
+// --------------------------------------------------------------------------
+// Deprecated closure-based shim.  Out-of-tree callers that still build
+// Scenario{label, fn} lists keep compiling; new code should construct
+// ScenarioSpecs (or go through service::Engine for cached evaluation).
+
+struct [[deprecated("use ScenarioSpec with core::solve()/service::Engine")]]
+Scenario {
+  std::string label;
+  std::function<MvaResult()> run;
+};
+
+#if defined(__GNUC__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+[[deprecated("use the ScenarioSpec overload of run_scenarios")]]
 std::vector<LabeledResult> run_scenarios(std::vector<Scenario> scenarios,
                                          ThreadPool* pool = nullptr);
+#if defined(__GNUC__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace mtperf::core

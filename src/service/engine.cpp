@@ -1,0 +1,206 @@
+#include "service/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <list>
+#include <unordered_map>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+
+namespace mtperf::service {
+
+namespace {
+
+struct CacheEntry {
+  Fingerprint key;
+  std::shared_ptr<const core::MvaResult> result;
+};
+
+}  // namespace
+
+/// One lock shard: an LRU list (front = most recently used) plus an index
+/// into it.  Entries hold results at the *deepest* population solved so
+/// far for their structure; shallower requests trim, deeper solves
+/// replace.
+struct Engine::Shard {
+  std::mutex mutex;
+  std::list<CacheEntry> lru;
+  std::unordered_map<Fingerprint, std::list<CacheEntry>::iterator,
+                     FingerprintHash>
+      index;
+};
+
+Engine::Engine(EngineOptions options) : options_(options) {
+  MTPERF_REQUIRE(options_.cache_capacity >= 1,
+                 "engine cache needs capacity for at least one result");
+  MTPERF_REQUIRE(options_.shards >= 1, "engine needs at least one shard");
+  options_.shards = std::min(options_.shards, options_.cache_capacity);
+  per_shard_capacity_ =
+      (options_.cache_capacity + options_.shards - 1) / options_.shards;
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+  if (options_.pool != nullptr) {
+    pool_ = options_.pool;
+  } else {
+    owned_pool_ = std::make_unique<ThreadPool>(options_.threads);
+    pool_ = owned_pool_.get();
+  }
+}
+
+Engine::~Engine() = default;
+
+Engine::Shard& Engine::shard_for(const Fingerprint& fp) const noexcept {
+  return *shards_[FingerprintHash{}(fp) % shards_.size()];
+}
+
+void Engine::record_solve_ms(double ms) {
+  std::lock_guard<std::mutex> lock(latency_mutex_);
+  solve_ms_samples_.push_back(ms);
+}
+
+Evaluation Engine::evaluate(const core::ScenarioSpec& spec) {
+  const Fingerprint fp = fingerprint(spec);
+  const unsigned want = spec.options.max_population;
+  MTPERF_REQUIRE(want >= 1, "population must be at least 1");
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  Shard& shard = shard_for(fp);
+  std::shared_ptr<const core::MvaResult> cached;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(fp);
+    if (it != shard.index.end() && it->second->result->levels() >= want) {
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      cached = it->second->result;
+    }
+    // A shallower entry is left in place: the deep solve below replaces it.
+  }
+  if (cached != nullptr) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (cached->levels() == want) {
+      return Evaluation{spec.label, std::move(cached), true, false, 0.0};
+    }
+    // Prefix hit: the result copy runs outside the shard lock.
+    prefix_hits_.fetch_add(1, std::memory_order_relaxed);
+    auto trimmed =
+        std::make_shared<const core::MvaResult>(cached->prefix(want));
+    return Evaluation{spec.label, std::move(trimmed), true, true, 0.0};
+  }
+
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  const auto start = std::chrono::steady_clock::now();
+  auto solved = std::make_shared<const core::MvaResult>(
+      core::solve(spec.network, &spec.demands, spec.options));
+  const auto stop = std::chrono::steady_clock::now();
+  const double ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  record_solve_ms(ms);
+
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    const auto it = shard.index.find(fp);
+    if (it != shard.index.end()) {
+      // Deepen (or refresh) the existing entry; never shrink it — a
+      // concurrent deeper solve may have landed first.
+      if (it->second->result->levels() < solved->levels()) {
+        it->second->result = solved;
+      }
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    } else {
+      shard.lru.push_front(CacheEntry{fp, solved});
+      shard.index.emplace(fp, shard.lru.begin());
+      if (shard.lru.size() > per_shard_capacity_) {
+        shard.index.erase(shard.lru.back().key);
+        shard.lru.pop_back();
+        evictions_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+  return Evaluation{spec.label, std::move(solved), false, false, ms};
+}
+
+std::future<Evaluation> Engine::submit(core::ScenarioSpec spec) {
+  queue_depth_.fetch_add(1, std::memory_order_relaxed);
+  return pool_->submit([this, spec = std::move(spec)]() mutable {
+    struct DepthGuard {
+      std::atomic<std::size_t>& depth;
+      ~DepthGuard() { depth.fetch_sub(1, std::memory_order_relaxed); }
+    } guard{queue_depth_};
+    return evaluate(spec);
+  });
+}
+
+std::vector<Evaluation> Engine::evaluate_batch(
+    const std::vector<core::ScenarioSpec>& specs) {
+  std::vector<Evaluation> out(specs.size());
+  queue_depth_.fetch_add(specs.size(), std::memory_order_relaxed);
+  const auto one = [&](std::size_t i) {
+    out[i] = evaluate(specs[i]);
+    queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+  };
+  if (specs.size() <= 1 || pool_->size() <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) one(i);
+    return out;
+  }
+  parallel_for(*pool_, specs.size(), one);
+  return out;
+}
+
+std::vector<core::LabeledResult> Engine::run_scenarios(
+    const std::vector<core::ScenarioSpec>& specs) {
+  auto evaluations = evaluate_batch(specs);
+  std::vector<core::LabeledResult> out;
+  out.reserve(evaluations.size());
+  for (auto& ev : evaluations) {
+    out.push_back(core::LabeledResult{std::move(ev.label), *ev.result});
+  }
+  return out;
+}
+
+core::MvaResult Engine::evaluate_spec(const core::ScenarioSpec& spec) {
+  return *evaluate(spec).result;
+}
+
+EngineMetrics Engine::metrics() const {
+  EngineMetrics m;
+  m.requests = requests_.load(std::memory_order_relaxed);
+  m.hits = hits_.load(std::memory_order_relaxed);
+  m.prefix_hits = prefix_hits_.load(std::memory_order_relaxed);
+  m.misses = misses_.load(std::memory_order_relaxed);
+  m.evictions = evictions_.load(std::memory_order_relaxed);
+  m.queue_depth = queue_depth_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    m.entries += shard->lru.size();
+  }
+  if (m.requests > 0) {
+    m.hit_rate = static_cast<double>(m.hits) / static_cast<double>(m.requests);
+  }
+  std::vector<double> samples;
+  {
+    std::lock_guard<std::mutex> lock(latency_mutex_);
+    samples = solve_ms_samples_;
+  }
+  if (!samples.empty()) {
+    const auto ps = percentiles(samples, {50.0, 90.0, 99.0, 100.0});
+    m.solve_ms_p50 = ps[0];
+    m.solve_ms_p90 = ps[1];
+    m.solve_ms_p99 = ps[2];
+    m.solve_ms_max = ps[3];
+  }
+  return m;
+}
+
+void Engine::clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+}  // namespace mtperf::service

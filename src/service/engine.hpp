@@ -1,0 +1,138 @@
+// The scenario-evaluation engine: the front door for capacity-planning
+// workloads that re-solve near-identical networks thousands of times
+// (what-if sweeps, hardware-upgrade grids, Chebyshev test plans).
+//
+// Requests are declarative core::ScenarioSpecs.  Each spec is canonicalized
+// into a structural Fingerprint (service/fingerprint.hpp) and served
+// through a sharded LRU cache of solved MvaResults:
+//
+//   * exact hit      — same structure, same population: the cached result
+//                      is shared (no copy, no solve);
+//   * prefix hit     — same structure, shallower population N' <= N: exact
+//                      MVA at N computes every level 1..N on the way, so
+//                      the cached deep solve answers the request with an
+//                      O(N' K) row copy instead of a re-solve;
+//   * miss           — the solver runs (through the core::solve facade)
+//                      and the result is cached, deepening any existing
+//                      shallower entry for the same structure.
+//
+// Batches fan out over the shared ThreadPool with chunked submission
+// (common/thread_pool.hpp), and per-scenario futures are available for
+// streaming callers (the mtperf_serve tool).  All entry points are safe to
+// call concurrently; concurrent identical misses may solve twice (last
+// insert wins) but always return identical numbers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/sweep.hpp"
+#include "service/fingerprint.hpp"
+
+namespace mtperf::service {
+
+struct EngineOptions {
+  /// Total cached results across all shards (>= 1).
+  std::size_t cache_capacity = 512;
+  /// Lock shards; requests hash-distribute across them (>= 1).
+  std::size_t shards = 8;
+  /// Pool for batch/async evaluation.  Borrowed — must outlive the
+  /// engine.  When null the engine owns a pool of `threads` workers.
+  ThreadPool* pool = nullptr;
+  /// Size of the owned pool when `pool` is null (0 = hardware concurrency).
+  std::size_t threads = 0;
+};
+
+/// Outcome of one scenario evaluation.  `result` always has exactly
+/// `spec.options.max_population` levels, identical (bit-for-bit) to a
+/// direct core::solve of the spec.
+struct Evaluation {
+  std::string label;
+  std::shared_ptr<const core::MvaResult> result;
+  bool cache_hit = false;   ///< served without running a solver
+  bool prefix_hit = false;  ///< served by trimming a deeper cached solve
+  double solve_ms = 0.0;    ///< solver wall time; 0 on hits
+};
+
+/// Counter snapshot plus latency percentiles over all solves so far.
+struct EngineMetrics {
+  std::uint64_t requests = 0;
+  std::uint64_t hits = 0;         ///< exact + prefix
+  std::uint64_t prefix_hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;      ///< currently cached results
+  std::size_t queue_depth = 0;  ///< scenarios submitted but not finished
+  double hit_rate = 0.0;        ///< hits / requests (0 when idle)
+  /// Percentiles of per-solve latency (misses only), in milliseconds;
+  /// all zero until the first miss.
+  double solve_ms_p50 = 0.0;
+  double solve_ms_p90 = 0.0;
+  double solve_ms_p99 = 0.0;
+  double solve_ms_max = 0.0;
+};
+
+class Engine final : public core::ScenarioEvaluator {
+ public:
+  explicit Engine(EngineOptions options = {});
+  ~Engine() override;
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Evaluate one spec through the cache, synchronously.
+  Evaluation evaluate(const core::ScenarioSpec& spec);
+
+  /// Enqueue one spec on the pool; the future yields its Evaluation.
+  std::future<Evaluation> submit(core::ScenarioSpec spec);
+
+  /// Evaluate a batch in parallel (chunked over the pool); the returned
+  /// vector matches the input order.
+  std::vector<Evaluation> evaluate_batch(
+      const std::vector<core::ScenarioSpec>& specs);
+
+  /// core::run_scenarios through this engine: parallel, cached, and
+  /// returning the familiar LabeledResult rows (results copied out).
+  std::vector<core::LabeledResult> run_scenarios(
+      const std::vector<core::ScenarioSpec>& specs);
+
+  /// core::ScenarioEvaluator — lets core::run_scenarios(..., evaluator)
+  /// route any spec batch through this cache.
+  core::MvaResult evaluate_spec(const core::ScenarioSpec& spec) override;
+
+  EngineMetrics metrics() const;
+
+  /// Drop every cached result (counters keep accumulating).
+  void clear();
+
+  ThreadPool& pool() noexcept { return *pool_; }
+
+ private:
+  struct Shard;
+
+  Shard& shard_for(const Fingerprint& fp) const noexcept;
+  void record_solve_ms(double ms);
+
+  EngineOptions options_;
+  std::size_t per_shard_capacity_;
+  std::unique_ptr<ThreadPool> owned_pool_;
+  ThreadPool* pool_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> requests_{0};
+  std::atomic<std::uint64_t> hits_{0};
+  std::atomic<std::uint64_t> prefix_hits_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::size_t> queue_depth_{0};
+
+  mutable std::mutex latency_mutex_;
+  std::vector<double> solve_ms_samples_;
+};
+
+}  // namespace mtperf::service

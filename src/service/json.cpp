@@ -1,0 +1,311 @@
+#include "service/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace mtperf::service {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Json parse_document() {
+    Json value = parse_value();
+    skip_whitespace();
+    require(pos_ == text_.size(), "trailing characters after JSON value");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw invalid_argument_error("JSON parse error at offset " +
+                                 std::to_string(pos_) + ": " + what);
+  }
+
+  void require(bool ok, const char* what) const {
+    if (!ok) fail(what);
+  }
+
+  void skip_whitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    require(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+
+  char take() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  bool consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  void expect_literal(std::string_view literal) {
+    require(text_.substr(pos_, literal.size()) == literal,
+            "malformed literal");
+    pos_ += literal.size();
+  }
+
+  Json parse_value() {
+    skip_whitespace();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return Json(parse_string());
+      case 't': expect_literal("true"); return Json(true);
+      case 'f': expect_literal("false"); return Json(false);
+      case 'n': expect_literal("null"); return Json(nullptr);
+      default: return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    take();  // '{'
+    Json::Object object;
+    skip_whitespace();
+    if (consume('}')) return Json(std::move(object));
+    while (true) {
+      skip_whitespace();
+      require(peek() == '"', "expected object key string");
+      std::string key = parse_string();
+      skip_whitespace();
+      require(consume(':'), "expected ':' after object key");
+      object.insert_or_assign(std::move(key), parse_value());
+      skip_whitespace();
+      if (consume(',')) continue;
+      require(consume('}'), "expected ',' or '}' in object");
+      return Json(std::move(object));
+    }
+  }
+
+  Json parse_array() {
+    take();  // '['
+    Json::Array array;
+    skip_whitespace();
+    if (consume(']')) return Json(std::move(array));
+    while (true) {
+      array.push_back(parse_value());
+      skip_whitespace();
+      if (consume(',')) continue;
+      require(consume(']'), "expected ',' or ']' in array");
+      return Json(std::move(array));
+    }
+  }
+
+  std::string parse_string() {
+    take();  // '"'
+    std::string out;
+    while (true) {
+      const char c = take();
+      if (c == '"') return out;
+      if (c == '\\') {
+        const char esc = take();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': append_unicode(out); break;
+          default: fail("unknown escape sequence");
+        }
+        continue;
+      }
+      require(static_cast<unsigned char>(c) >= 0x20,
+              "unescaped control character in string");
+      out.push_back(c);
+    }
+  }
+
+  void append_unicode(std::string& out) {
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = take();
+      code <<= 4;
+      if (c >= '0' && c <= '9') code |= static_cast<unsigned>(c - '0');
+      else if (c >= 'a' && c <= 'f') code |= static_cast<unsigned>(c - 'a' + 10);
+      else if (c >= 'A' && c <= 'F') code |= static_cast<unsigned>(c - 'A' + 10);
+      else fail("malformed \\u escape");
+    }
+    require(code < 0xD800 || code > 0xDFFF,
+            "surrogate pairs are not supported");
+    if (code < 0x80) {
+      out.push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {}
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    require(pos_ > start, "expected a JSON value");
+    double value = 0.0;
+    const auto [end, ec] =
+        std::from_chars(text_.data() + start, text_.data() + pos_, value);
+    if (ec != std::errc() || end != text_.data() + pos_) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    return Json(value);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+void dump_string(std::ostringstream& os, const std::string& s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\b': os << "\\b"; break;
+      case '\f': os << "\\f"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void dump_number(std::ostringstream& os, double d) {
+  if (!std::isfinite(d)) {
+    os << "null";  // JSON has no Inf/NaN; null is the conventional stand-in
+    return;
+  }
+  char buf[32];
+  const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, d);
+  os << std::string_view(buf, ec == std::errc() ? end - buf : 0);
+}
+
+}  // namespace
+
+Json Json::parse(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+bool Json::as_bool() const {
+  if (const auto* b = std::get_if<bool>(&value_)) return *b;
+  throw invalid_argument_error("JSON value is not a boolean");
+}
+
+double Json::as_number() const {
+  if (const auto* d = std::get_if<double>(&value_)) return *d;
+  throw invalid_argument_error("JSON value is not a number");
+}
+
+const std::string& Json::as_string() const {
+  if (const auto* s = std::get_if<std::string>(&value_)) return *s;
+  throw invalid_argument_error("JSON value is not a string");
+}
+
+const Json::Array& Json::as_array() const {
+  if (const auto* a = std::get_if<Array>(&value_)) return *a;
+  throw invalid_argument_error("JSON value is not an array");
+}
+
+const Json::Object& Json::as_object() const {
+  if (const auto* o = std::get_if<Object>(&value_)) return *o;
+  throw invalid_argument_error("JSON value is not an object");
+}
+
+bool Json::contains(const std::string& key) const {
+  const auto* o = std::get_if<Object>(&value_);
+  return o != nullptr && o->count(key) > 0;
+}
+
+const Json& Json::at(const std::string& key) const {
+  const auto& object = as_object();
+  const auto it = object.find(key);
+  if (it == object.end()) {
+    throw invalid_argument_error("missing JSON field: '" + key + "'");
+  }
+  return it->second;
+}
+
+double Json::number_or(const std::string& key, double fallback) const {
+  return contains(key) ? at(key).as_number() : fallback;
+}
+
+std::string Json::string_or(const std::string& key,
+                            std::string fallback) const {
+  return contains(key) ? at(key).as_string() : fallback;
+}
+
+std::string Json::dump() const {
+  std::ostringstream os;
+  struct Visitor {
+    std::ostringstream& os;
+    void operator()(std::nullptr_t) { os << "null"; }
+    void operator()(bool b) { os << (b ? "true" : "false"); }
+    void operator()(double d) { dump_number(os, d); }
+    void operator()(const std::string& s) { dump_string(os, s); }
+    void operator()(const Array& a) {
+      os << '[';
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        if (i != 0) os << ',';
+        os << a[i].dump();
+      }
+      os << ']';
+    }
+    void operator()(const Object& o) {
+      os << '{';
+      bool first = true;
+      for (const auto& [key, value] : o) {
+        if (!first) os << ',';
+        first = false;
+        dump_string(os, key);
+        os << ':' << value.dump();
+      }
+      os << '}';
+    }
+  };
+  std::visit(Visitor{os}, value_);
+  return os.str();
+}
+
+}  // namespace mtperf::service

@@ -700,9 +700,15 @@ TEST(Result, RowLookupAndSeries) {
 TEST(Sweep, PreservesOrderSequentialAndParallel) {
   const auto net = make_network({"a"}, {1}, 1.0);
   auto make = [&](double s) {
-    return [=]() { return exact_mva(net, std::vector<double>{s}, 5); };
+    ScenarioSpec spec;
+    spec.label = s > 0.2 ? "slow" : "fast";
+    spec.network = net;
+    spec.demands = DemandModel::constant({s});
+    spec.options.solver = SolverKind::kExactSingleServer;
+    spec.options.max_population = 5;
+    return spec;
   };
-  std::vector<Scenario> scenarios{{"slow", make(0.4)}, {"fast", make(0.1)}};
+  const std::vector<ScenarioSpec> scenarios{make(0.4), make(0.1)};
   const auto seq = run_scenarios(scenarios);
   ASSERT_EQ(seq.size(), 2u);
   EXPECT_EQ(seq[0].label, "slow");
@@ -715,6 +721,24 @@ TEST(Sweep, PreservesOrderSequentialAndParallel) {
   EXPECT_DOUBLE_EQ(par[0].result.throughput.back(),
                    seq[0].result.throughput.back());
 }
+
+// The deprecated std::function form must keep working until removal.
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
+TEST(Sweep, LegacyScenarioShimStillRuns) {
+  const auto net = make_network({"a"}, {1}, 1.0);
+  std::vector<Scenario> scenarios{
+      {"one", [&] { return exact_mva(net, std::vector<double>{0.3}, 5); }}};
+  const auto out = run_scenarios(std::move(scenarios));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].label, "one");
+  EXPECT_EQ(out[0].result.levels(), 5u);
+}
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 }  // namespace
 }  // namespace mtperf::core

@@ -1,0 +1,450 @@
+// Tests for the scenario-evaluation service layer: structural
+// fingerprinting, the sharded LRU result cache (exact hits, prefix hits,
+// eviction), concurrent hammering, and solve-facade parity against the
+// legacy per-solver entry points on the VINS and JPetStore pipelines.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "apps/jpetstore.hpp"
+#include "apps/vins.hpp"
+#include "common/error.hpp"
+#include "core/mva_exact.hpp"
+#include "core/mva_multiserver.hpp"
+#include "core/mvasd.hpp"
+#include "core/prediction.hpp"
+#include "core/solve.hpp"
+#include "interp/cubic_spline.hpp"
+#include "service/engine.hpp"
+#include "service/fingerprint.hpp"
+#include "service/json.hpp"
+#include "workload/campaign.hpp"
+
+namespace mtperf {
+namespace {
+
+using core::DemandModel;
+using core::MvaResult;
+using core::ScenarioSpec;
+using core::SolverKind;
+using service::Engine;
+using service::EngineOptions;
+using service::Fingerprint;
+using service::fingerprint;
+
+ScenarioSpec basic_spec(std::string label = "base", unsigned users = 50) {
+  ScenarioSpec spec;
+  spec.label = std::move(label);
+  spec.network = core::make_network({"cpu", "disk"}, {16, 1}, 1.0);
+  spec.demands = DemandModel::constant({0.012, 0.030});
+  spec.options.solver = SolverKind::kExactMultiserver;
+  spec.options.max_population = users;
+  return spec;
+}
+
+ScenarioSpec spline_spec(double y_mid = 0.010, unsigned users = 60) {
+  ScenarioSpec spec;
+  spec.label = "spline";
+  spec.network = core::make_network({"cpu", "disk"}, {16, 1}, 1.0);
+  auto spline_of = [](std::vector<double> x, std::vector<double> y) {
+    return std::make_shared<interp::PiecewiseCubic>(interp::build_cubic_spline(
+        interp::SampleSet(std::move(x), std::move(y))));
+  };
+  spec.demands = DemandModel::interpolated({
+      spline_of({1, 50, 200}, {0.012, y_mid, 0.009}),
+      spline_of({1, 50, 200}, {0.030, 0.028, 0.027}),
+  });
+  spec.options.solver = SolverKind::kMvasd;
+  spec.options.max_population = users;
+  return spec;
+}
+
+void expect_identical(const MvaResult& a, const MvaResult& b,
+                      double tol = 0.0) {
+  ASSERT_EQ(a.levels(), b.levels());
+  ASSERT_EQ(a.stations(), b.stations());
+  for (std::size_t i = 0; i < a.levels(); ++i) {
+    EXPECT_LE(std::abs(a.throughput[i] - b.throughput[i]), tol);
+    EXPECT_LE(std::abs(a.response_time[i] - b.response_time[i]), tol);
+    EXPECT_LE(std::abs(a.cycle_time[i] - b.cycle_time[i]), tol);
+    for (std::size_t k = 0; k < a.stations(); ++k) {
+      EXPECT_LE(std::abs(a.utilization(i, k) - b.utilization(i, k)), tol);
+      EXPECT_LE(std::abs(a.queue(i, k) - b.queue(i, k)), tol);
+    }
+  }
+}
+
+// ------------------------------------------------------------ fingerprint
+
+TEST(Fingerprint, IgnoresLabelAndPopulation) {
+  const auto a = fingerprint(basic_spec("alpha", 10));
+  const auto b = fingerprint(basic_spec("beta", 500));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Fingerprint, DistinguishesStructure) {
+  const Fingerprint base = fingerprint(basic_spec());
+  std::vector<ScenarioSpec> variants;
+  {  // different server count
+    auto s = basic_spec();
+    s.network = core::make_network({"cpu", "disk"}, {8, 1}, 1.0);
+    variants.push_back(std::move(s));
+  }
+  {  // different think time
+    auto s = basic_spec();
+    s.network = core::make_network({"cpu", "disk"}, {16, 1}, 2.0);
+    variants.push_back(std::move(s));
+  }
+  {  // different demand value
+    auto s = basic_spec();
+    s.demands = DemandModel::constant({0.012, 0.031});
+    variants.push_back(std::move(s));
+  }
+  {  // different solver kind
+    auto s = basic_spec();
+    s.options.solver = SolverKind::kMvasd;
+    variants.push_back(std::move(s));
+  }
+  {  // different station name
+    auto s = basic_spec();
+    s.network = core::make_network({"cpu", "ssd"}, {16, 1}, 1.0);
+    variants.push_back(std::move(s));
+  }
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    EXPECT_FALSE(fingerprint(variants[i]) == base) << "variant " << i;
+    for (std::size_t j = i + 1; j < variants.size(); ++j) {
+      EXPECT_FALSE(fingerprint(variants[i]) == fingerprint(variants[j]))
+          << "variants " << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Fingerprint, SolverOptionsOnlyCountWhereUsed) {
+  // Schweitzer tolerance is part of the key for the Schweitzer solver...
+  auto a = basic_spec();
+  a.options.solver = SolverKind::kSchweitzer;
+  auto b = a;
+  b.options.schweitzer.tolerance *= 10.0;
+  EXPECT_FALSE(fingerprint(a) == fingerprint(b));
+  // ...but irrelevant (and excluded) for solvers that never read it.
+  a.options.solver = SolverKind::kExactMultiserver;
+  b.options.solver = SolverKind::kExactMultiserver;
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(Fingerprint, SplineDemandsHashedByShape) {
+  EXPECT_EQ(fingerprint(spline_spec()), fingerprint(spline_spec()));
+  EXPECT_FALSE(fingerprint(spline_spec(0.010)) ==
+               fingerprint(spline_spec(0.0101)));
+}
+
+// ----------------------------------------------------------------- engine
+
+TEST(Engine, ExactHitSharesCachedResult) {
+  Engine engine(EngineOptions{.threads = 2});
+  const auto first = engine.evaluate(basic_spec("cold"));
+  EXPECT_FALSE(first.cache_hit);
+  const auto second = engine.evaluate(basic_spec("warm"));
+  EXPECT_TRUE(second.cache_hit);
+  EXPECT_FALSE(second.prefix_hit);
+  EXPECT_EQ(first.result.get(), second.result.get());  // shared, not copied
+  EXPECT_EQ(second.label, "warm");
+
+  const auto metrics = engine.metrics();
+  EXPECT_EQ(metrics.requests, 2u);
+  EXPECT_EQ(metrics.hits, 1u);
+  EXPECT_EQ(metrics.misses, 1u);
+  EXPECT_DOUBLE_EQ(metrics.hit_rate, 0.5);
+}
+
+TEST(Engine, PrefixHitMatchesDirectSolve) {
+  Engine engine(EngineOptions{.threads = 2});
+  (void)engine.evaluate(basic_spec("deep", 200));
+
+  const auto shallow_spec = basic_spec("shallow", 80);
+  const auto shallow = engine.evaluate(shallow_spec);
+  EXPECT_TRUE(shallow.cache_hit);
+  EXPECT_TRUE(shallow.prefix_hit);
+  ASSERT_EQ(shallow.result->levels(), 80u);
+
+  const MvaResult direct = core::solve(shallow_spec.network,
+                                       &shallow_spec.demands,
+                                       shallow_spec.options);
+  expect_identical(*shallow.result, direct);  // bit-for-bit
+  EXPECT_EQ(engine.metrics().prefix_hits, 1u);
+}
+
+TEST(Engine, DeepeningReplacesShallowEntry) {
+  Engine engine(EngineOptions{.threads = 2});
+  (void)engine.evaluate(basic_spec("shallow", 40));
+  // A deeper request for the same structure must re-solve...
+  const auto deep = engine.evaluate(basic_spec("deep", 150));
+  EXPECT_FALSE(deep.cache_hit);
+  // ...and afterwards both depths are served from the deepened entry.
+  EXPECT_TRUE(engine.evaluate(basic_spec("again", 150)).cache_hit);
+  EXPECT_TRUE(engine.evaluate(basic_spec("again", 40)).prefix_hit);
+  EXPECT_EQ(engine.metrics().entries, 1u);
+}
+
+TEST(Engine, LruEvictsUnderPressure) {
+  EngineOptions options;
+  options.cache_capacity = 2;
+  options.shards = 1;
+  options.threads = 1;
+  Engine engine(options);
+
+  auto spec_with_think = [&](double think) {
+    auto s = basic_spec();
+    s.network = core::make_network({"cpu", "disk"}, {16, 1}, think);
+    return s;
+  };
+  (void)engine.evaluate(spec_with_think(1.0));
+  (void)engine.evaluate(spec_with_think(2.0));
+  (void)engine.evaluate(spec_with_think(3.0));  // evicts think=1.0 (LRU)
+
+  auto metrics = engine.metrics();
+  EXPECT_EQ(metrics.entries, 2u);
+  EXPECT_GE(metrics.evictions, 1u);
+
+  EXPECT_TRUE(engine.evaluate(spec_with_think(3.0)).cache_hit);
+  EXPECT_TRUE(engine.evaluate(spec_with_think(2.0)).cache_hit);
+  EXPECT_FALSE(engine.evaluate(spec_with_think(1.0)).cache_hit);  // was evicted
+}
+
+TEST(Engine, ClearDropsEntriesKeepsCounters) {
+  Engine engine(EngineOptions{.threads = 1});
+  (void)engine.evaluate(basic_spec());
+  engine.clear();
+  EXPECT_EQ(engine.metrics().entries, 0u);
+  EXPECT_EQ(engine.metrics().requests, 1u);
+  EXPECT_FALSE(engine.evaluate(basic_spec()).cache_hit);
+}
+
+TEST(Engine, BatchPreservesOrderAndCaches) {
+  Engine engine(EngineOptions{.threads = 4});
+  std::vector<ScenarioSpec> specs;
+  for (unsigned i = 0; i < 12; ++i) {
+    specs.push_back(basic_spec("s" + std::to_string(i), 30 + 10 * (i % 3)));
+  }
+  const auto evaluations = engine.evaluate_batch(specs);
+  ASSERT_EQ(evaluations.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(evaluations[i].label, specs[i].label);
+    EXPECT_EQ(evaluations[i].result->levels(), specs[i].options.max_population);
+  }
+  // 12 structurally identical requests at depths {30,40,50}: at most a few
+  // solves (concurrent identical misses may double-solve), mostly hits.
+  EXPECT_GE(engine.metrics().hits, 6u);
+}
+
+TEST(Engine, RunScenariosThroughEvaluatorInterface) {
+  Engine engine(EngineOptions{.threads = 2});
+  const std::vector<ScenarioSpec> specs{basic_spec("a", 40),
+                                        basic_spec("b", 40)};
+  // Route the core sweep entry point through the engine.
+  const auto rows =
+      core::run_scenarios(specs, &engine.pool(), &engine);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].label, "a");
+  EXPECT_EQ(rows[1].label, "b");
+  expect_identical(rows[0].result, rows[1].result);
+  EXPECT_GE(engine.metrics().hits, 1u);
+}
+
+TEST(Engine, ConcurrentHammerStaysConsistent) {
+  // Cold baselines, solved directly.
+  std::vector<ScenarioSpec> specs;
+  for (unsigned i = 0; i < 4; ++i) {
+    auto s = basic_spec("c" + std::to_string(i), 60);
+    s.demands = DemandModel::constant({0.012 + 0.001 * i, 0.030});
+    specs.push_back(std::move(s));
+  }
+  std::vector<MvaResult> baselines;
+  for (const auto& s : specs) {
+    baselines.push_back(core::solve(s.network, &s.demands, s.options));
+  }
+
+  Engine engine(EngineOptions{.threads = 4});
+  constexpr int kRounds = 50;
+  std::vector<std::future<service::Evaluation>> futures;
+  futures.reserve(kRounds * specs.size());
+  for (int round = 0; round < kRounds; ++round) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      auto s = specs[i];
+      // Vary the requested depth to exercise prefix hits under contention.
+      s.options.max_population = 30 + 10 * (round % 4);
+      futures.push_back(engine.submit(std::move(s)));
+    }
+  }
+  std::size_t checked = 0;
+  for (std::size_t f = 0; f < futures.size(); ++f) {
+    const auto evaluation = futures[f].get();
+    const auto& baseline = baselines[f % specs.size()];
+    const auto& got = *evaluation.result;
+    ASSERT_LE(got.levels(), baseline.levels());
+    for (std::size_t i = 0; i < got.levels(); ++i) {
+      ASSERT_DOUBLE_EQ(got.throughput[i], baseline.throughput[i]);
+      ASSERT_DOUBLE_EQ(got.response_time[i], baseline.response_time[i]);
+    }
+    ++checked;
+  }
+  EXPECT_EQ(checked, futures.size());
+
+  const auto metrics = engine.metrics();
+  EXPECT_EQ(metrics.requests, futures.size());
+  EXPECT_EQ(metrics.queue_depth, 0u);
+  // 200 requests over 4 structures x 4 depths: even with concurrent
+  // duplicate misses the cache must absorb the vast majority.
+  EXPECT_GT(metrics.hit_rate, 0.8);
+}
+
+TEST(Engine, RejectsCustomRateMultipliers) {
+  auto spec = basic_spec();
+  spec.options.solver = SolverKind::kLoadDependent;
+  spec.options.rates = {core::multiserver_rate(16), core::multiserver_rate(1)};
+  Engine engine(EngineOptions{.threads = 1});
+  EXPECT_THROW((void)engine.evaluate(spec), Error);
+}
+
+// ----------------------------------------------------------------- facade
+
+TEST(SolveFacade, KindNamesRoundTrip) {
+  for (const auto kind :
+       {SolverKind::kExactSingleServer, SolverKind::kExactMultiserver,
+        SolverKind::kSchweitzer, SolverKind::kApproxMultiserver,
+        SolverKind::kLoadDependent, SolverKind::kMvasd,
+        SolverKind::kMvasdSingleServer, SolverKind::kSeidmann,
+        SolverKind::kSeidmannSchweitzer}) {
+    EXPECT_EQ(core::parse_solver_kind(core::solver_kind_name(kind)), kind);
+  }
+  EXPECT_THROW(core::parse_solver_kind("no-such-solver"), Error);
+}
+
+TEST(SolveFacade, ErrorsCarryStablePrefix) {
+  const auto spec = basic_spec();
+  core::SolveOptions bad = spec.options;
+  bad.max_population = 0;
+  try {
+    (void)core::solve(spec.network, &spec.demands, bad);
+    FAIL() << "expected mtperf::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind(Error::prefix(), 0), 0u)
+        << e.what();
+  }
+  // Network construction errors carry the same prefix.
+  try {
+    (void)core::make_network({}, {}, 1.0);
+    FAIL() << "expected mtperf::Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(std::string(e.what()).rfind(Error::prefix(), 0), 0u);
+  }
+}
+
+TEST(SolveFacade, ConstantOnlySolversRejectVaryingDemands) {
+  auto spec = spline_spec();
+  spec.options.solver = SolverKind::kSchweitzer;
+  EXPECT_THROW((void)core::solve(spec.network, &spec.demands, spec.options),
+               Error);
+}
+
+// ------------------------------------------------- facade parity (paper)
+
+workload::CampaignSettings parity_settings() {
+  workload::CampaignSettings s;
+  s.grinder.duration_s = 400.0;
+  s.warmup_fraction = 0.25;
+  s.seed = 2026;
+  return s;
+}
+
+class FacadeParity : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    vins_ = new workload::CampaignResult(workload::run_campaign(
+        apps::make_vins(), apps::vins_campaign_levels(), parity_settings()));
+    jps_ = new workload::CampaignResult(
+        workload::run_campaign(apps::make_jpetstore(),
+                               apps::jpetstore_campaign_levels(),
+                               parity_settings()));
+  }
+  static void TearDownTestSuite() {
+    delete vins_;
+    delete jps_;
+    vins_ = nullptr;
+    jps_ = nullptr;
+  }
+
+  static constexpr double kTol = 1e-12;
+  static constexpr double kThink = 1.0;
+
+  static workload::CampaignResult* vins_;
+  static workload::CampaignResult* jps_;
+};
+
+workload::CampaignResult* FacadeParity::vins_ = nullptr;
+workload::CampaignResult* FacadeParity::jps_ = nullptr;
+
+TEST_F(FacadeParity, VinsMvasdMatchesLegacy) {
+  const auto spec = core::mvasd_scenario("MVASD", vins_->table, kThink, 800);
+  const auto via_facade = core::solve(spec.network, spec.demands, spec.options);
+  const auto legacy = core::mvasd(spec.network, spec.demands, 800);
+  expect_identical(via_facade, legacy, kTol);
+}
+
+TEST_F(FacadeParity, VinsFixedMvaMatchesLegacy) {
+  const auto spec =
+      core::mva_fixed_scenario("MVA 203", vins_->table, kThink, 800, 203.0);
+  const auto via_facade = core::solve(spec.network, spec.demands, spec.options);
+  const auto legacy = core::exact_multiserver_mva(
+      spec.network, vins_->table.demands_at_concurrency(203.0), 800);
+  expect_identical(via_facade, legacy, kTol);
+}
+
+TEST_F(FacadeParity, JPetStoreMvasdMatchesLegacy) {
+  const auto spec = core::mvasd_scenario("MVASD", jps_->table, kThink, 280);
+  const auto via_facade = core::solve(spec.network, spec.demands, spec.options);
+  const auto legacy = core::mvasd(spec.network, spec.demands, 280);
+  expect_identical(via_facade, legacy, kTol);
+}
+
+TEST_F(FacadeParity, JPetStoreSingleServerMatchesLegacy) {
+  const auto spec =
+      core::mvasd_single_server_scenario("SS", jps_->table, kThink, 280);
+  const auto via_facade = core::solve(spec.network, spec.demands, spec.options);
+  const auto legacy = core::mvasd_single_server(spec.network, spec.demands, 280);
+  expect_identical(via_facade, legacy, kTol);
+}
+
+TEST_F(FacadeParity, EngineMatchesFacadeOnJPetStore) {
+  const auto spec = core::mvasd_scenario("MVASD", jps_->table, kThink, 280);
+  Engine engine(EngineOptions{.threads = 2});
+  const auto via_engine = engine.evaluate(spec);
+  const auto direct = core::solve(spec.network, spec.demands, spec.options);
+  expect_identical(*via_engine.result, direct);  // bit-for-bit
+}
+
+// ------------------------------------------------------------------- json
+
+TEST(Json, ParseDumpRoundTrip) {
+  const auto v = service::Json::parse(
+      R"({"a":[1,2.5,-3e2],"b":{"nested":true},"s":"x\ny","n":null})");
+  EXPECT_EQ(v.at("a").as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(v.at("a").as_array()[2].as_number(), -300.0);
+  EXPECT_TRUE(v.at("b").at("nested").as_bool());
+  EXPECT_EQ(v.at("s").as_string(), "x\ny");
+  const auto redumped = service::Json::parse(v.dump());
+  EXPECT_EQ(redumped.dump(), v.dump());
+}
+
+TEST(Json, ParseErrorsAreMtperfErrors) {
+  EXPECT_THROW(service::Json::parse("{"), Error);
+  EXPECT_THROW(service::Json::parse("[1,]"), Error);
+  EXPECT_THROW(service::Json::parse("{} trailing"), Error);
+}
+
+}  // namespace
+}  // namespace mtperf

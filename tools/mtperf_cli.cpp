@@ -167,17 +167,21 @@ int cmd_predict(const Args& args) {
                         ? core::DemandModel::Axis::kThroughput
                         : core::DemandModel::Axis::kConcurrency;
 
-  core::MvaResult result;
+  // Map the CLI model name to a declarative spec, then hand everything to
+  // the core::solve facade.
+  core::ScenarioSpec spec;
   if (model == "mvasd") {
-    result = core::predict_mvasd(table, think, max_users, axis);
+    spec = core::mvasd_scenario(model, table, think, max_users, axis);
   } else if (model == "mvasd-ss") {
-    result = core::predict_mvasd_single_server(table, think, max_users);
+    spec = core::mvasd_single_server_scenario(model, table, think, max_users);
   } else if (model == "mva-fixed") {
-    result = core::predict_mva_fixed(table, think, max_users,
-                                     args.num("at-concurrency"));
+    spec = core::mva_fixed_scenario(model, table, think, max_users,
+                                    args.num("at-concurrency"));
   } else {
     usage("unknown --model (mvasd|mvasd-ss|mva-fixed)");
   }
+  const core::MvaResult result =
+      core::solve(spec.network, spec.demands, spec.options);
 
   const auto step = static_cast<unsigned>(args.num("step", max_users / 12.0));
   TextTable t("Prediction (" + model + ")");

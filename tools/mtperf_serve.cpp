@@ -1,0 +1,293 @@
+// mtperf_serve — line-delimited JSON front end of the scenario engine.
+//
+// Reads one scenario request per stdin line, evaluates it through
+// service::Engine (sharded LRU cache, prefix reuse, async execution on the
+// shared thread pool), and emits one JSON result line per request — in
+// request order — plus a final engine-metrics line at EOF:
+//
+//   $ ./tools/mtperf_serve < requests.jsonl
+//
+// Request line:
+//   {"label": "baseline",
+//    "think": 1.0,
+//    "stations": [{"name": "db/cpu", "servers": 16, "visits": 1.0,
+//                  "kind": "queueing"}, ...],
+//    "demands": {"type": "constant", "values": [0.012, 0.03]}
+//             | {"type": "spline", "axis": "concurrency",
+//                "x": [1, 100, 500], "y": [[...station 0...], ...]},
+//    "solver": "mvasd",            // see core::parse_solver_kind
+//    "max_population": 300,
+//    "series": false}              // true adds the full X / R+Z series
+//
+// Control line:
+//   {"cmd": "metrics"}            // emit a metrics line immediately
+//
+// Result lines carry top-population throughput / response / cycle time,
+// the bottleneck station, per-station utilization, and the cache verdict
+// (cache_hit / prefix_hit / solve_ms).  Errors become {"error": ...}
+// lines; the process keeps serving.  The final metrics line reports cache
+// hits/misses/evictions, solve-latency percentiles (stats::percentiles),
+// and queue depth — the observability hook CI smoke-checks.
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <iostream>
+#include <memory>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/solve.hpp"
+#include "core/sweep.hpp"
+#include "interp/cubic_spline.hpp"
+#include "service/engine.hpp"
+#include "service/json.hpp"
+
+namespace {
+
+using namespace mtperf;
+using service::Json;
+
+core::ClosedNetwork parse_network(const Json& request) {
+  std::vector<core::Station> stations;
+  for (const Json& js : request.at("stations").as_array()) {
+    core::Station st;
+    st.name = js.at("name").as_string();
+    st.servers = static_cast<unsigned>(js.number_or("servers", 1.0));
+    st.visits = js.number_or("visits", 1.0);
+    const std::string kind = js.string_or("kind", "queueing");
+    MTPERF_REQUIRE(kind == "queueing" || kind == "delay",
+                   "station kind must be 'queueing' or 'delay'");
+    st.kind = kind == "delay" ? core::StationKind::kDelay
+                              : core::StationKind::kQueueing;
+    stations.push_back(std::move(st));
+  }
+  return core::ClosedNetwork(std::move(stations),
+                             request.number_or("think", 0.0));
+}
+
+core::DemandModel parse_demands(const Json& spec, std::size_t station_count) {
+  const std::string type = spec.string_or("type", "constant");
+  if (type == "constant") {
+    std::vector<double> values;
+    for (const Json& v : spec.at("values").as_array()) {
+      values.push_back(v.as_number());
+    }
+    MTPERF_REQUIRE(values.size() == station_count,
+                   "demands.values must list one demand per station");
+    return core::DemandModel::constant(std::move(values));
+  }
+  MTPERF_REQUIRE(type == "spline", "demands.type must be 'constant' or 'spline'");
+  const std::string axis_name = spec.string_or("axis", "concurrency");
+  MTPERF_REQUIRE(axis_name == "concurrency" || axis_name == "throughput",
+                 "demands.axis must be 'concurrency' or 'throughput'");
+  const auto axis = axis_name == "throughput"
+                        ? core::DemandModel::Axis::kThroughput
+                        : core::DemandModel::Axis::kConcurrency;
+  std::vector<double> xs;
+  for (const Json& v : spec.at("x").as_array()) xs.push_back(v.as_number());
+  const auto& per_station = spec.at("y").as_array();
+  MTPERF_REQUIRE(per_station.size() == station_count,
+                 "demands.y must hold one knot array per station");
+  std::vector<std::shared_ptr<const interp::Interpolator1D>> splines;
+  splines.reserve(per_station.size());
+  for (const Json& ys_json : per_station) {
+    std::vector<double> ys;
+    for (const Json& v : ys_json.as_array()) ys.push_back(v.as_number());
+    MTPERF_REQUIRE(ys.size() == xs.size(),
+                   "each demands.y row needs one value per x knot");
+    splines.push_back(std::make_shared<interp::PiecewiseCubic>(
+        interp::build_cubic_spline(interp::SampleSet(xs, std::move(ys)))));
+  }
+  return core::DemandModel::interpolated(std::move(splines), axis);
+}
+
+core::ScenarioSpec parse_scenario(const Json& request) {
+  core::ClosedNetwork network = parse_network(request);
+  core::DemandModel demands =
+      parse_demands(request.at("demands"), network.size());
+  core::SolveOptions options;
+  options.solver =
+      core::parse_solver_kind(request.string_or("solver", "mvasd"));
+  options.max_population =
+      static_cast<unsigned>(request.at("max_population").as_number());
+  return core::ScenarioSpec{request.string_or("label", ""),
+                            std::move(network), std::move(demands), options};
+}
+
+Json result_to_json(const service::Evaluation& evaluation, bool series) {
+  const core::MvaResult& r = *evaluation.result;
+  const std::size_t top = r.levels() - 1;
+  Json::Object out;
+  out["label"] = evaluation.label;
+  out["cache_hit"] = evaluation.cache_hit;
+  out["prefix_hit"] = evaluation.prefix_hit;
+  out["solve_ms"] = evaluation.solve_ms;
+  out["max_population"] = static_cast<unsigned long long>(r.population[top]);
+  out["throughput"] = r.throughput[top];
+  out["response_time"] = r.response_time[top];
+  out["cycle_time"] = r.cycle_time[top];
+  std::size_t busiest = 0;
+  Json::Object utilization;
+  for (std::size_t k = 0; k < r.stations(); ++k) {
+    utilization[r.station_names[k]] = r.utilization(top, k);
+    if (r.utilization(top, k) > r.utilization(top, busiest)) busiest = k;
+  }
+  out["bottleneck"] = r.station_names[busiest];
+  out["utilization"] = std::move(utilization);
+  if (series) {
+    Json::Array population, throughput, cycle;
+    for (std::size_t i = 0; i < r.levels(); ++i) {
+      population.emplace_back(static_cast<unsigned long long>(r.population[i]));
+      throughput.emplace_back(r.throughput[i]);
+      cycle.emplace_back(r.cycle_time[i]);
+    }
+    out["population"] = std::move(population);
+    out["throughput_series"] = std::move(throughput);
+    out["cycle_time_series"] = std::move(cycle);
+  }
+  return Json(std::move(out));
+}
+
+Json metrics_to_json(const service::EngineMetrics& m) {
+  Json::Object latency;
+  latency["p50"] = m.solve_ms_p50;
+  latency["p90"] = m.solve_ms_p90;
+  latency["p99"] = m.solve_ms_p99;
+  latency["max"] = m.solve_ms_max;
+  Json::Object inner;
+  inner["requests"] = static_cast<unsigned long long>(m.requests);
+  inner["cache_hits"] = static_cast<unsigned long long>(m.hits);
+  inner["prefix_hits"] = static_cast<unsigned long long>(m.prefix_hits);
+  inner["misses"] = static_cast<unsigned long long>(m.misses);
+  inner["evictions"] = static_cast<unsigned long long>(m.evictions);
+  inner["entries"] = static_cast<unsigned long long>(m.entries);
+  inner["queue_depth"] = static_cast<unsigned long long>(m.queue_depth);
+  inner["hit_rate"] = m.hit_rate;
+  inner["solve_ms"] = Json(std::move(latency));
+  Json::Object out;
+  out["metrics"] = Json(std::move(inner));
+  return Json(std::move(out));
+}
+
+Json error_line(std::size_t line_number, const std::string& message) {
+  Json::Object out;
+  out["line"] = static_cast<unsigned long long>(line_number);
+  out["error"] = message;
+  return Json(std::move(out));
+}
+
+/// A pending response: either an in-flight evaluation or an immediately
+/// answerable line (parse error / metrics request), kept in input order.
+struct Pending {
+  std::variant<std::future<service::Evaluation>, Json> payload;
+  bool series = false;
+};
+
+void emit(const Json& line) {
+  std::fputs(line.dump().c_str(), stdout);
+  std::fputc('\n', stdout);
+  std::fflush(stdout);
+}
+
+void drain_one(Pending& pending) {
+  if (auto* ready = std::get_if<Json>(&pending.payload)) {
+    emit(*ready);
+    return;
+  }
+  auto& future = std::get<std::future<service::Evaluation>>(pending.payload);
+  try {
+    emit(result_to_json(future.get(), pending.series));
+  } catch (const std::exception& e) {
+    emit(error_line(0, e.what()));
+  }
+}
+
+/// Emit every response whose turn has come and whose future is ready.
+void drain_ready(std::deque<Pending>& queue) {
+  while (!queue.empty()) {
+    if (auto* future = std::get_if<std::future<service::Evaluation>>(
+            &queue.front().payload)) {
+      if (future->wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        return;
+      }
+    }
+    drain_one(queue.front());
+    queue.pop_front();
+  }
+}
+
+int serve(service::Engine& engine) {
+  std::deque<Pending> queue;
+  std::string line;
+  std::size_t line_number = 0;
+  while (std::getline(std::cin, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    Pending pending;
+    try {
+      const Json request = Json::parse(line);
+      if (request.string_or("cmd", "") == "metrics") {
+        // Snapshot once the preceding requests have answered, so the
+        // numbers reflect everything before this line.
+        for (auto& p : queue) drain_one(p);
+        queue.clear();
+        pending.payload = metrics_to_json(engine.metrics());
+      } else {
+        pending.series =
+            request.contains("series") && request.at("series").as_bool();
+        pending.payload = engine.submit(parse_scenario(request));
+      }
+    } catch (const std::exception& e) {
+      pending.payload = error_line(line_number, e.what());
+    }
+    queue.push_back(std::move(pending));
+    drain_ready(queue);
+  }
+  for (auto& pending : queue) drain_one(pending);
+  emit(metrics_to_json(engine.metrics()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  service::EngineOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> double {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: %s expects a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return std::atof(argv[++i]);
+    };
+    if (arg == "--threads") {
+      options.threads = static_cast<std::size_t>(next());
+    } else if (arg == "--cache-capacity") {
+      options.cache_capacity = static_cast<std::size_t>(next());
+    } else if (arg == "--shards") {
+      options.shards = static_cast<std::size_t>(next());
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: mtperf_serve [--threads N] [--cache-capacity N] "
+                   "[--shards N] < requests.jsonl\n"
+                   "One JSON scenario request per line; see the header "
+                   "comment of tools/mtperf_serve.cpp for the schema.\n");
+      return 0;
+    } else {
+      std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  try {
+    service::Engine engine(options);
+    return serve(engine);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
