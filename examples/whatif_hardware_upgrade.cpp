@@ -4,8 +4,10 @@
 // the throughput ceiling, and by how much?
 //
 // The variants are declarative ScenarioSpecs evaluated through the
-// service::Engine, so repeated or shallower questions (e.g. "and at 500
-// users?") come straight out of the result cache instead of re-solving.
+// service::Engine: structure-compatible variants solve together in one
+// lockstep lane-major batch (core::solve_batch), and repeated or
+// shallower questions (e.g. "and at 500 users?") come straight out of
+// the result cache instead of re-solving.
 //
 //   $ ./examples/whatif_hardware_upgrade
 #include <cstdio>

@@ -97,6 +97,18 @@ class DemandGrid {
  public:
   DemandGrid(const DemandModel& model, unsigned max_population);
 
+  /// Deepening constructor: tabulate `model` to `max_population`, reusing
+  /// the rows a shallower grid already evaluated (a row copy instead of a
+  /// spline evaluation per entry).  `shallower` may be null (plain build),
+  /// must have been built from a model with identical content (the caller
+  /// guarantees this — the scenario engine keys grids by fingerprint), and
+  /// is only consulted for tabulated non-constant models.  This is the
+  /// engine's deepen-in-place path: a cache entry solved to N' answers a
+  /// deeper request at N by re-running the recursion but re-tabulating only
+  /// rows N'+1..N.
+  DemandGrid(const DemandModel& model, unsigned max_population,
+             const DemandGrid* shallower);
+
   std::size_t stations() const noexcept { return stations_; }
   unsigned max_population() const noexcept { return max_population_; }
   DemandModel::Axis axis() const noexcept { return model_->axis(); }

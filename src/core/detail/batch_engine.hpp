@@ -1,0 +1,90 @@
+// Lane-major batched MVA: solve whole what-if batches in lockstep.
+//
+// Capacity-planning traffic is batch-shaped — hundreds of structurally
+// identical networks (same stations, server counts and kinds) that differ
+// only in demands, visit counts, think times, or requested population.
+// Instead of one scalar recursion per scenario, the batch engine runs the
+// population recursion n = 1..N once for a whole group of such scenarios
+// ("lanes"), with every piece of per-scenario state laid out lane-major:
+// state[k][lane], contiguous across the batch.  The inner station loop then
+// becomes a dense sweep over lanes that auto-vectorizes under -O3 — the
+// batch dimension is the one axis the exact recursion can exploit without
+// approximation (per-lane arithmetic stays operation-for-operation
+// identical to the scalar engine, so results match scalar solves
+// bit-for-bit).
+//
+// Ragged batches (per-lane max_population) are handled by lane retirement:
+// lanes are ordered by descending population so the active set is always a
+// contiguous prefix that shrinks as shallow lanes finish.
+//
+// Not part of the public API — callers go through core::solve_batch (the
+// facade), core::run_scenarios, or service::Engine::evaluate_batch.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/demand_model.hpp"
+#include "core/network.hpp"
+#include "core/result.hpp"
+#include "core/solve.hpp"
+#include "core/sweep.hpp"
+
+namespace mtperf::core::detail {
+
+/// Lanes per lockstep block.  Two doubles per SSE vector means 16 lanes
+/// already saturate the vector units; wider blocks only grow the working
+/// set (state, marginals, and the staged output window) past L1/L2 and
+/// measurably slow the kernel, while 16-lane blocks still split a
+/// 256-scenario batch into enough work units to feed every pool worker.
+inline constexpr std::size_t kBatchLaneBlock = 16;
+
+/// One scenario of a structure-compatible group.  `network` and `demands`
+/// are borrowed and must outlive the solve.
+struct BatchLane {
+  const ClosedNetwork* network = nullptr;
+  const DemandModel* demands = nullptr;
+  unsigned max_population = 1;
+  /// In: optional pre-tabulated grid for `demands` (may be shallower than
+  /// max_population — its rows are reused and only the missing tail is
+  /// tabulated).  Out: the tabulated grid the kernel solved with, borrowing
+  /// `demands`; left untouched for throughput-axis lanes.  The scenario
+  /// engine caches these for deepen-reuse.
+  std::shared_ptr<const DemandGrid> grid;
+};
+
+/// True when `kind` runs the exact multi-server recursion the batched
+/// kernel implements (kExactMultiserver and kMvasd are the same recursion).
+bool batchable_solver(SolverKind kind);
+
+/// Grouping key: two specs may share a lockstep group iff their keys match
+/// — same solver kind, station count, and per-station server counts and
+/// kinds.  Demands, visits, think times, labels, station names, and
+/// max_population are all per-lane data and deliberately excluded.
+std::string batch_structure_key(const ClosedNetwork& network, SolverKind kind);
+
+/// Partition of a spec list into lockstep work units.
+struct BatchPlan {
+  /// Each block: indices into the input list, structure-compatible, at most
+  /// kBatchLaneBlock lanes, ordered by descending max_population (so lane
+  /// retirement shrinks a prefix).
+  std::vector<std::vector<std::size_t>> blocks;
+  /// Specs no batched kernel covers — solve these through core::solve.
+  std::vector<std::size_t> scalars;
+};
+
+/// Group batchable specs by structure key, order each group by descending
+/// population, and chunk it into kBatchLaneBlock-sized blocks.
+BatchPlan plan_batch(const std::vector<const ScenarioSpec*>& specs);
+
+/// Solve one structure-compatible lane group in lockstep and return one
+/// MvaResult per lane, in input order.  All lanes must share the structure
+/// batch_structure_key captures; per-lane arithmetic is identical to
+/// detail::run_multiserver_mva.  Callers chunk large groups into
+/// kBatchLaneBlock-sized blocks (see plan_batch) and run blocks in
+/// parallel; the kernel itself is single-threaded.
+std::vector<MvaResult> solve_lane_block(std::vector<BatchLane>& lanes);
+
+}  // namespace mtperf::core::detail

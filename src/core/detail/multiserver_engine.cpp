@@ -1,6 +1,7 @@
 #include "core/detail/multiserver_engine.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/error.hpp"
 #include "core/detail/solver_workspace.hpp"
@@ -42,7 +43,8 @@ namespace mtperf::core::detail {
 
 MvaResult run_multiserver_mva(const ClosedNetwork& network,
                               const DemandModel& demands,
-                              unsigned max_population, MarginalTrace* trace) {
+                              unsigned max_population, MarginalTrace* trace,
+                              const DemandGrid* prebuilt_grid) {
   const std::size_t k_count = network.size();
   MTPERF_REQUIRE(demands.stations() == k_count,
                  "demand model width must match station count");
@@ -58,7 +60,18 @@ MvaResult run_multiserver_mva(const ClosedNetwork& network,
   MvaResult result;
   result.reset(std::move(names), max_population);
 
-  const DemandGrid grid(demands, max_population);
+  std::optional<DemandGrid> local_grid;
+  if (prebuilt_grid != nullptr) {
+    MTPERF_REQUIRE(prebuilt_grid->tabulated(),
+                   "prebuilt demand grids must be tabulated");
+    MTPERF_REQUIRE(prebuilt_grid->stations() == k_count &&
+                       prebuilt_grid->max_population() >= max_population,
+                   "prebuilt demand grid does not cover this solve");
+  } else {
+    local_grid.emplace(demands, max_population);
+  }
+  const DemandGrid& grid =
+      prebuilt_grid != nullptr ? *prebuilt_grid : *local_grid;
   const bool by_concurrency = grid.tabulated();
 
   SolverWorkspace& ws = tls_solver_workspace();

@@ -25,9 +25,15 @@ struct MarginalTrace {
 /// `demands` supplies the per-station service demand at each population —
 /// constant for Algorithm 2, interpolated for Algorithm 3.  When `trace` is
 /// non-null its `station` field selects which station to capture.
+///
+/// `grid` optionally supplies an already-tabulated DemandGrid for `demands`
+/// (content-identical, tabulated to at least `max_population`); the solver
+/// then skips its own tabulation.  The scenario engine uses this to re-solve
+/// deepened cache entries without re-tabulating from population 1.
 MvaResult run_multiserver_mva(const ClosedNetwork& network,
                               const DemandModel& demands,
                               unsigned max_population,
-                              MarginalTrace* trace = nullptr);
+                              MarginalTrace* trace = nullptr,
+                              const DemandGrid* grid = nullptr);
 
 }  // namespace mtperf::core::detail

@@ -1,6 +1,7 @@
 #include "core/mvasd.hpp"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/error.hpp"
 #include "core/detail/multiserver_engine.hpp"
@@ -9,8 +10,9 @@
 namespace mtperf::core {
 
 MvaResult mvasd(const ClosedNetwork& network, const DemandModel& demands,
-                unsigned max_population) {
-  return detail::run_multiserver_mva(network, demands, max_population);
+                unsigned max_population, const DemandGrid* grid) {
+  return detail::run_multiserver_mva(network, demands, max_population,
+                                     /*trace=*/nullptr, grid);
 }
 
 MvaResult mvasd_traced(const ClosedNetwork& network, const DemandModel& demands,
@@ -27,7 +29,8 @@ MvaResult mvasd_traced(const ClosedNetwork& network, const DemandModel& demands,
 
 MvaResult mvasd_single_server(const ClosedNetwork& network,
                               const DemandModel& demands,
-                              unsigned max_population) {
+                              unsigned max_population,
+                              const DemandGrid* prebuilt_grid) {
   const std::size_t k_count = network.size();
   MTPERF_REQUIRE(demands.stations() == k_count,
                  "demand model width must match station count");
@@ -39,7 +42,17 @@ MvaResult mvasd_single_server(const ClosedNetwork& network,
   MvaResult result;
   result.reset(std::move(names), max_population);
 
-  const DemandGrid grid(demands, max_population);
+  std::optional<DemandGrid> local_grid;
+  if (prebuilt_grid != nullptr) {
+    MTPERF_REQUIRE(prebuilt_grid->tabulated() &&
+                       prebuilt_grid->stations() == k_count &&
+                       prebuilt_grid->max_population() >= max_population,
+                   "prebuilt demand grid does not cover this solve");
+  } else {
+    local_grid.emplace(demands, max_population);
+  }
+  const DemandGrid& grid =
+      prebuilt_grid != nullptr ? *prebuilt_grid : *local_grid;
   const bool by_concurrency = grid.tabulated();
 
   detail::SolverWorkspace& ws = detail::tls_solver_workspace();

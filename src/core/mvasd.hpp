@@ -25,8 +25,11 @@
 namespace mtperf::core {
 
 /// Algorithm 3: exact multi-server MVA with varying service demands.
+/// `grid` optionally supplies an already-tabulated DemandGrid for `demands`
+/// (same content, tabulated to >= max_population) so the solver skips its
+/// own tabulation — the scenario engine's deepen-reuse hook.
 MvaResult mvasd(const ClosedNetwork& network, const DemandModel& demands,
-                unsigned max_population);
+                unsigned max_population, const DemandGrid* grid = nullptr);
 
 /// Algorithm 3 with the marginal-probability trajectory of one station.
 MvaResult mvasd_traced(const ClosedNetwork& network, const DemandModel& demands,
@@ -38,6 +41,7 @@ MvaResult mvasd_traced(const ClosedNetwork& network, const DemandModel& demands,
 /// by a single server with demand SS_k^n / C_k (the classic heuristic).
 MvaResult mvasd_single_server(const ClosedNetwork& network,
                               const DemandModel& demands,
-                              unsigned max_population);
+                              unsigned max_population,
+                              const DemandGrid* grid = nullptr);
 
 }  // namespace mtperf::core

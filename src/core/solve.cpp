@@ -1,12 +1,16 @@
 #include "core/solve.hpp"
 
+#include <cstddef>
 #include <utility>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
+#include "core/detail/batch_engine.hpp"
 #include "core/mva_exact.hpp"
 #include "core/mva_multiserver.hpp"
 #include "core/mvasd.hpp"
 #include "core/seidmann.hpp"
+#include "core/sweep.hpp"
 
 namespace mtperf::core {
 
@@ -56,7 +60,7 @@ SolverKind parse_solver_kind(const std::string& name) {
 }
 
 MvaResult solve(const ClosedNetwork& network, const DemandModel* demands,
-                const SolveOptions& options) {
+                const SolveOptions& options, const DemandGrid* grid) {
   MTPERF_REQUIRE(demands != nullptr, "solve() needs a demand model");
   MTPERF_REQUIRE(demands->stations() == network.size(),
                  "demand model width must match station count");
@@ -69,7 +73,7 @@ MvaResult solve(const ClosedNetwork& network, const DemandModel* demands,
     case SolverKind::kExactMultiserver:
       // Algorithm 2; with a varying-demand model this is exactly
       // Algorithm 3 (the same recursion over per-population demands).
-      return mvasd(network, *demands, n);
+      return mvasd(network, *demands, n, grid);
     case SolverKind::kSchweitzer:
       return schweitzer_mva(network,
                             constant_demands(*demands, options.solver), n,
@@ -94,9 +98,9 @@ MvaResult solve(const ClosedNetwork& network, const DemandModel* demands,
           network, constant_demands(*demands, options.solver), rates, n);
     }
     case SolverKind::kMvasd:
-      return mvasd(network, *demands, n);
+      return mvasd(network, *demands, n, grid);
     case SolverKind::kMvasdSingleServer:
-      return mvasd_single_server(network, *demands, n);
+      return mvasd_single_server(network, *demands, n, grid);
     case SolverKind::kSeidmann:
       return seidmann_mva(network, constant_demands(*demands, options.solver),
                           n);
@@ -106,6 +110,51 @@ MvaResult solve(const ClosedNetwork& network, const DemandModel* demands,
   }
   MTPERF_REQUIRE(false, "unknown SolverKind value");
   return MvaResult{};  // unreachable
+}
+
+std::vector<MvaResult> solve_batch(const std::vector<ScenarioSpec>& specs,
+                                   ThreadPool* pool) {
+  std::vector<MvaResult> out(specs.size());
+  if (specs.empty()) return out;
+
+  std::vector<const ScenarioSpec*> ptrs;
+  ptrs.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) ptrs.push_back(&spec);
+  const detail::BatchPlan plan = detail::plan_batch(ptrs);
+
+  // One task per lockstep block plus one per scalar fallback; each task
+  // writes disjoint output slots, so no synchronization is needed.
+  const auto run_block = [&](const std::vector<std::size_t>& block) {
+    std::vector<detail::BatchLane> lanes(block.size());
+    for (std::size_t l = 0; l < block.size(); ++l) {
+      const ScenarioSpec& spec = specs[block[l]];
+      lanes[l].network = &spec.network;
+      lanes[l].demands = &spec.demands;
+      lanes[l].max_population = spec.options.max_population;
+    }
+    std::vector<MvaResult> results = detail::solve_lane_block(lanes);
+    for (std::size_t l = 0; l < block.size(); ++l) {
+      out[block[l]] = std::move(results[l]);
+    }
+  };
+  const auto run_scalar = [&](std::size_t i) {
+    out[i] = solve(specs[i].network, &specs[i].demands, specs[i].options);
+  };
+
+  const std::size_t tasks = plan.blocks.size() + plan.scalars.size();
+  const auto run_task = [&](std::size_t t) {
+    if (t < plan.blocks.size()) {
+      run_block(plan.blocks[t]);
+    } else {
+      run_scalar(plan.scalars[t - plan.blocks.size()]);
+    }
+  };
+  if (pool != nullptr && tasks > 1) {
+    parallel_for(*pool, tasks, run_task);
+  } else {
+    for (std::size_t t = 0; t < tasks; ++t) run_task(t);
+  }
+  return out;
 }
 
 }  // namespace mtperf::core

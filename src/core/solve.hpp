@@ -15,6 +15,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "core/demand_model.hpp"
 #include "core/mva_approx_multiserver.hpp"
@@ -23,7 +24,13 @@
 #include "core/network.hpp"
 #include "core/result.hpp"
 
+namespace mtperf {
+class ThreadPool;  // common/thread_pool.hpp
+}  // namespace mtperf
+
 namespace mtperf::core {
+
+struct ScenarioSpec;  // core/sweep.hpp
 
 /// Which member of the MVA family evaluates the scenario.
 enum class SolverKind {
@@ -70,13 +77,29 @@ struct SolveOptions {
 /// for non-constant models, and the exact multi-server kinds accept any
 /// model (Algorithm 3 *is* Algorithm 2 with demand arrays).
 /// All validation failures throw mtperf::invalid_argument_error.
+///
+/// `grid` optionally supplies an already-tabulated DemandGrid for `demands`
+/// (tabulated to >= options.max_population).  Only the grid-driven kinds
+/// (kExactMultiserver, kMvasd, kMvasdSingleServer) use it; other solvers
+/// ignore it.  This is the scenario engine's deepen-reuse hook.
 MvaResult solve(const ClosedNetwork& network, const DemandModel* demands,
-                const SolveOptions& options);
+                const SolveOptions& options, const DemandGrid* grid = nullptr);
 
 /// Reference convenience overload.
 inline MvaResult solve(const ClosedNetwork& network, const DemandModel& demands,
-                       const SolveOptions& options) {
-  return solve(network, &demands, options);
+                       const SolveOptions& options,
+                       const DemandGrid* grid = nullptr) {
+  return solve(network, &demands, options, grid);
 }
+
+/// Solve many scenarios at once, batching structure-compatible specs (same
+/// solver kind, station count, per-station server counts and kinds) through
+/// the lane-major lockstep kernel so the population recursion runs once per
+/// group instead of once per spec.  Specs no batched kernel covers fall back
+/// to per-spec solve() calls.  Results always match per-spec solve() calls
+/// bit-for-bit and are returned in input order.  With a pool, lockstep
+/// blocks and scalar fallbacks run as parallel tasks.
+std::vector<MvaResult> solve_batch(const std::vector<ScenarioSpec>& specs,
+                                   ThreadPool* pool = nullptr);
 
 }  // namespace mtperf::core

@@ -49,8 +49,10 @@ class ScenarioEvaluator {
 };
 
 /// Evaluate all specs — in parallel when a pool is supplied — through
-/// `evaluator` (or directly through solve() when null).  The returned
-/// vector always matches the input order.
+/// `evaluator` (or, when null, through solve_batch(): structure-compatible
+/// specs are solved in lockstep by the lane-major batched kernel, with
+/// results bit-identical to per-spec solve() calls).  The returned vector
+/// always matches the input order.
 std::vector<LabeledResult> run_scenarios(
     const std::vector<ScenarioSpec>& scenarios, ThreadPool* pool = nullptr,
     ScenarioEvaluator* evaluator = nullptr);

@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "common/stats.hpp"
+#include "core/detail/batch_engine.hpp"
 
 namespace mtperf::service {
 
@@ -16,7 +17,29 @@ namespace {
 struct CacheEntry {
   Fingerprint key;
   std::shared_ptr<const core::MvaResult> result;
+  /// Deepen-reuse state: the tabulated grid of the deepest solve plus the
+  /// DemandModel copy it borrows.  Null unless the structure is
+  /// grid-cacheable (see grid_cacheable below).
+  std::shared_ptr<const core::DemandModel> demands;
+  std::shared_ptr<const core::DemandGrid> grid;
 };
+
+/// True when caching a tabulated DemandGrid alongside the result pays off:
+/// the solver actually reads grids, the demands vary (a constant model's
+/// grid is one row — rebuilding it is free), and the axis is concurrency
+/// (throughput-axis models cannot be pre-tabulated).
+bool grid_cacheable(const core::ScenarioSpec& spec) {
+  switch (spec.options.solver) {
+    case core::SolverKind::kExactMultiserver:
+    case core::SolverKind::kMvasd:
+    case core::SolverKind::kMvasdSingleServer:
+      break;
+    default:
+      return false;
+  }
+  return !spec.demands.is_constant() &&
+         spec.demands.axis() == core::DemandModel::Axis::kConcurrency;
+}
 
 }  // namespace
 
@@ -62,24 +85,94 @@ void Engine::record_solve_ms(double ms) {
   solve_ms_samples_.push_back(ms);
 }
 
+std::shared_ptr<const core::MvaResult> Engine::lookup(const Fingerprint& fp,
+                                                      unsigned want,
+                                                      GridLease* lease) {
+  Shard& shard = shard_for(fp);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(fp);
+  if (it == shard.index.end()) return nullptr;
+  if (lease != nullptr) {
+    lease->demands = it->second->demands;
+    lease->grid = it->second->grid;
+  }
+  if (it->second->result->levels() < want) {
+    // Shallower entry: left in place (the deep solve replaces it), but its
+    // grid rides out through the lease so the re-solve only tabulates the
+    // missing population tail.
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->result;
+}
+
+void Engine::store(const Fingerprint& fp,
+                   std::shared_ptr<const core::MvaResult> result,
+                   GridLease lease) {
+  Shard& shard = shard_for(fp);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.index.find(fp);
+  if (it != shard.index.end()) {
+    // Deepen (or refresh) the existing entry; never shrink it — a
+    // concurrent deeper solve may have landed first.
+    if (it->second->result->levels() < result->levels()) {
+      it->second->result = std::move(result);
+      it->second->demands = std::move(lease.demands);
+      it->second->grid = std::move(lease.grid);
+    }
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(CacheEntry{fp, std::move(result),
+                                    std::move(lease.demands),
+                                    std::move(lease.grid)});
+    shard.index.emplace(fp, shard.lru.begin());
+    if (shard.lru.size() > per_shard_capacity_) {
+      shard.index.erase(shard.lru.back().key);
+      shard.lru.pop_back();
+      evictions_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+Evaluation Engine::solve_miss(const core::ScenarioSpec& spec,
+                              const Fingerprint& fp, GridLease lease) {
+  const unsigned want = spec.options.max_population;
+  const core::DemandGrid* grid_ptr = nullptr;
+  if (grid_cacheable(spec)) {
+    // The cached grid borrows the cached model, so the entry must own a
+    // DemandModel copy; reuse the leased one when a shallower entry
+    // already holds it (their contents match — same fingerprint).
+    if (lease.demands == nullptr) {
+      lease.demands = std::make_shared<const core::DemandModel>(spec.demands);
+    }
+    if (lease.grid == nullptr || lease.grid->max_population() < want) {
+      lease.grid = std::make_shared<const core::DemandGrid>(
+          *lease.demands, want, lease.grid.get());
+    }
+    grid_ptr = lease.grid.get();
+  } else {
+    lease = GridLease{};
+  }
+
+  const auto start = std::chrono::steady_clock::now();
+  auto solved = std::make_shared<const core::MvaResult>(
+      core::solve(spec.network, &spec.demands, spec.options, grid_ptr));
+  const auto stop = std::chrono::steady_clock::now();
+  const double ms =
+      std::chrono::duration<double, std::milli>(stop - start).count();
+  record_solve_ms(ms);
+  store(fp, solved, std::move(lease));
+  return Evaluation{spec.label, std::move(solved), false, false, ms};
+}
+
 Evaluation Engine::evaluate(const core::ScenarioSpec& spec) {
   const Fingerprint fp = fingerprint(spec);
   const unsigned want = spec.options.max_population;
   MTPERF_REQUIRE(want >= 1, "population must be at least 1");
   requests_.fetch_add(1, std::memory_order_relaxed);
 
-  Shard& shard = shard_for(fp);
-  std::shared_ptr<const core::MvaResult> cached;
-  {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.index.find(fp);
-    if (it != shard.index.end() && it->second->result->levels() >= want) {
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-      cached = it->second->result;
-    }
-    // A shallower entry is left in place: the deep solve below replaces it.
-  }
-  if (cached != nullptr) {
+  GridLease lease;
+  if (auto cached = lookup(fp, want, &lease)) {
     hits_.fetch_add(1, std::memory_order_relaxed);
     if (cached->levels() == want) {
       return Evaluation{spec.label, std::move(cached), true, false, 0.0};
@@ -92,35 +185,7 @@ Evaluation Engine::evaluate(const core::ScenarioSpec& spec) {
   }
 
   misses_.fetch_add(1, std::memory_order_relaxed);
-  const auto start = std::chrono::steady_clock::now();
-  auto solved = std::make_shared<const core::MvaResult>(
-      core::solve(spec.network, &spec.demands, spec.options));
-  const auto stop = std::chrono::steady_clock::now();
-  const double ms =
-      std::chrono::duration<double, std::milli>(stop - start).count();
-  record_solve_ms(ms);
-
-  {
-    std::lock_guard<std::mutex> lock(shard.mutex);
-    const auto it = shard.index.find(fp);
-    if (it != shard.index.end()) {
-      // Deepen (or refresh) the existing entry; never shrink it — a
-      // concurrent deeper solve may have landed first.
-      if (it->second->result->levels() < solved->levels()) {
-        it->second->result = solved;
-      }
-      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-    } else {
-      shard.lru.push_front(CacheEntry{fp, solved});
-      shard.index.emplace(fp, shard.lru.begin());
-      if (shard.lru.size() > per_shard_capacity_) {
-        shard.index.erase(shard.lru.back().key);
-        shard.lru.pop_back();
-        evictions_.fetch_add(1, std::memory_order_relaxed);
-      }
-    }
-  }
-  return Evaluation{spec.label, std::move(solved), false, false, ms};
+  return solve_miss(spec, fp, std::move(lease));
 }
 
 std::future<Evaluation> Engine::submit(core::ScenarioSpec spec) {
@@ -136,17 +201,157 @@ std::future<Evaluation> Engine::submit(core::ScenarioSpec spec) {
 
 std::vector<Evaluation> Engine::evaluate_batch(
     const std::vector<core::ScenarioSpec>& specs) {
-  std::vector<Evaluation> out(specs.size());
-  queue_depth_.fetch_add(specs.size(), std::memory_order_relaxed);
-  const auto one = [&](std::size_t i) {
-    out[i] = evaluate(specs[i]);
-    queue_depth_.fetch_sub(1, std::memory_order_relaxed);
+  const std::size_t n = specs.size();
+  std::vector<Evaluation> out(n);
+  if (n == 0) return out;
+  queue_depth_.fetch_add(n, std::memory_order_relaxed);
+  struct DepthGuard {
+    std::atomic<std::size_t>& depth;
+    std::size_t count;
+    ~DepthGuard() { depth.fetch_sub(count, std::memory_order_relaxed); }
+  } depth_guard{queue_depth_, n};
+  requests_.fetch_add(n, std::memory_order_relaxed);
+
+  // Dedupe: one representative per fingerprint — the deepest requested
+  // population, so every duplicate is a share or a prefix trim of it.
+  struct Rep {
+    std::size_t spec_index = 0;
+    Fingerprint fp;
+    GridLease lease;
+    Evaluation eval;
+    bool miss = false;
   };
-  if (specs.size() <= 1 || pool_->size() <= 1) {
-    for (std::size_t i = 0; i < specs.size(); ++i) one(i);
-    return out;
+  std::vector<Fingerprint> fps(n);
+  std::vector<std::size_t> rep_of(n);
+  std::vector<Rep> reps;
+  std::unordered_map<Fingerprint, std::size_t, FingerprintHash> rep_index;
+  for (std::size_t i = 0; i < n; ++i) {
+    MTPERF_REQUIRE(specs[i].options.max_population >= 1,
+                   "population must be at least 1");
+    fps[i] = fingerprint(specs[i]);
+    const auto [it, inserted] = rep_index.try_emplace(fps[i], reps.size());
+    if (inserted) {
+      reps.push_back(Rep{i, fps[i], {}, {}, false});
+    } else if (specs[i].options.max_population >
+               specs[reps[it->second].spec_index].options.max_population) {
+      reps[it->second].spec_index = i;
+    }
+    rep_of[i] = it->second;
   }
-  parallel_for(*pool_, specs.size(), one);
+
+  // Probe the cache once per representative.
+  std::vector<std::size_t> miss_reps;
+  for (std::size_t r = 0; r < reps.size(); ++r) {
+    Rep& rep = reps[r];
+    const core::ScenarioSpec& spec = specs[rep.spec_index];
+    const unsigned want = spec.options.max_population;
+    if (auto cached = lookup(rep.fp, want, &rep.lease)) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (cached->levels() == want) {
+        rep.eval = Evaluation{spec.label, std::move(cached), true, false, 0.0};
+      } else {
+        prefix_hits_.fetch_add(1, std::memory_order_relaxed);
+        auto trimmed =
+            std::make_shared<const core::MvaResult>(cached->prefix(want));
+        rep.eval = Evaluation{spec.label, std::move(trimmed), true, true, 0.0};
+      }
+    } else {
+      rep.miss = true;
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      miss_reps.push_back(r);
+    }
+  }
+
+  // Group the misses by structure and solve each group in lockstep; specs
+  // the batched kernel doesn't cover fall back to scalar solve_miss calls.
+  // Every task writes disjoint reps, so no synchronization is needed.
+  std::vector<const core::ScenarioSpec*> miss_specs;
+  miss_specs.reserve(miss_reps.size());
+  for (const std::size_t r : miss_reps) {
+    miss_specs.push_back(&specs[reps[r].spec_index]);
+  }
+  const core::detail::BatchPlan plan = core::detail::plan_batch(miss_specs);
+
+  const auto run_block = [&](const std::vector<std::size_t>& block) {
+    std::vector<core::detail::BatchLane> lanes(block.size());
+    for (std::size_t l = 0; l < block.size(); ++l) {
+      Rep& rep = reps[miss_reps[block[l]]];
+      const core::ScenarioSpec& spec = specs[rep.spec_index];
+      lanes[l].network = &spec.network;
+      lanes[l].max_population = spec.options.max_population;
+      if (grid_cacheable(spec)) {
+        // The kernel's out-grid is cached, so it must borrow a model the
+        // cache entry owns — never the caller's spec.
+        if (rep.lease.demands == nullptr) {
+          rep.lease.demands =
+              std::make_shared<const core::DemandModel>(spec.demands);
+        }
+        lanes[l].demands = rep.lease.demands.get();
+        lanes[l].grid = rep.lease.grid;
+      } else {
+        lanes[l].demands = &spec.demands;
+      }
+    }
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<core::MvaResult> results =
+        core::detail::solve_lane_block(lanes);
+    const auto stop = std::chrono::steady_clock::now();
+    const double ms_per_lane =
+        std::chrono::duration<double, std::milli>(stop - start).count() /
+        static_cast<double>(block.size());
+    for (std::size_t l = 0; l < block.size(); ++l) {
+      Rep& rep = reps[miss_reps[block[l]]];
+      const core::ScenarioSpec& spec = specs[rep.spec_index];
+      record_solve_ms(ms_per_lane);
+      auto solved =
+          std::make_shared<const core::MvaResult>(std::move(results[l]));
+      GridLease lease;
+      if (grid_cacheable(spec)) {
+        rep.lease.grid = lanes[l].grid;
+        lease = rep.lease;
+      }
+      store(rep.fp, solved, std::move(lease));
+      rep.eval = Evaluation{spec.label, std::move(solved), false, false,
+                            ms_per_lane};
+    }
+  };
+  const auto run_task = [&](std::size_t t) {
+    if (t < plan.blocks.size()) {
+      run_block(plan.blocks[t]);
+    } else {
+      Rep& rep = reps[miss_reps[plan.scalars[t - plan.blocks.size()]]];
+      rep.eval = solve_miss(specs[rep.spec_index], rep.fp,
+                            std::move(rep.lease));
+    }
+  };
+  const std::size_t tasks = plan.blocks.size() + plan.scalars.size();
+  if (tasks > 1 && pool_->size() > 1) {
+    parallel_for(*pool_, tasks, run_task);
+  } else {
+    for (std::size_t t = 0; t < tasks; ++t) run_task(t);
+  }
+
+  // Fill every slot from its representative: the rep's own slot shares the
+  // Evaluation; duplicates share or trim the rep's result and count as
+  // cache hits (the whole point of dedup — one solve, many answers).
+  for (std::size_t i = 0; i < n; ++i) {
+    const Rep& rep = reps[rep_of[i]];
+    if (i == rep.spec_index) {
+      out[i] = rep.eval;
+      out[i].label = specs[i].label;
+      continue;
+    }
+    const unsigned want = specs[i].options.max_population;
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    if (rep.eval.result->levels() == want) {
+      out[i] = Evaluation{specs[i].label, rep.eval.result, true, false, 0.0};
+    } else {
+      prefix_hits_.fetch_add(1, std::memory_order_relaxed);
+      auto trimmed = std::make_shared<const core::MvaResult>(
+          rep.eval.result->prefix(want));
+      out[i] = Evaluation{specs[i].label, std::move(trimmed), true, true, 0.0};
+    }
+  }
   return out;
 }
 

@@ -16,7 +16,17 @@
 //                      and the result is cached, deepening any existing
 //                      shallower entry for the same structure.
 //
-// Batches fan out over the shared ThreadPool with chunked submission
+// Cache entries additionally hold the tabulated DemandGrid of the solve
+// (plus the DemandModel copy it borrows), so a deepen-in-place re-solve of
+// a varying-demand structure re-tabulates only the new population tail
+// instead of re-evaluating every spline row.
+//
+// evaluate_batch dedupes specs with identical fingerprints (one solve per
+// structure, duplicates filled by sharing or trimming), groups the
+// remaining misses by structure, and solves each group through the
+// lane-major batched kernel (core/detail/batch_engine.hpp) — the
+// population recursion runs once per group, not once per spec.  Lockstep
+// blocks fan out over the shared ThreadPool with chunked submission
 // (common/thread_pool.hpp), and per-scenario futures are available for
 // streaming callers (the mtperf_serve tool).  All entry points are safe to
 // call concurrently; concurrent identical misses may solve twice (last
@@ -91,8 +101,13 @@ class Engine final : public core::ScenarioEvaluator {
   /// Enqueue one spec on the pool; the future yields its Evaluation.
   std::future<Evaluation> submit(core::ScenarioSpec spec);
 
-  /// Evaluate a batch in parallel (chunked over the pool); the returned
-  /// vector matches the input order.
+  /// Evaluate a batch; the returned vector matches the input order.
+  /// Specs with identical fingerprints are deduplicated — the structure is
+  /// solved once (at the batch's deepest requested population) and
+  /// duplicate slots are filled by sharing or prefix-trimming that result,
+  /// counted as cache hits.  Cache misses are grouped by structure and
+  /// solved in lockstep by the lane-major batched kernel; blocks and
+  /// scalar fallbacks run in parallel over the pool.
   std::vector<Evaluation> evaluate_batch(
       const std::vector<core::ScenarioSpec>& specs);
 
@@ -115,8 +130,36 @@ class Engine final : public core::ScenarioEvaluator {
  private:
   struct Shard;
 
+  /// The tabulated demand state attached to a cache entry: the grid of the
+  /// deepest solve and the DemandModel copy it borrows (grids hold a raw
+  /// pointer to their model, so the entry must own both).  Empty for
+  /// structures whose solver never reads a grid, constant demands, and
+  /// throughput-axis models.
+  struct GridLease {
+    std::shared_ptr<const core::DemandModel> demands;
+    std::shared_ptr<const core::DemandGrid> grid;
+  };
+
   Shard& shard_for(const Fingerprint& fp) const noexcept;
   void record_solve_ms(double ms);
+
+  /// Cache probe: the cached result when it covers `want` levels (LRU
+  /// bumped), else null.  `lease` receives the entry's cached grid state
+  /// either way — a shallower entry's grid seeds the deepen re-tabulation.
+  std::shared_ptr<const core::MvaResult> lookup(const Fingerprint& fp,
+                                                unsigned want,
+                                                GridLease* lease);
+
+  /// Run the solver for one spec (no cache probe; counters untouched except
+  /// the latency sample), reusing/deepening the leased grid when the spec
+  /// is grid-cacheable, and store the result.
+  Evaluation solve_miss(const core::ScenarioSpec& spec, const Fingerprint& fp,
+                        GridLease lease);
+
+  /// Insert the solved result, deepening (never shrinking) any existing
+  /// entry for `fp`; the lease rides along with whichever result wins.
+  void store(const Fingerprint& fp,
+             std::shared_ptr<const core::MvaResult> result, GridLease lease);
 
   EngineOptions options_;
   std::size_t per_shard_capacity_;

@@ -1,0 +1,399 @@
+// Tests for the lane-major batched MVA kernel: structure grouping,
+// lockstep parity against per-spec scalar solves (VINS- and
+// JPetStore-shaped fixtures, multi-server + delay stations, both demand
+// axes, ragged populations), the solve_batch facade, and the scenario
+// engine's batch dedup + cached-grid deepening.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/demand_model.hpp"
+#include "core/detail/batch_engine.hpp"
+#include "core/network.hpp"
+#include "core/solve.hpp"
+#include "core/sweep.hpp"
+#include "interp/cubic_spline.hpp"
+#include "service/engine.hpp"
+
+namespace mtperf {
+namespace {
+
+using core::ClosedNetwork;
+using core::DemandModel;
+using core::MvaResult;
+using core::ScenarioSpec;
+using core::SolverKind;
+using core::Station;
+using core::StationKind;
+
+// The ISSUE-level parity budget; the kernel mirrors the scalar engine's
+// arithmetic operation-for-operation, so the observed difference is zero.
+constexpr double kParityTol = 1e-12;
+
+void expect_parity(const MvaResult& got, const MvaResult& want) {
+  ASSERT_EQ(got.levels(), want.levels());
+  ASSERT_EQ(got.stations(), want.stations());
+  for (std::size_t i = 0; i < got.levels(); ++i) {
+    EXPECT_LE(std::abs(got.throughput[i] - want.throughput[i]), kParityTol);
+    EXPECT_LE(std::abs(got.response_time[i] - want.response_time[i]),
+              kParityTol);
+    EXPECT_LE(std::abs(got.cycle_time[i] - want.cycle_time[i]), kParityTol);
+    for (std::size_t k = 0; k < got.stations(); ++k) {
+      EXPECT_LE(std::abs(got.queue(i, k) - want.queue(i, k)), kParityTol);
+      EXPECT_LE(std::abs(got.residence(i, k) - want.residence(i, k)),
+                kParityTol);
+      EXPECT_LE(std::abs(got.utilization(i, k) - want.utilization(i, k)),
+                kParityTol);
+    }
+  }
+}
+
+/// Batched results must match per-spec facade solves within kParityTol.
+void expect_batch_matches_scalar(const std::vector<ScenarioSpec>& specs) {
+  const std::vector<MvaResult> batched = core::solve_batch(specs);
+  ASSERT_EQ(batched.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const MvaResult scalar =
+        core::solve(specs[i].network, &specs[i].demands, specs[i].options);
+    SCOPED_TRACE("spec " + specs[i].label);
+    expect_parity(batched[i], scalar);
+  }
+}
+
+std::shared_ptr<interp::PiecewiseCubic> spline_of(std::vector<double> x,
+                                                  std::vector<double> y) {
+  return std::make_shared<interp::PiecewiseCubic>(interp::build_cubic_spline(
+      interp::SampleSet(std::move(x), std::move(y))));
+}
+
+/// The VINS deployment shape (paper §4.3): load injector / app server /
+/// database, each with a multi-core CPU and single-server disk + NICs.
+ClosedNetwork vins_network(unsigned cpu_cores = 16) {
+  return core::make_network(
+      {"load-cpu", "load-disk", "load-tx", "load-rx", "app-cpu", "app-disk",
+       "app-tx", "app-rx", "db-cpu", "db-disk", "db-tx", "db-rx"},
+      {cpu_cores, 1, 1, 1, cpu_cores, 1, 1, 1, cpu_cores, 1, 1, 1}, 1.0);
+}
+
+const std::vector<double>& vins_base_demands() {
+  static const std::vector<double> base = {0.004, 0.010, 0.002, 0.002,
+                                           0.012, 0.008, 0.003, 0.003,
+                                           0.020, 0.034, 0.004, 0.004};
+  return base;
+}
+
+/// VINS-style decreasing demand splines (caching warm-up), scaled per lane.
+DemandModel vins_spline_demands(double scale,
+                                DemandModel::Axis axis =
+                                    DemandModel::Axis::kConcurrency) {
+  std::vector<std::shared_ptr<const interp::Interpolator1D>> fns;
+  for (const double d : vins_base_demands()) {
+    const double b = d * scale;
+    fns.push_back(spline_of({1.0, 60.0, 250.0, 900.0},
+                            {b, 0.93 * b, 0.88 * b, 0.86 * b}));
+  }
+  return DemandModel::interpolated(std::move(fns), axis);
+}
+
+ScenarioSpec vins_spec(std::string label, double scale, unsigned users,
+                       SolverKind solver = SolverKind::kMvasd) {
+  ScenarioSpec spec;
+  spec.label = std::move(label);
+  spec.network = vins_network();
+  spec.demands = vins_spline_demands(scale);
+  spec.options.solver = solver;
+  spec.options.max_population = users;
+  return spec;
+}
+
+/// JPetStore-ish shape: fewer stations, a delay station (external payment
+/// gateway), contention-increasing DB demands — a different structure key
+/// than VINS in every respect.
+ScenarioSpec jpetstore_spec(std::string label, double scale, unsigned users) {
+  ScenarioSpec spec;
+  spec.label = std::move(label);
+  spec.network = ClosedNetwork(
+      {Station{"web-cpu", 1.0, 8, StationKind::kQueueing},
+       Station{"web-disk", 1.0, 1, StationKind::kQueueing},
+       Station{"db-cpu", 1.0, 16, StationKind::kQueueing},
+       Station{"db-disk", 1.0, 1, StationKind::kQueueing},
+       Station{"gateway", 0.4, 1, StationKind::kDelay}},
+      1.0);
+  std::vector<std::shared_ptr<const interp::Interpolator1D>> fns;
+  const std::vector<double> base = {0.011, 0.007, 0.024, 0.016, 0.150};
+  for (const double d : base) {
+    const double b = d * scale;
+    fns.push_back(spline_of({1.0, 70.0, 140.0, 280.0},
+                            {b, 1.02 * b, 1.10 * b, 1.16 * b}));
+  }
+  spec.demands = DemandModel::interpolated(std::move(fns));
+  spec.options.solver = SolverKind::kMvasd;
+  spec.options.max_population = users;
+  return spec;
+}
+
+// ---------------------------------------------------------------- planning
+
+TEST(BatchPlan, GroupsByStructureAndSplitsOffScalars) {
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(vins_spec("a", 1.0, 100));
+  specs.push_back(jpetstore_spec("b", 1.0, 80));
+  specs.push_back(vins_spec("c", 1.1, 300));
+  {  // constant-demand Schweitzer: no batched kernel covers it
+    ScenarioSpec s;
+    s.label = "schweitzer";
+    s.network = core::make_network({"cpu", "disk"}, {4, 1}, 1.0);
+    s.demands = DemandModel::constant({0.01, 0.02});
+    s.options.solver = SolverKind::kSchweitzer;
+    s.options.max_population = 40;
+    specs.push_back(std::move(s));
+  }
+  std::vector<const ScenarioSpec*> ptrs;
+  for (const auto& s : specs) ptrs.push_back(&s);
+  const auto plan = core::detail::plan_batch(ptrs);
+
+  ASSERT_EQ(plan.blocks.size(), 2u);
+  ASSERT_EQ(plan.scalars.size(), 1u);
+  EXPECT_EQ(plan.scalars[0], 3u);
+  // VINS group ordered deepest-first for lane retirement.
+  EXPECT_EQ(plan.blocks[0], (std::vector<std::size_t>{2, 0}));
+  EXPECT_EQ(plan.blocks[1], (std::vector<std::size_t>{1}));
+}
+
+TEST(BatchPlan, StructureKeySeparatesServerCountsAndKinds) {
+  const auto key = [](const ClosedNetwork& n) {
+    return core::detail::batch_structure_key(n, SolverKind::kMvasd);
+  };
+  const ClosedNetwork base = core::make_network({"a", "b"}, {16, 1}, 1.0);
+  EXPECT_EQ(key(base), key(core::make_network({"x", "y"}, {16, 1}, 9.0)));
+  EXPECT_NE(key(base), key(core::make_network({"a", "b"}, {8, 1}, 1.0)));
+  EXPECT_NE(key(base), key(core::make_network({"a", "b", "c"}, {16, 1, 1},
+                                              1.0)));
+  const ClosedNetwork delayed(
+      {Station{"a", 1.0, 16, StationKind::kQueueing},
+       Station{"b", 1.0, 1, StationKind::kDelay}},
+      1.0);
+  EXPECT_NE(key(base), key(delayed));
+  EXPECT_NE(core::detail::batch_structure_key(base, SolverKind::kMvasd),
+            core::detail::batch_structure_key(
+                base, SolverKind::kExactMultiserver));
+}
+
+// ------------------------------------------------------------------ parity
+
+TEST(BatchParity, VinsSplineLanes) {
+  std::vector<ScenarioSpec> specs;
+  for (int i = 0; i < 9; ++i) {
+    specs.push_back(vins_spec("vins-" + std::to_string(i),
+                              0.9 + 0.03 * static_cast<double>(i), 220));
+  }
+  expect_batch_matches_scalar(specs);
+}
+
+TEST(BatchParity, JPetStoreDelayStations) {
+  std::vector<ScenarioSpec> specs;
+  for (int i = 0; i < 6; ++i) {
+    specs.push_back(jpetstore_spec("jps-" + std::to_string(i),
+                                   0.85 + 0.06 * static_cast<double>(i), 160));
+  }
+  expect_batch_matches_scalar(specs);
+}
+
+TEST(BatchParity, ThroughputAxisSectionSeven) {
+  // Section 7's variant: demands interpolated against throughput, looked up
+  // with the previous iteration's X.  These lanes cannot be pre-tabulated;
+  // the kernel evaluates them through per-lane monotone cursors.
+  std::vector<ScenarioSpec> specs;
+  for (int i = 0; i < 5; ++i) {
+    ScenarioSpec spec;
+    spec.label = "xaxis-" + std::to_string(i);
+    spec.network = vins_network();
+    spec.demands = vins_spline_demands(1.0 + 0.05 * static_cast<double>(i),
+                                       DemandModel::Axis::kThroughput);
+    spec.options.solver = SolverKind::kMvasd;
+    spec.options.max_population = 180;
+    specs.push_back(std::move(spec));
+  }
+  expect_batch_matches_scalar(specs);
+}
+
+TEST(BatchParity, RaggedPopulationsRetireLanes) {
+  const std::vector<unsigned> depths = {400, 1, 37, 220, 37, 3, 128, 399};
+  std::vector<ScenarioSpec> specs;
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    specs.push_back(vins_spec("ragged-" + std::to_string(i),
+                              1.0 + 0.02 * static_cast<double>(i), depths[i]));
+  }
+  expect_batch_matches_scalar(specs);
+}
+
+TEST(BatchParity, SingleLaneBatch) {
+  expect_batch_matches_scalar({vins_spec("solo", 1.0, 300)});
+}
+
+TEST(BatchParity, ConstantDemandsAndMixedStructures) {
+  std::vector<ScenarioSpec> specs;
+  // Constant-demand Algorithm 2 lanes batch alongside spline lanes of the
+  // same structure; a different structure and a scalar-only solver ride in
+  // the same call.
+  for (int i = 0; i < 4; ++i) {
+    ScenarioSpec spec;
+    spec.label = "const-" + std::to_string(i);
+    spec.network = vins_network();
+    std::vector<double> demands = vins_base_demands();
+    for (double& d : demands) d *= 1.0 + 0.1 * static_cast<double>(i);
+    spec.demands = DemandModel::constant(std::move(demands));
+    spec.options.solver = SolverKind::kExactMultiserver;
+    spec.options.max_population = 250;
+    specs.push_back(std::move(spec));
+  }
+  specs.push_back(vins_spec("spline", 1.0, 250, SolverKind::kMvasd));
+  specs.push_back(jpetstore_spec("jps", 1.0, 120));
+  {
+    ScenarioSpec s;
+    s.label = "exact-single";
+    s.network = core::make_network({"cpu", "disk"}, {1, 1}, 0.5);
+    s.demands = DemandModel::constant({0.02, 0.05});
+    s.options.solver = SolverKind::kExactSingleServer;
+    s.options.max_population = 64;
+    specs.push_back(std::move(s));
+  }
+  expect_batch_matches_scalar(specs);
+}
+
+TEST(BatchParity, GroupsLargerThanOneBlock) {
+  // More lanes than kBatchLaneBlock: the plan must chunk and stay exact.
+  std::vector<ScenarioSpec> specs;
+  const std::size_t lanes = core::detail::kBatchLaneBlock + 7;
+  for (std::size_t i = 0; i < lanes; ++i) {
+    specs.push_back(vins_spec("wide-" + std::to_string(i),
+                              0.8 + 0.01 * static_cast<double>(i),
+                              40 + static_cast<unsigned>(i % 5) * 30));
+  }
+  ThreadPool pool(4);
+  const std::vector<MvaResult> batched = core::solve_batch(specs, &pool);
+  ASSERT_EQ(batched.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const MvaResult scalar =
+        core::solve(specs[i].network, &specs[i].demands, specs[i].options);
+    expect_parity(batched[i], scalar);
+  }
+}
+
+TEST(RunScenarios, DefaultEvaluatorUsesBatchedKernel) {
+  std::vector<ScenarioSpec> specs;
+  for (int i = 0; i < 6; ++i) {
+    specs.push_back(vins_spec("rs-" + std::to_string(i),
+                              1.0 + 0.04 * static_cast<double>(i), 150));
+  }
+  ThreadPool pool(4);
+  const auto rows = core::run_scenarios(specs, &pool);
+  ASSERT_EQ(rows.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(rows[i].label, specs[i].label);
+    const MvaResult scalar =
+        core::solve(specs[i].network, &specs[i].demands, specs[i].options);
+    expect_parity(rows[i].result, scalar);
+  }
+}
+
+// ------------------------------------------------------------------ engine
+
+TEST(EngineBatch, DedupesIdenticalFingerprints) {
+  service::Engine engine;
+  std::vector<ScenarioSpec> specs;
+  const std::vector<unsigned> depths = {90, 30, 90, 60, 30, 90};
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    specs.push_back(vins_spec("dup-" + std::to_string(i), 1.0, depths[i]));
+  }
+  const auto evals = engine.evaluate_batch(specs);
+  ASSERT_EQ(evals.size(), specs.size());
+  const auto metrics = engine.metrics();
+  // One structure → one solve; every other slot is a dedup hit.
+  EXPECT_EQ(metrics.misses, 1u);
+  EXPECT_EQ(metrics.hits, specs.size() - 1);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(evals[i].label, specs[i].label);
+    ASSERT_EQ(evals[i].result->levels(), depths[i]);
+    const MvaResult scalar =
+        core::solve(specs[i].network, &specs[i].demands, specs[i].options);
+    expect_parity(*evals[i].result, scalar);
+  }
+  // The three depth-90 duplicates share one MvaResult instance.
+  EXPECT_EQ(evals[0].result.get(), evals[2].result.get());
+  EXPECT_EQ(evals[0].result.get(), evals[5].result.get());
+}
+
+TEST(EngineBatch, MixedHitsAndMissesKeepOrderAndParity) {
+  service::Engine engine;
+  // Warm one structure, then batch it together with cold structures.
+  (void)engine.evaluate_batch({vins_spec("warm", 1.0, 200)});
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(jpetstore_spec("cold-jps", 1.0, 100));
+  specs.push_back(vins_spec("warm-prefix", 1.0, 120));  // prefix of warm
+  specs.push_back(vins_spec("cold-scaled", 1.25, 140));
+  const auto before = engine.metrics();
+  const auto evals = engine.evaluate_batch(specs);
+  const auto after = engine.metrics();
+  EXPECT_EQ(after.misses - before.misses, 2u);
+  EXPECT_EQ(after.hits - before.hits, 1u);
+  EXPECT_TRUE(evals[1].cache_hit);
+  EXPECT_TRUE(evals[1].prefix_hit);
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(evals[i].label, specs[i].label);
+    const MvaResult scalar =
+        core::solve(specs[i].network, &specs[i].demands, specs[i].options);
+    expect_parity(*evals[i].result, scalar);
+  }
+}
+
+TEST(EngineBatch, DeepenedResolveReusesCachedGridAndStaysExact) {
+  service::Engine engine;
+  const auto shallow = engine.evaluate(vins_spec("shallow", 1.0, 80));
+  EXPECT_FALSE(shallow.cache_hit);
+  // Deeper request, same structure: re-solves (prefix can't answer it) but
+  // reuses the cached tabulation for rows 1..80, so the numbers must still
+  // match a from-scratch scalar solve exactly.
+  const auto deep = engine.evaluate(vins_spec("deep", 1.0, 320));
+  EXPECT_FALSE(deep.cache_hit);
+  const ScenarioSpec reference = vins_spec("ref", 1.0, 320);
+  const MvaResult scalar =
+      core::solve(reference.network, &reference.demands, reference.options);
+  expect_parity(*deep.result, scalar);
+  // And the deepened entry now answers both depths from cache.
+  EXPECT_TRUE(engine.evaluate(vins_spec("again", 1.0, 320)).cache_hit);
+  EXPECT_TRUE(engine.evaluate(vins_spec("again80", 1.0, 80)).cache_hit);
+}
+
+TEST(EngineBatch, BatchedDeepenReusesCachedGrid) {
+  service::Engine engine;
+  (void)engine.evaluate_batch({vins_spec("seed", 1.0, 60)});
+  // The batched miss path leases the cached grid and deepens it in place.
+  const auto evals = engine.evaluate_batch({vins_spec("deeper", 1.0, 240),
+                                            jpetstore_spec("jps", 1.0, 90)});
+  for (const auto& ev : evals) EXPECT_FALSE(ev.cache_hit);
+  const ScenarioSpec reference = vins_spec("ref", 1.0, 240);
+  const MvaResult scalar =
+      core::solve(reference.network, &reference.demands, reference.options);
+  expect_parity(*evals[0].result, scalar);
+}
+
+TEST(DemandGrid, DeepeningConstructorMatchesFreshTabulation) {
+  const DemandModel model = vins_spline_demands(1.0);
+  const core::DemandGrid shallow(model, 50);
+  const core::DemandGrid deepened(model, 200, &shallow);
+  const core::DemandGrid fresh(model, 200);
+  ASSERT_TRUE(deepened.tabulated());
+  ASSERT_EQ(deepened.max_population(), 200u);
+  for (unsigned n = 1; n <= 200; ++n) {
+    for (std::size_t k = 0; k < model.stations(); ++k) {
+      EXPECT_EQ(deepened.at(n, k), fresh.at(n, k)) << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mtperf
