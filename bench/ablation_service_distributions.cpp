@@ -8,7 +8,8 @@
 // provably insensitive — supporting the DESIGN.md claim that the simulator
 // substitution preserves the behaviours MVASD is evaluated on.
 #include "bench_util.hpp"
-#include "sim/closed_network_sim.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/replicated.hpp"
 
 int main() {
   using namespace mtperf;
@@ -25,6 +26,11 @@ int main() {
       {"log-normal (cv=2)", {sim::DistributionKind::kLogNormal, 2.0}},
   };
 
+  // Eight replications per cell (split across the original measure window,
+  // so the simulated-time budget is unchanged) give an across-replication
+  // CI on each response time — the sensitivity claims below rest on mean
+  // differences, so the table now shows how tight those means are.
+  ThreadPool pool;
   auto run_with = [&](const sim::ServiceDistribution& dist, bool ps) {
     auto stations = app.stations();
     if (ps) {
@@ -32,31 +38,38 @@ int main() {
     }
     auto flow = app.workflow(users);
     for (auto& visit : flow) visit.distribution = dist;
-    sim::SimOptions o;
-    o.customers = users;
-    o.think_time_mean = app.think_time();
-    o.warmup_time = 120.0;
-    o.measure_time = 600.0;
-    o.seed = 77;
-    return simulate_closed_network(stations, flow, o);
+    sim::ReplicatedSimOptions o;
+    o.base.customers = users;
+    o.base.think_time_mean = app.think_time();
+    o.base.warmup_time = 120.0;
+    o.base.measure_time = 600.0;
+    o.replications = 8;
+    o.base_seed = 77;
+    o.split_measure_time = true;
+    o.pool = &pool;
+    return simulate_replicated(stations, flow, o);
   };
 
-  TextTable t("JPetStore at 70 users: discipline x service distribution");
+  TextTable t("JPetStore at 70 users: discipline x service distribution "
+              "(8 replications, 95% CI)");
   t.set_header({"Service distribution", "FCFS X (tx/s)", "FCFS R (s)",
-                "PS X (tx/s)", "PS R (s)"});
+                "+/- R", "PS X (tx/s)", "PS R (s)", "+/- R"});
   double fcfs_exp_r = 0.0, fcfs_det_r = 0.0, ps_exp_r = 0.0, ps_det_r = 0.0;
   for (const auto& [name, dist] : dists) {
     const auto fcfs = run_with(dist, false);
     const auto ps = run_with(dist, true);
-    t.add_row({name, fmt(fcfs.throughput, 2), fmt(fcfs.response_time, 4),
-               fmt(ps.throughput, 2), fmt(ps.response_time, 4)});
+    t.add_row({name, fmt(fcfs.merged.throughput, 2),
+               fmt(fcfs.merged.response_time, 4),
+               fmt(fcfs.merged.response_time_ci.half_width, 4),
+               fmt(ps.merged.throughput, 2), fmt(ps.merged.response_time, 4),
+               fmt(ps.merged.response_time_ci.half_width, 4)});
     if (name.rfind("exponential", 0) == 0) {
-      fcfs_exp_r = fcfs.response_time;
-      ps_exp_r = ps.response_time;
+      fcfs_exp_r = fcfs.merged.response_time;
+      ps_exp_r = ps.merged.response_time;
     }
     if (name.rfind("deterministic", 0) == 0) {
-      fcfs_det_r = fcfs.response_time;
-      ps_det_r = ps.response_time;
+      fcfs_det_r = fcfs.merged.response_time;
+      ps_det_r = ps.merged.response_time;
     }
   }
   std::printf("%s\n", t.to_string().c_str());

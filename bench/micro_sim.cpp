@@ -1,10 +1,26 @@
 // Microbenchmarks of the discrete-event simulator (google-benchmark):
-// raw event throughput and end-to-end closed-network simulation cost —
-// what one simulated load-test level costs at various concurrencies.
+// raw event throughput — closure adapter vs the typed engine it wraps —
+// and end-to-end closed-network simulation cost, single-run and
+// replicated.  After the google-benchmark pass, main() times the two
+// headline ratios directly (typed vs closure events/sec; parallel vs
+// sequential R=8 replication throughput), checks that parallel and
+// sequential replications merge to bit-identical results, and writes
+// bench_out/BENCH_sim.json.  The exit code gates only the determinism
+// parity — wall-clock ratios are recorded, not asserted (shared runners
+// are too noisy to gate on).
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <thread>
+
 #include "apps/jpetstore.hpp"
+#include "bench_util.hpp"
 #include "sim/closed_network_sim.hpp"
+#include "sim/event_engine.hpp"
+#include "sim/replicated.hpp"
 #include "sim/simulator.hpp"
 #include "sim/station.hpp"
 
@@ -12,20 +28,36 @@ namespace {
 
 using namespace mtperf;
 
+constexpr int kEventsPerLoop = 10000;
+
 void BM_EventLoop(benchmark::State& state) {
   for (auto _ : state) {
     sim::Simulator s;
     int count = 0;
     std::function<void()> tick = [&] {
-      if (++count < 10000) s.schedule(1.0, tick);
+      if (++count < kEventsPerLoop) s.schedule(1.0, tick);
     };
     s.schedule(1.0, tick);
     s.run_until(1e9);
     benchmark::DoNotOptimize(count);
   }
-  state.SetItemsProcessed(state.iterations() * 10000);
+  state.SetItemsProcessed(state.iterations() * kEventsPerLoop);
 }
 BENCHMARK(BM_EventLoop);
+
+void BM_EventLoopTyped(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventEngine eng;
+    int count = 0;
+    eng.schedule(1.0, sim::EventOp::kTick);
+    eng.run_until(1e9, [&](const sim::Event&) {
+      if (++count < kEventsPerLoop) eng.schedule(1.0, sim::EventOp::kTick);
+    });
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * kEventsPerLoop);
+}
+BENCHMARK(BM_EventLoopTyped);
 
 void BM_StationPipeline(benchmark::State& state) {
   const auto jobs = static_cast<int>(state.range(0));
@@ -65,6 +97,173 @@ void BM_ClosedNetworkLevel(benchmark::State& state) {
 BENCHMARK(BM_ClosedNetworkLevel)->Arg(10)->Arg(70)->Arg(210)
     ->Unit(benchmark::kMillisecond);
 
+void BM_ClosedNetworkReplicated(benchmark::State& state) {
+  const auto app = apps::make_jpetstore();
+  ThreadPool pool(static_cast<std::size_t>(state.range(0)));
+  sim::ReplicatedSimOptions ro;
+  ro.base.customers = 70;
+  ro.base.think_time_mean = app.think_time();
+  ro.base.warmup_time = 10.0;
+  ro.base.measure_time = 50.0;
+  ro.replications = 8;
+  ro.base_seed = 11;
+  ro.pool = state.range(0) > 0 ? &pool : nullptr;
+  std::uint64_t txn = 0;
+  for (auto _ : state) {
+    const auto r = simulate_replicated(app.stations(), app.workflow(70), ro);
+    txn += r.merged.transactions;
+    benchmark::DoNotOptimize(r.merged.throughput);
+  }
+  state.counters["transactions"] =
+      benchmark::Counter(static_cast<double>(txn), benchmark::Counter::kIsRate);
+}
+// range(0) = pool threads; 0 runs the replications sequentially.
+BENCHMARK(BM_ClosedNetworkReplicated)->Arg(0)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+// ------------------------------------------------- BENCH_sim.json measurements
+
+double time_ms(const std::function<void()>& body) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+double min_over_reps(int reps, const std::function<void()>& body) {
+  double best = 0.0;
+  for (int r = 0; r < reps; ++r) {
+    const double ms = time_ms(body);
+    if (r == 0 || ms < best) best = ms;
+  }
+  return best;
+}
+
+bool same_result(const sim::SimResult& a, const sim::SimResult& b) {
+  if (a.transactions != b.transactions || a.throughput != b.throughput ||
+      a.response_time != b.response_time ||
+      a.response_time_ci.mean != b.response_time_ci.mean ||
+      a.response_time_ci.half_width != b.response_time_ci.half_width ||
+      a.response_percentiles.p95 != b.response_percentiles.p95 ||
+      a.stations.size() != b.stations.size()) {
+    return false;
+  }
+  for (std::size_t k = 0; k < a.stations.size(); ++k) {
+    if (a.stations[k].utilization != b.stations[k].utilization ||
+        a.stations[k].completions != b.stations[k].completions) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int write_bench_json() {
+  constexpr int kChainEvents = 2'000'000;
+  constexpr int kReps = 3;
+
+  // Engine throughput: a self-rescheduling event chain — the pure
+  // schedule/pop/dispatch cycle with no model work attached.
+  const double closure_ms = min_over_reps(kReps, [&] {
+    sim::Simulator s;
+    int count = 0;
+    std::function<void()> tick = [&] {
+      if (++count < kChainEvents) s.schedule(1.0, tick);
+    };
+    s.schedule(1.0, tick);
+    s.run_until(1e18);
+  });
+  const double typed_ms = min_over_reps(kReps, [&] {
+    sim::EventEngine eng;
+    int count = 0;
+    eng.schedule(1.0, sim::EventOp::kTick);
+    eng.run_until(1e18, [&](const sim::Event&) {
+      if (++count < kChainEvents) eng.schedule(1.0, sim::EventOp::kTick);
+    });
+  });
+  const double closure_eps = kChainEvents / (closure_ms / 1e3);
+  const double typed_eps = kChainEvents / (typed_ms / 1e3);
+
+  // End-to-end replicated JPetStore level: R = 8 sequential vs on a pool
+  // of 8 workers.  Both must merge to bit-identical results.
+  const auto app = apps::make_jpetstore();
+  sim::ReplicatedSimOptions ro;
+  ro.base.customers = 70;
+  ro.base.think_time_mean = app.think_time();
+  ro.base.warmup_time = 10.0;
+  ro.base.measure_time = 60.0;
+  ro.replications = 8;
+  ro.base_seed = 11;
+  const auto workflow = app.workflow(70);
+
+  sim::ReplicatedSimResult seq;
+  const double seq_ms = min_over_reps(kReps, [&] {
+    ro.pool = nullptr;
+    seq = simulate_replicated(app.stations(), workflow, ro);
+  });
+  ThreadPool pool(8);
+  sim::ReplicatedSimResult par;
+  const double par_ms = min_over_reps(kReps, [&] {
+    ro.pool = &pool;
+    par = simulate_replicated(app.stations(), workflow, ro);
+  });
+  const bool deterministic = same_result(seq.merged, par.merged);
+  const double seq_txn_per_s =
+      static_cast<double>(seq.merged.transactions) / (seq_ms / 1e3);
+  const double par_txn_per_s =
+      static_cast<double>(par.merged.transactions) / (par_ms / 1e3);
+
+  const double typed_speedup = closure_ms / typed_ms;
+  const double parallel_speedup = seq_ms / par_ms;
+  const unsigned hw = std::thread::hardware_concurrency();
+
+  std::printf("\nevent engine: closure %.1f ms, typed %.1f ms "
+              "(%.0f vs %.0f events/s, %.2fx)\n",
+              closure_ms, typed_ms, closure_eps, typed_eps, typed_speedup);
+  std::printf("replicated JPetStore level (R=8, N=70): sequential %.1f ms, "
+              "pool(8) %.1f ms (%.2fx on %u hardware threads)\n",
+              seq_ms, par_ms, parallel_speedup, hw);
+  std::printf("parallel == sequential merge: %s\n",
+              deterministic ? "bit-identical" : "MISMATCH");
+
+  const std::string path = bench::out_dir() + "/BENCH_sim.json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"benchmark\": \"sim_hot_path\",\n"
+               "  \"chain_events\": %d,\n"
+               "  \"events_per_sec_closure\": %.0f,\n"
+               "  \"events_per_sec_typed\": %.0f,\n"
+               "  \"typed_engine_speedup\": %.2f,\n"
+               "  \"replications\": %u,\n"
+               "  \"level_customers\": %u,\n"
+               "  \"sequential_ms\": %.2f,\n"
+               "  \"parallel_ms\": %.2f,\n"
+               "  \"sequential_txn_per_sec\": %.0f,\n"
+               "  \"parallel_txn_per_sec\": %.0f,\n"
+               "  \"parallel_speedup\": %.2f,\n"
+               "  \"pool_threads\": 8,\n"
+               "  \"hardware_threads\": %u,\n"
+               "  \"deterministic_across_pools\": %s\n"
+               "}\n",
+               kChainEvents, closure_eps, typed_eps, typed_speedup,
+               ro.replications, ro.base.customers, seq_ms, par_ms,
+               seq_txn_per_s, par_txn_per_s, parallel_speedup, hw,
+               deterministic ? "true" : "false");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return deterministic ? 0 : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return write_bench_json();
+}

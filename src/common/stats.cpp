@@ -215,6 +215,103 @@ std::vector<double> percentiles(std::vector<double>& values,
   return out;
 }
 
+void MomentAccumulator::add(double x) {
+  moments_.add(x);
+  unsorted_.push_back(x);
+}
+
+void MomentAccumulator::merge(MomentAccumulator other) {
+  moments_.merge(other.moments_);
+  if (!other.unsorted_.empty()) {
+    std::sort(other.unsorted_.begin(), other.unsorted_.end());
+    runs_.push_back(std::move(other.unsorted_));
+  }
+  for (auto& run : other.runs_) runs_.push_back(std::move(run));
+}
+
+MomentAccumulator MomentAccumulator::from_sorted(
+    std::vector<double> sorted_run, const RunningStats& moments) {
+  MTPERF_REQUIRE(moments.count() == sorted_run.size(),
+                 "moments must describe exactly the supplied sample");
+  MTPERF_REQUIRE(std::is_sorted(sorted_run.begin(), sorted_run.end()),
+                 "from_sorted requires an ascending run");
+  MomentAccumulator acc;
+  acc.moments_ = moments;
+  if (!sorted_run.empty()) acc.runs_.push_back(std::move(sorted_run));
+  return acc;
+}
+
+MomentAccumulator MomentAccumulator::from_sorted(
+    std::vector<double> sorted_run) {
+  RunningStats moments;
+  for (double x : sorted_run) moments.add(x);
+  return from_sorted(std::move(sorted_run), moments);
+}
+
+ConfidenceInterval MomentAccumulator::mean_ci(double confidence) const {
+  ConfidenceInterval ci;
+  ci.mean = moments_.mean();
+  if (moments_.count() >= 2) {
+    const double t = student_t_quantile(moments_.count() - 1, confidence);
+    ci.half_width =
+        t * moments_.stddev() / std::sqrt(static_cast<double>(moments_.count()));
+  }
+  return ci;
+}
+
+void MomentAccumulator::flatten() const {
+  if (!unsorted_.empty()) {
+    std::sort(unsorted_.begin(), unsorted_.end());
+    runs_.push_back(std::move(unsorted_));
+    unsorted_.clear();
+  }
+  if (runs_.size() <= 1) return;
+  // K-way merge of the sorted runs: a min-heap of run cursors yields the
+  // globally sorted stream in one pass — identical output to sorting the
+  // concatenation, without touching elements more than O(log k) times.
+  struct Cursor {
+    double value;
+    std::size_t run;
+    std::size_t pos;
+  };
+  const auto later = [](const Cursor& x, const Cursor& y) {
+    return x.value > y.value;
+  };
+  std::vector<Cursor> heap;
+  heap.reserve(runs_.size());
+  std::size_t total = 0;
+  for (std::size_t r = 0; r < runs_.size(); ++r) {
+    total += runs_[r].size();
+    if (!runs_[r].empty()) heap.push_back(Cursor{runs_[r][0], r, 0});
+  }
+  std::make_heap(heap.begin(), heap.end(), later);
+  std::vector<double> merged;
+  merged.reserve(total);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), later);
+    Cursor c = heap.back();
+    heap.pop_back();
+    merged.push_back(c.value);
+    if (++c.pos < runs_[c.run].size()) {
+      c.value = runs_[c.run][c.pos];
+      heap.push_back(c);
+      std::push_heap(heap.begin(), heap.end(), later);
+    }
+  }
+  runs_.clear();
+  runs_.push_back(std::move(merged));
+}
+
+std::vector<double> MomentAccumulator::percentiles(
+    std::initializer_list<double> ps) const {
+  MTPERF_REQUIRE(count() > 0, "percentile of empty sample");
+  flatten();
+  std::vector<double> out;
+  out.reserve(ps.size());
+  for (double p : ps) out.push_back(percentile_sorted(runs_.front(), p));
+  return out;
+}
+
 double mean_of(const std::vector<double>& values) {
   if (values.empty()) return 0.0;
   return std::accumulate(values.begin(), values.end(), 0.0) /

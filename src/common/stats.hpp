@@ -78,6 +78,45 @@ class BatchMeans {
   std::size_t total_n_ = 0;
 };
 
+/// Mergeable moments-plus-sample accumulator for partitioned streams —
+/// parallel simulation replications, per-shard latency records.  Each
+/// partition accumulates independently; merge() combines partials exactly:
+/// Welford moments via the pairwise update, and the raw samples as sorted
+/// runs that a single k-way merge flattens on demand, so percentiles()
+/// returns bit-identical values to sorting the concatenated stream.
+class MomentAccumulator {
+ public:
+  void add(double x);
+  /// Fold `other` into this accumulator (consumes it).
+  void merge(MomentAccumulator other);
+  /// Build a partial from an ascending-sorted sample and its precomputed
+  /// moments (must describe exactly that sample).
+  static MomentAccumulator from_sorted(std::vector<double> sorted_run,
+                                       const RunningStats& moments);
+  /// Convenience: computes the moments by scanning the run.
+  static MomentAccumulator from_sorted(std::vector<double> sorted_run);
+
+  const RunningStats& moments() const noexcept { return moments_; }
+  std::size_t count() const noexcept { return moments_.count(); }
+  double mean() const noexcept { return moments_.mean(); }
+
+  /// Student-t confidence interval on the mean (i.i.d. observations);
+  /// degenerate {mean, 0} for fewer than two observations.
+  ConfidenceInterval mean_ci(double confidence = 0.95) const;
+
+  /// Percentiles over the full merged sample (type-7, matching
+  /// percentile()).  The first call after an add/merge performs one k-way
+  /// merge of the sorted runs; subsequent calls reuse the flattened run.
+  std::vector<double> percentiles(std::initializer_list<double> ps) const;
+
+ private:
+  void flatten() const;
+
+  RunningStats moments_;
+  mutable std::vector<std::vector<double>> runs_;  ///< each ascending
+  mutable std::vector<double> unsorted_;           ///< add() staging
+};
+
 /// Percentile of a sample (linear interpolation between order statistics,
 /// the "type 7" definition used by R and NumPy).  `p` in [0, 100].
 double percentile(std::vector<double> values, double p);

@@ -82,7 +82,7 @@ Engine::Shard& Engine::shard_for(const Fingerprint& fp) const noexcept {
 
 void Engine::record_solve_ms(double ms) {
   std::lock_guard<std::mutex> lock(latency_mutex_);
-  solve_ms_samples_.push_back(ms);
+  solve_ms_.add(ms);
 }
 
 std::shared_ptr<const core::MvaResult> Engine::lookup(const Fingerprint& fp,
@@ -385,17 +385,17 @@ EngineMetrics Engine::metrics() const {
   if (m.requests > 0) {
     m.hit_rate = static_cast<double>(m.hits) / static_cast<double>(m.requests);
   }
-  std::vector<double> samples;
+  MomentAccumulator latency;
   {
     std::lock_guard<std::mutex> lock(latency_mutex_);
-    samples = solve_ms_samples_;
+    latency = solve_ms_;
   }
-  if (!samples.empty()) {
-    const auto ps = percentiles(samples, {50.0, 90.0, 99.0, 100.0});
+  if (latency.count() > 0) {
+    const auto ps = latency.percentiles({50.0, 90.0, 99.0});
     m.solve_ms_p50 = ps[0];
     m.solve_ms_p90 = ps[1];
     m.solve_ms_p99 = ps[2];
-    m.solve_ms_max = ps[3];
+    m.solve_ms_max = latency.moments().max();
   }
   return m;
 }

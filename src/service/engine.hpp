@@ -40,6 +40,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/stats.hpp"
 #include "common/thread_pool.hpp"
 #include "core/sweep.hpp"
 #include "service/fingerprint.hpp"
@@ -174,8 +175,11 @@ class Engine final : public core::ScenarioEvaluator {
   std::atomic<std::uint64_t> evictions_{0};
   std::atomic<std::size_t> queue_depth_{0};
 
+  /// Per-solve latency sample as a mergeable accumulator (common/stats):
+  /// metrics() snapshots a copy and reads percentiles/max from it instead
+  /// of re-sorting a bespoke sample vector on every call.
   mutable std::mutex latency_mutex_;
-  std::vector<double> solve_ms_samples_;
+  MomentAccumulator solve_ms_;
 };
 
 }  // namespace mtperf::service

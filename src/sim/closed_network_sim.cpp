@@ -2,29 +2,134 @@
 
 #include <algorithm>
 #include <cmath>
-#include <memory>
+#include <cstdint>
+#include <limits>
+#include <utility>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
-#include "sim/simulator.hpp"
-#include "sim/station.hpp"
+#include "sim/event_engine.hpp"
 
 namespace mtperf::sim {
 
 namespace {
 
-/// All mutable run state, wired together by customer-driving closures.
+// The hot path runs entirely on the typed event engine: every event is a
+// POD record dispatched by the switch in Run::dispatch below, and all
+// station/customer state lives in flat arrays indexed by the event's
+// payload — no virtual station calls, no std::function, and no per-event
+// allocation (waiting queues are rings sized to the customer population,
+// which bounds every queue in a closed network).
+
+/// One simulated resource.  Both disciplines share the accounting fields;
+/// FCFS uses busy/ring, processor sharing uses jobs/last_progress.
+struct StationState {
+  Discipline discipline = Discipline::kFcfs;
+  unsigned servers = 1;
+
+  // FCFS: busy servers plus a fixed-capacity ring of waiting jobs.
+  unsigned busy = 0;
+  std::vector<std::pair<double, std::uint32_t>> ring;  ///< {service, customer}
+  std::size_t ring_head = 0;
+  std::size_t ring_count = 0;
+
+  // Processor sharing: jobs in service with remaining work, progressed
+  // lazily; `generation` invalidates superseded completion events.
+  std::vector<std::pair<double, std::uint32_t>> jobs;  ///< {remaining, customer}
+  double last_progress = 0.0;
+  double generation = 0.0;
+
+  // Utilization / queue-length integrals since the last stats reset.
+  double stats_start = 0.0;
+  double last_accrual = 0.0;
+  double busy_integral = 0.0;
+  double jobs_integral = 0.0;
+  std::uint64_t completions = 0;
+
+  double rate() const noexcept {
+    if (jobs.empty()) return 0.0;
+    return std::min(1.0, static_cast<double>(servers) /
+                             static_cast<double>(jobs.size()));
+  }
+
+  double busy_now() const noexcept {
+    if (discipline == Discipline::kFcfs) return static_cast<double>(busy);
+    return static_cast<double>(std::min<std::size_t>(jobs.size(), servers));
+  }
+
+  double jobs_now() const noexcept {
+    if (discipline == Discipline::kFcfs) {
+      return static_cast<double>(busy + ring_count);
+    }
+    return static_cast<double>(jobs.size());
+  }
+
+  void accrue(double now) noexcept {
+    const double dt = now - last_accrual;
+    if (dt > 0.0) {
+      busy_integral += dt * busy_now();
+      jobs_integral += dt * jobs_now();
+      last_accrual = now;
+    }
+  }
+
+  void reset_stats(double now) noexcept {
+    accrue(now);
+    stats_start = now;
+    last_accrual = now;
+    busy_integral = 0.0;
+    jobs_integral = 0.0;
+    completions = 0;
+  }
+
+  double utilization_at(double now) const noexcept {
+    const double elapsed = now - stats_start;
+    if (elapsed <= 0.0) return 0.0;
+    return (busy_integral + (now - last_accrual) * busy_now()) /
+           (elapsed * static_cast<double>(servers));
+  }
+
+  double mean_jobs_at(double now) const noexcept {
+    const double elapsed = now - stats_start;
+    if (elapsed <= 0.0) return 0.0;
+    return (jobs_integral + (now - last_accrual) * jobs_now()) / elapsed;
+  }
+
+  /// Apply elapsed PS processing since the last progress point.
+  void progress(double now) noexcept {
+    const double dt = now - last_progress;
+    if (dt > 0.0 && !jobs.empty()) {
+      const double work = dt * rate();
+      for (auto& job : jobs) job.first = std::max(0.0, job.first - work);
+    }
+    last_progress = now;
+  }
+
+  void ring_push(double service, std::uint32_t customer) noexcept {
+    ring[(ring_head + ring_count) % ring.size()] = {service, customer};
+    ++ring_count;
+  }
+
+  std::pair<double, std::uint32_t> ring_pop() noexcept {
+    const auto job = ring[ring_head];
+    ring_head = (ring_head + 1) % ring.size();
+    --ring_count;
+    return job;
+  }
+};
+
+/// All mutable run state; dispatch() is the event switch.
 struct Run {
-  Simulator sim;
-  std::vector<std::unique_ptr<IStation>> stations;
+  EventEngine eng;
   const std::vector<SimVisit>* workflow = nullptr;
+  std::vector<StationState> stations;
   std::vector<Rng> customer_rng;
+  std::vector<std::uint32_t> current_visit;  ///< visit the customer is in
+  std::vector<double> txn_start;
   ServiceDistribution think_dist{};
   double think_mean = 0.0;
 
-  double warmup_end = 0.0;
   bool measuring = false;
-
   std::uint64_t transactions = 0;
   RunningStats response_stats;
   BatchMeans response_batches{20};
@@ -35,8 +140,109 @@ struct Run {
   std::vector<std::uint64_t> bucket_count;
   std::vector<double> bucket_rt_sum;
 
+  std::vector<std::uint32_t> ps_done;  ///< scratch: customers finished in a fire
+
+  void dispatch(const Event& ev) {
+    switch (ev.op) {
+      case EventOp::kThinkDone:
+        begin_transaction(ev.a);
+        break;
+      case EventOp::kDeparture:
+        fcfs_departure(ev.a, ev.b);
+        break;
+      case EventOp::kPsFire:
+        ps_fire(ev.a, ev.payload);
+        break;
+      default:
+        break;  // kClosure/kTick are never scheduled by this runner
+    }
+  }
+
+  void begin_transaction(std::uint32_t customer) {
+    txn_start[customer] = eng.now();
+    begin_visit(customer, 0);
+  }
+
+  /// Enter workflow[visit] or, past the end, complete the transaction and
+  /// go back to thinking.
+  void begin_visit(std::uint32_t customer, std::uint32_t visit) {
+    if (visit == workflow->size()) {
+      record_completion(txn_start[customer]);
+      const double think =
+          think_dist.draw(customer_rng[customer], think_mean);
+      eng.schedule(think, EventOp::kThinkDone, customer);
+      return;
+    }
+    current_visit[customer] = visit;
+    const SimVisit& v = (*workflow)[visit];
+    const double service =
+        v.distribution.draw(customer_rng[customer], v.mean_service_time);
+    const auto s = static_cast<std::uint32_t>(v.station);
+    StationState& st = stations[s];
+    st.accrue(eng.now());
+    if (st.discipline == Discipline::kFcfs) {
+      if (st.busy < st.servers) {
+        ++st.busy;
+        eng.schedule(service, EventOp::kDeparture, s, customer);
+      } else {
+        st.ring_push(service, customer);
+      }
+    } else {
+      st.progress(eng.now());
+      st.jobs.emplace_back(service, customer);
+      ps_schedule_next(s);
+    }
+  }
+
+  void fcfs_departure(std::uint32_t s, std::uint32_t customer) {
+    StationState& st = stations[s];
+    st.accrue(eng.now());
+    --st.busy;
+    ++st.completions;
+    if (st.ring_count > 0) {
+      const auto [service, next] = st.ring_pop();
+      ++st.busy;
+      eng.schedule(service, EventOp::kDeparture, s, next);
+    }
+    begin_visit(customer, current_visit[customer] + 1);
+  }
+
+  /// Schedule (or re-schedule) a PS station's next completion; earlier
+  /// scheduled fires are superseded via the generation token.
+  void ps_schedule_next(std::uint32_t s) {
+    StationState& st = stations[s];
+    st.generation += 1.0;
+    if (st.jobs.empty()) return;
+    double soonest = std::numeric_limits<double>::infinity();
+    for (const auto& job : st.jobs) soonest = std::min(soonest, job.first);
+    eng.schedule(soonest / st.rate(), EventOp::kPsFire, s, 0, st.generation);
+  }
+
+  void ps_fire(std::uint32_t s, double generation) {
+    StationState& st = stations[s];
+    if (generation != st.generation) return;  // superseded by a later arrival
+    st.accrue(eng.now());
+    st.progress(eng.now());
+    // Complete every job that has (numerically) finished.
+    ps_done.clear();
+    for (std::size_t i = 0; i < st.jobs.size();) {
+      if (st.jobs[i].first <= 1e-12) {
+        ps_done.push_back(st.jobs[i].second);
+        st.jobs[i] = st.jobs.back();
+        st.jobs.pop_back();
+      } else {
+        ++i;
+      }
+    }
+    st.completions += ps_done.size();
+    ps_schedule_next(s);
+    for (const std::uint32_t customer : ps_done) {
+      begin_visit(customer, current_visit[customer] + 1);
+    }
+  }
+
   void record_completion(double start_time) {
-    const double rt = sim.now() - start_time;
+    const double rt = eng.now() - start_time;
     if (measuring) {
       ++transactions;
       response_stats.add(rt);
@@ -44,7 +250,7 @@ struct Run {
       response_samples.push_back(rt);
     }
     if (bucket_width > 0.0) {
-      const auto b = static_cast<std::size_t>(sim.now() / bucket_width);
+      const auto b = static_cast<std::size_t>(eng.now() / bucket_width);
       if (b < bucket_count.size()) {
         ++bucket_count[b];
         bucket_rt_sum[b] += rt;
@@ -53,33 +259,13 @@ struct Run {
   }
 };
 
-/// Advance one customer: visit workflow[next] or, past the end, complete
-/// the transaction and go back to thinking.
-void advance(Run& run, unsigned customer, std::size_t next_visit,
-             double txn_start) {
-  if (next_visit == run.workflow->size()) {
-    run.record_completion(txn_start);
-    const double think =
-        run.think_dist.draw(run.customer_rng[customer], run.think_mean);
-    run.sim.schedule(think, [&run, customer] {
-      advance(run, customer, 0, run.sim.now());
-    });
-    return;
-  }
-  const SimVisit& visit = (*run.workflow)[next_visit];
-  const double service = visit.distribution.draw(run.customer_rng[customer],
-                                                 visit.mean_service_time);
-  run.stations[visit.station]->arrive(
-      service, [&run, customer, next_visit, txn_start] {
-        advance(run, customer, next_visit + 1, txn_start);
-      });
-}
-
 }  // namespace
 
 SimResult simulate_closed_network(const std::vector<SimStation>& stations,
                                   const std::vector<SimVisit>& workflow,
-                                  const SimOptions& options) {
+                                  const SimOptions& options,
+                                  std::vector<double>* sorted_samples_out,
+                                  RunningStats* response_moments_out) {
   MTPERF_REQUIRE(!stations.empty(), "simulation needs at least one station");
   MTPERF_REQUIRE(!workflow.empty(), "simulation needs a non-empty workflow");
   MTPERF_REQUIRE(options.customers >= 1, "need at least one customer");
@@ -95,7 +281,6 @@ SimResult simulate_closed_network(const std::vector<SimStation>& stations,
 
   Run run;
   run.workflow = &workflow;
-  run.warmup_end = options.warmup_time;
   run.think_mean = options.think_time_mean;
   if (options.think_distribution.has_value()) {
     run.think_dist = *options.think_distribution;
@@ -104,15 +289,27 @@ SimResult simulate_closed_network(const std::vector<SimStation>& stations,
   } else {
     run.think_dist = ServiceDistribution{DistributionKind::kDeterministic, 0.0};
   }
-  for (const auto& st : stations) {
-    if (st.discipline == Discipline::kProcessorSharing) {
-      run.stations.push_back(std::make_unique<ProcessorSharingStation>(
-          run.sim, st.name, st.servers));
+  run.stations.resize(stations.size());
+  for (std::size_t k = 0; k < stations.size(); ++k) {
+    StationState& st = run.stations[k];
+    MTPERF_REQUIRE(stations[k].servers >= 1,
+                   "station needs at least one server");
+    st.discipline = stations[k].discipline;
+    st.servers = stations[k].servers;
+    if (st.discipline == Discipline::kFcfs) {
+      // In a closed network at most N jobs can wait, so a ring of N slots
+      // makes enqueue/dequeue allocation-free for the whole run.
+      st.ring.resize(options.customers);
     } else {
-      run.stations.push_back(
-          std::make_unique<MultiServerStation>(run.sim, st.name, st.servers));
+      st.jobs.reserve(options.customers);
     }
   }
+  // Pending events are bounded by one per customer (think or departure)
+  // plus a few superseded PS fires per station.
+  run.eng.reserve(options.customers + 4 * stations.size() + 16);
+  run.ps_done.reserve(options.customers);
+  run.current_visit.assign(options.customers, 0);
+  run.txn_start.assign(options.customers, 0.0);
 
   // Pre-size the percentile sample buffer from the asymptotic-throughput
   // bound X <= N / (Z + sum S): the measure window can complete at most
@@ -151,13 +348,14 @@ SimResult simulate_closed_network(const std::vector<SimStation>& stations,
     if (options.initial_sleep_max > 0.0) {
       start += run.customer_rng[c].uniform(0.0, options.initial_sleep_max);
     }
-    run.sim.schedule(start, [&run, c] { advance(run, c, 0, run.sim.now()); });
+    run.eng.schedule(start, EventOp::kThinkDone, c);
   }
 
-  run.sim.run_until(options.warmup_time);
-  for (auto& st : run.stations) st->reset_stats();
+  const auto dispatch = [&run](const Event& ev) { run.dispatch(ev); };
+  run.eng.run_until(options.warmup_time, dispatch);
+  for (auto& st : run.stations) st.reset_stats(run.eng.now());
   run.measuring = true;
-  run.sim.run_until(horizon);
+  run.eng.run_until(horizon, dispatch);
 
   SimResult result;
   result.transactions = run.transactions;
@@ -180,10 +378,11 @@ SimResult simulate_closed_network(const std::vector<SimStation>& stations,
     result.response_percentiles.p95 = q[2];
     result.response_percentiles.p99 = q[3];
   }
-  for (const auto& st : run.stations) {
-    result.stations.push_back(StationStats{st->name(), st->servers(),
-                                           st->utilization(), st->mean_jobs(),
-                                           st->completions()});
+  for (std::size_t k = 0; k < stations.size(); ++k) {
+    const StationState& st = run.stations[k];
+    result.stations.push_back(StationStats{
+        stations[k].name, st.servers, st.utilization_at(run.eng.now()),
+        st.mean_jobs_at(run.eng.now()), st.completions});
   }
   if (run.bucket_width > 0.0) {
     for (std::size_t b = 0; b < run.bucket_count.size(); ++b) {
@@ -198,7 +397,21 @@ SimResult simulate_closed_network(const std::vector<SimStation>& stations,
       result.timeline.push_back(bucket);
     }
   }
+  if (response_moments_out != nullptr) {
+    *response_moments_out = run.response_stats;
+  }
+  if (sorted_samples_out != nullptr) {
+    // Sorted by the percentiles() call above (or empty).
+    *sorted_samples_out = std::move(run.response_samples);
+  }
   return result;
+}
+
+SimResult simulate_closed_network(const std::vector<SimStation>& stations,
+                                  const std::vector<SimVisit>& workflow,
+                                  const SimOptions& options) {
+  return simulate_closed_network(stations, workflow, options, nullptr,
+                                 nullptr);
 }
 
 }  // namespace mtperf::sim

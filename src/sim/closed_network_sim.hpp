@@ -40,7 +40,11 @@ struct SimVisit {
 /// reserved up front from the throughput bound N / (Z + sum of mean service
 /// times), i.e. roughly 8 * measure_time * N / (Z + sum S) bytes (capped at
 /// 512 MiB); budget accordingly for long windows with many customers and
-/// short cycles.
+/// short cycles.  With R replications (sim/replicated.hpp) each concurrent
+/// replication holds its own buffer until the merge consumes it, so the
+/// peak is min(R, pool size) such buffers when running on a pool — split
+/// the measure window across replications (split_measure_time) to keep the
+/// total at one window's worth.
 struct SimOptions {
   unsigned customers = 1;            ///< N — concurrent virtual users
   double think_time_mean = 1.0;      ///< Z
@@ -100,5 +104,16 @@ struct SimResult {
 SimResult simulate_closed_network(const std::vector<SimStation>& stations,
                                   const std::vector<SimVisit>& workflow,
                                   const SimOptions& options);
+
+/// Extended entry used by the replicated runner (sim/replicated.hpp): in
+/// addition to the SimResult, exports the ascending-sorted per-transaction
+/// response-time sample and its streaming moments so replications can be
+/// pooled exactly (k-way percentile merge, Welford moment merge).  Either
+/// out-pointer may be null.
+SimResult simulate_closed_network(const std::vector<SimStation>& stations,
+                                  const std::vector<SimVisit>& workflow,
+                                  const SimOptions& options,
+                                  std::vector<double>* sorted_samples_out,
+                                  RunningStats* response_moments_out);
 
 }  // namespace mtperf::sim

@@ -1,0 +1,186 @@
+#include "sim/replicated.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace mtperf::sim {
+
+std::uint64_t replication_seed(std::uint64_t base_seed, unsigned rep) {
+  if (rep == 0) return base_seed;  // R = 1 reproduces the plain run exactly
+  SplitMix64 stream(base_seed);
+  std::uint64_t seed = base_seed;
+  for (unsigned i = 0; i < rep; ++i) seed = stream.next();
+  return seed;
+}
+
+SimOptions replication_options(const ReplicatedSimOptions& options,
+                               unsigned rep) {
+  MTPERF_REQUIRE(options.replications >= 1,
+                 "need at least one replication");
+  MTPERF_REQUIRE(rep < options.replications,
+                 "replication index out of range");
+  SimOptions o = options.base;
+  o.seed = replication_seed(options.base_seed, rep);
+  if (options.split_measure_time) {
+    o.measure_time =
+        options.base.measure_time / static_cast<double>(options.replications);
+  }
+  return o;
+}
+
+ReplicationRun run_replication(const std::vector<SimStation>& stations,
+                               const std::vector<SimVisit>& workflow,
+                               const ReplicatedSimOptions& options,
+                               unsigned rep) {
+  ReplicationRun run;
+  run.result =
+      simulate_closed_network(stations, workflow,
+                              replication_options(options, rep),
+                              &run.sorted_samples, &run.response_moments);
+  return run;
+}
+
+namespace {
+
+/// Across-replication Student-t CI over one scalar per replication.
+mtperf::ConfidenceInterval across_rep_ci(const std::vector<ReplicationRun>& runs,
+                                         double (*pick)(const SimResult&)) {
+  RunningStats per_rep;
+  for (const auto& run : runs) per_rep.add(pick(run.result));
+  mtperf::ConfidenceInterval ci;
+  ci.mean = per_rep.mean();
+  if (per_rep.count() >= 2) {
+    const double t = student_t_quantile(per_rep.count() - 1, 0.95);
+    ci.half_width = t * per_rep.stddev() /
+                    std::sqrt(static_cast<double>(per_rep.count()));
+  }
+  return ci;
+}
+
+}  // namespace
+
+ReplicatedSimResult merge_replications(std::vector<ReplicationRun> runs,
+                                       const ReplicatedSimOptions& options) {
+  MTPERF_REQUIRE(!runs.empty(), "merge needs at least one replication");
+  ReplicatedSimResult out;
+  out.replications = static_cast<unsigned>(runs.size());
+
+  if (runs.size() == 1) {
+    // Degenerate case: the plain run, bit for bit (batch-means CI kept).
+    out.merged = runs.front().result;
+    out.throughput_ci = {out.merged.throughput, 0.0};
+    out.per_replication.push_back(std::move(runs.front().result));
+    return out;
+  }
+
+  const double measure_per_rep =
+      replication_options(options, 0).measure_time;
+
+  SimResult& merged = out.merged;
+  merged.transactions = 0;
+  for (const auto& run : runs) merged.transactions += run.result.transactions;
+  merged.throughput = static_cast<double>(merged.transactions) /
+                      (measure_per_rep * static_cast<double>(runs.size()));
+
+  // Pooled response-time moments (Welford merge) and percentiles (k-way
+  // merge of the sorted per-replication samples).
+  MomentAccumulator response;
+  for (auto& run : runs) {
+    response.merge(MomentAccumulator::from_sorted(
+        std::move(run.sorted_samples), run.response_moments));
+  }
+  merged.response_time = response.mean();
+  merged.cycle_time = merged.response_time + options.base.think_time_mean;
+  if (response.count() > 0) {
+    const auto q = response.percentiles({50, 90, 95, 99});
+    merged.response_percentiles = {q[0], q[1], q[2], q[3]};
+  }
+
+  // Across-replication CIs: the R replication means are i.i.d. by
+  // construction, so the plain t interval applies (df = R - 1).
+  merged.response_time_ci = across_rep_ci(
+      runs, [](const SimResult& r) { return r.response_time; });
+  out.throughput_ci = across_rep_ci(
+      runs, [](const SimResult& r) { return r.throughput; });
+
+  // Station statistics: completions pool by summing; utilization and mean
+  // jobs are visit-weighted (per-replication completion counts), which for
+  // the equal windows used here coincides with the time-weighted average.
+  const std::size_t num_stations = runs.front().result.stations.size();
+  merged.stations.reserve(num_stations);
+  for (std::size_t k = 0; k < num_stations; ++k) {
+    const StationStats& first = runs.front().result.stations[k];
+    StationStats st;
+    st.name = first.name;
+    st.servers = first.servers;
+    double weight_sum = 0.0;
+    double util_weighted = 0.0;
+    double jobs_weighted = 0.0;
+    double util_plain = 0.0;
+    double jobs_plain = 0.0;
+    for (const auto& run : runs) {
+      const StationStats& rep = run.result.stations[k];
+      const auto w = static_cast<double>(rep.completions);
+      st.completions += rep.completions;
+      weight_sum += w;
+      util_weighted += w * rep.utilization;
+      jobs_weighted += w * rep.mean_jobs;
+      util_plain += rep.utilization;
+      jobs_plain += rep.mean_jobs;
+    }
+    if (weight_sum > 0.0) {
+      st.utilization = util_weighted / weight_sum;
+      st.mean_jobs = jobs_weighted / weight_sum;
+    } else {
+      st.utilization = util_plain / static_cast<double>(runs.size());
+      st.mean_jobs = jobs_plain / static_cast<double>(runs.size());
+    }
+    merged.stations.push_back(std::move(st));
+  }
+
+  // Timeline: replications share the bucket grid (same options), so merge
+  // bucket-wise — mean throughput, throughput-weighted response time.
+  const std::size_t buckets = runs.front().result.timeline.size();
+  for (std::size_t b = 0; b < buckets; ++b) {
+    TimelineBucket bucket;
+    bucket.start_time = runs.front().result.timeline[b].start_time;
+    double tp_sum = 0.0;
+    double rt_weighted = 0.0;
+    for (const auto& run : runs) {
+      const TimelineBucket& rep = run.result.timeline[b];
+      tp_sum += rep.throughput;
+      rt_weighted += rep.throughput * rep.response_time;
+    }
+    bucket.throughput = tp_sum / static_cast<double>(runs.size());
+    bucket.response_time = tp_sum > 0.0 ? rt_weighted / tp_sum : 0.0;
+    merged.timeline.push_back(bucket);
+  }
+
+  out.per_replication.reserve(runs.size());
+  for (auto& run : runs) out.per_replication.push_back(std::move(run.result));
+  return out;
+}
+
+ReplicatedSimResult simulate_replicated(const std::vector<SimStation>& stations,
+                                        const std::vector<SimVisit>& workflow,
+                                        const ReplicatedSimOptions& options) {
+  MTPERF_REQUIRE(options.replications >= 1,
+                 "need at least one replication");
+  std::vector<ReplicationRun> runs(options.replications);
+  auto run_one = [&](std::size_t rep) {
+    runs[rep] = run_replication(stations, workflow, options,
+                                static_cast<unsigned>(rep));
+  };
+  if (options.pool != nullptr && options.replications > 1) {
+    parallel_for(*options.pool, options.replications, run_one);
+  } else {
+    for (std::size_t rep = 0; rep < options.replications; ++rep) run_one(rep);
+  }
+  return merge_replications(std::move(runs), options);
+}
+
+}  // namespace mtperf::sim

@@ -1,0 +1,92 @@
+// Deterministic parallel replications of the closed-network simulation.
+//
+// One long simulation gives one batch-means CI; R independent replications
+// give a statistically cleaner across-replication CI (the classic
+// replication/deletion method) *and* an embarrassingly parallel workload.
+// Each replication r draws its seed from the SplitMix64 stream of
+// `base_seed` (replication 0 keeps base_seed itself, so R = 1 reproduces
+// the plain simulate_closed_network run bit for bit), runs on its own
+// engine and RNG, and writes into its own slot — so the merged result is
+// bit-identical for a given base_seed regardless of pool size or thread
+// scheduling.
+//
+// Merge discipline (see DESIGN.md §10):
+//   * response-time moments  — Welford merge of per-replication moments
+//     (common/stats MomentAccumulator);
+//   * percentiles            — k-way merge of the sorted per-replication
+//     samples, identical to sorting the pooled stream;
+//   * mean CIs               — Student-t over the R replication means;
+//   * station utilization / mean jobs — visit(completion)-weighted average
+//     (coincides with the time-weighted value for equal windows);
+//   * transactions / completions — summed; throughput = pooled
+//     transactions over total measured time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/closed_network_sim.hpp"
+
+namespace mtperf::sim {
+
+struct ReplicatedSimOptions {
+  /// Per-replication template; `base.seed` is ignored (seeds derive from
+  /// base_seed) and `base.measure_time` may be split (below).
+  SimOptions base;
+  unsigned replications = 1;
+  std::uint64_t base_seed = 1;
+  /// Divide the measure window evenly across replications so the total
+  /// simulated time budget stays constant as R grows; each replication
+  /// still runs the full warm-up (the price of independent transients).
+  bool split_measure_time = false;
+  /// Run replications concurrently on this pool; null runs sequentially.
+  /// Results are bit-identical either way.
+  ThreadPool* pool = nullptr;
+};
+
+struct ReplicatedSimResult {
+  /// Pooled view in the familiar shape: summed transactions, pooled
+  /// response moments/percentiles, visit-weighted station statistics.
+  /// For R >= 2 `merged.response_time_ci` is the across-replication CI.
+  SimResult merged;
+  /// Across-replication 95% CI on throughput (half_width 0 when R = 1).
+  mtperf::ConfidenceInterval throughput_ci;
+  unsigned replications = 0;
+  std::vector<SimResult> per_replication;
+};
+
+/// Seed of replication `rep`: base_seed itself for rep 0 (so R = 1
+/// degenerates to the plain run), else the rep-th SplitMix64 output.
+std::uint64_t replication_seed(std::uint64_t base_seed, unsigned rep);
+
+/// The SimOptions replication `rep` actually runs (seed + window split).
+SimOptions replication_options(const ReplicatedSimOptions& options,
+                               unsigned rep);
+
+/// One replication's result plus the pooling payload the merge needs.
+struct ReplicationRun {
+  SimResult result;
+  std::vector<double> sorted_samples;  ///< ascending response times
+  RunningStats response_moments;
+};
+
+/// Run replication `rep` of `options` (callers building their own task
+/// grids — e.g. the campaign's levels x replications — use this directly).
+ReplicationRun run_replication(const std::vector<SimStation>& stations,
+                               const std::vector<SimVisit>& workflow,
+                               const ReplicatedSimOptions& options,
+                               unsigned rep);
+
+/// Merge replications (in index order — the order fixes the floating-point
+/// reduction, which is what makes the result thread-count-invariant).
+ReplicatedSimResult merge_replications(std::vector<ReplicationRun> runs,
+                                       const ReplicatedSimOptions& options);
+
+/// Run R replications (on the pool when given) and merge.
+ReplicatedSimResult simulate_replicated(const std::vector<SimStation>& stations,
+                                        const std::vector<SimVisit>& workflow,
+                                        const ReplicatedSimOptions& options);
+
+}  // namespace mtperf::sim

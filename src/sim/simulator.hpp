@@ -1,4 +1,4 @@
-// Discrete-event simulation engine.
+// Discrete-event simulation engine — legacy closure API.
 //
 // This module is the substitute for the paper's physical testbed: a
 // stochastic simulator of the closed queueing network of Fig. 2.  The
@@ -6,14 +6,25 @@
 // and the monitors sample it exactly like vmstat/iostat/netstat sample real
 // hosts — so the whole measurement-to-prediction pipeline is exercised
 // end to end.
+//
+// Since the hot-path overhaul the actual event loop lives in
+// sim/event_engine.hpp (typed POD events in a 4-ary heap arena); this
+// class is a thin adapter that keeps the original schedule-a-closure API
+// for station code and tests.  Closures live in a slot arena with a free
+// list — a fired slot is reused by the next schedule, so steady-state
+// operation performs no per-event allocation beyond what the stored
+// std::function itself may own — and firing *moves* the action out of its
+// slot instead of copying it off the heap top as the old priority_queue
+// implementation did.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
+#include <utility>
 #include <vector>
 
 #include "common/error.hpp"
+#include "sim/event_engine.hpp"
 
 namespace mtperf::sim {
 
@@ -23,54 +34,51 @@ class Simulator {
  public:
   using Action = std::function<void()>;
 
-  double now() const noexcept { return now_; }
+  double now() const noexcept { return engine_.now(); }
 
   /// Schedule `action` to fire `delay` seconds from now (delay >= 0).
   void schedule(double delay, Action action) {
     MTPERF_REQUIRE(delay >= 0.0, "cannot schedule events in the past");
-    events_.push(Event{now_ + delay, next_seq_++, std::move(action)});
+    std::uint32_t slot;
+    if (!free_slots_.empty()) {
+      slot = free_slots_.back();
+      free_slots_.pop_back();
+      slots_[slot] = std::move(action);
+    } else {
+      slot = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(std::move(action));
+    }
+    engine_.schedule(delay, EventOp::kClosure, slot);
   }
 
   /// Process events until the clock reaches `t` (events at exactly `t`
   /// are processed).  The clock is left at `t`.
   void run_until(double t) {
-    MTPERF_REQUIRE(t >= now_, "cannot run the clock backwards");
-    while (!events_.empty() && events_.top().time <= t) {
-      Event ev = events_.top();
-      events_.pop();
-      now_ = ev.time;
-      ev.action();
-    }
-    now_ = t;
+    engine_.run_until(t, [this](const Event& ev) { fire(ev.a); });
   }
 
   /// Process a single event if one exists; returns false when idle.
   bool step() {
-    if (events_.empty()) return false;
-    Event ev = events_.top();
-    events_.pop();
-    now_ = ev.time;
-    ev.action();
-    return true;
+    return engine_.step([this](const Event& ev) { fire(ev.a); });
   }
 
-  std::size_t pending_events() const noexcept { return events_.size(); }
+  std::size_t pending_events() const noexcept {
+    return engine_.pending_events();
+  }
 
  private:
-  struct Event {
-    double time;
-    std::uint64_t seq;  // tie-break: FIFO among simultaneous events
-    Action action;
+  /// Move the action out of its slot and release the slot *before*
+  /// invoking, so the action is free to schedule into it recursively.
+  void fire(std::uint32_t slot) {
+    Action action = std::move(slots_[slot]);
+    slots_[slot] = nullptr;
+    free_slots_.push_back(slot);
+    action();
+  }
 
-    bool operator>(const Event& other) const noexcept {
-      if (time != other.time) return time > other.time;
-      return seq > other.seq;
-    }
-  };
-
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
-  double now_ = 0.0;
-  std::uint64_t next_seq_ = 0;
+  EventEngine engine_;
+  std::vector<Action> slots_;
+  std::vector<std::uint32_t> free_slots_;
 };
 
 }  // namespace mtperf::sim

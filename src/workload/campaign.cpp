@@ -24,23 +24,51 @@ CampaignResult run_campaign(const ApplicationModel& app,
                    "campaign levels must be ascending and unique");
   }
 
-  // Fire one simulated Grinder test per level (independent, so they can run
-  // on the shared pool).
-  std::vector<CampaignRun> runs(levels.size());
-  auto run_one = [&](std::size_t i) {
-    const unsigned n = levels[i];
-    sim::SimOptions options = settings.grinder.to_sim_options(
+  // Fire R simulated Grinder replications per level as one flat task grid
+  // (cell = level x replication): every cell is an independent simulation,
+  // so a single parallel_for saturates the pool without nesting, and the
+  // per-level merges run afterwards in fixed order — deterministic at any
+  // pool size.
+  MTPERF_REQUIRE(settings.replications >= 1,
+                 "campaign needs at least one replication");
+  const std::size_t reps = settings.replications;
+  const auto replicated_options = [&](std::size_t i) {
+    sim::ReplicatedSimOptions ropts;
+    ropts.base = settings.grinder.to_sim_options(
         app.think_time(), settings.seed + i, settings.warmup_fraction);
-    options.customers = n;
-    CampaignRun run;
-    run.concurrency = n;
-    run.sim = simulate_closed_network(app.stations(), app.workflow(n), options);
-    runs[i] = std::move(run);
+    ropts.base.customers = levels[i];
+    ropts.replications = settings.replications;
+    ropts.base_seed = settings.seed + i;
+    ropts.split_measure_time = settings.split_measure_time;
+    return ropts;
+  };
+  std::vector<sim::ReplicationRun> grid(levels.size() * reps);
+  auto run_cell = [&](std::size_t cell) {
+    const std::size_t i = cell / reps;
+    const auto rep = static_cast<unsigned>(cell % reps);
+    grid[cell] = sim::run_replication(app.stations(),
+                                      app.workflow(levels[i]),
+                                      replicated_options(i), rep);
   };
   if (settings.pool != nullptr) {
-    parallel_for(*settings.pool, levels.size(), run_one);
+    parallel_for(*settings.pool, grid.size(), run_cell);
   } else {
-    for (std::size_t i = 0; i < levels.size(); ++i) run_one(i);
+    for (std::size_t cell = 0; cell < grid.size(); ++cell) run_cell(cell);
+  }
+
+  std::vector<CampaignRun> runs(levels.size());
+  for (std::size_t i = 0; i < levels.size(); ++i) {
+    std::vector<sim::ReplicationRun> level_runs(
+        std::make_move_iterator(grid.begin() + i * reps),
+        std::make_move_iterator(grid.begin() + (i + 1) * reps));
+    auto merged =
+        sim::merge_replications(std::move(level_runs), replicated_options(i));
+    CampaignRun run;
+    run.concurrency = levels[i];
+    run.sim = std::move(merged.merged);
+    run.throughput_ci = merged.throughput_ci;
+    run.replications = merged.replications;
+    runs[i] = std::move(run);
   }
 
   // Assemble the measurement table.

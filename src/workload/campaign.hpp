@@ -10,7 +10,7 @@
 
 #include "common/thread_pool.hpp"
 #include "ops/demand_table.hpp"
-#include "sim/closed_network_sim.hpp"
+#include "sim/replicated.hpp"
 #include "workload/application.hpp"
 #include "workload/grinder.hpp"
 
@@ -22,14 +22,26 @@ struct CampaignSettings {
   GrinderConfig grinder;
   std::uint64_t seed = 42;
   double warmup_fraction = 0.25;
-  /// Optional pool to run the levels concurrently (they are independent
-  /// simulations); null runs them sequentially.
+  /// Independent simulation replications per level (sim/replicated.hpp).
+  /// Levels x replications run as ONE flat task grid on the pool — never
+  /// nested pools — and merge deterministically, so campaign numbers are
+  /// bit-identical for a given seed at any pool size.
+  unsigned replications = 1;
+  /// Split each level's measure window across its replications (constant
+  /// simulated-time budget per level as replications grows).
+  bool split_measure_time = false;
+  /// Optional pool to run the level x replication grid concurrently (the
+  /// cells are independent simulations); null runs them sequentially.
   ThreadPool* pool = nullptr;
 };
 
 struct CampaignRun {
   unsigned concurrency = 0;
+  /// Merged across replications (the plain run when replications == 1).
   sim::SimResult sim;
+  /// Across-replication 95% CI on throughput (half_width 0 for R == 1).
+  mtperf::ConfidenceInterval throughput_ci;
+  unsigned replications = 1;
 };
 
 struct CampaignResult {

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <random>
 #include <set>
 #include <thread>
 
@@ -208,6 +209,81 @@ TEST(Percentiles, RejectsBadInputs) {
   std::vector<double> one{1.0};
   EXPECT_THROW(percentiles(one, {-1}), invalid_argument_error);
   EXPECT_THROW(percentiles(one, {50, 101}), invalid_argument_error);
+}
+
+// ------------------------------------------------- MomentAccumulator
+
+TEST(MomentAccumulator, MergeMatchesWholeStream) {
+  // Three partitions accumulated independently must merge to exactly the
+  // statistics of the concatenated stream.
+  std::mt19937_64 gen(7);
+  std::uniform_real_distribution<double> u(0.0, 10.0);
+  std::vector<double> all;
+  MomentAccumulator merged;
+  for (int part = 0; part < 3; ++part) {
+    MomentAccumulator acc;
+    for (int i = 0; i < 400 + 100 * part; ++i) {
+      const double x = u(gen);
+      acc.add(x);
+      all.push_back(x);
+    }
+    merged.merge(std::move(acc));
+  }
+  RunningStats ref;
+  for (double x : all) ref.add(x);
+  EXPECT_EQ(merged.count(), all.size());
+  EXPECT_NEAR(merged.mean(), ref.mean(), 1e-12);
+  EXPECT_NEAR(merged.moments().variance(), ref.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(merged.moments().min(), ref.min());
+  EXPECT_DOUBLE_EQ(merged.moments().max(), ref.max());
+  // Percentiles over the k-way-merged runs are bit-identical to sorting
+  // the pooled sample.
+  const auto q = merged.percentiles({5, 50, 95, 99});
+  std::vector<double> pooled = all;
+  const auto expected = percentiles(pooled, {5, 50, 95, 99});
+  for (std::size_t i = 0; i < q.size(); ++i) EXPECT_EQ(q[i], expected[i]);
+}
+
+TEST(MomentAccumulator, FromSortedValidatesAndPools) {
+  const std::vector<double> run_a{1.0, 2.0, 3.0};
+  const std::vector<double> run_b{0.5, 2.5};
+  auto acc = MomentAccumulator::from_sorted(run_a);
+  acc.merge(MomentAccumulator::from_sorted(run_b));
+  EXPECT_EQ(acc.count(), 5u);
+  EXPECT_DOUBLE_EQ(acc.percentiles({50}).front(), 2.0);
+  // Precomputed moments must match the run they claim to describe.
+  RunningStats wrong;
+  wrong.add(1.0);
+  EXPECT_THROW(MomentAccumulator::from_sorted(run_a, wrong),
+               invalid_argument_error);
+  EXPECT_THROW(MomentAccumulator::from_sorted({3.0, 1.0}),
+               invalid_argument_error);
+}
+
+TEST(MomentAccumulator, MeanCiMatchesStudentT) {
+  MomentAccumulator acc;
+  for (double x : {1.0, 2.0, 3.0, 4.0, 5.0}) acc.add(x);
+  const auto ci = acc.mean_ci(0.95);
+  EXPECT_DOUBLE_EQ(ci.mean, 3.0);
+  // s = sqrt(2.5), n = 5, t_{4, .975} = 2.776...
+  const double expected =
+      student_t_quantile(4, 0.95) * std::sqrt(2.5) / std::sqrt(5.0);
+  EXPECT_NEAR(ci.half_width, expected, 1e-12);
+  MomentAccumulator single;
+  single.add(7.0);
+  EXPECT_DOUBLE_EQ(single.mean_ci().mean, 7.0);
+  EXPECT_DOUBLE_EQ(single.mean_ci().half_width, 0.0);
+}
+
+TEST(MomentAccumulator, InterleavedAddAndMergeFlattensCorrectly) {
+  MomentAccumulator acc;
+  acc.add(5.0);
+  acc.merge(MomentAccumulator::from_sorted({1.0, 9.0}));
+  acc.add(3.0);
+  EXPECT_DOUBLE_EQ(acc.percentiles({0}).front(), 1.0);
+  EXPECT_DOUBLE_EQ(acc.percentiles({100}).front(), 9.0);
+  EXPECT_DOUBLE_EQ(acc.percentiles({50}).front(), 4.0);
+  EXPECT_EQ(acc.count(), 4u);
 }
 
 // ------------------------------------------------------ mean % deviation

@@ -5,16 +5,96 @@
 #include <cmath>
 #include <vector>
 
+#include <algorithm>
+#include <random>
+
 #include "common/error.hpp"
 #include "core/mva_exact.hpp"
 #include "core/mva_multiserver.hpp"
 #include "core/network.hpp"
 #include "sim/closed_network_sim.hpp"
+#include "sim/event_engine.hpp"
 #include "sim/simulator.hpp"
 #include "sim/station.hpp"
 
 namespace mtperf::sim {
 namespace {
+
+// ------------------------------------------------------------- EventEngine
+
+TEST(EventEngine, DispatchesInTimeOrderWithPayload) {
+  EventEngine eng;
+  std::vector<std::pair<EventOp, std::uint32_t>> seen;
+  eng.schedule(3.0, EventOp::kDeparture, 30);
+  eng.schedule(1.0, EventOp::kThinkDone, 10);
+  eng.schedule(2.0, EventOp::kPsFire, 20);
+  eng.run_until(10.0, [&](const Event& ev) { seen.push_back({ev.op, ev.a}); });
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair{EventOp::kThinkDone, 10u}));
+  EXPECT_EQ(seen[1], (std::pair{EventOp::kPsFire, 20u}));
+  EXPECT_EQ(seen[2], (std::pair{EventOp::kDeparture, 30u}));
+  EXPECT_DOUBLE_EQ(eng.now(), 10.0);
+}
+
+TEST(EventEngine, SimultaneousEventsDispatchFifo) {
+  EventEngine eng;
+  std::vector<std::uint32_t> order;
+  for (std::uint32_t i = 0; i < 8; ++i) eng.schedule(1.0, EventOp::kTick, i);
+  eng.run_until(1.0, [&](const Event& ev) { order.push_back(ev.a); });
+  EXPECT_EQ(order, (std::vector<std::uint32_t>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(EventEngine, StepDispatchesOneEvent) {
+  EventEngine eng;
+  int fired = 0;
+  eng.schedule(1.0, EventOp::kTick);
+  eng.schedule(2.0, EventOp::kTick);
+  auto count = [&](const Event&) { ++fired; };
+  EXPECT_TRUE(eng.step(count));
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(eng.now(), 1.0);
+  EXPECT_TRUE(eng.step(count));
+  EXPECT_FALSE(eng.step(count));
+  EXPECT_EQ(eng.pending_events(), 0u);
+}
+
+TEST(EventEngine, HandlersCanRescheduleDuringDispatch) {
+  EventEngine eng;
+  int chain = 0;
+  eng.schedule(1.0, EventOp::kTick);
+  eng.run_until(100.0, [&](const Event&) {
+    if (++chain < 5) eng.schedule(1.0, EventOp::kTick);
+  });
+  EXPECT_EQ(chain, 5);
+  EXPECT_DOUBLE_EQ(eng.now(), 100.0);
+}
+
+TEST(EventEngine, RejectsPastScheduling) {
+  EventEngine eng;
+  eng.run_until(5.0, [](const Event&) {});
+  EXPECT_THROW(eng.schedule(-1.0, EventOp::kTick), invalid_argument_error);
+  EXPECT_THROW(eng.run_until(4.0, [](const Event&) {}),
+               invalid_argument_error);
+}
+
+TEST(EventEngine, HeapStressMatchesSortedReference) {
+  // Push a few thousand events with random times (duplicates included) and
+  // check the 4-ary heap drains them in exactly stable-sorted order.
+  EventEngine eng;
+  std::mt19937_64 gen(12345);
+  std::uniform_int_distribution<int> coarse(0, 99);
+  std::vector<std::pair<double, std::uint32_t>> expected;
+  for (std::uint32_t i = 0; i < 5000; ++i) {
+    const double t = static_cast<double>(coarse(gen)) * 0.25;
+    eng.schedule(t, EventOp::kTick, i);
+    expected.push_back({t, i});
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  std::vector<std::pair<double, std::uint32_t>> seen;
+  eng.run_until(1e9, [&](const Event& ev) { seen.push_back({ev.time, ev.a}); });
+  EXPECT_EQ(seen, expected);
+}
 
 // --------------------------------------------------------------- Simulator
 

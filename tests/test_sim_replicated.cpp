@@ -1,0 +1,211 @@
+// Deterministic parallel replications (sim/replicated.hpp): seeding
+// discipline, bit-identical merges across pool sizes, exact R = 1
+// degeneration to the plain run, and the statistical payoff (CI width
+// shrinking like 1/sqrt(R)).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "sim/closed_network_sim.hpp"
+#include "sim/replicated.hpp"
+
+namespace mtperf::sim {
+namespace {
+
+const std::vector<SimStation> kMm1Stations{{"cpu", 1}};
+const std::vector<SimVisit> kMm1Flow{{0, 0.4}};
+
+ReplicatedSimOptions mm1_options(unsigned replications, std::uint64_t seed) {
+  ReplicatedSimOptions o;
+  o.base.customers = 3;
+  o.base.think_time_mean = 1.0;
+  o.base.warmup_time = 30.0;
+  o.base.measure_time = 200.0;
+  o.replications = replications;
+  o.base_seed = seed;
+  return o;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.transactions, b.transactions);
+  EXPECT_EQ(a.throughput, b.throughput);
+  EXPECT_EQ(a.response_time, b.response_time);
+  EXPECT_EQ(a.cycle_time, b.cycle_time);
+  EXPECT_EQ(a.response_time_ci.mean, b.response_time_ci.mean);
+  EXPECT_EQ(a.response_time_ci.half_width, b.response_time_ci.half_width);
+  EXPECT_EQ(a.response_percentiles.p50, b.response_percentiles.p50);
+  EXPECT_EQ(a.response_percentiles.p90, b.response_percentiles.p90);
+  EXPECT_EQ(a.response_percentiles.p95, b.response_percentiles.p95);
+  EXPECT_EQ(a.response_percentiles.p99, b.response_percentiles.p99);
+  ASSERT_EQ(a.stations.size(), b.stations.size());
+  for (std::size_t k = 0; k < a.stations.size(); ++k) {
+    EXPECT_EQ(a.stations[k].utilization, b.stations[k].utilization);
+    EXPECT_EQ(a.stations[k].mean_jobs, b.stations[k].mean_jobs);
+    EXPECT_EQ(a.stations[k].completions, b.stations[k].completions);
+  }
+  ASSERT_EQ(a.timeline.size(), b.timeline.size());
+  for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+    EXPECT_EQ(a.timeline[i].throughput, b.timeline[i].throughput);
+    EXPECT_EQ(a.timeline[i].response_time, b.timeline[i].response_time);
+  }
+}
+
+TEST(ReplicationSeed, RepZeroIsBaseAndStreamsAreDistinct) {
+  EXPECT_EQ(replication_seed(42, 0), 42u);
+  std::set<std::uint64_t> seeds;
+  for (unsigned rep = 0; rep < 64; ++rep) {
+    seeds.insert(replication_seed(42, rep));
+  }
+  EXPECT_EQ(seeds.size(), 64u);  // no collisions across the stream
+  // Deterministic function of (base, rep), not of call order.
+  EXPECT_EQ(replication_seed(42, 7), replication_seed(42, 7));
+  EXPECT_NE(replication_seed(42, 7), replication_seed(43, 7));
+}
+
+TEST(ReplicatedSim, SingleReplicationReproducesPlainRunExactly) {
+  const auto opts = mm1_options(1, 9001);
+  SimOptions plain = opts.base;
+  plain.seed = 9001;
+  const auto expected = simulate_closed_network(kMm1Stations, kMm1Flow, plain);
+  const auto replicated =
+      simulate_replicated(kMm1Stations, kMm1Flow, opts);
+  EXPECT_EQ(replicated.replications, 1u);
+  expect_identical(replicated.merged, expected);
+  // The degenerate across-replication throughput CI collapses to a point.
+  EXPECT_EQ(replicated.throughput_ci.mean, expected.throughput);
+  EXPECT_EQ(replicated.throughput_ci.half_width, 0.0);
+}
+
+TEST(ReplicatedSim, BitIdenticalAcrossPoolSizes) {
+  auto opts = mm1_options(6, 1234);
+  opts.base.timeline_bucket = 25.0;  // exercise the timeline merge too
+  const auto sequential = simulate_replicated(kMm1Stations, kMm1Flow, opts);
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    opts.pool = &pool;
+    const auto parallel = simulate_replicated(kMm1Stations, kMm1Flow, opts);
+    SCOPED_TRACE("pool size " + std::to_string(workers));
+    expect_identical(parallel.merged, sequential.merged);
+    EXPECT_EQ(parallel.throughput_ci.mean, sequential.throughput_ci.mean);
+    EXPECT_EQ(parallel.throughput_ci.half_width,
+              sequential.throughput_ci.half_width);
+  }
+}
+
+TEST(ReplicatedSim, MergedTransactionsAndThroughputPool) {
+  const auto r = simulate_replicated(kMm1Stations, kMm1Flow,
+                                     mm1_options(4, 55));
+  ASSERT_EQ(r.per_replication.size(), 4u);
+  std::uint64_t total = 0;
+  for (const auto& rep : r.per_replication) total += rep.transactions;
+  EXPECT_EQ(r.merged.transactions, total);
+  EXPECT_NEAR(r.merged.throughput,
+              static_cast<double>(total) / (4.0 * 200.0), 1e-12);
+  // Replications are genuinely different realizations.
+  EXPECT_NE(r.per_replication[0].transactions,
+            r.per_replication[1].transactions);
+}
+
+TEST(ReplicatedSim, PooledPercentilesMatchConcatenatedSample) {
+  const auto opts = mm1_options(3, 77);
+  // Gather each replication's raw sample through the extended entry point
+  // and pool by hand; the merge must agree exactly.
+  std::vector<double> all;
+  for (unsigned rep = 0; rep < 3; ++rep) {
+    std::vector<double> samples;
+    simulate_closed_network(kMm1Stations, kMm1Flow,
+                            replication_options(opts, rep), &samples, nullptr);
+    all.insert(all.end(), samples.begin(), samples.end());
+  }
+  const auto q = percentiles(all, {50, 90, 95, 99});
+  const auto merged = simulate_replicated(kMm1Stations, kMm1Flow, opts);
+  EXPECT_EQ(merged.merged.response_percentiles.p50, q[0]);
+  EXPECT_EQ(merged.merged.response_percentiles.p90, q[1]);
+  EXPECT_EQ(merged.merged.response_percentiles.p95, q[2]);
+  EXPECT_EQ(merged.merged.response_percentiles.p99, q[3]);
+}
+
+TEST(ReplicatedSim, PooledResponseMeanIsTransactionWeighted) {
+  const auto r = simulate_replicated(kMm1Stations, kMm1Flow,
+                                     mm1_options(5, 31));
+  double weighted = 0.0;
+  double count = 0.0;
+  for (const auto& rep : r.per_replication) {
+    weighted += rep.response_time * static_cast<double>(rep.transactions);
+    count += static_cast<double>(rep.transactions);
+  }
+  EXPECT_NEAR(r.merged.response_time, weighted / count, 1e-9);
+}
+
+TEST(ReplicatedSim, VisitWeightedUtilizationMatchesManualMerge) {
+  const auto r = simulate_replicated(kMm1Stations, kMm1Flow,
+                                     mm1_options(4, 100));
+  double weighted = 0.0;
+  double weight = 0.0;
+  for (const auto& rep : r.per_replication) {
+    const auto& st = rep.stations[0];
+    weighted += st.utilization * static_cast<double>(st.completions);
+    weight += static_cast<double>(st.completions);
+  }
+  EXPECT_EQ(r.merged.stations[0].utilization, weighted / weight);
+}
+
+TEST(ReplicatedSim, CiWidthShrinksLikeInverseSqrtReplications) {
+  // Same per-replication window, 4x the replications: the across-
+  // replication CI half-width should shrink by about sqrt(4) = 2 (the t
+  // quantile also tightens with df, helping the ratio along).
+  const auto narrow = simulate_replicated(kMm1Stations, kMm1Flow,
+                                          mm1_options(4, 2024));
+  const auto wide = simulate_replicated(kMm1Stations, kMm1Flow,
+                                        mm1_options(16, 2024));
+  ASSERT_GT(narrow.merged.response_time_ci.half_width, 0.0);
+  ASSERT_GT(wide.merged.response_time_ci.half_width, 0.0);
+  const double ratio = wide.merged.response_time_ci.half_width /
+                       narrow.merged.response_time_ci.half_width;
+  // Expected ~0.5 with wide statistical slack (one realization only).
+  EXPECT_LT(ratio, 0.9);
+  EXPECT_GT(ratio, 0.15);
+}
+
+TEST(ReplicatedSim, SplitMeasureTimeKeepsBudgetAndEstimate) {
+  auto whole = mm1_options(1, 321);
+  whole.base.measure_time = 400.0;
+  const auto one = simulate_replicated(kMm1Stations, kMm1Flow, whole);
+
+  auto split = mm1_options(4, 321);
+  split.base.measure_time = 400.0;
+  split.split_measure_time = true;
+  const auto four = simulate_replicated(kMm1Stations, kMm1Flow, split);
+  // Each replication measured a quarter window.
+  EXPECT_EQ(replication_options(split, 2).measure_time, 100.0);
+  // Same total budget, so the pooled estimates agree statistically.
+  EXPECT_NEAR(four.merged.throughput, one.merged.throughput,
+              0.1 * one.merged.throughput);
+  EXPECT_NEAR(four.merged.response_time, one.merged.response_time,
+              0.15 * one.merged.response_time);
+}
+
+TEST(ReplicatedSim, AcrossReplicationCiCoversPooledMean) {
+  const auto r = simulate_replicated(kMm1Stations, kMm1Flow,
+                                     mm1_options(8, 17));
+  EXPECT_GT(r.merged.response_time_ci.half_width, 0.0);
+  EXPECT_TRUE(r.merged.response_time_ci.contains(r.merged.response_time));
+  EXPECT_GT(r.throughput_ci.half_width, 0.0);
+  EXPECT_TRUE(r.throughput_ci.contains(r.merged.throughput));
+}
+
+TEST(ReplicatedSim, Validation) {
+  auto opts = mm1_options(0, 1);
+  EXPECT_THROW(simulate_replicated(kMm1Stations, kMm1Flow, opts),
+               invalid_argument_error);
+  EXPECT_THROW(replication_options(mm1_options(4, 1), 4),
+               invalid_argument_error);
+}
+
+}  // namespace
+}  // namespace mtperf::sim

@@ -312,6 +312,34 @@ TEST(Campaign, ParallelAndSequentialAgree) {
   }
 }
 
+TEST(Campaign, ReplicatedLevelsMergeDeterministically) {
+  // R > 1 runs a flat level x replication grid; the merged per-level
+  // results must carry an across-replication CI and be bit-identical
+  // whether the grid ran on a pool or sequentially.
+  const auto app = tiny_app();
+  CampaignSettings s = quick_settings();
+  s.replications = 3;
+  const auto seq = run_campaign(app, {2, 5}, s);
+  ThreadPool pool(4);
+  s.pool = &pool;
+  const auto par = run_campaign(app, {2, 5}, s);
+  ASSERT_EQ(seq.runs.size(), 2u);
+  for (std::size_t i = 0; i < seq.runs.size(); ++i) {
+    EXPECT_EQ(seq.runs[i].replications, 3u);
+    EXPECT_GT(seq.runs[i].throughput_ci.half_width, 0.0);
+    EXPECT_EQ(seq.runs[i].sim.transactions, par.runs[i].sim.transactions);
+    EXPECT_EQ(seq.runs[i].sim.throughput, par.runs[i].sim.throughput);
+    EXPECT_EQ(seq.runs[i].sim.response_time, par.runs[i].sim.response_time);
+    EXPECT_EQ(seq.runs[i].throughput_ci.half_width,
+              par.runs[i].throughput_ci.half_width);
+  }
+  // One replication keeps the old single-run behaviour (CI collapses).
+  s.replications = 1;
+  s.pool = nullptr;
+  const auto single = run_campaign(app, {2, 5}, s);
+  EXPECT_EQ(single.runs[0].throughput_ci.half_width, 0.0);
+}
+
 TEST(Campaign, RejectsUnsortedLevels) {
   const auto app = tiny_app();
   EXPECT_THROW(run_campaign(app, {4, 1}, quick_settings()),
