@@ -1,0 +1,111 @@
+// Bounded multi-producer/multi-consumer queue — the submission stage of
+// the serving pipeline (service/server.hpp).
+//
+// The design is deliberately asymmetric, matching the admission-control
+// policy of the server:
+//
+//   * producers never block — try_push() fails immediately when the queue
+//     is full, so an overloaded server sheds requests with a fast
+//     rejection instead of queueing them into unbounded latency;
+//   * consumers block — pop() waits for work, and pop_until() waits only
+//     until a deadline, which is exactly the size-or-deadline trigger the
+//     micro-batcher needs ("flush when the batch is full or the oldest
+//     request has waited long enough").
+//
+// close() wakes every blocked consumer; pops drain the remaining items
+// and then return false, so shutdown never loses accepted work.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mtperf {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    MTPERF_REQUIRE(capacity >= 1, "BoundedQueue needs capacity >= 1");
+  }
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  /// Current depth (racy by nature; metrics only).
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  /// Enqueue without blocking.  False when the queue is full (the caller
+  /// sheds the item) or closed (the caller is shutting down).
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Dequeue, waiting as long as it takes.  False only when the queue is
+  /// closed and fully drained.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    return take_locked(out);
+  }
+
+  /// Dequeue, waiting no later than `deadline`.  False on timeout or when
+  /// closed and drained — the batcher treats either as "flush what you
+  /// have".
+  bool pop_until(T& out, std::chrono::steady_clock::time_point deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (!not_empty_.wait_until(lock, deadline, [this] {
+          return closed_ || !items_.empty();
+        })) {
+      return false;
+    }
+    return take_locked(out);
+  }
+
+  /// Reject new pushes and wake every blocked consumer.  Items already
+  /// queued remain poppable until drained.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  bool take_locked(T& out) {
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  const std::size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace mtperf

@@ -46,7 +46,7 @@ void parallel_for(ThreadPool& pool, std::size_t n,
     fn(0);  // not worth a queue round-trip
     return;
   }
-  // Shared state for the chunked dispatch: each worker task pulls the next
+  // Shared state for the chunked dispatch: each participant pulls the next
   // unclaimed index until the range is exhausted.  A failing fn does not
   // stop other indices from running; the first exception is rethrown once
   // everything has been attempted.
@@ -56,26 +56,32 @@ void parallel_for(ThreadPool& pool, std::size_t n,
     std::exception_ptr first_error;
   };
   auto state = std::make_shared<SharedState>();
+  const auto run_indices = [state, &fn, n] {
+    for (;;) {
+      const std::size_t i = state->next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state->error_mutex);
+        if (!state->first_error) {
+          state->first_error = std::current_exception();
+        }
+      }
+    }
+  };
   const std::size_t task_count = std::min(pool.size(), n);
   std::vector<std::future<void>> futures;
   futures.reserve(task_count);
   for (std::size_t t = 0; t < task_count; ++t) {
-    futures.push_back(pool.submit([state, &fn, n] {
-      for (;;) {
-        const std::size_t i =
-            state->next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= n) return;
-        try {
-          fn(i);
-        } catch (...) {
-          std::lock_guard<std::mutex> lock(state->error_mutex);
-          if (!state->first_error) {
-            state->first_error = std::current_exception();
-          }
-        }
-      }
-    }));
+    futures.push_back(pool.submit(run_indices));
   }
+  // The caller participates instead of idling on the futures.  Beyond the
+  // extra worker, this is a liveness guarantee the scenario engine's
+  // single-flight dedup relies on: even if every pool worker is blocked
+  // waiting on an in-flight solve owned by this very call, the indices
+  // (and with them the solves those workers wait for) still complete here.
+  run_indices();
   for (auto& f : futures) f.get();
   if (state->first_error) std::rethrow_exception(state->first_error);
 }

@@ -66,10 +66,14 @@ class ThreadPool {
 };
 
 /// Run fn(i) for i in [0, n) across the pool's threads and wait for all.
-/// Dispatch is chunked: min(size(), n) worker tasks share one atomic index,
-/// so the queue sees O(workers) submissions instead of O(n) packaged
-/// tasks.  Exceptions from tasks are rethrown (first one wins) after all
-/// indices have been attempted.
+/// Dispatch is chunked: min(size(), n) worker tasks plus the calling
+/// thread share one atomic index, so the queue sees O(workers)
+/// submissions instead of O(n) packaged tasks.  The caller participating
+/// (instead of idling on futures) also guarantees the range completes
+/// even when every pool worker is blocked on work that this very call
+/// will produce — the liveness property service::Engine's single-flight
+/// miss dedup depends on.  Exceptions from tasks are rethrown (first one
+/// wins) after all indices have been attempted.
 void parallel_for(ThreadPool& pool, std::size_t n,
                   const std::function<void(std::size_t)>& fn);
 

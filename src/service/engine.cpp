@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <chrono>
+#include <exception>
+#include <functional>
 #include <list>
+#include <thread>
 #include <unordered_map>
 #include <utility>
 
@@ -11,6 +14,10 @@
 #include "core/detail/batch_engine.hpp"
 
 namespace mtperf::service {
+
+static_assert(kEngineBatchLanes == core::detail::kBatchLaneBlock,
+              "EngineMetrics occupancy histogram must match the kernel's "
+              "lane block size");
 
 namespace {
 
@@ -81,8 +88,93 @@ Engine::Shard& Engine::shard_for(const Fingerprint& fp) const noexcept {
 }
 
 void Engine::record_solve_ms(double ms) {
-  std::lock_guard<std::mutex> lock(latency_mutex_);
-  solve_ms_.add(ms);
+  const std::size_t stripe =
+      std::hash<std::thread::id>{}(std::this_thread::get_id()) %
+      kLatencyStripes;
+  std::lock_guard<std::mutex> lock(latency_stripes_[stripe].mutex);
+  latency_stripes_[stripe].acc.add(ms);
+}
+
+void Engine::record_batch_block(std::size_t lanes) {
+  batch_blocks_.fetch_add(1, std::memory_order_relaxed);
+  batch_lanes_.fetch_add(lanes, std::memory_order_relaxed);
+  occupancy_hist_[std::min(lanes, kEngineBatchLanes)].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+Engine::FlightRole Engine::join_or_lead(const Fingerprint& fp, unsigned want,
+                                        std::shared_ptr<Flight>* flight) {
+  std::lock_guard<std::mutex> lock(flights_mutex_);
+  const auto it = flights_.find(fp);
+  if (it != flights_.end()) {
+    if (it->second->population >= want) {
+      *flight = it->second;
+      return FlightRole::kFollower;
+    }
+    // Deeper than the in-flight solve: don't wait on a result that cannot
+    // answer us.  (The deepen-in-place store keeps whichever lands deeper.)
+    return FlightRole::kIndependent;
+  }
+  auto lead = std::make_shared<Flight>();
+  lead->population = want;
+  lead->future = lead->promise.get_future().share();
+  flights_.emplace(fp, lead);
+  *flight = std::move(lead);
+  return FlightRole::kLeader;
+}
+
+void Engine::finish_flight(const Fingerprint& fp,
+                           const std::shared_ptr<Flight>& flight,
+                           std::shared_ptr<const core::MvaResult> result) {
+  {
+    // Retire before publishing: the result is already in the cache, so a
+    // request that misses the (gone) flight finds it there instead.
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    const auto it = flights_.find(fp);
+    if (it != flights_.end() && it->second == flight) flights_.erase(it);
+  }
+  flight->promise.set_value(std::move(result));
+}
+
+void Engine::fail_flight(const Fingerprint& fp,
+                         const std::shared_ptr<Flight>& flight,
+                         std::exception_ptr error) {
+  {
+    std::lock_guard<std::mutex> lock(flights_mutex_);
+    const auto it = flights_.find(fp);
+    if (it != flights_.end() && it->second == flight) flights_.erase(it);
+  }
+  flight->promise.set_exception(std::move(error));
+}
+
+Evaluation Engine::await_flight(const core::ScenarioSpec& spec,
+                                const Fingerprint& fp,
+                                const std::shared_ptr<Flight>& flight) {
+  std::shared_ptr<const core::MvaResult> result;
+  try {
+    result = flight->future.get();
+  } catch (...) {
+    // The leader failed.  An identical spec would fail identically, but
+    // solving here keeps this request's outcome independent of another
+    // request's context (and exercises the normal error path).
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return solve_miss(spec, fp, {});
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  coalesced_.fetch_add(1, std::memory_order_relaxed);
+  const unsigned want = spec.options.max_population;
+  Evaluation ev;
+  ev.label = spec.label;
+  ev.cache_hit = true;
+  ev.coalesced = true;
+  if (result->levels() == want) {
+    ev.result = std::move(result);
+  } else {
+    prefix_hits_.fetch_add(1, std::memory_order_relaxed);
+    ev.prefix_hit = true;
+    ev.result = std::make_shared<const core::MvaResult>(result->prefix(want));
+  }
+  return ev;
 }
 
 std::shared_ptr<const core::MvaResult> Engine::lookup(const Fingerprint& fp,
@@ -130,6 +222,8 @@ void Engine::store(const Fingerprint& fp,
       shard.index.erase(shard.lru.back().key);
       shard.lru.pop_back();
       evictions_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      entries_.fetch_add(1, std::memory_order_relaxed);
     }
   }
 }
@@ -184,6 +278,24 @@ Evaluation Engine::evaluate(const core::ScenarioSpec& spec) {
     return Evaluation{spec.label, std::move(trimmed), true, true, 0.0};
   }
 
+  std::shared_ptr<Flight> flight;
+  switch (join_or_lead(fp, want, &flight)) {
+    case FlightRole::kFollower:
+      return await_flight(spec, fp, flight);
+    case FlightRole::kLeader: {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        Evaluation ev = solve_miss(spec, fp, std::move(lease));
+        finish_flight(fp, flight, ev.result);
+        return ev;
+      } catch (...) {
+        fail_flight(fp, flight, std::current_exception());
+        throw;
+      }
+    }
+    case FlightRole::kIndependent:
+      break;
+  }
   misses_.fetch_add(1, std::memory_order_relaxed);
   return solve_miss(spec, fp, std::move(lease));
 }
@@ -219,7 +331,9 @@ std::vector<Evaluation> Engine::evaluate_batch(
     Fingerprint fp;
     GridLease lease;
     Evaluation eval;
-    bool miss = false;
+    /// Leader reps publish here after solving; follower reps await it.
+    std::shared_ptr<Flight> flight;
+    bool follower = false;
   };
   std::vector<Fingerprint> fps(n);
   std::vector<std::size_t> rep_of(n);
@@ -231,7 +345,7 @@ std::vector<Evaluation> Engine::evaluate_batch(
     fps[i] = fingerprint(specs[i]);
     const auto [it, inserted] = rep_index.try_emplace(fps[i], reps.size());
     if (inserted) {
-      reps.push_back(Rep{i, fps[i], {}, {}, false});
+      reps.push_back(Rep{i, fps[i], {}, {}, nullptr, false});
     } else if (specs[i].options.max_population >
                specs[reps[it->second].spec_index].options.max_population) {
       reps[it->second].spec_index = i;
@@ -239,8 +353,13 @@ std::vector<Evaluation> Engine::evaluate_batch(
     rep_of[i] = it->second;
   }
 
-  // Probe the cache once per representative.
+  // Probe the cache once per representative.  Misses additionally consult
+  // the in-flight table: a structure another thread is already solving (at
+  // sufficient depth) is joined as a follower instead of re-solved, and
+  // every remaining miss registers as leader so concurrent callers can
+  // join *us*.
   std::vector<std::size_t> miss_reps;
+  std::vector<std::size_t> follower_reps;
   for (std::size_t r = 0; r < reps.size(); ++r) {
     Rep& rep = reps[r];
     const core::ScenarioSpec& spec = specs[rep.spec_index];
@@ -255,10 +374,18 @@ std::vector<Evaluation> Engine::evaluate_batch(
             std::make_shared<const core::MvaResult>(cached->prefix(want));
         rep.eval = Evaluation{spec.label, std::move(trimmed), true, true, 0.0};
       }
-    } else {
-      rep.miss = true;
-      misses_.fetch_add(1, std::memory_order_relaxed);
-      miss_reps.push_back(r);
+      continue;
+    }
+    switch (join_or_lead(rep.fp, want, &rep.flight)) {
+      case FlightRole::kFollower:
+        rep.follower = true;
+        follower_reps.push_back(r);
+        break;
+      case FlightRole::kLeader:
+      case FlightRole::kIndependent:
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        miss_reps.push_back(r);
+        break;
     }
   }
 
@@ -296,6 +423,7 @@ std::vector<Evaluation> Engine::evaluate_batch(
     std::vector<core::MvaResult> results =
         core::detail::solve_lane_block(lanes);
     const auto stop = std::chrono::steady_clock::now();
+    record_batch_block(block.size());
     const double ms_per_lane =
         std::chrono::duration<double, std::milli>(stop - start).count() /
         static_cast<double>(block.size());
@@ -324,11 +452,44 @@ std::vector<Evaluation> Engine::evaluate_batch(
                             std::move(rep.lease));
     }
   };
+  // Solve, then settle every registered flight exactly once: leaders whose
+  // rep solved publish the result; on failure the remaining waiters get
+  // the error (and fall back to their own solves).  Publishing our own
+  // flights *before* awaiting foreign ones below makes cross-batch waits
+  // deadlock-free — two batches leading and following each other's
+  // structures both publish first.
+  const auto settle_flights = [&](std::exception_ptr error) {
+    for (const std::size_t r : miss_reps) {
+      Rep& rep = reps[r];
+      if (rep.flight == nullptr) continue;
+      if (rep.eval.result != nullptr) {
+        finish_flight(rep.fp, rep.flight, rep.eval.result);
+      } else {
+        fail_flight(rep.fp, rep.flight,
+                    error != nullptr ? error
+                                     : std::make_exception_ptr(Error(
+                                           "batch evaluation abandoned")));
+      }
+      rep.flight = nullptr;
+    }
+  };
   const std::size_t tasks = plan.blocks.size() + plan.scalars.size();
-  if (tasks > 1 && pool_->size() > 1) {
-    parallel_for(*pool_, tasks, run_task);
-  } else {
-    for (std::size_t t = 0; t < tasks; ++t) run_task(t);
+  try {
+    if (tasks > 1 && pool_->size() > 1) {
+      parallel_for(*pool_, tasks, run_task);
+    } else {
+      for (std::size_t t = 0; t < tasks; ++t) run_task(t);
+    }
+  } catch (...) {
+    settle_flights(std::current_exception());
+    throw;
+  }
+  settle_flights(nullptr);
+
+  // Now resolve the reps that joined another caller's in-flight solve.
+  for (const std::size_t r : follower_reps) {
+    Rep& rep = reps[r];
+    rep.eval = await_flight(specs[rep.spec_index], rep.fp, rep.flight);
   }
 
   // Fill every slot from its representative: the rep's own slot shares the
@@ -372,23 +533,37 @@ core::MvaResult Engine::evaluate_spec(const core::ScenarioSpec& spec) {
 
 EngineMetrics Engine::metrics() const {
   EngineMetrics m;
+  // The counter snapshot takes no shard lock: entries_ mirrors the LRU
+  // sizes, so a serving hot path can poll metrics without contending with
+  // lookups.
   m.requests = requests_.load(std::memory_order_relaxed);
   m.hits = hits_.load(std::memory_order_relaxed);
   m.prefix_hits = prefix_hits_.load(std::memory_order_relaxed);
+  m.coalesced = coalesced_.load(std::memory_order_relaxed);
   m.misses = misses_.load(std::memory_order_relaxed);
   m.evictions = evictions_.load(std::memory_order_relaxed);
+  m.entries = entries_.load(std::memory_order_relaxed);
   m.queue_depth = queue_depth_.load(std::memory_order_relaxed);
-  for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    m.entries += shard->lru.size();
+  m.batch_blocks = batch_blocks_.load(std::memory_order_relaxed);
+  m.batch_lanes = batch_lanes_.load(std::memory_order_relaxed);
+  for (std::size_t l = 0; l < m.batch_occupancy.size(); ++l) {
+    m.batch_occupancy[l] = occupancy_hist_[l].load(std::memory_order_relaxed);
+  }
+  if (m.batch_blocks > 0) {
+    m.batch_occupancy_mean = static_cast<double>(m.batch_lanes) /
+                             static_cast<double>(m.batch_blocks);
   }
   if (m.requests > 0) {
     m.hit_rate = static_cast<double>(m.hits) / static_cast<double>(m.requests);
   }
   MomentAccumulator latency;
-  {
-    std::lock_guard<std::mutex> lock(latency_mutex_);
-    latency = solve_ms_;
+  for (auto& stripe : latency_stripes_) {
+    MomentAccumulator copy;
+    {
+      std::lock_guard<std::mutex> lock(stripe.mutex);
+      copy = stripe.acc;
+    }
+    latency.merge(std::move(copy));
   }
   if (latency.count() > 0) {
     const auto ps = latency.percentiles({50.0, 90.0, 99.0});
@@ -403,6 +578,7 @@ EngineMetrics Engine::metrics() const {
 void Engine::clear() {
   for (const auto& shard : shards_) {
     std::lock_guard<std::mutex> lock(shard->mutex);
+    entries_.fetch_sub(shard->lru.size(), std::memory_order_relaxed);
     shard->lru.clear();
     shard->index.clear();
   }

@@ -29,15 +29,25 @@
 // blocks fan out over the shared ThreadPool with chunked submission
 // (common/thread_pool.hpp), and per-scenario futures are available for
 // streaming callers (the mtperf_serve tool).  All entry points are safe to
-// call concurrently; concurrent identical misses may solve twice (last
-// insert wins) but always return identical numbers.
+// call concurrently.
+//
+// Concurrent identical misses are single-flighted: the first request to
+// register a fingerprint becomes the leader and runs the solver; requests
+// for the same structure (at the same or a shallower population) that
+// arrive while the solve is in flight wait for the leader's result instead
+// of redundantly re-solving — one solve fans out to every waiter.  Waiters
+// count as cache hits with the `coalesced` flag set.  A request *deeper*
+// than the in-flight solve runs independently (the deepen-in-place store
+// keeps whichever result is deeper).
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <future>
 #include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <vector>
 
 #include "common/stats.hpp"
@@ -68,13 +78,25 @@ struct Evaluation {
   bool cache_hit = false;   ///< served without running a solver
   bool prefix_hit = false;  ///< served by trimming a deeper cached solve
   double solve_ms = 0.0;    ///< solver wall time; 0 on hits
+  /// Served by waiting on a concurrent identical request's in-flight solve
+  /// (single-flight dedup) rather than probing the cache or solving.
+  bool coalesced = false;
 };
 
+/// Lanes per lockstep block of the batched kernel, mirrored here so the
+/// metrics surface does not pull in core/detail headers (engine.cpp
+/// static_asserts the two constants agree).
+inline constexpr std::size_t kEngineBatchLanes = 16;
+
 /// Counter snapshot plus latency percentiles over all solves so far.
+/// Counters are maintained as relaxed atomics and snapshotted without
+/// taking any cache-shard lock, so metrics() is safe (and cheap) to call
+/// from a serving hot path.
 struct EngineMetrics {
   std::uint64_t requests = 0;
-  std::uint64_t hits = 0;         ///< exact + prefix
+  std::uint64_t hits = 0;         ///< exact + prefix + coalesced
   std::uint64_t prefix_hits = 0;
+  std::uint64_t coalesced = 0;  ///< joined a concurrent in-flight solve
   std::uint64_t misses = 0;
   std::uint64_t evictions = 0;
   std::size_t entries = 0;      ///< currently cached results
@@ -86,6 +108,13 @@ struct EngineMetrics {
   double solve_ms_p90 = 0.0;
   double solve_ms_p99 = 0.0;
   double solve_ms_max = 0.0;
+  /// Lockstep batch occupancy: how full the lane-major blocks actually
+  /// ran.  batch_occupancy[l] counts blocks that solved l lanes
+  /// (1 <= l <= kEngineBatchLanes; index 0 unused).
+  std::uint64_t batch_blocks = 0;  ///< lockstep blocks solved
+  std::uint64_t batch_lanes = 0;   ///< lanes across those blocks
+  double batch_occupancy_mean = 0.0;  ///< lanes per block (0 when none)
+  std::array<std::uint64_t, kEngineBatchLanes + 1> batch_occupancy{};
 };
 
 class Engine final : public core::ScenarioEvaluator {
@@ -131,6 +160,21 @@ class Engine final : public core::ScenarioEvaluator {
  private:
   struct Shard;
 
+  /// One in-flight miss: the leader's promised result, joined by
+  /// concurrent requests for the same fingerprint (single-flight dedup).
+  struct Flight {
+    unsigned population = 0;  ///< depth the leader is solving to
+    std::promise<std::shared_ptr<const core::MvaResult>> promise;
+    std::shared_future<std::shared_ptr<const core::MvaResult>> future;
+  };
+
+  /// How a cache miss relates to the in-flight table.
+  enum class FlightRole {
+    kLeader,       ///< registered the flight; must solve and publish
+    kFollower,     ///< joined an in-flight solve; awaits its future
+    kIndependent,  ///< wants deeper than the in-flight solve; solves alone
+  };
+
   /// The tabulated demand state attached to a cache entry: the grid of the
   /// deepest solve and the DemandModel copy it borrows (grids hold a raw
   /// pointer to their model, so the entry must own both).  Empty for
@@ -143,6 +187,30 @@ class Engine final : public core::ScenarioEvaluator {
 
   Shard& shard_for(const Fingerprint& fp) const noexcept;
   void record_solve_ms(double ms);
+  void record_batch_block(std::size_t lanes);
+
+  /// Register as leader for `fp`, join an in-flight solve covering
+  /// >= `want` levels, or learn to solve independently.  On kLeader and
+  /// kFollower, `flight` receives the (new or joined) flight.
+  FlightRole join_or_lead(const Fingerprint& fp, unsigned want,
+                          std::shared_ptr<Flight>* flight);
+
+  /// Publish the leader's result to every waiter and retire the flight.
+  void finish_flight(const Fingerprint& fp,
+                     const std::shared_ptr<Flight>& flight,
+                     std::shared_ptr<const core::MvaResult> result);
+
+  /// Retire the flight with an error; waiters fall back to solving.
+  void fail_flight(const Fingerprint& fp,
+                   const std::shared_ptr<Flight>& flight,
+                   std::exception_ptr error);
+
+  /// Follower path: wait for the flight's result and serve `spec` from it
+  /// (sharing or prefix-trimming).  Falls back to an independent solve if
+  /// the leader failed.
+  Evaluation await_flight(const core::ScenarioSpec& spec,
+                          const Fingerprint& fp,
+                          const std::shared_ptr<Flight>& flight);
 
   /// Cache probe: the cached result when it covers `want` levels (LRU
   /// bumped), else null.  `lease` receives the entry's cached grid state
@@ -168,18 +236,40 @@ class Engine final : public core::ScenarioEvaluator {
   ThreadPool* pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
+  // Hot counters: relaxed atomics written on the request path and read by
+  // metrics() without any lock.  entries_ mirrors the shard LRU sizes so
+  // the metrics snapshot does not have to walk (and lock) the shards.
   std::atomic<std::uint64_t> requests_{0};
   std::atomic<std::uint64_t> hits_{0};
   std::atomic<std::uint64_t> prefix_hits_{0};
+  std::atomic<std::uint64_t> coalesced_{0};
   std::atomic<std::uint64_t> misses_{0};
   std::atomic<std::uint64_t> evictions_{0};
+  std::atomic<std::size_t> entries_{0};
   std::atomic<std::size_t> queue_depth_{0};
+  std::atomic<std::uint64_t> batch_blocks_{0};
+  std::atomic<std::uint64_t> batch_lanes_{0};
+  std::array<std::atomic<std::uint64_t>, kEngineBatchLanes + 1>
+      occupancy_hist_{};
 
-  /// Per-solve latency sample as a mergeable accumulator (common/stats):
-  /// metrics() snapshots a copy and reads percentiles/max from it instead
-  /// of re-sorting a bespoke sample vector on every call.
-  mutable std::mutex latency_mutex_;
-  MomentAccumulator solve_ms_;
+  /// Per-solve latency samples, striped by thread so concurrent solves do
+  /// not serialize on one mutex.  Percentiles need the raw sample, so the
+  /// stripes hold mergeable accumulators (common/stats); metrics() locks
+  /// each stripe just long enough to copy it, then merges the copies —
+  /// the counters above stay lock-free, and solve recording contends only
+  /// when two threads hash to the same stripe.
+  struct LatencyStripe {
+    std::mutex mutex;
+    MomentAccumulator acc;
+  };
+  static constexpr std::size_t kLatencyStripes = 8;
+  mutable std::array<LatencyStripe, kLatencyStripes> latency_stripes_;
+
+  /// In-flight miss table (single-flight dedup).  Guarded by its own
+  /// mutex: entries live only for the duration of a solve.
+  std::mutex flights_mutex_;
+  std::unordered_map<Fingerprint, std::shared_ptr<Flight>, FingerprintHash>
+      flights_;
 };
 
 }  // namespace mtperf::service

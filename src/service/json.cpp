@@ -3,8 +3,8 @@
 #include <cctype>
 #include <charconv>
 #include <cmath>
+#include <cstdio>
 #include <cstdlib>
-#include <sstream>
 
 #include "common/error.hpp"
 
@@ -69,8 +69,14 @@ class Parser {
   Json parse_value() {
     skip_whitespace();
     switch (peek()) {
-      case '{': return parse_object();
-      case '[': return parse_array();
+      case '{': {
+        DepthGuard depth(*this);
+        return parse_object();
+      }
+      case '[': {
+        DepthGuard depth(*this);
+        return parse_array();
+      }
       case '"': return Json(parse_string());
       case 't': expect_literal("true"); return Json(true);
       case 'f': expect_literal("false"); return Json(false);
@@ -184,42 +190,54 @@ class Parser {
     return Json(value);
   }
 
+  /// Bounds container recursion: hostile inputs like "[[[[..." would
+  /// otherwise recurse once per byte and overflow the stack.
+  struct DepthGuard {
+    Parser& parser;
+    explicit DepthGuard(Parser& p) : parser(p) {
+      parser.require(++parser.depth_ <= Json::kMaxParseDepth,
+                     "nesting deeper than kMaxParseDepth levels");
+    }
+    ~DepthGuard() { --parser.depth_; }
+  };
+
   std::string_view text_;
   std::size_t pos_ = 0;
+  std::size_t depth_ = 0;
 };
 
-void dump_string(std::ostringstream& os, const std::string& s) {
-  os << '"';
+void dump_string(std::string& out, const std::string& s) {
+  out.push_back('"');
   for (const char c : s) {
     switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\b': os << "\\b"; break;
-      case '\f': os << "\\f"; break;
-      case '\n': os << "\\n"; break;
-      case '\r': os << "\\r"; break;
-      case '\t': os << "\\t"; break;
+      case '"': out.append("\\\""); break;
+      case '\\': out.append("\\\\"); break;
+      case '\b': out.append("\\b"); break;
+      case '\f': out.append("\\f"); break;
+      case '\n': out.append("\\n"); break;
+      case '\r': out.append("\\r"); break;
+      case '\t': out.append("\\t"); break;
       default:
         if (static_cast<unsigned char>(c) < 0x20) {
           char buf[8];
           std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          os << buf;
+          out.append(buf);
         } else {
-          os << c;
+          out.push_back(c);
         }
     }
   }
-  os << '"';
+  out.push_back('"');
 }
 
-void dump_number(std::ostringstream& os, double d) {
+void dump_number(std::string& out, double d) {
   if (!std::isfinite(d)) {
-    os << "null";  // JSON has no Inf/NaN; null is the conventional stand-in
+    out.append("null");  // JSON has no Inf/NaN; null is the stand-in
     return;
   }
   char buf[32];
   const auto [end, ec] = std::to_chars(buf, buf + sizeof buf, d);
-  os << std::string_view(buf, ec == std::errc() ? end - buf : 0);
+  out.append(buf, ec == std::errc() ? static_cast<std::size_t>(end - buf) : 0);
 }
 
 }  // namespace
@@ -276,36 +294,41 @@ std::string Json::string_or(const std::string& key,
   return contains(key) ? at(key).as_string() : fallback;
 }
 
-std::string Json::dump() const {
-  std::ostringstream os;
+void Json::dump_to(std::string& out) const {
   struct Visitor {
-    std::ostringstream& os;
-    void operator()(std::nullptr_t) { os << "null"; }
-    void operator()(bool b) { os << (b ? "true" : "false"); }
-    void operator()(double d) { dump_number(os, d); }
-    void operator()(const std::string& s) { dump_string(os, s); }
+    std::string& out;
+    void operator()(std::nullptr_t) { out.append("null"); }
+    void operator()(bool b) { out.append(b ? "true" : "false"); }
+    void operator()(double d) { dump_number(out, d); }
+    void operator()(const std::string& s) { dump_string(out, s); }
     void operator()(const Array& a) {
-      os << '[';
+      out.push_back('[');
       for (std::size_t i = 0; i < a.size(); ++i) {
-        if (i != 0) os << ',';
-        os << a[i].dump();
+        if (i != 0) out.push_back(',');
+        a[i].dump_to(out);
       }
-      os << ']';
+      out.push_back(']');
     }
     void operator()(const Object& o) {
-      os << '{';
+      out.push_back('{');
       bool first = true;
       for (const auto& [key, value] : o) {
-        if (!first) os << ',';
+        if (!first) out.push_back(',');
         first = false;
-        dump_string(os, key);
-        os << ':' << value.dump();
+        dump_string(out, key);
+        out.push_back(':');
+        value.dump_to(out);
       }
-      os << '}';
+      out.push_back('}');
     }
   };
-  std::visit(Visitor{os}, value_);
-  return os.str();
+  std::visit(Visitor{out}, value_);
+}
+
+std::string Json::dump() const {
+  std::string out;
+  dump_to(out);
+  return out;
 }
 
 }  // namespace mtperf::service

@@ -4,7 +4,9 @@
 // standard six value kinds, with shortest-round-trip number formatting.
 // Unicode escapes are decoded to UTF-8 for the basic multilingual plane
 // (no surrogate pairs) — ample for the protocol's ASCII field names.
-// Parse errors throw mtperf::invalid_argument_error with the offset.
+// Parse errors throw mtperf::invalid_argument_error with the offset;
+// nesting deeper than kMaxParseDepth is rejected the same way, so hostile
+// input cannot drive the recursive parser off the stack.
 #pragma once
 
 #include <cstddef>
@@ -36,6 +38,11 @@ class Json {
   Json(Array a) : value_(std::move(a)) {}
   Json(Object o) : value_(std::move(o)) {}
 
+  /// Containers nested deeper than this fail to parse (protocol lines are
+  /// ~4 levels deep; the cap only exists to bound recursion on hostile
+  /// input).
+  static constexpr std::size_t kMaxParseDepth = 64;
+
   static Json parse(std::string_view text);
 
   bool is_null() const noexcept { return holds<std::nullptr_t>(); }
@@ -62,6 +69,11 @@ class Json {
 
   /// Compact single-line serialization.
   std::string dump() const;
+
+  /// Append the compact serialization to `out` without intermediate
+  /// strings or streams — the per-line hot path of the serve tool reuses
+  /// one response buffer across requests.
+  void dump_to(std::string& out) const;
 
  private:
   template <typename T>

@@ -1,0 +1,214 @@
+#include "service/request.hpp"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/solve.hpp"
+#include "interp/cubic_spline.hpp"
+#include "interp/piecewise_cubic.hpp"
+
+namespace mtperf::service {
+
+namespace {
+
+core::ClosedNetwork parse_network(const Json& request) {
+  std::vector<core::Station> stations;
+  for (const Json& js : request.at("stations").as_array()) {
+    core::Station st;
+    st.name = js.at("name").as_string();
+    const double servers = js.number_or("servers", 1.0);
+    MTPERF_REQUIRE(servers >= 1.0 && servers <= 1e6,
+                   "station servers out of range");
+    st.servers = static_cast<unsigned>(servers);
+    st.visits = js.number_or("visits", 1.0);
+    MTPERF_REQUIRE(std::isfinite(st.visits) && st.visits >= 0.0,
+                   "station visits must be finite and non-negative");
+    const std::string kind = js.string_or("kind", "queueing");
+    MTPERF_REQUIRE(kind == "queueing" || kind == "delay",
+                   "station kind must be 'queueing' or 'delay'");
+    st.kind = kind == "delay" ? core::StationKind::kDelay
+                              : core::StationKind::kQueueing;
+    stations.push_back(std::move(st));
+  }
+  MTPERF_REQUIRE(!stations.empty(), "request needs at least one station");
+  const double think = request.number_or("think", 0.0);
+  MTPERF_REQUIRE(std::isfinite(think) && think >= 0.0,
+                 "think time must be finite and non-negative");
+  return core::ClosedNetwork(std::move(stations), think);
+}
+
+core::DemandModel parse_demands(const Json& spec, std::size_t station_count) {
+  const std::string type = spec.string_or("type", "constant");
+  if (type == "constant") {
+    std::vector<double> values;
+    for (const Json& v : spec.at("values").as_array()) {
+      const double d = v.as_number();
+      MTPERF_REQUIRE(std::isfinite(d) && d >= 0.0,
+                     "demand values must be finite and non-negative");
+      values.push_back(d);
+    }
+    MTPERF_REQUIRE(values.size() == station_count,
+                   "demands.values must list one demand per station");
+    return core::DemandModel::constant(std::move(values));
+  }
+  MTPERF_REQUIRE(type == "spline", "demands.type must be 'constant' or 'spline'");
+  const std::string axis_name = spec.string_or("axis", "concurrency");
+  MTPERF_REQUIRE(axis_name == "concurrency" || axis_name == "throughput",
+                 "demands.axis must be 'concurrency' or 'throughput'");
+  const auto axis = axis_name == "throughput"
+                        ? core::DemandModel::Axis::kThroughput
+                        : core::DemandModel::Axis::kConcurrency;
+  std::vector<double> xs;
+  for (const Json& v : spec.at("x").as_array()) xs.push_back(v.as_number());
+  const auto& per_station = spec.at("y").as_array();
+  MTPERF_REQUIRE(per_station.size() == station_count,
+                 "demands.y must hold one knot array per station");
+  std::vector<std::shared_ptr<const interp::Interpolator1D>> splines;
+  splines.reserve(per_station.size());
+  for (const Json& ys_json : per_station) {
+    std::vector<double> ys;
+    for (const Json& v : ys_json.as_array()) ys.push_back(v.as_number());
+    MTPERF_REQUIRE(ys.size() == xs.size(),
+                   "each demands.y row needs one value per x knot");
+    splines.push_back(std::make_shared<interp::PiecewiseCubic>(
+        interp::build_cubic_spline(interp::SampleSet(xs, std::move(ys)))));
+  }
+  return core::DemandModel::interpolated(std::move(splines), axis);
+}
+
+core::ScenarioSpec parse_scenario(const Json& request) {
+  core::ClosedNetwork network = parse_network(request);
+  core::DemandModel demands =
+      parse_demands(request.at("demands"), network.size());
+  core::SolveOptions options;
+  options.solver =
+      core::parse_solver_kind(request.string_or("solver", "mvasd"));
+  const double population = request.at("max_population").as_number();
+  MTPERF_REQUIRE(population >= 1.0 && population <= kMaxRequestPopulation,
+                 "max_population out of range");
+  options.max_population = static_cast<unsigned>(population);
+  return core::ScenarioSpec{request.string_or("label", ""),
+                            std::move(network), std::move(demands), options};
+}
+
+}  // namespace
+
+Json recover_request_id(std::string_view line) {
+  try {
+    const Json request = Json::parse(line);
+    if (request.contains("id")) return request.at("id");
+  } catch (...) {
+  }
+  return Json();
+}
+
+ParsedRequest parse_request(std::string_view line) {
+  const Json request = Json::parse(line);
+  ParsedRequest out;
+  if (request.contains("id")) out.id = request.at("id");
+  const std::string cmd = request.string_or("cmd", "");
+  if (cmd == "metrics") {
+    out.kind = RequestKind::kMetrics;
+    return out;
+  }
+  if (cmd == "shutdown") {
+    out.kind = RequestKind::kShutdown;
+    return out;
+  }
+  MTPERF_REQUIRE(cmd.empty(), "unknown cmd (expected 'metrics' or 'shutdown')");
+  out.kind = RequestKind::kScenario;
+  out.series = request.contains("series") && request.at("series").as_bool();
+  out.spec = parse_scenario(request);
+  return out;
+}
+
+void append_evaluation(std::string& out, const Evaluation& evaluation,
+                       bool series, const Json& id) {
+  const core::MvaResult& r = *evaluation.result;
+  const std::size_t top = r.levels() - 1;
+  Json::Object line;
+  line["label"] = evaluation.label;
+  if (!id.is_null()) line["id"] = id;
+  line["cache_hit"] = evaluation.cache_hit;
+  line["prefix_hit"] = evaluation.prefix_hit;
+  if (evaluation.coalesced) line["coalesced"] = true;
+  line["solve_ms"] = evaluation.solve_ms;
+  line["max_population"] = static_cast<unsigned long long>(r.population[top]);
+  line["throughput"] = r.throughput[top];
+  line["response_time"] = r.response_time[top];
+  line["cycle_time"] = r.cycle_time[top];
+  std::size_t busiest = 0;
+  Json::Object utilization;
+  for (std::size_t k = 0; k < r.stations(); ++k) {
+    utilization[r.station_names[k]] = r.utilization(top, k);
+    if (r.utilization(top, k) > r.utilization(top, busiest)) busiest = k;
+  }
+  line["bottleneck"] = r.station_names[busiest];
+  line["utilization"] = std::move(utilization);
+  if (series) {
+    Json::Array population, throughput, cycle;
+    for (std::size_t i = 0; i < r.levels(); ++i) {
+      population.emplace_back(static_cast<unsigned long long>(r.population[i]));
+      throughput.emplace_back(r.throughput[i]);
+      cycle.emplace_back(r.cycle_time[i]);
+    }
+    line["population"] = std::move(population);
+    line["throughput_series"] = std::move(throughput);
+    line["cycle_time_series"] = std::move(cycle);
+  }
+  Json(std::move(line)).dump_to(out);
+  out.push_back('\n');
+}
+
+void append_error(std::string& out, const std::string& message,
+                  const Json& id, std::size_t line_number) {
+  Json::Object line;
+  if (line_number != 0) {
+    line["line"] = static_cast<unsigned long long>(line_number);
+  }
+  if (!id.is_null()) line["id"] = id;
+  line["error"] = message;
+  Json(std::move(line)).dump_to(out);
+  out.push_back('\n');
+}
+
+void append_metrics(std::string& out, const EngineMetrics& m,
+                    const Json* server, const Json& id) {
+  Json::Object latency;
+  latency["p50"] = m.solve_ms_p50;
+  latency["p90"] = m.solve_ms_p90;
+  latency["p99"] = m.solve_ms_p99;
+  latency["max"] = m.solve_ms_max;
+  Json::Object batch;
+  batch["blocks"] = static_cast<unsigned long long>(m.batch_blocks);
+  batch["lanes"] = static_cast<unsigned long long>(m.batch_lanes);
+  batch["occupancy_mean"] = m.batch_occupancy_mean;
+  Json::Array hist;
+  for (std::size_t l = 1; l < m.batch_occupancy.size(); ++l) {
+    hist.emplace_back(static_cast<unsigned long long>(m.batch_occupancy[l]));
+  }
+  batch["occupancy_hist"] = std::move(hist);
+  Json::Object inner;
+  inner["requests"] = static_cast<unsigned long long>(m.requests);
+  inner["cache_hits"] = static_cast<unsigned long long>(m.hits);
+  inner["prefix_hits"] = static_cast<unsigned long long>(m.prefix_hits);
+  inner["coalesced"] = static_cast<unsigned long long>(m.coalesced);
+  inner["misses"] = static_cast<unsigned long long>(m.misses);
+  inner["evictions"] = static_cast<unsigned long long>(m.evictions);
+  inner["entries"] = static_cast<unsigned long long>(m.entries);
+  inner["queue_depth"] = static_cast<unsigned long long>(m.queue_depth);
+  inner["hit_rate"] = m.hit_rate;
+  inner["solve_ms"] = Json(std::move(latency));
+  inner["batch"] = Json(std::move(batch));
+  Json::Object line;
+  if (!id.is_null()) line["id"] = id;
+  line["metrics"] = Json(std::move(inner));
+  if (server != nullptr) line["server"] = *server;
+  Json(std::move(line)).dump_to(out);
+  out.push_back('\n');
+}
+
+}  // namespace mtperf::service

@@ -1,212 +1,83 @@
-// mtperf_serve — line-delimited JSON front end of the scenario engine.
+// mtperf_serve — line-delimited JSON front end of the scenario engine,
+// with two transports over one request-handling core (service/request.hpp):
 //
-// Reads one scenario request per stdin line, evaluates it through
-// service::Engine (sharded LRU cache, prefix reuse, async execution on the
-// shared thread pool), and emits one JSON result line per request — in
-// request order — plus a final engine-metrics line at EOF:
+//   stdio (default): one request per stdin line, one response per stdout
+//   line in request order, a final metrics line at EOF —
 //
-//   $ ./tools/mtperf_serve < requests.jsonl
+//     $ ./tools/mtperf_serve < requests.jsonl
 //
-// Request line:
-//   {"label": "baseline",
-//    "think": 1.0,
-//    "stations": [{"name": "db/cpu", "servers": 16, "visits": 1.0,
-//                  "kind": "queueing"}, ...],
-//    "demands": {"type": "constant", "values": [0.012, 0.03]}
-//             | {"type": "spline", "axis": "concurrency",
-//                "x": [1, 100, 500], "y": [[...station 0...], ...]},
-//    "solver": "mvasd",            // see core::parse_solver_kind
-//    "max_population": 300,
-//    "series": false}              // true adds the full X / R+Z series
+//   socket (--port): a micro-batching TCP server (service/server.hpp).
+//   Announces readiness on stdout as {"listening":{"port":N}} — with
+//   --port 0 the kernel picks the port and N reports it — then serves
+//   until a client sends {"cmd":"shutdown"}.  Requests from all
+//   connections are micro-batched into Engine::evaluate_batch; responses
+//   may return out of request order, matched by the echoed "id".  When
+//   the bounded submission queue or a connection's in-flight cap is full
+//   the server sheds with an immediate {"error":"overloaded"} line —
 //
-// Control line:
-//   {"cmd": "metrics"}            // emit a metrics line immediately
+//     $ ./tools/mtperf_serve --port 7171 --batch-size 64 \
+//         --batch-deadline-us 2000 --queue-capacity 1024
 //
-// Result lines carry top-population throughput / response / cycle time,
-// the bottleneck station, per-station utilization, and the cache verdict
-// (cache_hit / prefix_hit / solve_ms).  Errors become {"error": ...}
-// lines; the process keeps serving.  The final metrics line reports cache
-// hits/misses/evictions, solve-latency percentiles (stats::percentiles),
-// and queue depth — the observability hook CI smoke-checks.
+// See service/request.hpp for the request/response schema (it is the
+// same on both transports).  Result lines carry top-population
+// throughput / response / cycle time, the bottleneck station,
+// per-station utilization, and the cache verdict (cache_hit /
+// prefix_hit / coalesced / solve_ms).  Errors become {"error": ...}
+// lines; the process keeps serving.  Metrics lines report cache
+// hits/misses/evictions, solve-latency percentiles, batch occupancy,
+// and — on the socket transport — admission/shedding counters.
+#include <chrono>
 #include <cstdio>
-#include <cstring>
+#include <cstdlib>
 #include <deque>
+#include <future>
 #include <iostream>
-#include <memory>
 #include <optional>
 #include <string>
 #include <variant>
-#include <vector>
 
-#include "common/error.hpp"
-#include "core/solve.hpp"
-#include "core/sweep.hpp"
-#include "interp/cubic_spline.hpp"
 #include "service/engine.hpp"
 #include "service/json.hpp"
+#include "service/request.hpp"
+#include "service/server.hpp"
 
 namespace {
 
 using namespace mtperf;
 using service::Json;
 
-core::ClosedNetwork parse_network(const Json& request) {
-  std::vector<core::Station> stations;
-  for (const Json& js : request.at("stations").as_array()) {
-    core::Station st;
-    st.name = js.at("name").as_string();
-    st.servers = static_cast<unsigned>(js.number_or("servers", 1.0));
-    st.visits = js.number_or("visits", 1.0);
-    const std::string kind = js.string_or("kind", "queueing");
-    MTPERF_REQUIRE(kind == "queueing" || kind == "delay",
-                   "station kind must be 'queueing' or 'delay'");
-    st.kind = kind == "delay" ? core::StationKind::kDelay
-                              : core::StationKind::kQueueing;
-    stations.push_back(std::move(st));
-  }
-  return core::ClosedNetwork(std::move(stations),
-                             request.number_or("think", 0.0));
-}
-
-core::DemandModel parse_demands(const Json& spec, std::size_t station_count) {
-  const std::string type = spec.string_or("type", "constant");
-  if (type == "constant") {
-    std::vector<double> values;
-    for (const Json& v : spec.at("values").as_array()) {
-      values.push_back(v.as_number());
-    }
-    MTPERF_REQUIRE(values.size() == station_count,
-                   "demands.values must list one demand per station");
-    return core::DemandModel::constant(std::move(values));
-  }
-  MTPERF_REQUIRE(type == "spline", "demands.type must be 'constant' or 'spline'");
-  const std::string axis_name = spec.string_or("axis", "concurrency");
-  MTPERF_REQUIRE(axis_name == "concurrency" || axis_name == "throughput",
-                 "demands.axis must be 'concurrency' or 'throughput'");
-  const auto axis = axis_name == "throughput"
-                        ? core::DemandModel::Axis::kThroughput
-                        : core::DemandModel::Axis::kConcurrency;
-  std::vector<double> xs;
-  for (const Json& v : spec.at("x").as_array()) xs.push_back(v.as_number());
-  const auto& per_station = spec.at("y").as_array();
-  MTPERF_REQUIRE(per_station.size() == station_count,
-                 "demands.y must hold one knot array per station");
-  std::vector<std::shared_ptr<const interp::Interpolator1D>> splines;
-  splines.reserve(per_station.size());
-  for (const Json& ys_json : per_station) {
-    std::vector<double> ys;
-    for (const Json& v : ys_json.as_array()) ys.push_back(v.as_number());
-    MTPERF_REQUIRE(ys.size() == xs.size(),
-                   "each demands.y row needs one value per x knot");
-    splines.push_back(std::make_shared<interp::PiecewiseCubic>(
-        interp::build_cubic_spline(interp::SampleSet(xs, std::move(ys)))));
-  }
-  return core::DemandModel::interpolated(std::move(splines), axis);
-}
-
-core::ScenarioSpec parse_scenario(const Json& request) {
-  core::ClosedNetwork network = parse_network(request);
-  core::DemandModel demands =
-      parse_demands(request.at("demands"), network.size());
-  core::SolveOptions options;
-  options.solver =
-      core::parse_solver_kind(request.string_or("solver", "mvasd"));
-  options.max_population =
-      static_cast<unsigned>(request.at("max_population").as_number());
-  return core::ScenarioSpec{request.string_or("label", ""),
-                            std::move(network), std::move(demands), options};
-}
-
-Json result_to_json(const service::Evaluation& evaluation, bool series) {
-  const core::MvaResult& r = *evaluation.result;
-  const std::size_t top = r.levels() - 1;
-  Json::Object out;
-  out["label"] = evaluation.label;
-  out["cache_hit"] = evaluation.cache_hit;
-  out["prefix_hit"] = evaluation.prefix_hit;
-  out["solve_ms"] = evaluation.solve_ms;
-  out["max_population"] = static_cast<unsigned long long>(r.population[top]);
-  out["throughput"] = r.throughput[top];
-  out["response_time"] = r.response_time[top];
-  out["cycle_time"] = r.cycle_time[top];
-  std::size_t busiest = 0;
-  Json::Object utilization;
-  for (std::size_t k = 0; k < r.stations(); ++k) {
-    utilization[r.station_names[k]] = r.utilization(top, k);
-    if (r.utilization(top, k) > r.utilization(top, busiest)) busiest = k;
-  }
-  out["bottleneck"] = r.station_names[busiest];
-  out["utilization"] = std::move(utilization);
-  if (series) {
-    Json::Array population, throughput, cycle;
-    for (std::size_t i = 0; i < r.levels(); ++i) {
-      population.emplace_back(static_cast<unsigned long long>(r.population[i]));
-      throughput.emplace_back(r.throughput[i]);
-      cycle.emplace_back(r.cycle_time[i]);
-    }
-    out["population"] = std::move(population);
-    out["throughput_series"] = std::move(throughput);
-    out["cycle_time_series"] = std::move(cycle);
-  }
-  return Json(std::move(out));
-}
-
-Json metrics_to_json(const service::EngineMetrics& m) {
-  Json::Object latency;
-  latency["p50"] = m.solve_ms_p50;
-  latency["p90"] = m.solve_ms_p90;
-  latency["p99"] = m.solve_ms_p99;
-  latency["max"] = m.solve_ms_max;
-  Json::Object inner;
-  inner["requests"] = static_cast<unsigned long long>(m.requests);
-  inner["cache_hits"] = static_cast<unsigned long long>(m.hits);
-  inner["prefix_hits"] = static_cast<unsigned long long>(m.prefix_hits);
-  inner["misses"] = static_cast<unsigned long long>(m.misses);
-  inner["evictions"] = static_cast<unsigned long long>(m.evictions);
-  inner["entries"] = static_cast<unsigned long long>(m.entries);
-  inner["queue_depth"] = static_cast<unsigned long long>(m.queue_depth);
-  inner["hit_rate"] = m.hit_rate;
-  inner["solve_ms"] = Json(std::move(latency));
-  Json::Object out;
-  out["metrics"] = Json(std::move(inner));
-  return Json(std::move(out));
-}
-
-Json error_line(std::size_t line_number, const std::string& message) {
-  Json::Object out;
-  out["line"] = static_cast<unsigned long long>(line_number);
-  out["error"] = message;
-  return Json(std::move(out));
-}
-
-/// A pending response: either an in-flight evaluation or an immediately
-/// answerable line (parse error / metrics request), kept in input order.
+/// A pending stdio response: an in-flight evaluation, or a line answered
+/// at parse time (error / metrics snapshot) held until its turn.
 struct Pending {
-  std::variant<std::future<service::Evaluation>, Json> payload;
+  std::variant<std::future<service::Evaluation>, std::string> payload;
   bool series = false;
+  Json id;
 };
 
-void emit(const Json& line) {
-  std::fputs(line.dump().c_str(), stdout);
-  std::fputc('\n', stdout);
+/// Write and flush one buffered response line (already '\n'-terminated).
+void emit(const std::string& out) {
+  std::fwrite(out.data(), 1, out.size(), stdout);
   std::fflush(stdout);
 }
 
-void drain_one(Pending& pending) {
-  if (auto* ready = std::get_if<Json>(&pending.payload)) {
+void drain_one(Pending& pending, std::string& out) {
+  out.clear();
+  if (auto* ready = std::get_if<std::string>(&pending.payload)) {
     emit(*ready);
     return;
   }
   auto& future = std::get<std::future<service::Evaluation>>(pending.payload);
   try {
-    emit(result_to_json(future.get(), pending.series));
+    service::append_evaluation(out, future.get(), pending.series, pending.id);
   } catch (const std::exception& e) {
-    emit(error_line(0, e.what()));
+    out.clear();
+    service::append_error(out, e.what(), pending.id);
   }
+  emit(out);
 }
 
 /// Emit every response whose turn has come and whose future is ready.
-void drain_ready(std::deque<Pending>& queue) {
+void drain_ready(std::deque<Pending>& queue, std::string& out) {
   while (!queue.empty()) {
     if (auto* future = std::get_if<std::future<service::Evaluation>>(
             &queue.front().payload)) {
@@ -215,47 +86,101 @@ void drain_ready(std::deque<Pending>& queue) {
         return;
       }
     }
-    drain_one(queue.front());
+    drain_one(queue.front(), out);
     queue.pop_front();
   }
 }
 
-int serve(service::Engine& engine) {
+/// The stdio transport: async submission with in-order responses.  The
+/// line and response buffers are reused across requests — the per-line
+/// work is one parse_request and one append into a warm buffer.
+int serve_stdio(service::Engine& engine) {
   std::deque<Pending> queue;
   std::string line;
+  std::string out;
   std::size_t line_number = 0;
   while (std::getline(std::cin, line)) {
     ++line_number;
     if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
     Pending pending;
     try {
-      const Json request = Json::parse(line);
-      if (request.string_or("cmd", "") == "metrics") {
-        // Snapshot once the preceding requests have answered, so the
-        // numbers reflect everything before this line.
-        for (auto& p : queue) drain_one(p);
-        queue.clear();
-        pending.payload = metrics_to_json(engine.metrics());
-      } else {
-        pending.series =
-            request.contains("series") && request.at("series").as_bool();
-        pending.payload = engine.submit(parse_scenario(request));
+      service::ParsedRequest request = service::parse_request(line);
+      pending.id = std::move(request.id);
+      switch (request.kind) {
+        case service::RequestKind::kMetrics: {
+          // Snapshot once the preceding requests have answered, so the
+          // numbers reflect everything before this line.
+          for (auto& p : queue) drain_one(p, out);
+          queue.clear();
+          std::string ready;
+          service::append_metrics(ready, engine.metrics(), nullptr,
+                                  pending.id);
+          pending.payload = std::move(ready);
+          break;
+        }
+        case service::RequestKind::kShutdown: {
+          // stdio has no connections to close; acknowledge and keep
+          // reading (EOF is the stdio shutdown signal).
+          std::string ready;
+          Json::Object ack;
+          if (!pending.id.is_null()) ack["id"] = pending.id;
+          ack["shutdown"] = true;
+          Json(std::move(ack)).dump_to(ready);
+          ready.push_back('\n');
+          pending.payload = std::move(ready);
+          break;
+        }
+        case service::RequestKind::kScenario: {
+          pending.series = request.series;
+          pending.payload = engine.submit(std::move(request.spec));
+          break;
+        }
       }
     } catch (const std::exception& e) {
-      pending.payload = error_line(line_number, e.what());
+      std::string ready;
+      service::append_error(ready, e.what(), service::recover_request_id(line),
+                            line_number);
+      pending.payload = std::move(ready);
     }
     queue.push_back(std::move(pending));
-    drain_ready(queue);
+    drain_ready(queue, out);
   }
-  for (auto& pending : queue) drain_one(pending);
-  emit(metrics_to_json(engine.metrics()));
+  for (auto& pending : queue) drain_one(pending, out);
+  out.clear();
+  service::append_metrics(out, engine.metrics());
+  emit(out);
+  return 0;
+}
+
+/// The socket transport: announce the bound port, serve until a client
+/// asks for shutdown, then report final metrics on stdout.
+int serve_socket(service::ServerOptions options) {
+  service::Server server(std::move(options));
+  server.start();
+  {
+    Json::Object inner;
+    inner["port"] = static_cast<unsigned long long>(server.port());
+    Json::Object ready;
+    ready["listening"] = Json(std::move(inner));
+    std::string out;
+    Json(std::move(ready)).dump_to(out);
+    out.push_back('\n');
+    emit(out);
+  }
+  server.wait();
+  server.stop();
+  const Json server_json = server.server_metrics_json();
+  std::string out;
+  service::append_metrics(out, server.engine().metrics(), &server_json);
+  emit(out);
   return 0;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  service::EngineOptions options;
+  service::ServerOptions options;
+  std::optional<std::uint16_t> port;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> double {
@@ -266,17 +191,37 @@ int main(int argc, char** argv) {
       return std::atof(argv[++i]);
     };
     if (arg == "--threads") {
-      options.threads = static_cast<std::size_t>(next());
+      options.engine.threads = static_cast<std::size_t>(next());
     } else if (arg == "--cache-capacity") {
-      options.cache_capacity = static_cast<std::size_t>(next());
+      options.engine.cache_capacity = static_cast<std::size_t>(next());
     } else if (arg == "--shards") {
-      options.shards = static_cast<std::size_t>(next());
+      options.engine.shards = static_cast<std::size_t>(next());
+    } else if (arg == "--port") {
+      port = static_cast<std::uint16_t>(next());
+    } else if (arg == "--stdio") {
+      port.reset();
+    } else if (arg == "--batch-size") {
+      options.max_batch = static_cast<std::size_t>(next());
+    } else if (arg == "--batch-deadline-us") {
+      options.batch_deadline =
+          std::chrono::microseconds(static_cast<long>(next()));
+    } else if (arg == "--queue-capacity") {
+      options.queue_capacity = static_cast<std::size_t>(next());
+    } else if (arg == "--max-inflight") {
+      options.max_inflight_per_conn = static_cast<std::size_t>(next());
+    } else if (arg == "--batchers") {
+      options.batchers = static_cast<std::size_t>(next());
     } else if (arg == "--help" || arg == "-h") {
-      std::fprintf(stderr,
-                   "usage: mtperf_serve [--threads N] [--cache-capacity N] "
-                   "[--shards N] < requests.jsonl\n"
-                   "One JSON scenario request per line; see the header "
-                   "comment of tools/mtperf_serve.cpp for the schema.\n");
+      std::fprintf(
+          stderr,
+          "usage: mtperf_serve [--stdio] [--threads N] [--cache-capacity N]"
+          " [--shards N] < requests.jsonl\n"
+          "       mtperf_serve --port P [--batch-size N]"
+          " [--batch-deadline-us U] [--queue-capacity N] [--max-inflight N]"
+          " [--batchers N]\n"
+          "One JSON scenario request per line; see service/request.hpp for"
+          " the schema.  --port 0 binds a kernel-assigned port, announced"
+          " on stdout as {\"listening\":{\"port\":N}}.\n");
       return 0;
     } else {
       std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
@@ -284,8 +229,12 @@ int main(int argc, char** argv) {
     }
   }
   try {
-    service::Engine engine(options);
-    return serve(engine);
+    if (port) {
+      options.port = *port;
+      return serve_socket(std::move(options));
+    }
+    service::Engine engine(options.engine);
+    return serve_stdio(engine);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
