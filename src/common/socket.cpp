@@ -6,11 +6,17 @@
 
 #include <arpa/inet.h>
 #include <cerrno>
+#include <csignal>
 #include <cstring>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
+
+// macOS has no MSG_NOSIGNAL; ignore_sigpipe() covers the EPIPE path there.
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
 
 namespace mtperf {
 
@@ -124,6 +130,16 @@ Socket connect_tcp(std::uint16_t port, const std::string& host) {
   return sock;
 }
 
+void ignore_sigpipe() noexcept {
+  struct sigaction current {};
+  if (::sigaction(SIGPIPE, nullptr, &current) != 0) return;
+  if (current.sa_handler != SIG_DFL) return;
+  struct sigaction ignore {};
+  ignore.sa_handler = SIG_IGN;
+  ::sigemptyset(&ignore.sa_mask);
+  ::sigaction(SIGPIPE, &ignore, nullptr);
+}
+
 }  // namespace mtperf
 
 #else  // non-POSIX stubs: link, but throw on use.
@@ -150,6 +166,7 @@ ListenSocket ListenSocket::listen_tcp(std::uint16_t, int) { unsupported(); }
 std::uint16_t ListenSocket::port() const { unsupported(); }
 Socket ListenSocket::accept_conn() noexcept { return Socket(); }
 Socket connect_tcp(std::uint16_t, const std::string&) { unsupported(); }
+void ignore_sigpipe() noexcept {}
 
 }  // namespace mtperf
 

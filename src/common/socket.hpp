@@ -78,6 +78,15 @@ class ListenSocket {
 /// mtperf::Error when the connection fails.
 Socket connect_tcp(std::uint16_t port, const std::string& host = "127.0.0.1");
 
+/// Process-wide: ignore SIGPIPE so a write to a hung-up peer — a client
+/// socket that disconnected mid-response, or the stdio transport's stdout
+/// pipe — fails with EPIPE instead of killing the process.  MSG_NOSIGNAL
+/// already covers send_all on Linux, but not every platform has the flag
+/// and not every write goes through a socket.  Only installs SIG_IGN when
+/// the disposition is still SIG_DFL, so an application handler is never
+/// overridden.  Idempotent; no-op on non-POSIX platforms.
+void ignore_sigpipe() noexcept;
+
 /// Buffered '\n'-delimited reader over a Socket, reusing one internal
 /// buffer across lines (no per-line allocation once warm).  Strips the
 /// trailing '\n' and an optional '\r'.

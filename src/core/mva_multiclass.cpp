@@ -36,12 +36,24 @@ void validate(const ClosedNetwork& network,
 /// Mixed-radix indexing of population vectors n, 0 <= n_c <= N_c.
 class PopulationIndex {
  public:
+  /// Upper bound on the population-vector space.  Enforced during stride
+  /// construction: the running product must be checked against the cap
+  /// *before* each multiply — large populations (e.g. two classes of 2^32)
+  /// can wrap std::size_t, and a wrapped total would pass the size guard
+  /// and index the Q table out of bounds.
+  static constexpr std::size_t kMaxSpace = std::size_t{1} << 28;
+
   explicit PopulationIndex(const std::vector<CustomerClass>& classes) {
     stride_.resize(classes.size());
     std::size_t acc = 1;
     for (std::size_t c = 0; c < classes.size(); ++c) {
       stride_[c] = acc;
-      acc *= classes[c].population + 1;
+      const std::size_t radix =
+          static_cast<std::size_t>(classes[c].population) + 1;
+      MTPERF_REQUIRE(acc <= kMaxSpace / radix,
+                     "population-vector space too large for exact "
+                     "multi-class MVA; use schweitzer_mva_multiclass");
+      acc *= radix;
     }
     total_ = acc;
   }

@@ -1,0 +1,157 @@
+#include "graph/compile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "common/error.hpp"
+#include "interp/piecewise_cubic.hpp"
+
+namespace mtperf::graph {
+
+namespace {
+
+/// Per-visit demand of one service at concurrency n, clamped at zero the
+/// way DemandModel::at clamps (demands are times).
+double demand_at(const Service& s, double n) {
+  if (!s.demand_curve) return s.demand;
+  return std::max(0.0, s.demand_curve->value(n));
+}
+
+/// Wrap a constant demand as a single-knot pegged cubic so mixed graphs
+/// can share one interpolated DemandModel (DemandGrid then tabulates every
+/// station through the same PiecewiseCubic fast path).
+std::shared_ptr<const interp::Interpolator1D> constant_curve(double demand) {
+  return std::make_shared<interp::PiecewiseCubic>(
+      std::vector<double>{1.0}, std::vector<double>{demand},
+      std::vector<double>{0.0}, std::vector<double>{0.0},
+      std::vector<double>{0.0}, interp::Extrapolation::kPegged,
+      "constant");
+}
+
+/// The station layout shared by the analytic and simulator lowerings: how
+/// many stations service j expands to, and each station's (name, visits,
+/// servers) triple.
+struct StationPlan {
+  std::string name;
+  double visits = 0.0;
+  unsigned servers = 1;
+  core::StationKind kind = core::StationKind::kQueueing;
+  std::size_t service = 0;  ///< index into graph.services()
+};
+
+std::vector<StationPlan> plan_stations(const ServiceGraph& graph,
+                                       const std::vector<double>& visits) {
+  std::vector<StationPlan> plan;
+  plan.reserve(graph.size());
+  for (std::size_t j = 0; j < graph.size(); ++j) {
+    const Service& s = graph.service(j);
+    if (s.kind == core::StationKind::kDelay || s.replicas == 1 ||
+        s.balancer == BalancerPolicy::kLeastConnections) {
+      // Pure-delay hops never queue, so replication is moot; an ideal
+      // least-connections balancer makes R replicas of C servers behave
+      // as one R*C-server station.
+      const unsigned servers = s.kind == core::StationKind::kDelay
+                                   ? s.servers
+                                   : s.servers * s.replicas;
+      plan.push_back({s.name, visits[j], servers, s.kind, j});
+    } else {
+      // Round-robin: a blind equal split — each replica is its own
+      // station seeing 1/R of the service's visit mass.
+      const double per_replica = visits[j] / s.replicas;
+      for (unsigned r = 0; r < s.replicas; ++r) {
+        plan.push_back({s.name + "#" + std::to_string(r), per_replica,
+                        s.servers, s.kind, j});
+      }
+    }
+  }
+  return plan;
+}
+
+}  // namespace
+
+CompiledNetwork compile(const ServiceGraph& graph) {
+  std::vector<double> visits = solve_visit_counts(graph);
+  const std::vector<StationPlan> plan = plan_stations(graph, visits);
+
+  std::vector<core::Station> stations;
+  std::vector<std::size_t> station_service;
+  stations.reserve(plan.size());
+  station_service.reserve(plan.size());
+  for (const StationPlan& p : plan) {
+    stations.push_back({p.name, p.visits, p.servers, p.kind});
+    station_service.push_back(p.service);
+  }
+
+  const bool varying =
+      std::any_of(graph.services().begin(), graph.services().end(),
+                  [](const Service& s) { return s.demand_curve != nullptr; });
+  core::DemandModel demands = core::DemandModel::constant({0.0});
+  if (!varying) {
+    std::vector<double> constants;
+    constants.reserve(plan.size());
+    for (const StationPlan& p : plan) {
+      constants.push_back(graph.service(p.service).demand);
+    }
+    demands = core::DemandModel::constant(std::move(constants));
+  } else {
+    std::vector<std::shared_ptr<const interp::Interpolator1D>> curves;
+    curves.reserve(plan.size());
+    // Constant services get one shared wrapper each, built lazily so
+    // round-robin replicas of the same service share a single cubic.
+    std::vector<std::shared_ptr<const interp::Interpolator1D>> wrapped(
+        graph.size());
+    for (const StationPlan& p : plan) {
+      const Service& s = graph.service(p.service);
+      if (s.demand_curve) {
+        curves.push_back(s.demand_curve);
+      } else {
+        if (!wrapped[p.service]) wrapped[p.service] = constant_curve(s.demand);
+        curves.push_back(wrapped[p.service]);
+      }
+    }
+    demands = core::DemandModel::interpolated(
+        std::move(curves), core::DemandModel::Axis::kConcurrency);
+  }
+
+  return CompiledNetwork{
+      core::ClosedNetwork(std::move(stations), graph.think_time()),
+      std::move(demands), std::move(visits), std::move(station_service)};
+}
+
+core::ScenarioSpec to_scenario(const ServiceGraph& graph, std::string label,
+                               const core::SolveOptions& options) {
+  CompiledNetwork compiled = compile(graph);
+  return core::ScenarioSpec{std::move(label), std::move(compiled.network),
+                            std::move(compiled.demands), options};
+}
+
+CompiledSim compile_sim(const ServiceGraph& graph, unsigned concurrency) {
+  MTPERF_REQUIRE(concurrency >= 1, "compile_sim needs at least one customer");
+  const std::vector<double> visits = solve_visit_counts(graph);
+  const std::vector<StationPlan> plan = plan_stations(graph, visits);
+
+  CompiledSim out;
+  out.stations.reserve(plan.size());
+  out.workflow.reserve(plan.size());
+  for (std::size_t k = 0; k < plan.size(); ++k) {
+    const StationPlan& p = plan[k];
+    // The simulator has no delay kind; give pure-latency hops one server
+    // per customer so no job ever waits there.
+    const unsigned servers =
+        p.kind == core::StationKind::kDelay ? concurrency : p.servers;
+    out.stations.push_back({p.name, servers, sim::Discipline::kFcfs});
+    // Fold V_k visits of mean S into one visit of mean V_k * S — the same
+    // demand, one event per transaction instead of V_k.
+    const double mean =
+        p.visits * demand_at(graph.service(p.service),
+                             static_cast<double>(concurrency));
+    if (mean > 0.0) {
+      out.workflow.push_back({k, mean, sim::ServiceDistribution{}});
+    }
+  }
+  return out;
+}
+
+}  // namespace mtperf::graph

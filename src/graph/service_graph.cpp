@@ -1,0 +1,62 @@
+#include "graph/service_graph.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mtperf::graph {
+
+ServiceGraph::ServiceGraph(std::vector<Service> services, std::string entry,
+                           double think_time)
+    : services_(std::move(services)), think_time_(think_time) {
+  MTPERF_REQUIRE(!services_.empty(), "service graph needs at least one service");
+  MTPERF_REQUIRE(std::isfinite(think_time_) && think_time_ >= 0.0,
+                 "think time must be finite and non-negative");
+  index_.reserve(services_.size());
+  for (std::size_t i = 0; i < services_.size(); ++i) {
+    const Service& s = services_[i];
+    MTPERF_REQUIRE(!s.name.empty(), "services need non-empty names");
+    MTPERF_REQUIRE(index_.emplace(s.name, i).second,
+                   "duplicate service name: '" + s.name + "'");
+    MTPERF_REQUIRE(std::isfinite(s.demand) && s.demand >= 0.0,
+                   "service '" + s.name +
+                       "': demand must be finite and non-negative");
+    MTPERF_REQUIRE(s.servers >= 1,
+                   "service '" + s.name + "': needs at least one server");
+    MTPERF_REQUIRE(s.replicas >= 1,
+                   "service '" + s.name + "': needs at least one replica");
+    MTPERF_REQUIRE(s.cache_hit_rate >= 0.0 && s.cache_hit_rate <= 1.0,
+                   "service '" + s.name + "': cache_hit_rate must be in [0,1]");
+    for (const Call& c : s.calls) {
+      MTPERF_REQUIRE(std::isfinite(c.probability) && c.probability >= 0.0 &&
+                         c.probability <= 1.0,
+                     "service '" + s.name + "' -> '" + c.target +
+                         "': call probability must be in [0,1]");
+      MTPERF_REQUIRE(std::isfinite(c.calls_per_visit) && c.calls_per_visit >= 0.0,
+                     "service '" + s.name + "' -> '" + c.target +
+                         "': calls_per_visit must be finite and non-negative");
+      MTPERF_REQUIRE(c.target != s.name,
+                     "service '" + s.name + "' calls itself (cycle)");
+    }
+  }
+  // Edge targets checked in a second pass so declaration order is free.
+  for (const Service& s : services_) {
+    for (const Call& c : s.calls) {
+      MTPERF_REQUIRE(index_.count(c.target) > 0,
+                     "service '" + s.name + "' calls unknown service '" +
+                         c.target + "'");
+    }
+  }
+  const auto it = index_.find(entry);
+  MTPERF_REQUIRE(it != index_.end(), "unknown entry service: '" + entry + "'");
+  entry_ = it->second;
+}
+
+std::size_t ServiceGraph::index_of(const std::string& name) const {
+  const auto it = index_.find(name);
+  MTPERF_REQUIRE(it != index_.end(), "unknown service: '" + name + "'");
+  return it->second;
+}
+
+}  // namespace mtperf::graph

@@ -1,0 +1,104 @@
+// Declarative service-graph description of a distributed application —
+// the scenario-diversity layer above the fixed closed-network model.
+//
+// The paper pins its network to the lab testbed's 3-server / 4-station
+// shape; real capacity studies describe *meshes*: services calling services
+// with branch probabilities (mubench's workmodel.json), per-call demands
+// that vary with concurrency (the paper's Section 7 effect, per service),
+// replicated stations behind a load balancer, and cache tiers whose hit
+// rate shields everything downstream.  This module captures that
+// description as data; graph/visit_counts.hpp solves the visit-count
+// equations and graph/compile.hpp lowers the whole thing onto the existing
+// product-form solvers (core::ClosedNetwork + DemandModel) and the
+// simulator — so every solver, the batch kernel, and the fingerprint cache
+// work on meshes unchanged.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/network.hpp"
+#include "interp/interpolator.hpp"
+
+namespace mtperf::graph {
+
+/// How a replicated service's load is spread across its replicas.
+enum class BalancerPolicy {
+  /// Join-the-shortest-queue-style balancing: replicas pool into one
+  /// multiserver station with replicas * servers servers.  (Optimistic —
+  /// an ideal balancer never leaves a replica idle while another queues.)
+  kLeastConnections,
+  /// Blind equal split: each replica becomes its own station receiving
+  /// visits / replicas.  (Pessimistic — one replica can queue while
+  /// another sits idle, which is exactly what round-robin risks.)
+  kRoundRobin,
+};
+
+/// One outgoing call edge: per visit to the owning service, the target is
+/// invoked `calls_per_visit` times with probability `probability`, so the
+/// expected visit amplification along the edge is probability *
+/// calls_per_visit.  Edges are independent (a service may call several
+/// targets per visit); exclusive branching is expressed by probabilities
+/// that sum to 1 across edges.
+struct Call {
+  std::string target;
+  double probability = 1.0;
+  double calls_per_visit = 1.0;
+};
+
+/// One service of the mesh and the resource it runs on.
+struct Service {
+  std::string name;
+  /// Per-call service demand in seconds (constant), used when
+  /// `demand_curve` is null.
+  double demand = 0.0;
+  /// Concurrency-varying per-call demand: seconds as a function of the
+  /// system concurrency level n (the MVASD axis).  Overrides `demand`.
+  std::shared_ptr<const interp::Interpolator1D> demand_curve;
+  /// Parallel servers per replica (CPU cores of one pod).
+  unsigned servers = 1;
+  /// Identical replicas behind the balancer.
+  unsigned replicas = 1;
+  BalancerPolicy balancer = BalancerPolicy::kLeastConnections;
+  /// kDelay models pure-latency hops (CDN, external API) — no queueing.
+  core::StationKind kind = core::StationKind::kQueueing;
+  /// Cache tier: fraction of visits answered locally, in [0, 1].  A hit
+  /// still costs this service's own demand but skips every outgoing call,
+  /// so downstream visit counts scale by (1 - cache_hit_rate).
+  double cache_hit_rate = 0.0;
+  std::vector<Call> calls;
+};
+
+/// A validated service mesh: services, one entry service receiving the
+/// terminal's requests, and the terminal think time Z.  Construction
+/// validates everything structural (unique known names, probabilities and
+/// hit rates in range, finite non-negative demands); the *topological*
+/// requirement — the call graph must be acyclic — is enforced by
+/// solve_visit_counts (graph/visit_counts.hpp), which every compilation
+/// runs through.
+class ServiceGraph {
+ public:
+  ServiceGraph(std::vector<Service> services, std::string entry,
+               double think_time);
+
+  const std::vector<Service>& services() const noexcept { return services_; }
+  const Service& service(std::size_t i) const { return services_.at(i); }
+  std::size_t size() const noexcept { return services_.size(); }
+  std::size_t index_of(const std::string& name) const;
+  std::size_t entry_index() const noexcept { return entry_; }
+  const std::string& entry() const noexcept {
+    return services_[entry_].name;
+  }
+  double think_time() const noexcept { return think_time_; }
+
+ private:
+  std::vector<Service> services_;
+  std::unordered_map<std::string, std::size_t> index_;
+  std::size_t entry_ = 0;
+  double think_time_ = 0.0;
+};
+
+}  // namespace mtperf::graph

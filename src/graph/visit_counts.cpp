@@ -1,0 +1,90 @@
+#include "graph/visit_counts.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace mtperf::graph {
+
+namespace {
+
+/// Format one concrete cycle among the nodes Kahn's algorithm could not
+/// retire, so the error tells the user which services to untangle.
+std::string describe_cycle(const ServiceGraph& graph,
+                           const std::vector<bool>& retired) {
+  const std::size_t n = graph.size();
+  std::size_t start = 0;
+  while (start < n && retired[start]) ++start;
+  // Walk unreported-node edges until a node repeats; every step stays in
+  // the unretired subgraph, whose nodes all have an unretired successor,
+  // so the walk must loop within n steps.
+  std::vector<std::size_t> path;
+  std::vector<std::size_t> seen_at(n, n);
+  std::size_t at = start;
+  while (seen_at[at] == n) {
+    seen_at[at] = path.size();
+    path.push_back(at);
+    for (const Call& c : graph.service(at).calls) {
+      const std::size_t t = graph.index_of(c.target);
+      if (!retired[t]) {
+        at = t;
+        break;
+      }
+    }
+  }
+  std::string out;
+  for (std::size_t i = seen_at[at]; i < path.size(); ++i) {
+    out += graph.service(path[i]).name;
+    out += " -> ";
+  }
+  out += graph.service(at).name;
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> solve_visit_counts(const ServiceGraph& graph) {
+  const std::size_t n = graph.size();
+  std::vector<std::size_t> indegree(n, 0);
+  for (const Service& s : graph.services()) {
+    for (const Call& c : s.calls) ++indegree[graph.index_of(c.target)];
+  }
+
+  std::vector<double> visits(n, 0.0);
+  visits[graph.entry_index()] = 1.0;
+
+  // Kahn's algorithm: retire zero-indegree services in waves, pushing each
+  // retired service's visit mass along its outgoing edges.  Because a
+  // service is only retired once every caller has been, its visit count is
+  // final when its mass is propagated — one sweep solves the triangular
+  // traffic equations exactly.
+  std::vector<std::size_t> ready;
+  ready.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (indegree[i] == 0) ready.push_back(i);
+  }
+  std::vector<bool> retired(n, false);
+  std::size_t retired_count = 0;
+  while (!ready.empty()) {
+    const std::size_t i = ready.back();
+    ready.pop_back();
+    retired[i] = true;
+    ++retired_count;
+    const Service& s = graph.service(i);
+    const double mass = visits[i] * (1.0 - s.cache_hit_rate);
+    for (const Call& c : s.calls) {
+      const std::size_t t = graph.index_of(c.target);
+      visits[t] += mass * c.probability * c.calls_per_visit;
+      if (--indegree[t] == 0) ready.push_back(t);
+    }
+  }
+  if (retired_count != n) {
+    throw invalid_argument_error(
+        "service call graph has a cycle: " + describe_cycle(graph, retired) +
+        " (fold retry/feedback loops into calls_per_visit instead)");
+  }
+  return visits;
+}
+
+}  // namespace mtperf::graph

@@ -1,0 +1,31 @@
+// The visit-count equations of a service graph.
+//
+// In a closed network every terminal-issued request enters at the entry
+// service; the mean number of times request processing touches service j
+// is the fixed point of the traffic equations
+//
+//   V_entry = 1 + sum_i V_i * f_i * p_{i,entry} * c_{i,entry}
+//   V_j     =     sum_i V_i * f_i * p_{i,j}     * c_{i,j}
+//
+// where p is the branch probability, c the mean calls per visit, and
+// f_i = 1 - cache_hit_rate_i the fraction of visits to i that fall
+// through to its callees.  We require the call graph to be a DAG —
+// request/reply meshes are trees or DAGs in practice, and acyclicity
+// makes the system triangular: one topological sweep solves it exactly.
+// Cyclic graphs are rejected with an error naming the services on a
+// cycle (retry loops should be folded into calls_per_visit instead).
+#pragma once
+
+#include <vector>
+
+#include "graph/service_graph.hpp"
+
+namespace mtperf::graph {
+
+/// Visit count per service (indexed like graph.services()); the entry
+/// service receives the terminal's 1 visit plus whatever internal edges
+/// feed back into it.  Services unreachable from the entry get 0.
+/// Throws mtperf::invalid_argument_error when the call graph has a cycle.
+std::vector<double> solve_visit_counts(const ServiceGraph& graph);
+
+}  // namespace mtperf::graph

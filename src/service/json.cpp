@@ -96,7 +96,13 @@ class Parser {
       std::string key = parse_string();
       skip_whitespace();
       require(consume(':'), "expected ':' after object key");
-      object.insert_or_assign(std::move(key), parse_value());
+      Json value = parse_value();
+      // Reject duplicates instead of last-wins: a request carrying
+      // {"think":1,"think":2} is a client bug, and which value silently
+      // won depended on map insertion order.
+      if (!object.emplace(std::move(key), std::move(value)).second) {
+        fail("duplicate object key");
+      }
       skip_whitespace();
       if (consume(',')) continue;
       require(consume('}'), "expected ',' or '}' in object");

@@ -6,7 +6,8 @@
 // (no surrogate pairs) — ample for the protocol's ASCII field names.
 // Parse errors throw mtperf::invalid_argument_error with the offset;
 // nesting deeper than kMaxParseDepth is rejected the same way, so hostile
-// input cannot drive the recursive parser off the stack.
+// input cannot drive the recursive parser off the stack.  Duplicate object
+// keys are parse errors too — last-wins would silently mask client bugs.
 #pragma once
 
 #include <cstddef>

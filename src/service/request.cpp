@@ -9,6 +9,7 @@
 #include "core/solve.hpp"
 #include "interp/cubic_spline.hpp"
 #include "interp/piecewise_cubic.hpp"
+#include "service/workmodel.hpp"
 
 namespace mtperf::service {
 
@@ -118,7 +119,15 @@ ParsedRequest parse_request(std::string_view line) {
     out.kind = RequestKind::kShutdown;
     return out;
   }
-  MTPERF_REQUIRE(cmd.empty(), "unknown cmd (expected 'metrics' or 'shutdown')");
+  if (cmd == "workmodel") {
+    out.kind = RequestKind::kScenario;
+    out.series = request.contains("series") && request.at("series").as_bool();
+    out.spec = workmodel_scenario(request);
+    return out;
+  }
+  MTPERF_REQUIRE(
+      cmd.empty(),
+      "unknown cmd (expected 'workmodel', 'metrics', or 'shutdown')");
   out.kind = RequestKind::kScenario;
   out.series = request.contains("series") && request.at("series").as_bool();
   out.spec = parse_scenario(request);

@@ -13,6 +13,12 @@
 //                           "x": [...], "y": [[...], ...]},
 //               "solver": "mvasd", "max_population": 300,
 //               "series": false, "id": 17}
+//   workmodel: {"cmd": "workmodel", "entry": "gateway", "think": 2.0,
+//               "services": {"gateway": {"demand": 0.004, "calls": [...]},
+//                            ...},
+//               "solver": "mvasd", "max_population": 200, "id": 18}
+//              (service-graph schema — see service/workmodel.hpp; compiled
+//              to the same ScenarioSpec as a flat request)
 //   control:   {"cmd": "metrics"} | {"cmd": "shutdown"}
 //   response:  {"label": ..., "id": 17, "throughput": ..., ...}
 //            | {"error": "...", "id": 17}

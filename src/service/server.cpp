@@ -18,6 +18,10 @@ struct Server::Connection {
   Socket sock;
   std::mutex write_mutex;
   std::atomic<std::size_t> in_flight{0};
+  /// Set on the first failed send: the peer hung up mid-response.  Later
+  /// responses for this connection are dropped instead of written into a
+  /// dead socket.
+  std::atomic<bool> failed{false};
 };
 
 /// One admitted request waiting in the submission queue.
@@ -42,6 +46,9 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   MTPERF_REQUIRE(!started_.exchange(true), "server already started");
+  // A client that disconnects while a batcher is mid-flush must cost one
+  // dropped connection, not the process.
+  ignore_sigpipe();
   listener_ = ListenSocket::listen_tcp(options_.port);
   const std::size_t batchers = std::max<std::size_t>(1, options_.batchers);
   batcher_threads_.reserve(batchers);
@@ -109,9 +116,17 @@ void Server::accept_loop() {
 void Server::respond(Connection& conn, std::string_view data,
                      std::uint64_t lines) {
   std::lock_guard<std::mutex> lock(conn.write_mutex);
+  if (conn.failed.load(std::memory_order_relaxed)) return;
   if (conn.sock.send_all(data)) {
     responses_.fetch_add(lines, std::memory_order_relaxed);
+    return;
   }
+  // Peer hung up mid-response: stop writing and wake the connection's
+  // reader thread (blocked in recv) so the drop completes cleanly while
+  // the rest of the batch keeps flushing to live connections.
+  conn.failed.store(true, std::memory_order_relaxed);
+  conn.sock.shutdown();
+  send_failures_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Server::reader_loop(std::shared_ptr<Connection> conn) {
@@ -267,6 +282,7 @@ ServerMetrics Server::metrics() const {
   m.rejected_inflight = rejected_inflight_.load(std::memory_order_relaxed);
   m.parse_errors = parse_errors_.load(std::memory_order_relaxed);
   m.responses = responses_.load(std::memory_order_relaxed);
+  m.send_failures = send_failures_.load(std::memory_order_relaxed);
   m.batches = batches_.load(std::memory_order_relaxed);
   m.flush_by_size = flush_by_size_.load(std::memory_order_relaxed);
   m.flush_by_deadline = flush_by_deadline_.load(std::memory_order_relaxed);
@@ -286,6 +302,7 @@ Json Server::server_metrics_json() const {
       static_cast<unsigned long long>(m.rejected_inflight);
   server["parse_errors"] = static_cast<unsigned long long>(m.parse_errors);
   server["responses"] = static_cast<unsigned long long>(m.responses);
+  server["send_failures"] = static_cast<unsigned long long>(m.send_failures);
   server["batches"] = static_cast<unsigned long long>(m.batches);
   server["flush_by_size"] = static_cast<unsigned long long>(m.flush_by_size);
   server["flush_by_deadline"] =

@@ -69,6 +69,7 @@ struct ServerMetrics {
   std::uint64_t rejected_inflight = 0;    ///< shed: per-conn cap
   std::uint64_t parse_errors = 0;
   std::uint64_t responses = 0;  ///< result lines written
+  std::uint64_t send_failures = 0;  ///< writes into a hung-up connection
   std::uint64_t batches = 0;    ///< evaluate_batch flushes
   std::uint64_t flush_by_size = 0;
   std::uint64_t flush_by_deadline = 0;
@@ -137,6 +138,7 @@ class Server final {
   std::atomic<std::uint64_t> rejected_inflight_{0};
   std::atomic<std::uint64_t> parse_errors_{0};
   std::atomic<std::uint64_t> responses_{0};
+  std::atomic<std::uint64_t> send_failures_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> flush_by_size_{0};
   std::atomic<std::uint64_t> flush_by_deadline_{0};

@@ -1,0 +1,104 @@
+#include "service/workmodel.hpp"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/solve.hpp"
+#include "graph/compile.hpp"
+#include "interp/cubic_spline.hpp"
+#include "interp/piecewise_cubic.hpp"
+#include "service/request.hpp"
+
+namespace mtperf::service {
+
+namespace {
+
+/// "demand": 0.004 — constant seconds — or {"x": [...], "y": [...]} —
+/// concurrency-varying spline knots.  Fills exactly one of the service's
+/// demand fields.
+void parse_demand(const Json& spec, graph::Service& service) {
+  if (spec.is_number()) {
+    service.demand = spec.as_number();
+    return;
+  }
+  MTPERF_REQUIRE(spec.is_object(),
+                 "service '" + service.name +
+                     "': demand must be a number or an {x, y} spline object");
+  std::vector<double> xs, ys;
+  for (const Json& v : spec.at("x").as_array()) xs.push_back(v.as_number());
+  for (const Json& v : spec.at("y").as_array()) ys.push_back(v.as_number());
+  MTPERF_REQUIRE(xs.size() == ys.size(),
+                 "service '" + service.name +
+                     "': demand.x and demand.y need the same length");
+  service.demand_curve = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(interp::SampleSet(std::move(xs),
+                                                   std::move(ys))));
+}
+
+graph::Service parse_service(const std::string& name, const Json& spec) {
+  graph::Service service;
+  service.name = name;
+  parse_demand(spec.at("demand"), service);
+  const double servers = spec.number_or("servers", 1.0);
+  MTPERF_REQUIRE(servers >= 1.0 && servers <= 1e6,
+                 "service '" + name + "': servers out of range");
+  service.servers = static_cast<unsigned>(servers);
+  const double replicas = spec.number_or("replicas", 1.0);
+  MTPERF_REQUIRE(replicas >= 1.0 && replicas <= 1e6,
+                 "service '" + name + "': replicas out of range");
+  service.replicas = static_cast<unsigned>(replicas);
+  const std::string balancer =
+      spec.string_or("balancer", "least-connections");
+  MTPERF_REQUIRE(balancer == "least-connections" || balancer == "round-robin",
+                 "service '" + name +
+                     "': balancer must be 'least-connections' or "
+                     "'round-robin'");
+  service.balancer = balancer == "round-robin"
+                         ? graph::BalancerPolicy::kRoundRobin
+                         : graph::BalancerPolicy::kLeastConnections;
+  const std::string kind = spec.string_or("kind", "queueing");
+  MTPERF_REQUIRE(kind == "queueing" || kind == "delay",
+                 "service '" + name + "': kind must be 'queueing' or 'delay'");
+  service.kind = kind == "delay" ? core::StationKind::kDelay
+                                 : core::StationKind::kQueueing;
+  service.cache_hit_rate = spec.number_or("cache_hit_rate", 0.0);
+  if (spec.contains("calls")) {
+    for (const Json& jc : spec.at("calls").as_array()) {
+      graph::Call call;
+      call.target = jc.at("to").as_string();
+      call.probability = jc.number_or("p", 1.0);
+      call.calls_per_visit = jc.number_or("calls", 1.0);
+      service.calls.push_back(std::move(call));
+    }
+  }
+  return service;
+}
+
+}  // namespace
+
+graph::ServiceGraph parse_workmodel(const Json& request) {
+  std::vector<graph::Service> services;
+  for (const auto& [name, spec] : request.at("services").as_object()) {
+    services.push_back(parse_service(name, spec));
+  }
+  const double think = request.number_or("think", 0.0);
+  return graph::ServiceGraph(std::move(services),
+                             request.at("entry").as_string(), think);
+}
+
+core::ScenarioSpec workmodel_scenario(const Json& request) {
+  const graph::ServiceGraph graph = parse_workmodel(request);
+  core::SolveOptions options;
+  options.solver =
+      core::parse_solver_kind(request.string_or("solver", "mvasd"));
+  const double population = request.at("max_population").as_number();
+  MTPERF_REQUIRE(population >= 1.0 && population <= kMaxRequestPopulation,
+                 "max_population out of range");
+  options.max_population = static_cast<unsigned>(population);
+  return graph::to_scenario(graph, request.string_or("label", ""), options);
+}
+
+}  // namespace mtperf::service

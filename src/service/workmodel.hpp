@@ -1,0 +1,41 @@
+// JSON workmodel loader: the declarative service-graph schema of the wire
+// protocol and the scenario files (mubench's workmodel.json, adapted to
+// closed-network semantics).
+//
+//   {"cmd": "workmodel", "label": "mesh", "entry": "gateway", "think": 2.0,
+//    "services": {
+//      "gateway": {"demand": 0.004,
+//                  "calls": [{"to": "auth"},
+//                            {"to": "catalog", "p": 0.7, "calls": 2}]},
+//      "search":  {"demand": {"x": [1, 100, 200], "y": [0.01, 0.012, 0.02]},
+//                  "servers": 2, "replicas": 3, "balancer": "round-robin"},
+//      "cache":   {"demand": 0.001, "cache_hit_rate": 0.8,
+//                  "calls": [{"to": "db"}]},
+//      "cdn":     {"demand": 0.03, "kind": "delay"},
+//      ...},
+//    "solver": "mvasd", "max_population": 200}
+//
+// A service's "demand" is its per-call demand in seconds: a number for
+// constant demand, or {"x", "y"} knots for a concurrency-varying cubic
+// spline (the paper's varying service demands, per service).  Unlisted
+// fields take the graph::Service defaults (1 server, 1 replica,
+// least-connections, queueing, no cache, no calls).
+//
+// parse_workmodel builds the validated graph::ServiceGraph;
+// workmodel_scenario additionally compiles it into a core::ScenarioSpec
+// (solver + max_population parsed like the flat scenario schema), which is
+// what the serve tool evaluates — the compiled spec goes through the same
+// engine, fingerprint cache, and batch kernel as hand-built networks.
+#pragma once
+
+#include "core/sweep.hpp"
+#include "graph/service_graph.hpp"
+#include "service/json.hpp"
+
+namespace mtperf::service {
+
+graph::ServiceGraph parse_workmodel(const Json& request);
+
+core::ScenarioSpec workmodel_scenario(const Json& request);
+
+}  // namespace mtperf::service

@@ -186,6 +186,28 @@ TEST(Percentile, RejectsBadInputs) {
   EXPECT_THROW(percentile({1.0}, 101), invalid_argument_error);
 }
 
+TEST(Percentile, SingleElementAnswersEveryLevel) {
+  // n = 1: every level, including the closed endpoints, is that element —
+  // exactly, with no interpolation arithmetic involved.
+  for (const double p : {0.0, 1.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(percentile({42.5}, p), 42.5) << p;
+  }
+}
+
+TEST(Percentile, EndpointsAreExactOrderStatistics) {
+  // p = 0 and p = 100 must return the min and max *exactly* (the type-7
+  // rank p/100 * (n-1) lands on an integer index; any floating-point
+  // slack here would blend neighboring order statistics into SLA tails).
+  std::vector<double> v;
+  for (int i = 0; i < 1000; ++i) {
+    v.push_back(std::sin(static_cast<double>(i)) * 1e6);
+  }
+  const double lo = *std::min_element(v.begin(), v.end());
+  const double hi = *std::max_element(v.begin(), v.end());
+  EXPECT_EQ(percentile(v, 0), lo);
+  EXPECT_EQ(percentile(v, 100), hi);
+}
+
 TEST(Percentiles, MatchesSingleLevelCalls) {
   const std::vector<double> original{5.0, 1.0, 3.0, 2.0, 4.0, 9.5, -2.0};
   std::vector<double> v = original;
@@ -242,6 +264,25 @@ TEST(MomentAccumulator, MergeMatchesWholeStream) {
   std::vector<double> pooled = all;
   const auto expected = percentiles(pooled, {5, 50, 95, 99});
   for (std::size_t i = 0; i < q.size(); ++i) EXPECT_EQ(q[i], expected[i]);
+}
+
+TEST(MomentAccumulator, MergedEndpointPercentilesPinToGlobalExtremes) {
+  // p ∈ {0, 100} through the k-way merged replication path must return the
+  // pooled min/max exactly — the same endpoint pin percentile() gives for a
+  // single run — and a single-sample accumulator answers every level.
+  MomentAccumulator acc;
+  acc.merge(MomentAccumulator::from_sorted({3.0, 7.0, 11.0}));
+  acc.merge(MomentAccumulator::from_sorted({-2.5, 8.0}));
+  acc.merge(MomentAccumulator::from_sorted({5.0}));
+  const auto q = acc.percentiles({0, 100});
+  EXPECT_EQ(q[0], -2.5);
+  EXPECT_EQ(q[1], 11.0);
+  MomentAccumulator one;
+  one.add(6.25);
+  const auto single = one.percentiles({0, 50, 100});
+  EXPECT_EQ(single[0], 6.25);
+  EXPECT_EQ(single[1], 6.25);
+  EXPECT_EQ(single[2], 6.25);
 }
 
 TEST(MomentAccumulator, FromSortedValidatesAndPools) {

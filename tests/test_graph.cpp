@@ -1,0 +1,526 @@
+// Tests for the service-graph workmodel layer: visit-count equations,
+// compilation onto core::Network / DemandModel / the simulator, parity of
+// graph-compiled VINS and JPetStore against hand-built networks, and the
+// JSON workmodel loader.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "apps/jpetstore.hpp"
+#include "apps/vins.hpp"
+#include "common/error.hpp"
+#include "core/solve.hpp"
+#include "core/sweep.hpp"
+#include "graph/compile.hpp"
+#include "graph/service_graph.hpp"
+#include "graph/visit_counts.hpp"
+#include "interp/cubic_spline.hpp"
+#include "interp/piecewise_cubic.hpp"
+#include "service/engine.hpp"
+#include "service/json.hpp"
+#include "service/request.hpp"
+#include "service/workmodel.hpp"
+#include "sim/closed_network_sim.hpp"
+#include "workload/application.hpp"
+
+namespace mtperf {
+namespace {
+
+using graph::BalancerPolicy;
+using graph::Call;
+using graph::Service;
+using graph::ServiceGraph;
+
+Service svc(std::string name, double demand, std::vector<Call> calls = {}) {
+  Service s;
+  s.name = std::move(name);
+  s.demand = demand;
+  s.calls = std::move(calls);
+  return s;
+}
+
+// --- visit-count equations -------------------------------------------------
+
+TEST(VisitCounts, LinearChainIsAllOnes) {
+  ServiceGraph g({svc("web", 0.01, {{"app"}}), svc("app", 0.02, {{"db"}}),
+                  svc("db", 0.03)},
+                 "web", 1.0);
+  const auto v = graph::solve_visit_counts(g);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 1.0);
+}
+
+TEST(VisitCounts, BranchProbabilitiesSummingToOneConserveVisitMass) {
+  // Exclusive three-way branch: p = 1/3 each (summing to 1 within eps);
+  // the children's visit mass must equal the parent's exactly.
+  const double third = 1.0 / 3.0;
+  ServiceGraph g({svc("lb", 0.001,
+                      {{"a", third}, {"b", third}, {"c", third}}),
+                  svc("a", 0.01), svc("b", 0.01), svc("c", 0.01)},
+                 "lb", 0.5);
+  const auto v = graph::solve_visit_counts(g);
+  EXPECT_NEAR(v[1] + v[2] + v[3], v[0], 1e-12);
+  EXPECT_DOUBLE_EQ(v[1], third);
+}
+
+TEST(VisitCounts, AbsorbingBranchDropsMass) {
+  // p sums to 0.4: 60% of requests finish at the entry without going
+  // deeper — the downstream service sees only the surviving fraction.
+  ServiceGraph g({svc("web", 0.01, {{"db", 0.4}}), svc("db", 0.02)}, "web",
+                 1.0);
+  const auto v = graph::solve_visit_counts(g);
+  EXPECT_DOUBLE_EQ(v[1], 0.4);
+}
+
+TEST(VisitCounts, CallsPerVisitAmplifyAndFanInAccumulates) {
+  // web -> app (2 calls) -> db (3 calls each), and web also hits db once:
+  // V_db = 2*3 + 1 = 7.
+  ServiceGraph g({svc("web", 0.01, {{"app", 1.0, 2.0}, {"db"}}),
+                  svc("app", 0.02, {{"db", 1.0, 3.0}}), svc("db", 0.03)},
+                 "web", 1.0);
+  const auto v = graph::solve_visit_counts(g);
+  EXPECT_DOUBLE_EQ(v[1], 2.0);
+  EXPECT_DOUBLE_EQ(v[2], 7.0);
+}
+
+TEST(VisitCounts, CacheHitRateShieldsDownstream) {
+  Service cache = svc("cache", 0.001, {{"db"}});
+  cache.cache_hit_rate = 0.8;
+  ServiceGraph g({svc("web", 0.01, {{"cache", 1.0, 5.0}}), cache,
+                  svc("db", 0.02)},
+                 "web", 1.0);
+  const auto v = graph::solve_visit_counts(g);
+  // The cache itself still absorbs every call; only fall-throughs go on.
+  EXPECT_DOUBLE_EQ(v[1], 5.0);
+  EXPECT_NEAR(v[2], 1.0, 1e-12);
+}
+
+TEST(VisitCounts, UnreachableServiceGetsZeroVisits) {
+  ServiceGraph g({svc("web", 0.01), svc("orphan", 0.02)}, "web", 1.0);
+  const auto v = graph::solve_visit_counts(g);
+  EXPECT_DOUBLE_EQ(v[0], 1.0);
+  EXPECT_DOUBLE_EQ(v[1], 0.0);
+}
+
+TEST(VisitCounts, CycleIsRejectedNamingTheServices) {
+  ServiceGraph g({svc("a", 0.01, {{"b"}}), svc("b", 0.01, {{"c"}}),
+                  svc("c", 0.01, {{"b"}})},
+                 "a", 1.0);
+  try {
+    graph::solve_visit_counts(g);
+    FAIL() << "cycle not rejected";
+  } catch (const invalid_argument_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cycle"), std::string::npos) << what;
+    EXPECT_NE(what.find("b -> c -> b"), std::string::npos) << what;
+    EXPECT_NE(what.find("calls_per_visit"), std::string::npos) << what;
+  }
+}
+
+TEST(ServiceGraph, ValidationRejectsStructuralErrors) {
+  EXPECT_THROW(ServiceGraph({}, "x", 1.0), invalid_argument_error);
+  EXPECT_THROW(ServiceGraph({svc("a", 0.1)}, "nope", 1.0),
+               invalid_argument_error);
+  EXPECT_THROW(ServiceGraph({svc("a", 0.1), svc("a", 0.2)}, "a", 1.0),
+               invalid_argument_error);
+  EXPECT_THROW(ServiceGraph({svc("a", 0.1, {{"ghost"}})}, "a", 1.0),
+               invalid_argument_error);
+  EXPECT_THROW(ServiceGraph({svc("a", 0.1, {{"a"}})}, "a", 1.0),
+               invalid_argument_error);
+  EXPECT_THROW(ServiceGraph({svc("a", 0.1, {{"b", 1.5}}), svc("b", 0.1)},
+                            "a", 1.0),
+               invalid_argument_error);
+  EXPECT_THROW(ServiceGraph({svc("a", -0.1)}, "a", 1.0),
+               invalid_argument_error);
+  Service bad_cache = svc("a", 0.1);
+  bad_cache.cache_hit_rate = 1.5;
+  EXPECT_THROW(ServiceGraph({bad_cache}, "a", 1.0), invalid_argument_error);
+}
+
+// --- compilation -----------------------------------------------------------
+
+TEST(Compile, LeastConnectionsPoolsReplicasIntoOneMultiserverStation) {
+  Service db = svc("db", 0.02);
+  db.servers = 2;
+  db.replicas = 3;
+  ServiceGraph g({svc("web", 0.01, {{"db"}}), db}, "web", 1.0);
+  const auto compiled = graph::compile(g);
+  ASSERT_EQ(compiled.network.size(), 2u);
+  EXPECT_EQ(compiled.network.station(1).name, "db");
+  EXPECT_EQ(compiled.network.station(1).servers, 6u);
+  EXPECT_DOUBLE_EQ(compiled.network.station(1).visits, 1.0);
+  EXPECT_TRUE(compiled.demands.is_constant());
+}
+
+TEST(Compile, RoundRobinSplitsReplicasIntoEqualStations) {
+  Service idx = svc("index", 0.02);
+  idx.replicas = 3;
+  idx.balancer = BalancerPolicy::kRoundRobin;
+  ServiceGraph g({svc("web", 0.01, {{"index", 1.0, 2.0}}), idx}, "web", 1.0);
+  const auto compiled = graph::compile(g);
+  ASSERT_EQ(compiled.network.size(), 4u);
+  for (unsigned r = 0; r < 3; ++r) {
+    const auto& st = compiled.network.station(1 + r);
+    EXPECT_EQ(st.name, "index#" + std::to_string(r));
+    EXPECT_EQ(st.servers, 1u);
+    EXPECT_DOUBLE_EQ(st.visits, 2.0 / 3.0);
+    EXPECT_EQ(compiled.station_service[1 + r], 1u);
+    // Every replica serves the same per-visit demand.
+    EXPECT_DOUBLE_EQ(compiled.demands.at(1 + r, 1.0), 0.02);
+  }
+}
+
+TEST(Compile, DelayServicesStayDelayStations) {
+  Service cdn = svc("cdn", 0.03);
+  cdn.kind = core::StationKind::kDelay;
+  ServiceGraph g({svc("web", 0.01, {{"cdn"}}), cdn}, "web", 1.0);
+  const auto compiled = graph::compile(g);
+  EXPECT_EQ(compiled.network.station(1).kind, core::StationKind::kDelay);
+}
+
+TEST(Compile, VisitMathMatchesHandBuiltNetworkAcrossAllSolvers) {
+  // Graph: per-call demands with branching; hand-built: the same
+  // stations with the solved visit counts attached.  Both must be the
+  // same model to every member of the solver family.
+  ServiceGraph g({svc("web", 0.004, {{"app", 1.0, 2.0}}),
+                  svc("app", 0.003, {{"db", 0.6, 1.5}}), svc("db", 0.005)},
+                 "web", 1.0);
+  const auto compiled = graph::compile(g);
+  EXPECT_DOUBLE_EQ(compiled.visit_counts[1], 2.0);
+  EXPECT_DOUBLE_EQ(compiled.visit_counts[2], 1.8);
+
+  const core::ClosedNetwork hand({{"web", 1.0, 1}, {"app", 2.0, 1},
+                                  {"db", 1.8, 1}},
+                                 1.0);
+  const auto hand_demands = core::DemandModel::constant({0.004, 0.003, 0.005});
+
+  const core::SolverKind kinds[] = {
+      core::SolverKind::kExactSingleServer,
+      core::SolverKind::kExactMultiserver,
+      core::SolverKind::kSchweitzer,
+      core::SolverKind::kApproxMultiserver,
+      core::SolverKind::kLoadDependent,
+      core::SolverKind::kMvasd,
+      core::SolverKind::kMvasdSingleServer,
+      core::SolverKind::kSeidmann,
+      core::SolverKind::kSeidmannSchweitzer,
+  };
+  for (const auto kind : kinds) {
+    const core::SolveOptions options{kind, 60};
+    const auto a = core::solve(hand, &hand_demands, options);
+    const auto b = core::solve(compiled.network, &compiled.demands, options);
+    // The solved visit count 0.6 * 1.5 * 2 and the literal 1.8 differ in
+    // the last ULP, so parity here is ≤1e-12, not bitwise.
+    ASSERT_EQ(a.levels(), b.levels());
+    for (std::size_t i = 0; i < a.levels(); ++i) {
+      EXPECT_NEAR(a.throughput[i], b.throughput[i], 1e-12)
+          << core::solver_kind_name(kind) << " level " << i;
+      EXPECT_NEAR(a.response_time[i], b.response_time[i], 1e-12)
+          << core::solver_kind_name(kind) << " level " << i;
+    }
+  }
+}
+
+// --- parity fixtures: graph-compiled VINS / JPetStore ----------------------
+
+/// Spline per station through the app's ground-truth demands, shared by the
+/// hand-built and graph-compiled models so any result difference would come
+/// from the compilation itself, not spline construction.
+struct AppFixture {
+  core::ClosedNetwork hand{{core::Station{}}, 0.0};
+  core::DemandModel hand_demands = core::DemandModel::constant({0.0});
+  graph::CompiledNetwork compiled;
+
+  explicit AppFixture(const workload::ApplicationModel& app,
+                      const std::vector<double>& levels) {
+    std::vector<std::shared_ptr<const interp::Interpolator1D>> splines;
+    std::vector<core::Station> stations;
+    std::vector<Service> services;
+    const auto& sim_stations = app.stations();
+    for (std::size_t k = 0; k < sim_stations.size(); ++k) {
+      std::vector<double> ys;
+      for (const double n : levels) ys.push_back(app.true_demand(k, n));
+      splines.push_back(std::make_shared<interp::PiecewiseCubic>(
+          interp::build_cubic_spline(interp::SampleSet(levels, ys))));
+      stations.push_back(
+          {sim_stations[k].name, 1.0, sim_stations[k].servers,
+           core::StationKind::kQueueing});
+      Service s;
+      s.name = sim_stations[k].name;
+      s.demand_curve = splines.back();
+      s.servers = sim_stations[k].servers;
+      // Linear call chain: every visit count stays 1, matching the
+      // hand-built all-visits-1 network.
+      if (k + 1 < sim_stations.size()) s.calls = {{sim_stations[k + 1].name}};
+      services.push_back(std::move(s));
+    }
+    hand = core::ClosedNetwork(std::move(stations), app.think_time());
+    hand_demands = core::DemandModel::interpolated(std::move(splines));
+    compiled = graph::compile(
+        ServiceGraph(std::move(services), sim_stations.front().name,
+                     app.think_time()));
+  }
+};
+
+void expect_solver_parity(const AppFixture& fix, unsigned max_population) {
+  for (const double v : fix.compiled.visit_counts) EXPECT_DOUBLE_EQ(v, 1.0);
+  EXPECT_EQ(fix.compiled.network.think_time(), fix.hand.think_time());
+  const core::SolverKind kinds[] = {
+      core::SolverKind::kMvasd,
+      core::SolverKind::kMvasdSingleServer,
+      core::SolverKind::kExactMultiserver,
+      core::SolverKind::kApproxMultiserver,
+  };
+  for (const auto kind : kinds) {
+    const core::SolveOptions options{kind, max_population};
+    const auto a = core::solve(fix.hand, &fix.hand_demands, options);
+    const auto b =
+        core::solve(fix.compiled.network, &fix.compiled.demands, options);
+    // Same stations, visits, and shared splines: the recursions must run
+    // the same arithmetic, so parity is exact (well under the 1e-12 bound).
+    EXPECT_EQ(a.throughput, b.throughput) << core::solver_kind_name(kind);
+    EXPECT_EQ(a.response_time, b.response_time)
+        << core::solver_kind_name(kind);
+    EXPECT_EQ(a.cycle_time, b.cycle_time) << core::solver_kind_name(kind);
+  }
+}
+
+TEST(GraphParity, VinsGraphReproducesHandBuiltNetwork) {
+  const AppFixture fix(apps::make_vins(),
+                       {1, 50, 150, 300, 500, 800, 1100, 1500});
+  expect_solver_parity(fix, 400);
+}
+
+TEST(GraphParity, JPetStoreGraphReproducesHandBuiltNetwork) {
+  const AppFixture fix(apps::make_jpetstore(), {1, 25, 75, 150, 300, 500});
+  expect_solver_parity(fix, 300);
+}
+
+TEST(GraphParity, SolveBatchTreatsCompiledSpecsAsLaneCompatible) {
+  const AppFixture fix(apps::make_vins(), {1, 100, 400, 900, 1500});
+  const core::SolveOptions options{core::SolverKind::kMvasd, 200};
+  std::vector<core::ScenarioSpec> specs;
+  specs.push_back({"hand", fix.hand, fix.hand_demands, options});
+  specs.push_back(
+      {"graph", fix.compiled.network, fix.compiled.demands, options});
+  const auto results = core::solve_batch(specs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_EQ(results[0].throughput, results[1].throughput);
+  EXPECT_EQ(results[0].response_time, results[1].response_time);
+}
+
+// --- the example mesh ------------------------------------------------------
+
+/// The ten-plus-service mesh of the README quickstart, programmatically:
+/// replicated tiers behind both balancer policies, a cache tier, a delay
+/// hop, and branchy fan-out.  Demands constant so the simulator's
+/// steady state is directly comparable to the analytic solution.
+ServiceGraph example_mesh() {
+  std::vector<Service> services;
+  services.push_back(svc("gateway", 0.002,
+                         {{"auth"},
+                          {"catalog", 0.65},
+                          {"orders", 0.3},
+                          {"cdn", 1.0, 2.0}}));
+  services.push_back(svc("auth", 0.001, {{"redis"}}));
+  services.push_back(svc("catalog", 0.003, {{"search", 0.5},
+                                            {"redis", 1.0, 2.0}}));
+  Service search = svc("search", 0.004, {{"index", 1.0, 2.0}});
+  search.servers = 2;
+  services.push_back(search);
+  Service index = svc("index", 0.006);
+  index.replicas = 2;
+  index.balancer = BalancerPolicy::kRoundRobin;
+  services.push_back(index);
+  Service redis = svc("redis", 0.0005, {{"db"}});
+  redis.cache_hit_rate = 0.8;
+  services.push_back(redis);
+  Service db = svc("db", 0.008);
+  db.servers = 2;
+  db.replicas = 3;
+  services.push_back(db);
+  services.push_back(svc("orders", 0.005, {{"db", 1.0, 2.0},
+                                           {"payment", 0.8}}));
+  services.push_back(svc("payment", 0.01, {{"notify"}}));
+  services.push_back(svc("notify", 0.002));
+  Service cdn = svc("cdn", 0.02);
+  cdn.kind = core::StationKind::kDelay;
+  services.push_back(cdn);
+  return ServiceGraph(std::move(services), "gateway", 1.0);
+}
+
+TEST(ExampleMesh, VisitCountsSolveTheTrafficEquations) {
+  const ServiceGraph mesh = example_mesh();
+  const auto v = graph::solve_visit_counts(mesh);
+  EXPECT_DOUBLE_EQ(v[mesh.index_of("auth")], 1.0);
+  EXPECT_DOUBLE_EQ(v[mesh.index_of("catalog")], 0.65);
+  EXPECT_DOUBLE_EQ(v[mesh.index_of("search")], 0.325);
+  EXPECT_DOUBLE_EQ(v[mesh.index_of("index")], 0.65);
+  // redis fans in from auth (1) and catalog (0.65 * 2).
+  EXPECT_NEAR(v[mesh.index_of("redis")], 2.3, 1e-12);
+  // db sees the cache fall-through (2.3 * 0.2) plus orders (0.3 * 2).
+  EXPECT_NEAR(v[mesh.index_of("db")], 1.06, 1e-12);
+  EXPECT_NEAR(v[mesh.index_of("payment")], 0.24, 1e-12);
+  EXPECT_DOUBLE_EQ(v[mesh.index_of("cdn")], 2.0);
+}
+
+TEST(ExampleMesh, SolvesThroughSolveBatchAndEngine) {
+  const ServiceGraph mesh = example_mesh();
+  const core::SolveOptions options{core::SolverKind::kExactMultiserver, 50};
+  const core::ScenarioSpec spec = graph::to_scenario(mesh, "mesh", options);
+  ASSERT_EQ(spec.network.size(), 12u);  // 11 services, index split in two
+  const auto direct = core::solve(spec.network, &spec.demands, spec.options);
+
+  service::Engine engine;
+  const auto batch = engine.evaluate_batch({spec, spec});
+  ASSERT_EQ(batch.size(), 2u);
+  for (const auto& evaluation : batch) {
+    EXPECT_EQ(evaluation.result->throughput, direct.throughput);
+    EXPECT_EQ(evaluation.result->response_time, direct.response_time);
+  }
+  EXPECT_GT(direct.throughput.back(), 0.0);
+}
+
+TEST(ExampleMesh, SimulatorAgreesWithAnalyticSolution) {
+  const ServiceGraph mesh = example_mesh();
+  constexpr unsigned kUsers = 30;
+  const core::SolveOptions options{core::SolverKind::kExactMultiserver,
+                                   kUsers};
+  const auto compiled = graph::compile(mesh);
+  const auto analytic =
+      core::solve(compiled.network, &compiled.demands, options);
+
+  const auto lowered = graph::compile_sim(mesh, kUsers);
+  sim::SimOptions sim_options;
+  sim_options.customers = kUsers;
+  sim_options.think_time_mean = mesh.think_time();
+  sim_options.warmup_time = 50.0;
+  sim_options.measure_time = 600.0;
+  sim_options.seed = 7;
+  const auto sim = sim::simulate_closed_network(lowered.stations,
+                                                lowered.workflow, sim_options);
+
+  const double x_mva = analytic.throughput.back();
+  EXPECT_NEAR(sim.throughput, x_mva, 0.05 * x_mva);
+  EXPECT_NEAR(sim.response_time, analytic.response_time.back(),
+              0.10 * analytic.cycle_time.back());
+  // Per-station utilization: compare where the analytic model predicts
+  // meaningful load (delay stations report utilization differently).
+  const auto util_of = [&](const std::string& name) {
+    for (const auto& st : sim.stations) {
+      if (st.name == name) return st.utilization;
+    }
+    ADD_FAILURE() << "station " << name << " missing from sim";
+    return 0.0;
+  };
+  const std::size_t top = analytic.levels() - 1;
+  for (std::size_t k = 0; k < compiled.network.size(); ++k) {
+    const auto& st = compiled.network.station(k);
+    if (st.kind == core::StationKind::kDelay) continue;
+    EXPECT_NEAR(util_of(st.name), analytic.utilization(top, k), 0.05)
+        << st.name;
+  }
+}
+
+// --- the JSON workmodel loader ---------------------------------------------
+
+const char* kMeshJson = R"({
+  "cmd": "workmodel", "label": "mesh", "entry": "gateway", "think": 1.0,
+  "services": {
+    "gateway": {"demand": 0.002, "calls": [
+      {"to": "auth"}, {"to": "catalog", "p": 0.65},
+      {"to": "orders", "p": 0.3}, {"to": "cdn", "calls": 2}]},
+    "auth": {"demand": 0.001, "calls": [{"to": "redis"}]},
+    "catalog": {"demand": 0.003, "calls": [
+      {"to": "search", "p": 0.5}, {"to": "redis", "calls": 2}]},
+    "search": {"demand": 0.004, "servers": 2,
+               "calls": [{"to": "index", "calls": 2}]},
+    "index": {"demand": 0.006, "replicas": 2, "balancer": "round-robin"},
+    "redis": {"demand": 0.0005, "cache_hit_rate": 0.8,
+              "calls": [{"to": "db"}]},
+    "db": {"demand": 0.008, "servers": 2, "replicas": 3},
+    "orders": {"demand": 0.005, "calls": [
+      {"to": "db", "calls": 2}, {"to": "payment", "p": 0.8}]},
+    "payment": {"demand": 0.01, "calls": [{"to": "notify"}]},
+    "notify": {"demand": 0.002},
+    "cdn": {"demand": 0.02, "kind": "delay"}
+  },
+  "solver": "exact-multiserver", "max_population": 50})";
+
+TEST(Workmodel, JsonMeshMatchesProgrammaticGraph) {
+  const auto request = service::Json::parse(kMeshJson);
+  const core::ScenarioSpec from_json = service::workmodel_scenario(request);
+  EXPECT_EQ(from_json.label, "mesh");
+
+  const core::SolveOptions options{core::SolverKind::kExactMultiserver, 50};
+  const core::ScenarioSpec programmatic =
+      graph::to_scenario(example_mesh(), "mesh", options);
+
+  // JSON objects iterate alphabetically, so station order differs from the
+  // programmatic declaration order — compare by station name instead.
+  const auto a =
+      core::solve(from_json.network, &from_json.demands, from_json.options);
+  const auto b = core::solve(programmatic.network, &programmatic.demands,
+                             programmatic.options);
+  EXPECT_NEAR(a.throughput.back(), b.throughput.back(), 1e-12);
+  EXPECT_NEAR(a.response_time.back(), b.response_time.back(), 1e-12);
+  const std::size_t top = a.levels() - 1;
+  for (std::size_t k = 0; k < a.stations(); ++k) {
+    const std::size_t j = from_json.network.index_of(a.station_names[k]);
+    const std::size_t m = programmatic.network.index_of(a.station_names[k]);
+    EXPECT_NEAR(a.utilization(top, j), b.utilization(top, m), 1e-12)
+        << a.station_names[k];
+  }
+}
+
+TEST(Workmodel, SplineDemandsAndDefaultsParse) {
+  const auto request = service::Json::parse(R"({
+    "cmd": "workmodel", "entry": "web", "think": 0.5,
+    "services": {
+      "web": {"demand": 0.01, "calls": [{"to": "db"}]},
+      "db": {"demand": {"x": [1, 100, 300], "y": [0.02, 0.015, 0.012]}}
+    },
+    "solver": "mvasd", "max_population": 100})");
+  const core::ScenarioSpec spec = service::workmodel_scenario(request);
+  EXPECT_FALSE(spec.demands.is_constant());
+  const auto result = core::solve(spec.network, &spec.demands, spec.options);
+  EXPECT_GT(result.throughput.back(), 0.0);
+  // The spline's single-user demand is the measured 0.02 s.
+  const std::size_t db = spec.network.index_of("db");
+  EXPECT_NEAR(spec.demands.at(db, 1.0), 0.02, 1e-12);
+}
+
+TEST(Workmodel, ErrorsAreReadable) {
+  const auto parse = [](const char* text) {
+    return service::workmodel_scenario(service::Json::parse(text));
+  };
+  // Cycle through the JSON path surfaces the visit-count error.
+  EXPECT_THROW(parse(R"({"cmd":"workmodel","entry":"a","services":{
+      "a":{"demand":0.1,"calls":[{"to":"b"}]},
+      "b":{"demand":0.1,"calls":[{"to":"a"}]}},
+      "max_population":10})"),
+               invalid_argument_error);
+  EXPECT_THROW(parse(R"({"cmd":"workmodel","entry":"ghost","services":{
+      "a":{"demand":0.1}},"max_population":10})"),
+               invalid_argument_error);
+  EXPECT_THROW(parse(R"({"cmd":"workmodel","entry":"a","services":{
+      "a":{"demand":0.1,"balancer":"random"}},"max_population":10})"),
+               invalid_argument_error);
+  EXPECT_THROW(parse(R"({"cmd":"workmodel","entry":"a","services":{
+      "a":{"demand":0.1}}})"),
+               invalid_argument_error);  // missing max_population
+}
+
+TEST(Workmodel, ParseRequestRoutesWorkmodelCommand) {
+  const service::ParsedRequest parsed = service::parse_request(kMeshJson);
+  EXPECT_EQ(parsed.kind, service::RequestKind::kScenario);
+  EXPECT_EQ(parsed.spec.label, "mesh");
+  EXPECT_EQ(parsed.spec.network.size(), 12u);
+}
+
+}  // namespace
+}  // namespace mtperf

@@ -202,5 +202,51 @@ TEST(Multiclass, ExactRejectsHugeStateSpace) {
   EXPECT_THROW(exact_mva_multiclass(net, classes), invalid_argument_error);
 }
 
+TEST(Multiclass, StateSpaceOverflowIsRejectedNotWrapped) {
+  // Regression: the mixed-radix stride product used to be computed with
+  // unchecked std::size_t multiplies, so populations whose product wraps
+  // 2^64 could sneak a tiny bogus total past the size guard and index the
+  // Q table out of bounds.  Every one of these must throw the same
+  // too-large error instead.
+  const auto net = two_station_net(1.0);
+  const unsigned huge = 4'000'000'000u;
+  const std::vector<std::vector<CustomerClass>> hostile{
+      // Product of radices overflows 64 bits outright.
+      {{"a", huge, 1.0, {0.001, 0.001}},
+       {"b", huge, 1.0, {0.001, 0.001}},
+       {"c", huge, 1.0, {0.001, 0.001}}},
+      // Two classes: product is ~2^63.8 — wraps to a small residue.
+      {{"a", huge, 1.0, {0.001, 0.001}},
+       {"b", huge, 1.0, {0.001, 0.001}}},
+      // One huge class mixed with a normal one.
+      {{"a", huge, 1.0, {0.001, 0.001}}, {"b", 10, 1.0, {0.001, 0.001}}},
+  };
+  for (const auto& classes : hostile) {
+    try {
+      exact_mva_multiclass(net, classes);
+      FAIL() << "overflowing population-vector space accepted";
+    } catch (const invalid_argument_error& e) {
+      EXPECT_NE(std::string(e.what()).find("too large"), std::string::npos);
+    }
+  }
+}
+
+TEST(Multiclass, DemandDimensionMismatchNamesTheClass) {
+  // Pin the validation message: a class whose demand vector does not match
+  // the station count must be rejected by name before any solving starts.
+  const auto net = two_station_net(1.0);
+  try {
+    exact_mva_multiclass(net, {{"renew", 5, 1.0, {0.1, 0.2, 0.3}}});
+    FAIL() << "mismatched demand width accepted";
+  } catch (const invalid_argument_error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("renew"), std::string::npos) << what;
+    EXPECT_NE(what.find("one demand per station"), std::string::npos) << what;
+  }
+  EXPECT_THROW(
+      schweitzer_mva_multiclass(net, {{"renew", 5, 1.0, {0.1}}}),
+      invalid_argument_error);
+}
+
 }  // namespace
 }  // namespace mtperf::core

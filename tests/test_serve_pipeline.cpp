@@ -488,6 +488,43 @@ TEST(SocketServer, PerConnectionInflightCapIsEnforced) {
   server.stop();
 }
 
+TEST(SocketServer, ClientDisconnectMidResponseDropsConnectionNotServer) {
+  service::ServerOptions options;
+  options.port = 0;
+  options.max_batch = 8;
+  options.batch_deadline = std::chrono::microseconds(500);
+  service::Server server(options);
+  server.start();
+
+  // A rude client floods series requests (responses of tens of kilobytes,
+  // far past the socket buffer) and vanishes without reading a byte, so
+  // batcher threads hit the dead socket mid-flush.  The failure must cost
+  // that one connection — never a SIGPIPE to the process — and responses
+  // for live connections in the same batches must keep flowing.
+  {
+    Socket rude = connect_tcp(server.port());
+    ASSERT_TRUE(rude.valid());
+    for (std::uint64_t i = 0; i < 48; ++i) {
+      std::string line =
+          spec_request(i, 1.0 + 0.01 * static_cast<double>(i), 2000);
+      line.insert(line.size() - 2, ",\"series\":true");
+      ASSERT_TRUE(rude.send_all(line));
+    }
+    rude.close();  // gone before the first response can flush
+  }
+
+  // A polite client connected the whole time is served normally.
+  Socket sock = connect_tcp(server.port());
+  for (int round = 0; round < 3; ++round) {
+    const std::uint64_t id = 100 + static_cast<std::uint64_t>(round);
+    const auto good = exchange(
+        sock, {spec_request(id, 5.0 + 0.1 * round, 200)}, 1);
+    ASSERT_TRUE(good.count(id)) << round;
+    EXPECT_TRUE(good.at(id).contains("throughput")) << round;
+  }
+  server.stop();
+}
+
 TEST(SocketServer, StopAnswersAllAdmittedWork) {
   service::ServerOptions options;
   options.port = 0;

@@ -446,5 +446,25 @@ TEST(Json, ParseErrorsAreMtperfErrors) {
   EXPECT_THROW(service::Json::parse("{} trailing"), Error);
 }
 
+TEST(Json, DuplicateObjectKeysAreRejected) {
+  // Regression: duplicates used to resolve last-wins via insert_or_assign,
+  // silently masking client bugs like {"think":1,...,"think":2}.  They are
+  // parse errors now, at any nesting depth.
+  try {
+    service::Json::parse(R"({"think":1,"think":2})");
+    FAIL() << "duplicate key accepted";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate object key"),
+              std::string::npos);
+  }
+  EXPECT_THROW(service::Json::parse(R"({"a":{"x":1,"x":2}})"),
+               invalid_argument_error);
+  EXPECT_THROW(service::Json::parse(R"([{"k":null,"k":null}])"),
+               invalid_argument_error);
+  // Same key at different depths is fine — only siblings collide.
+  const auto v = service::Json::parse(R"({"a":{"a":1},"b":{"a":2}})");
+  EXPECT_DOUBLE_EQ(v.at("b").at("a").as_number(), 2.0);
+}
+
 }  // namespace
 }  // namespace mtperf

@@ -19,7 +19,11 @@
 //         --batch-deadline-us 2000 --queue-capacity 1024
 //
 // See service/request.hpp for the request/response schema (it is the
-// same on both transports).  Result lines carry top-population
+// same on both transports).  Besides flat scenario requests, both
+// transports take {"cmd":"workmodel", ...} service-graph requests
+// (service/workmodel.hpp): a mesh of services calling services, compiled
+// to the same ScenarioSpec — so workmodels share the engine's cache and
+// batch kernel with flat requests.  Result lines carry top-population
 // throughput / response / cycle time, the bottleneck station,
 // per-station utilization, and the cache verdict (cache_hit /
 // prefix_hit / coalesced / solve_ms).  Errors become {"error": ...}
@@ -36,6 +40,7 @@
 #include <string>
 #include <variant>
 
+#include "common/socket.hpp"
 #include "service/engine.hpp"
 #include "service/json.hpp"
 #include "service/request.hpp"
@@ -219,15 +224,20 @@ int main(int argc, char** argv) {
           "       mtperf_serve --port P [--batch-size N]"
           " [--batch-deadline-us U] [--queue-capacity N] [--max-inflight N]"
           " [--batchers N]\n"
-          "One JSON scenario request per line; see service/request.hpp for"
-          " the schema.  --port 0 binds a kernel-assigned port, announced"
-          " on stdout as {\"listening\":{\"port\":N}}.\n");
+          "One JSON request per line — flat scenarios or {\"cmd\":"
+          "\"workmodel\"} service graphs; see service/request.hpp and"
+          " service/workmodel.hpp for the schemas.  --port 0 binds a"
+          " kernel-assigned port, announced on stdout as"
+          " {\"listening\":{\"port\":N}}.\n");
       return 0;
     } else {
       std::fprintf(stderr, "error: unknown option %s\n", arg.c_str());
       return 2;
     }
   }
+  // stdout may be a pipe whose reader exits early (head, a dying test
+  // harness); die with a failed write, not a SIGPIPE.
+  ignore_sigpipe();
   try {
     if (port) {
       options.port = *port;
