@@ -45,8 +45,8 @@ int main() {
   for (unsigned renew_users : {600u, 450u, 300u, 150u, 0u}) {
     const unsigned read_users = 600 - renew_users;
     std::vector<core::CustomerClass> classes{
-        {"renew", renew_users, 1.0, t_renew.service_times},
-        {"read", read_users, 1.0, t_read.service_times},
+        {"renew", renew_users, 1.0, t_renew.service_times, nullptr},
+        {"read", read_users, 1.0, t_read.service_times, nullptr},
     };
     const auto r = core::schweitzer_mva_multiclass(t_renew.network, classes);
     table.add_row({fmt(static_cast<long long>(renew_users)),

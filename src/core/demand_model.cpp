@@ -1,6 +1,7 @@
 #include "core/demand_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "common/error.hpp"
 
@@ -68,6 +69,28 @@ const interp::Interpolator1D* DemandModel::interpolant(
     std::size_t station) const {
   MTPERF_REQUIRE(station < per_station_.size(), "station index out of range");
   return station < interpolants_.size() ? interpolants_[station].get() : nullptr;
+}
+
+DemandModel scale_demand_model(const DemandModel& model, double factor) {
+  MTPERF_REQUIRE(std::isfinite(factor) && factor >= 0.0,
+                 "demand scale factor must be finite and non-negative");
+  if (model.is_constant()) {
+    std::vector<double> values = model.all_at(1.0);
+    for (double& v : values) v *= factor;
+    return DemandModel::constant(std::move(values));
+  }
+  std::vector<std::shared_ptr<const interp::Interpolator1D>> scaled;
+  scaled.reserve(model.stations());
+  for (std::size_t k = 0; k < model.stations(); ++k) {
+    const auto* cubic =
+        dynamic_cast<const interp::PiecewiseCubic*>(model.interpolant(k));
+    MTPERF_REQUIRE(cubic != nullptr,
+                   "scale_demand_model requires constant or piecewise-cubic "
+                   "demands (the family campaign and workmodel models use)");
+    scaled.push_back(
+        std::make_shared<interp::PiecewiseCubic>(cubic->scaled(factor)));
+  }
+  return DemandModel::interpolated(std::move(scaled), model.axis());
 }
 
 // ----------------------------------------------------------------- DemandGrid

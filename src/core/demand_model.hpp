@@ -78,6 +78,16 @@ class DemandModel {
   bool constant_;
 };
 
+/// `model` with every station's demand multiplied by `factor` — the
+/// per-class demand derivation of the multiclass workmodel lowering (one
+/// compiled mesh, classes as scaled traffic).  Constant models scale their
+/// values; interpolated models must be piecewise-cubic (the family every
+/// campaign- and graph-derived model uses) and scale their coefficients,
+/// so the scaled model evaluates to exactly factor * demand up to one
+/// rounding per coefficient.  Throws mtperf::invalid_argument_error for
+/// other interpolant families.
+DemandModel scale_demand_model(const DemandModel& model, double factor);
+
 /// Pre-tabulated view of a DemandModel for one solver run.
 ///
 /// Concurrency-axis (and constant) models are tabulated once into a flat

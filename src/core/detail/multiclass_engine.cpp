@@ -1,0 +1,768 @@
+#include "core/detail/multiclass_engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <unordered_set>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace mtperf::core::detail {
+
+namespace {
+
+/// Upper bound on the exact recursion's population-vector space (and on
+/// the Q lattice it allocates).  Mixes past this must go through the
+/// moment recursion (still exact) or Schweitzer.
+constexpr std::size_t kMaxExactSpace = std::size_t{1} << 28;
+
+/// Per-level state budget of the moment recursion: C(N + M, M) entries per
+/// ping-pong buffer (N = total population, M = queueing stations).
+constexpr std::size_t kMaxMomLevelStates = std::size_t{1} << 23;
+
+/// Total work budget of the moment recursion across all per-class runs:
+/// runs * C(N + M, M + 1) lattice states.
+constexpr std::size_t kMaxMomWork = std::size_t{1} << 33;
+
+std::vector<std::string> station_names_of(const ClosedNetwork& network) {
+  std::vector<std::string> names;
+  names.reserve(network.size());
+  for (const auto& st : network.stations()) names.push_back(st.name);
+  return names;
+}
+
+std::vector<std::string> class_names_of(
+    const std::vector<CustomerClass>& classes) {
+  std::vector<std::string> names;
+  names.reserve(classes.size());
+  for (const auto& c : classes) names.push_back(c.name);
+  return names;
+}
+
+std::vector<unsigned> class_populations_of(
+    const std::vector<CustomerClass>& classes) {
+  std::vector<unsigned> pops;
+  pops.reserve(classes.size());
+  for (const auto& c : classes) pops.push_back(c.population);
+  return pops;
+}
+
+/// Per-level solver state shared by the assembly step: per-class
+/// throughput / response plus the flat C x K residence matrix, and the
+/// demand row each class used at this level (for utilizations).
+struct LevelState {
+  std::vector<double> x;                   ///< X_c (0 for inactive classes)
+  std::vector<double> r;                   ///< R_c
+  std::vector<double> residence;           ///< [c * K + k]
+  std::vector<const double*> demand_rows;  ///< per class, K entries each
+
+  void resize(std::size_t c_count, std::size_t k_count) {
+    x.assign(c_count, 0.0);
+    r.assign(c_count, 0.0);
+    residence.assign(c_count * k_count, 0.0);
+    demand_rows.assign(c_count, nullptr);
+  }
+};
+
+/// Fill result row `row` from a solved level.  `level_pops` is the class
+/// population vector of this level (axis class at the level's depth).
+///
+/// When exactly one class is active the aggregates are copied from that
+/// class directly rather than recomputed as weighted means — this is what
+/// makes a single-class multiclass spec bit-identical to the single-class
+/// solvers (their wait/residence/cycle arithmetic is mirrored in the
+/// engines below, and a sum with one nonzero term is exact, but a
+/// weighted mean would round x*r/x differently from r).
+void assemble_level(MvaResult& result, std::size_t row,
+                    const std::vector<CustomerClass>& classes,
+                    const std::vector<unsigned>& level_pops,
+                    const LevelState& s) {
+  const std::size_t c_count = classes.size();
+  const std::size_t k_count = result.stations();
+
+  double x_total = 0.0;
+  std::size_t active = 0;
+  std::size_t last_active = 0;
+  unsigned pop_total = 0;
+  for (std::size_t c = 0; c < c_count; ++c) {
+    x_total += s.x[c];
+    pop_total += level_pops[c];
+    if (level_pops[c] > 0) {
+      ++active;
+      last_active = c;
+    }
+  }
+  result.throughput[row] = x_total;
+  if (active == 1) {
+    result.response_time[row] = s.r[last_active];
+    result.cycle_time[row] =
+        s.r[last_active] + classes[last_active].think_time;
+  } else {
+    double weighted_r = 0.0;
+    for (std::size_t c = 0; c < c_count; ++c) weighted_r += s.x[c] * s.r[c];
+    result.response_time[row] = weighted_r / x_total;
+    result.cycle_time[row] = static_cast<double>(pop_total) / x_total;
+  }
+
+  double* queue_row = result.queue_row(row);
+  double* util_row = result.utilization_row(row);
+  double* residence_row = result.residence_row(row);
+  for (std::size_t k = 0; k < k_count; ++k) {
+    double q = 0.0;
+    double u = 0.0;
+    for (std::size_t c = 0; c < c_count; ++c) {
+      if (level_pops[c] > 0) q += s.x[c] * s.residence[c * k_count + k];
+      u += s.x[c] * s.demand_rows[c][k];
+    }
+    queue_row[k] = q;
+    util_row[k] = u;
+    residence_row[k] = active == 1
+                           ? s.residence[last_active * k_count + k]
+                           : queue_row[k] / x_total;
+  }
+
+  const std::size_t class_base = row * c_count;
+  const std::size_t queue_base = class_base * k_count;
+  for (std::size_t c = 0; c < c_count; ++c) {
+    result.class_throughput[class_base + c] = s.x[c];
+    result.class_response_time[class_base + c] = s.r[c];
+    if (level_pops[c] > 0) {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        result.class_station_queue[queue_base + c * k_count + k] =
+            s.x[c] * s.residence[c * k_count + k];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void validate_multiclass(const ClosedNetwork& network,
+                         const std::vector<CustomerClass>& classes) {
+  MTPERF_REQUIRE(!classes.empty(), "need at least one customer class");
+  for (const auto& st : network.stations()) {
+    MTPERF_REQUIRE(st.servers == 1 || st.kind == StationKind::kDelay,
+                   "multi-class MVA supports single-server queueing and delay "
+                   "stations; use the Seidmann transform for multi-server "
+                   "resources (station: " + st.name + ")");
+  }
+  std::unordered_set<std::string> seen;
+  bool any_population = false;
+  for (const auto& c : classes) {
+    MTPERF_REQUIRE(seen.insert(c.name).second,
+                   "duplicate customer class name: '" + c.name + "'");
+    MTPERF_REQUIRE(std::isfinite(c.think_time) && c.think_time >= 0.0,
+                   "think times must be non-negative");
+    if (c.population > 0) any_population = true;
+    if (c.demand_model != nullptr) {
+      MTPERF_REQUIRE(c.demand_model->stations() == network.size(),
+                     "class '" + c.name +
+                         "': one demand per station required");
+      MTPERF_REQUIRE(
+          c.demand_model->axis() == DemandModel::Axis::kConcurrency,
+          "class '" + c.name +
+              "': per-class demand models must use the concurrency axis "
+              "(demands are evaluated at the mix's total population)");
+    } else {
+      MTPERF_REQUIRE(c.demands.size() == network.size(),
+                     "class '" + c.name + "': one demand per station required");
+      for (double d : c.demands) {
+        MTPERF_REQUIRE(std::isfinite(d) && d >= 0.0,
+                       "service demands must be non-negative");
+      }
+    }
+  }
+  MTPERF_REQUIRE(any_population, "all classes have zero population");
+}
+
+// ---------------------------------------------------------------------------
+// Exact recursion over the population-vector lattice.
+
+namespace {
+
+/// Mixed-radix indexing of population vectors n, 0 <= n_c <= N_c, with the
+/// overflow-checked size guard (populations of ~2^32 per class can wrap
+/// std::size_t; a wrapped total would pass the guard and index the Q
+/// lattice out of bounds).
+class PopulationIndex {
+ public:
+  explicit PopulationIndex(const std::vector<CustomerClass>& classes) {
+    stride_.resize(classes.size());
+    std::size_t acc = 1;
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      stride_[c] = acc;
+      const std::size_t radix =
+          static_cast<std::size_t>(classes[c].population) + 1;
+      MTPERF_REQUIRE(acc <= kMaxExactSpace / radix,
+                     "population-vector space too large for exact "
+                     "multi-class MVA; use mom-multiclass (constant demands) "
+                     "or schweitzer_mva_multiclass");
+      acc *= radix;
+    }
+    total_ = acc;
+  }
+
+  std::size_t total() const noexcept { return total_; }
+  std::size_t stride(std::size_t c) const noexcept { return stride_[c]; }
+
+ private:
+  std::vector<std::size_t> stride_;
+  std::size_t total_ = 0;
+};
+
+/// Advance n through the mixed-radix space in lexicographic order such that
+/// every n - e_c precedes n.  Returns false when exhausted.
+bool next_vector(std::vector<unsigned>& n,
+                 const std::vector<CustomerClass>& classes) {
+  for (std::size_t c = 0; c < n.size(); ++c) {
+    if (n[c] < classes[c].population) {
+      ++n[c];
+      return true;
+    }
+    n[c] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+MvaResult exact_multiclass_engine(const ClosedNetwork& network,
+                                  const std::vector<CustomerClass>& classes,
+                                  const MulticlassGrid& grid) {
+  const std::size_t k_count = network.size();
+  const std::size_t c_count = classes.size();
+  const std::size_t axis = multiclass_axis_class(classes);
+  const unsigned n_axis = classes[axis].population;
+
+  const PopulationIndex index(classes);
+  MTPERF_REQUIRE(index.total() <= kMaxExactSpace / k_count,
+                 "population-vector space too large for exact multi-class "
+                 "MVA; use mom-multiclass (constant demands) or "
+                 "schweitzer_mva_multiclass");
+
+  MvaResult result;
+  result.reset(station_names_of(network), n_axis);
+  result.reset_classes(class_names_of(classes), class_populations_of(classes));
+  result.mc_axis = axis;
+
+  // Q[idx * K + k] = total mean queue length at station k for population
+  // vector idx.  Only the total queue is needed by the recursion.
+  std::vector<double> q(index.total() * k_count, 0.0);
+
+  std::vector<unsigned> n(c_count, 0);
+  LevelState state;
+  state.resize(c_count, k_count);
+
+  // The lexicographic sweep varies class 0 fastest, so the axis class (the
+  // last active class) is the slowest digit: vectors with every non-axis
+  // class at full strength appear once per axis value, in increasing
+  // order — each one is a result level.
+  while (next_vector(n, classes)) {
+    std::size_t idx = 0;
+    unsigned total_n = 0;
+    for (std::size_t c = 0; c < c_count; ++c) {
+      idx += n[c] * index.stride(c);
+      total_n += n[c];
+    }
+    for (std::size_t c = 0; c < c_count; ++c) {
+      state.demand_rows[c] = grid.row(c, total_n);
+    }
+    for (std::size_t c = 0; c < c_count; ++c) {
+      if (n[c] == 0) {
+        state.x[c] = 0.0;
+        state.r[c] = 0.0;
+        continue;
+      }
+      // Arrival theorem: class-c customers see the queue of n - e_c.
+      const std::size_t prev = idx - index.stride(c);
+      const double* d_row = state.demand_rows[c];
+      double total_residence = 0.0;
+      for (std::size_t k = 0; k < k_count; ++k) {
+        const double d = d_row[k];
+        const double wait =
+            network.station(k).kind == StationKind::kDelay
+                ? d
+                : d * (1.0 + q[prev * k_count + k]);
+        state.residence[c * k_count + k] = wait;
+        total_residence += wait;
+      }
+      state.r[c] = total_residence;
+      state.x[c] = static_cast<double>(n[c]) /
+                   (classes[c].think_time + total_residence);
+    }
+    for (std::size_t k = 0; k < k_count; ++k) {
+      double total = 0.0;
+      for (std::size_t c = 0; c < c_count; ++c) {
+        if (n[c] > 0) total += state.x[c] * state.residence[c * k_count + k];
+      }
+      q[idx * k_count + k] = total;
+    }
+
+    bool at_level = n[axis] >= 1;
+    for (std::size_t c = 0; c < c_count && at_level; ++c) {
+      if (c != axis && n[c] != classes[c].population) at_level = false;
+    }
+    if (at_level) {
+      std::vector<unsigned> level_pops = n;
+      assemble_level(result, n[axis] - 1, classes, level_pops, state);
+    }
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// Per-level Schweitzer fixed point.
+
+MvaResult schweitzer_multiclass_engine(
+    const ClosedNetwork& network, const std::vector<CustomerClass>& classes,
+    const SchweitzerOptions& options, const MulticlassGrid& grid) {
+  MTPERF_REQUIRE(options.tolerance > 0.0, "tolerance must be positive");
+  const std::size_t k_count = network.size();
+  const std::size_t c_count = classes.size();
+  const std::size_t axis = multiclass_axis_class(classes);
+  const unsigned n_axis = classes[axis].population;
+
+  MvaResult result;
+  result.reset(station_names_of(network), n_axis);
+  result.reset_classes(class_names_of(classes), class_populations_of(classes));
+  result.mc_axis = axis;
+
+  std::vector<unsigned> level_pops = class_populations_of(classes);
+  std::vector<std::vector<double>> q(c_count, std::vector<double>(k_count));
+  LevelState state;
+  state.resize(c_count, k_count);
+
+  // Each axis level runs its own cold-started fixed point, so level t is
+  // identical to solving the shallower mix directly — the property the
+  // cache's mix-prefix reuse requires (a warm start from level t-1 would
+  // converge to the same point only approximately).
+  for (unsigned t = 1; t <= n_axis; ++t) {
+    level_pops[axis] = t;
+    unsigned total_n = 0;
+    for (std::size_t c = 0; c < c_count; ++c) total_n += level_pops[c];
+    for (std::size_t c = 0; c < c_count; ++c) {
+      state.demand_rows[c] = grid.row(c, total_n);
+    }
+    // Even-spread start: each class's customers split across the stations.
+    for (std::size_t c = 0; c < c_count; ++c) {
+      for (std::size_t k = 0; k < k_count; ++k) {
+        q[c][k] = static_cast<double>(level_pops[c]) /
+                  static_cast<double>(k_count);
+      }
+    }
+
+    bool converged = false;
+    unsigned iter = 0;
+    for (; iter < options.max_iterations && !converged; ++iter) {
+      converged = true;
+      for (std::size_t c = 0; c < c_count; ++c) {
+        if (level_pops[c] == 0) continue;
+        const double nc = static_cast<double>(level_pops[c]);
+        const double* d_row = state.demand_rows[c];
+        double total_residence = 0.0;
+        for (std::size_t k = 0; k < k_count; ++k) {
+          const double d = d_row[k];
+          if (network.station(k).kind == StationKind::kDelay) {
+            state.residence[c * k_count + k] = d;
+          } else {
+            // Estimated queue seen at arrival: own class discounted by
+            // (n_c - 1)/n_c, other classes in full.
+            double seen = (nc - 1.0) / nc * q[c][k];
+            for (std::size_t d2 = 0; d2 < c_count; ++d2) {
+              if (d2 != c) seen += q[d2][k];
+            }
+            state.residence[c * k_count + k] = d * (1.0 + seen);
+          }
+          total_residence += state.residence[c * k_count + k];
+        }
+        state.r[c] = total_residence;
+        state.x[c] = nc / (classes[c].think_time + total_residence);
+      }
+      for (std::size_t c = 0; c < c_count; ++c) {
+        if (level_pops[c] == 0) continue;
+        for (std::size_t k = 0; k < k_count; ++k) {
+          const double updated = state.x[c] * state.residence[c * k_count + k];
+          if (std::abs(updated - q[c][k]) >= options.tolerance) {
+            converged = false;
+          }
+          q[c][k] = updated;
+        }
+      }
+    }
+    if (!converged) {
+      throw numeric_error(
+          "multi-class Schweitzer MVA did not converge at axis population " +
+          std::to_string(t) + " after " +
+          std::to_string(options.max_iterations) + " iterations");
+    }
+    result.mc_iterations = std::max(result.mc_iterations, iter);
+    assemble_level(result, t - 1, classes, level_pops, state);
+  }
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// RECAL moment recursion.
+//
+// Basis: g_n(v) — the normalizing constant of the network after adding the
+// first n customers, with station k's term augmented by v_k "extra tokens"
+// (g_n(e_k)/g_n(0) - 1 is exactly the mean queue at k: the first moment of
+// the station's state distribution, hence "method of moments").  Adding
+// the j-th customer of class c (delay demands and think time folded into
+// Z_c, queueing demands d_{c,m}):
+//
+//   g_n(v) = (1/j) * [ Z_c g_{n-1}(v) + sum_m d_{c,m} (v_m + 1)
+//                                         g_{n-1}(v + e_m) ]
+//
+// Every term is non-negative — no cancellation, so the recursion is
+// numerically benign; levels are rescaled when they drift out of range,
+// which is free because only same-level ratios are ever read.  One run
+// per active class, ordered so that class's customers come last: level
+// N-1 of that run is the mix minus one class-c customer, giving the
+// arrival-theorem queues Q_m(N - e_c) and with them the exact R_c and
+// X_c = N_c / (Z_c + R_c).
+
+namespace {
+
+/// C(n, k) with saturation at 2^63 (the guard rejects anything near it).
+std::size_t binom_saturating(std::size_t n, std::size_t k) {
+  constexpr std::size_t kCap = std::size_t{1} << 62;
+  if (k > n) return 0;
+  k = std::min(k, n - k);
+  std::size_t result = 1;
+  for (std::size_t i = 1; i <= k; ++i) {
+    // result * (n - k + i) / i is exact at every step; saturate before
+    // the multiply overflows.
+    const std::size_t factor = n - k + i;
+    if (result > kCap / factor) return kCap;
+    result = result * factor / i;
+  }
+  return result;
+}
+
+/// Pascal-triangle table of C(a, b) for b <= b_max, used by the lattice
+/// index arithmetic (all values bounded by the checked work budget).
+class BinomTable {
+ public:
+  BinomTable(std::size_t a_max, std::size_t b_max)
+      : b_stride_(b_max + 1), table_((a_max + 1) * (b_max + 1), 0) {
+    for (std::size_t a = 0; a <= a_max; ++a) {
+      table_[a * b_stride_] = 1;
+      for (std::size_t b = 1; b <= b_max && b <= a; ++b) {
+        table_[a * b_stride_ + b] =
+            at(a - 1, b - 1) + (b <= a - 1 ? at(a - 1, b) : 0);
+      }
+    }
+  }
+
+  std::size_t at(std::size_t a, std::size_t b) const noexcept {
+    return table_[a * b_stride_ + b];
+  }
+
+ private:
+  std::size_t b_stride_;
+  std::vector<std::size_t> table_;
+};
+
+/// Index of v (M dims, sum <= cap) in the lexicographic layout of the
+/// bounded-sum lattice.
+std::size_t lattice_index(const unsigned* v, std::size_t m_dims,
+                          std::size_t cap, const BinomTable& binom) {
+  std::size_t idx = 0;
+  std::size_t r = cap;
+  for (std::size_t j = 0; j < m_dims; ++j) {
+    const std::size_t m = m_dims - j;
+    idx += binom.at(r + m, m) - binom.at(r - v[j] + m, m);
+    r -= v[j];
+  }
+  return idx;
+}
+
+/// One recursion step for general M: fill g_cur over the |v| <= cap
+/// lattice from g_prev (|v| <= cap + 1).  Returns the level max.
+double mom_step_generic(const double* g_prev, double* g_cur, std::size_t cap,
+                        const std::vector<double>& d, double z, double inv_j,
+                        const BinomTable& binom) {
+  const std::size_t m_dims = d.size();
+  std::vector<unsigned> v(m_dims, 0);
+  std::size_t sum = 0;
+  std::size_t i = 0;
+  double level_max = 0.0;
+  while (true) {
+    double acc = z * g_prev[lattice_index(v.data(), m_dims, cap + 1, binom)];
+    for (std::size_t m = 0; m < m_dims; ++m) {
+      ++v[m];
+      acc += d[m] * static_cast<double>(v[m]) *
+             g_prev[lattice_index(v.data(), m_dims, cap + 1, binom)];
+      --v[m];
+    }
+    const double val = inv_j * acc;
+    g_cur[i++] = val;
+    level_max = std::max(level_max, val);
+
+    // Next vector in lexicographic order with sum <= cap.
+    if (sum < cap) {
+      ++v[m_dims - 1];
+      ++sum;
+      continue;
+    }
+    std::size_t last_nonzero = m_dims;
+    for (std::size_t j = m_dims; j-- > 0;) {
+      if (v[j] != 0) {
+        last_nonzero = j;
+        break;
+      }
+    }
+    if (last_nonzero == m_dims || last_nonzero == 0) break;
+    sum -= v[last_nonzero];
+    v[last_nonzero] = 0;
+    ++v[last_nonzero - 1];
+    ++sum;
+  }
+  return level_max;
+}
+
+/// The M == 2 fast path (the common two-queueing-station case): three
+/// moving row pointers into the previous level, no index arithmetic.
+double mom_step_m2(const double* g_prev, double* g_cur, std::size_t cap,
+                   double d0, double d1, double z, double inv_j) {
+  const std::size_t prev_cap = cap + 1;
+  std::size_t base0 = 0;  // previous-level index of (a, 0)
+  std::size_t i = 0;
+  double level_max = 0.0;
+  for (std::size_t a = 0; a <= cap; ++a) {
+    const std::size_t base1 = base0 + (prev_cap + 1 - a);  // (a + 1, 0)
+    const double* p0 = g_prev + base0;
+    const double* p1 = g_prev + base1;
+    const double da = d0 * static_cast<double>(a + 1);
+    const std::size_t b_max = cap - a;
+    for (std::size_t b = 0; b <= b_max; ++b) {
+      const double val =
+          inv_j * (z * p0[b] + da * p1[b] +
+                   d1 * static_cast<double>(b + 1) * p0[b + 1]);
+      g_cur[i++] = val;
+      level_max = std::max(level_max, val);
+    }
+    base0 = base1;
+  }
+  return level_max;
+}
+
+/// The M == 1 fast path: v is a scalar.
+double mom_step_m1(const double* g_prev, double* g_cur, std::size_t cap,
+                   double d0, double z, double inv_j) {
+  double level_max = 0.0;
+  for (std::size_t a = 0; a <= cap; ++a) {
+    const double val =
+        inv_j * (z * g_prev[a] +
+                 d0 * static_cast<double>(a + 1) * g_prev[a + 1]);
+    g_cur[a] = val;
+    level_max = std::max(level_max, val);
+  }
+  return level_max;
+}
+
+}  // namespace
+
+MvaResult mom_multiclass_engine(const ClosedNetwork& network,
+                                const std::vector<CustomerClass>& classes) {
+  const std::size_t k_count = network.size();
+  const std::size_t c_count = classes.size();
+
+  // Constant per-class demands, split into queueing stations (the lattice
+  // dimensions) and delay stations (folded into Z_c).
+  std::vector<std::vector<double>> demands(c_count);
+  for (std::size_t c = 0; c < c_count; ++c) {
+    const CustomerClass& cls = classes[c];
+    if (cls.demand_model != nullptr) {
+      MTPERF_REQUIRE(cls.demand_model->is_constant(),
+                     "class '" + cls.name +
+                         "': mom-multiclass requires constant demands; use "
+                         "exact-multiclass or schweitzer-multiclass for "
+                         "concurrency-varying classes");
+      demands[c] = cls.demand_model->all_at(1.0);
+    } else {
+      demands[c] = cls.demands;
+    }
+  }
+  std::vector<std::size_t> queueing;
+  std::vector<std::size_t> delays;
+  for (std::size_t k = 0; k < k_count; ++k) {
+    (network.station(k).kind == StationKind::kDelay ? delays : queueing)
+        .push_back(k);
+  }
+  const std::size_t m_dims = queueing.size();
+
+  std::vector<std::size_t> active;
+  unsigned total_pop = 0;
+  for (std::size_t c = 0; c < c_count; ++c) {
+    if (classes[c].population > 0) {
+      active.push_back(c);
+      total_pop += classes[c].population;
+    }
+  }
+
+  // Z_c: think time plus delay-station demands (delay residences are
+  // load-independent, so they behave exactly like think time in G).
+  std::vector<double> z(c_count, 0.0);
+  for (std::size_t c = 0; c < c_count; ++c) {
+    z[c] = classes[c].think_time;
+    for (const std::size_t k : delays) z[c] += demands[c][k];
+  }
+
+  MvaResult result;
+  result.reset(station_names_of(network), 1);
+  result.reset_classes(class_names_of(classes), class_populations_of(classes));
+  // A single-level result at the full mix; report the total population
+  // (the engine's exact-hit path never trims single-level results).
+  result.population[0] = total_pop;
+
+  LevelState state;
+  state.resize(c_count, k_count);
+  for (std::size_t c = 0; c < c_count; ++c) {
+    state.demand_rows[c] = demands[c].data();
+  }
+
+  // Per-class arrival-theorem queues from one run each.
+  std::vector<std::vector<double>> q_minus(c_count);
+
+  if (m_dims > 0 && total_pop > 1) {
+    // Adding customer n leaves cap N - n on the token vectors, so the
+    // final level (n = N - 1) still reaches |v| <= 1 — exactly g(0) and
+    // the g(e_m) the queue moments need.
+    const std::size_t pop = total_pop;
+    const std::size_t level_states = binom_saturating(pop + m_dims, m_dims);
+    MTPERF_REQUIRE(level_states <= kMaxMomLevelStates,
+                   "population-vector moment space too large for "
+                   "mom-multiclass; use schweitzer-multiclass");
+    const std::size_t run_work =
+        binom_saturating(pop + m_dims, m_dims + 1);
+    MTPERF_REQUIRE(run_work <= kMaxMomWork / std::max<std::size_t>(
+                                   active.size(), 1),
+                   "population-vector moment space too large for "
+                   "mom-multiclass; use schweitzer-multiclass");
+
+    const BinomTable binom(pop + m_dims, m_dims + 1);
+    std::vector<double> g_a(level_states);
+    std::vector<double> g_b(level_states);
+    std::vector<double> d_run(m_dims);
+
+    for (const std::size_t last : active) {
+      // Customer order for this run: every other active class in index
+      // order, then N_last - 1 customers of the last class — level
+      // n_steps is the mix minus one class-`last` customer.
+      std::vector<std::pair<std::size_t, unsigned>> schedule;
+      for (const std::size_t c : active) {
+        if (c != last) schedule.emplace_back(c, classes[c].population);
+      }
+      if (classes[last].population > 1) {
+        schedule.emplace_back(last, classes[last].population - 1);
+      }
+
+      double* g_prev = g_a.data();
+      double* g_cur = g_b.data();
+      std::fill(g_a.begin(), g_a.end(), 1.0);  // g_0(v) = 1 for all v
+      std::size_t n = 0;
+      for (const auto& [c, count] : schedule) {
+        for (std::size_t m = 0; m < m_dims; ++m) {
+          d_run[m] = demands[c][queueing[m]];
+        }
+        for (unsigned j = 1; j <= count; ++j) {
+          ++n;
+          const std::size_t cap = pop - n;
+          const double inv_j = 1.0 / static_cast<double>(j);
+          double level_max;
+          if (m_dims == 1) {
+            level_max = mom_step_m1(g_prev, g_cur, cap, d_run[0], z[c], inv_j);
+          } else if (m_dims == 2) {
+            level_max =
+                mom_step_m2(g_prev, g_cur, cap, d_run[0], d_run[1], z[c],
+                            inv_j);
+          } else {
+            level_max =
+                mom_step_generic(g_prev, g_cur, cap, d_run, z[c], inv_j,
+                                 binom);
+          }
+          // Only same-level ratios are ever read, so levels can be
+          // rescaled freely.  g_n is nondecreasing in every v coordinate
+          // (all recurrence coefficients are non-negative and g_0 is
+          // flat), so the level spans [g_cur[0], level_max] — a ratio
+          // bounded by 2^N but still enormous at large mixes.  Center it
+          // geometrically at 1 so both ends stay inside double range:
+          // anchoring at the max (the naive choice) flushes the small-v
+          // entries — the answer region — to zero once the spread passes
+          // ~1e308.
+          const double g_zero = g_cur[0];
+          if (!std::isfinite(level_max) || g_zero <= 0.0) {
+            throw numeric_error(
+                "multiclass moment recursion degenerated (a class with "
+                "zero think time and zero demands, or a moment spread "
+                "beyond double range); use schweitzer-multiclass");
+          }
+          // sqrt halves the exponents, so the product cannot over- or
+          // underflow even when the raw spread is near the format limits.
+          const double scale = 1.0 / (std::sqrt(level_max) * std::sqrt(g_zero));
+          if (scale < 0.5 || scale > 2.0) {
+            const std::size_t states = binom.at(cap + m_dims, m_dims);
+            for (std::size_t i = 0; i < states; ++i) g_cur[i] *= scale;
+          }
+          if (g_cur[0] < 1e-300) {
+            // Even centered, the spread exceeds ~600 decimal orders: the
+            // small end would go subnormal and the final ratios with it.
+            throw numeric_error(
+                "multiclass moment spread exceeds double range at this "
+                "mix; use schweitzer-multiclass");
+          }
+          std::swap(g_prev, g_cur);
+        }
+      }
+
+      // The final level (N - 1 customers) has cap 1: g(0) at index 0,
+      // g(e_m) via the index formula.  Q_m(N - e_last) = g(e_m)/g(0) - 1.
+      const double g0 = g_prev[0];
+      MTPERF_REQUIRE(g0 > 0.0,
+                     "multiclass moment recursion lost the normalizing "
+                     "constant (degenerate demands)");
+      auto& q_row = q_minus[last];
+      q_row.assign(m_dims, 0.0);
+      std::vector<unsigned> e(m_dims, 0);
+      for (std::size_t m = 0; m < m_dims; ++m) {
+        e[m] = 1;
+        q_row[m] = g_prev[lattice_index(e.data(), m_dims, 1, binom)] / g0 - 1.0;
+        e[m] = 0;
+      }
+    }
+  } else {
+    // Either no queueing stations (delay-only network: queues seen on
+    // arrival are irrelevant) or a single customer in total (it never
+    // queues behind anyone).
+    for (const std::size_t c : active) q_minus[c].assign(m_dims, 0.0);
+  }
+
+  // Arrival theorem: R_{c,k} = d_{c,k} (1 + Q_k(N - e_c)) at queueing
+  // stations, d_{c,k} at delay stations; X_c = N_c / (Z_c + R_c) with the
+  // think time kept separate from the folded delay demands.
+  for (const std::size_t c : active) {
+    double total_residence = 0.0;
+    for (std::size_t k = 0; k < k_count; ++k) {
+      state.residence[c * k_count + k] = demands[c][k];
+    }
+    for (std::size_t m = 0; m < m_dims; ++m) {
+      const std::size_t k = queueing[m];
+      state.residence[c * k_count + k] =
+          demands[c][k] * (1.0 + q_minus[c][m]);
+    }
+    for (std::size_t k = 0; k < k_count; ++k) {
+      total_residence += state.residence[c * k_count + k];
+    }
+    state.r[c] = total_residence;
+    state.x[c] = static_cast<double>(classes[c].population) /
+                 (classes[c].think_time + total_residence);
+  }
+
+  assemble_level(result, 0, classes, class_populations_of(classes), state);
+  return result;
+}
+
+}  // namespace mtperf::core::detail

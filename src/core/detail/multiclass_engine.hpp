@@ -1,0 +1,45 @@
+// Implementation engines behind the multiclass solver family
+// (core/mva_multiclass.hpp): shared validation, the exact population-vector
+// recursion, the per-level Schweitzer fixed point, and the RECAL
+// moment-recursion solver.  All engines emit the unified SoA MvaResult
+// (with its multiclass extension) so the facade, the fingerprint cache,
+// and the serve protocol treat multiclass results like any other.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/mva_multiclass.hpp"
+#include "core/mva_schweitzer.hpp"
+#include "core/network.hpp"
+#include "core/result.hpp"
+
+namespace mtperf::core::detail {
+
+/// Shared validation for every multiclass solver: at least one class, all
+/// populations not simultaneously zero, unique class names, per-class
+/// demand widths matching the station count (naming the class), finite
+/// non-negative demands and think times, single-server queueing or delay
+/// stations only, and concurrency-axis demand models.
+void validate_multiclass(const ClosedNetwork& network,
+                         const std::vector<CustomerClass>& classes);
+
+/// Exact recursion over the population-vector lattice, capturing one
+/// result level per axis-class population (other classes at full
+/// strength).  `grid` must cover the mix's total population.
+MvaResult exact_multiclass_engine(const ClosedNetwork& network,
+                                  const std::vector<CustomerClass>& classes,
+                                  const MulticlassGrid& grid);
+
+/// One cold-started Schweitzer fixed point per axis level; throws
+/// mtperf::numeric_error naming the level on exhaustion.
+MvaResult schweitzer_multiclass_engine(
+    const ClosedNetwork& network, const std::vector<CustomerClass>& classes,
+    const SchweitzerOptions& options, const MulticlassGrid& grid);
+
+/// RECAL moment recursion (see DESIGN.md §13): exact, single result level
+/// at the full mix.  Requires constant per-class demands.
+MvaResult mom_multiclass_engine(const ClosedNetwork& network,
+                                const std::vector<CustomerClass>& classes);
+
+}  // namespace mtperf::core::detail

@@ -1,10 +1,11 @@
 #include "core/mva_multiclass.hpp"
 
-#include <algorithm>
-#include <cmath>
+#include <memory>
 #include <numeric>
+#include <utility>
 
 #include "common/error.hpp"
+#include "core/detail/multiclass_engine.hpp"
 
 namespace mtperf::core {
 
@@ -12,243 +13,137 @@ double MulticlassResult::total_throughput() const {
   return std::accumulate(class_throughput.begin(), class_throughput.end(), 0.0);
 }
 
-namespace {
-
-void validate(const ClosedNetwork& network,
-              const std::vector<CustomerClass>& classes) {
-  MTPERF_REQUIRE(!classes.empty(), "need at least one customer class");
-  for (const auto& st : network.stations()) {
-    MTPERF_REQUIRE(st.servers == 1 || st.kind == StationKind::kDelay,
-                   "multi-class MVA supports single-server queueing and delay "
-                   "stations; use the Seidmann transform for multi-server "
-                   "resources (station: " + st.name + ")");
-  }
-  for (const auto& c : classes) {
-    MTPERF_REQUIRE(c.demands.size() == network.size(),
-                   "class '" + c.name + "': one demand per station required");
-    MTPERF_REQUIRE(c.think_time >= 0.0, "think times must be non-negative");
-    for (double d : c.demands) {
-      MTPERF_REQUIRE(d >= 0.0, "service demands must be non-negative");
+MulticlassGrid::MulticlassGrid(const ClosedNetwork& network,
+                               const std::vector<CustomerClass>& classes,
+                               unsigned max_total_population,
+                               const MulticlassGrid* shallower)
+    : stations_(network.size()), max_population_(max_total_population) {
+  MTPERF_REQUIRE(max_total_population >= 1, "population must be at least 1");
+  models_.reserve(classes.size());
+  grids_.reserve(classes.size());
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const CustomerClass& cls = classes[c];
+    std::shared_ptr<const DemandModel> model = cls.demand_model;
+    if (model == nullptr) {
+      MTPERF_REQUIRE(cls.demands.size() == stations_,
+                     "class '" + cls.name + "': one demand per station required");
+      model = std::make_shared<const DemandModel>(
+          DemandModel::constant(cls.demands));
+    } else {
+      MTPERF_REQUIRE(model->stations() == stations_,
+                     "class '" + cls.name + "': one demand per station required");
+      varying_ = varying_ || !model->is_constant();
     }
+    // Deepen per class: a shallower grid's class-c rows were tabulated
+    // from a model with identical content (the scenario engine keys grids
+    // by structural fingerprint), so reuse is bit-identical.
+    const DemandGrid* prev = shallower != nullptr && c < shallower->classes()
+                                 ? &shallower->grids_[c]
+                                 : nullptr;
+    grids_.emplace_back(*model, max_total_population, prev);
+    models_.push_back(std::move(model));
   }
 }
 
-/// Mixed-radix indexing of population vectors n, 0 <= n_c <= N_c.
-class PopulationIndex {
- public:
-  /// Upper bound on the population-vector space.  Enforced during stride
-  /// construction: the running product must be checked against the cap
-  /// *before* each multiply — large populations (e.g. two classes of 2^32)
-  /// can wrap std::size_t, and a wrapped total would pass the size guard
-  /// and index the Q table out of bounds.
-  static constexpr std::size_t kMaxSpace = std::size_t{1} << 28;
+std::size_t multiclass_axis_class(const std::vector<CustomerClass>& classes) {
+  MTPERF_REQUIRE(!classes.empty(), "need at least one customer class");
+  for (std::size_t c = classes.size(); c-- > 0;) {
+    if (classes[c].population > 0) return c;
+  }
+  throw invalid_argument_error("all classes have zero population");
+}
 
-  explicit PopulationIndex(const std::vector<CustomerClass>& classes) {
-    stride_.resize(classes.size());
-    std::size_t acc = 1;
-    for (std::size_t c = 0; c < classes.size(); ++c) {
-      stride_[c] = acc;
-      const std::size_t radix =
-          static_cast<std::size_t>(classes[c].population) + 1;
-      MTPERF_REQUIRE(acc <= kMaxSpace / radix,
-                     "population-vector space too large for exact "
-                     "multi-class MVA; use schweitzer_mva_multiclass");
-      acc *= radix;
+unsigned multiclass_total_population(
+    const std::vector<CustomerClass>& classes) {
+  unsigned total = 0;
+  for (const auto& c : classes) total += c.population;
+  return total;
+}
+
+MvaResult exact_multiclass_series(const ClosedNetwork& network,
+                                  const std::vector<CustomerClass>& classes,
+                                  const MulticlassGrid* grid) {
+  detail::validate_multiclass(network, classes);
+  const unsigned total = multiclass_total_population(classes);
+  if (grid != nullptr) {
+    MTPERF_REQUIRE(grid->max_population() >= total,
+                   "multiclass demand grid shallower than the mix's total "
+                   "population");
+    return detail::exact_multiclass_engine(network, classes, *grid);
+  }
+  const MulticlassGrid local(network, classes, total);
+  return detail::exact_multiclass_engine(network, classes, local);
+}
+
+MvaResult mom_multiclass(const ClosedNetwork& network,
+                         const std::vector<CustomerClass>& classes) {
+  detail::validate_multiclass(network, classes);
+  return detail::mom_multiclass_engine(network, classes);
+}
+
+MvaResult schweitzer_multiclass_series(const ClosedNetwork& network,
+                                       const std::vector<CustomerClass>& classes,
+                                       const SchweitzerOptions& options,
+                                       const MulticlassGrid* grid) {
+  detail::validate_multiclass(network, classes);
+  const unsigned total = multiclass_total_population(classes);
+  if (grid != nullptr) {
+    MTPERF_REQUIRE(grid->max_population() >= total,
+                   "multiclass demand grid shallower than the mix's total "
+                   "population");
+    return detail::schweitzer_multiclass_engine(network, classes, options,
+                                                *grid);
+  }
+  const MulticlassGrid local(network, classes, total);
+  return detail::schweitzer_multiclass_engine(network, classes, options, local);
+}
+
+namespace {
+
+/// Final-mix row of a series result in the historical MulticlassResult
+/// shape.  The copies are plain loads of the engine's own values, so the
+/// wrappers are bit-identical to the facade path by construction.
+MulticlassResult to_legacy(const MvaResult& series) {
+  const std::size_t level = series.levels() - 1;
+  const std::size_t c_count = series.classes();
+  const std::size_t k_count = series.stations();
+  MulticlassResult out;
+  out.class_throughput.resize(c_count);
+  out.class_response_time.resize(c_count);
+  out.class_station_queue.assign(c_count, std::vector<double>(k_count, 0.0));
+  for (std::size_t c = 0; c < c_count; ++c) {
+    out.class_throughput[c] = series.class_x(level, c);
+    out.class_response_time[c] = series.class_r(level, c);
+    for (std::size_t k = 0; k < k_count; ++k) {
+      out.class_station_queue[c][k] = series.class_queue(level, c, k);
     }
-    total_ = acc;
   }
-
-  std::size_t total() const noexcept { return total_; }
-
-  std::size_t offset(const std::vector<unsigned>& n) const {
-    std::size_t idx = 0;
-    for (std::size_t c = 0; c < n.size(); ++c) idx += n[c] * stride_[c];
-    return idx;
+  out.station_queue.resize(k_count);
+  out.station_utilization.resize(k_count);
+  for (std::size_t k = 0; k < k_count; ++k) {
+    out.station_queue[k] = series.queue(level, k);
+    out.station_utilization[k] = series.utilization(level, k);
   }
-
-  std::size_t stride(std::size_t c) const noexcept { return stride_[c]; }
-
- private:
-  std::vector<std::size_t> stride_;
-  std::size_t total_ = 0;
-};
-
-/// Advance n through the mixed-radix space in lexicographic order such that
-/// every n - e_c precedes n.  Returns false when exhausted.
-bool next_vector(std::vector<unsigned>& n,
-                 const std::vector<CustomerClass>& classes) {
-  for (std::size_t c = 0; c < n.size(); ++c) {
-    if (n[c] < classes[c].population) {
-      ++n[c];
-      return true;
-    }
-    n[c] = 0;
-  }
-  return false;
+  out.iterations = series.mc_iterations;
+  out.converged = true;
+  return out;
 }
 
 }  // namespace
 
 MulticlassResult exact_mva_multiclass(
     const ClosedNetwork& network, const std::vector<CustomerClass>& classes) {
-  validate(network, classes);
-  const std::size_t k_count = network.size();
-  const std::size_t c_count = classes.size();
-
-  const PopulationIndex index(classes);
-  MTPERF_REQUIRE(index.total() * k_count <= (std::size_t{1} << 28),
-                 "population-vector space too large for exact multi-class "
-                 "MVA; use schweitzer_mva_multiclass");
-
-  // Q[idx * K + k] = total mean queue length at station k for population
-  // vector idx.  Only the total queue is needed by the recursion.
-  std::vector<double> q(index.total() * k_count, 0.0);
-
-  std::vector<unsigned> n(c_count, 0);
-  std::vector<double> x(c_count, 0.0);
-  std::vector<double> r(c_count, 0.0);
-  std::vector<std::vector<double>> residence(
-      c_count, std::vector<double>(k_count, 0.0));
-
-  MulticlassResult result;  // filled at the final vector
-  while (next_vector(n, classes)) {
-    const std::size_t idx = index.offset(n);
-    for (std::size_t c = 0; c < c_count; ++c) {
-      if (n[c] == 0) {
-        x[c] = 0.0;
-        r[c] = 0.0;
-        continue;
-      }
-      // Arrival theorem: class-c customers see the queue of n - e_c.
-      const std::size_t prev = idx - index.stride(c);
-      double total_residence = 0.0;
-      for (std::size_t k = 0; k < k_count; ++k) {
-        const Station& st = network.station(k);
-        const double d = classes[c].demands[k];
-        const double wait = st.kind == StationKind::kDelay
-                                ? d
-                                : d * (1.0 + q[prev * k_count + k]);
-        residence[c][k] = wait;
-        total_residence += wait;
-      }
-      r[c] = total_residence;
-      x[c] = static_cast<double>(n[c]) /
-             (classes[c].think_time + total_residence);
-    }
-    for (std::size_t k = 0; k < k_count; ++k) {
-      double total = 0.0;
-      for (std::size_t c = 0; c < c_count; ++c) {
-        if (n[c] > 0) total += x[c] * residence[c][k];
-      }
-      q[idx * k_count + k] = total;
-    }
-
-    // At the target mix, capture the full result.
-    bool at_target = true;
-    for (std::size_t c = 0; c < c_count; ++c) {
-      if (n[c] != classes[c].population) {
-        at_target = false;
-        break;
-      }
-    }
-    if (at_target) {
-      result.class_throughput = x;
-      result.class_response_time = r;
-      result.station_queue.assign(k_count, 0.0);
-      result.station_utilization.assign(k_count, 0.0);
-      result.class_station_queue.assign(c_count,
-                                        std::vector<double>(k_count, 0.0));
-      for (std::size_t k = 0; k < k_count; ++k) {
-        result.station_queue[k] = q[idx * k_count + k];
-        for (std::size_t c = 0; c < c_count; ++c) {
-          if (classes[c].population > 0) {
-            result.class_station_queue[c][k] = x[c] * residence[c][k];
-          }
-          result.station_utilization[k] += x[c] * classes[c].demands[k];
-        }
-      }
-    }
-  }
-  MTPERF_REQUIRE(!result.class_throughput.empty(),
-                 "all classes have zero population");
-  return result;
+  return to_legacy(exact_multiclass_series(network, classes));
 }
 
 MulticlassResult schweitzer_mva_multiclass(
     const ClosedNetwork& network, const std::vector<CustomerClass>& classes,
     const MulticlassSchweitzerOptions& options) {
-  validate(network, classes);
-  const std::size_t k_count = network.size();
-  const std::size_t c_count = classes.size();
-  MTPERF_REQUIRE(options.tolerance > 0.0, "tolerance must be positive");
-
-  // Per-class queue estimates at the full mix; start with an even spread.
-  std::vector<std::vector<double>> q(c_count,
-                                     std::vector<double>(k_count, 0.0));
-  for (std::size_t c = 0; c < c_count; ++c) {
-    for (std::size_t k = 0; k < k_count; ++k) {
-      q[c][k] = static_cast<double>(classes[c].population) /
-                static_cast<double>(k_count);
-    }
-  }
-
-  std::vector<double> x(c_count, 0.0);
-  std::vector<double> r(c_count, 0.0);
-  std::vector<std::vector<double>> residence(
-      c_count, std::vector<double>(k_count, 0.0));
-
-  bool converged = false;
-  for (unsigned iter = 0; iter < options.max_iterations && !converged; ++iter) {
-    converged = true;
-    for (std::size_t c = 0; c < c_count; ++c) {
-      if (classes[c].population == 0) continue;
-      const double nc = static_cast<double>(classes[c].population);
-      double total_residence = 0.0;
-      for (std::size_t k = 0; k < k_count; ++k) {
-        const Station& st = network.station(k);
-        const double d = classes[c].demands[k];
-        if (st.kind == StationKind::kDelay) {
-          residence[c][k] = d;
-        } else {
-          // Estimated queue seen at arrival: own class discounted by
-          // (n_c - 1)/n_c, other classes in full.
-          double seen = (nc - 1.0) / nc * q[c][k];
-          for (std::size_t d2 = 0; d2 < c_count; ++d2) {
-            if (d2 != c) seen += q[d2][k];
-          }
-          residence[c][k] = d * (1.0 + seen);
-        }
-        total_residence += residence[c][k];
-      }
-      r[c] = total_residence;
-      x[c] = nc / (classes[c].think_time + total_residence);
-    }
-    for (std::size_t c = 0; c < c_count; ++c) {
-      if (classes[c].population == 0) continue;
-      for (std::size_t k = 0; k < k_count; ++k) {
-        const double updated = x[c] * residence[c][k];
-        if (std::abs(updated - q[c][k]) >= options.tolerance) converged = false;
-        q[c][k] = updated;
-      }
-    }
-  }
-  if (!converged) {
-    throw numeric_error("multi-class Schweitzer MVA did not converge");
-  }
-
-  MulticlassResult result;
-  result.class_throughput = x;
-  result.class_response_time = r;
-  result.class_station_queue = q;
-  result.station_queue.assign(k_count, 0.0);
-  result.station_utilization.assign(k_count, 0.0);
-  for (std::size_t k = 0; k < k_count; ++k) {
-    for (std::size_t c = 0; c < c_count; ++c) {
-      result.station_queue[k] += q[c][k];
-      result.station_utilization[k] += x[c] * classes[c].demands[k];
-    }
-  }
-  return result;
+  SchweitzerOptions series_options;
+  series_options.tolerance = options.tolerance;
+  series_options.max_iterations = options.max_iterations;
+  return to_legacy(
+      schweitzer_multiclass_series(network, classes, series_options));
 }
 
 }  // namespace mtperf::core

@@ -3,10 +3,29 @@
 // The paper restricts itself to a single customer class ("the customers are
 // assumed to be indistinguishable"); real capacity studies usually need
 // classes — e.g. VINS's Renew Policy vs Read Policy users with different
-// demands and think times.  This module provides the canonical exact
-// multi-class MVA (recursion over population vectors) and the multi-class
-// Schweitzer approximation for populations where the exact recursion's
-// product-of-populations state space is infeasible.
+// demands and think times.  This module provides three solvers behind the
+// core::solve facade (SolverKind::{kExactMulticlass, kMomMulticlass,
+// kSchweitzerMulticlass}):
+//
+//   * exact_multiclass_series — the canonical exact recursion over all
+//     population vectors n <= N (Reiser & Lavenberg).  Exponential in the
+//     number of classes; the small-mix oracle.
+//   * mom_multiclass — an exact Method-of-Moments-style solver: a RECAL
+//     (Conway–Georganas) recursion over normalizing-constant moments
+//     g_n(v), where v counts "extra tokens" per queueing station.  Time is
+//     O(R * C(N + M, M + 1)) for total population N over M queueing
+//     stations — polynomial in N for a fixed station count — so 3+-class
+//     mixes far beyond the exact recursion's 2^28 state-space guard stay
+//     solvable.  See DESIGN.md §13 for the recurrence.
+//   * schweitzer_multiclass_series — the multi-class Schweitzer fixed
+//     point, for mixes beyond even the moment recursion's budget.
+//
+// Per-class service demands may vary with the *total* concurrency (the
+// paper's core idea, extended classwise): each class carries either a
+// constant demand vector or a DemandModel whose concurrency axis is the
+// total customer count in the network.  MulticlassGrid pre-tabulates all
+// classes' models for a solve, with the same deepen-reuse hook the
+// single-class DemandGrid gives the scenario engine.
 //
 // Stations are single-server queueing or delay stations (the standard
 // product-form multi-class setting); multi-core resources can be handled
@@ -14,23 +33,33 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/demand_model.hpp"
+#include "core/mva_schweitzer.hpp"
 #include "core/network.hpp"
+#include "core/result.hpp"
 
 namespace mtperf::core {
 
 /// One customer class: population, think time, and per-station service
-/// demands (D_{c,k} = V_{c,k} * S_{c,k}, i.e. visits folded in).
+/// demands (D_{c,k} = V_{c,k} * S_{c,k}, i.e. visits folded in).  Demands
+/// are either the constant `demands` vector or, when set, `demand_model` —
+/// a per-class concurrency-varying model evaluated at the *total*
+/// population of the mix (the multiclass extension of MVASD's SS_k^n).
 struct CustomerClass {
   std::string name;
   unsigned population = 0;
   double think_time = 0.0;
-  std::vector<double> demands;  ///< one per station
+  std::vector<double> demands;  ///< one per station; ignored when a model is set
+  std::shared_ptr<const DemandModel> demand_model;  ///< optional, per class
 };
 
-/// Results at the full population mix.
+/// Results at the full population mix (legacy shape, kept for the thin
+/// exact_mva_multiclass / schweitzer_mva_multiclass wrappers; the facade
+/// path returns the SoA MvaResult with its multiclass extension).
 struct MulticlassResult {
   /// X_c — per-class system throughput.
   std::vector<double> class_throughput;
@@ -42,23 +71,103 @@ struct MulticlassResult {
   std::vector<double> station_utilization;
   /// Q_{c,k} — per-class mean queue length per station.
   std::vector<std::vector<double>> class_station_queue;
+  /// Fixed-point iterations the Schweitzer solver needed (0 for exact).
+  unsigned iterations = 0;
+  /// Whether the solver converged.  Always true on results: exhaustion
+  /// throws mtperf::numeric_error instead of returning a bad iterate.
+  bool converged = true;
 
   double total_throughput() const;
 };
 
+/// Pre-tabulated per-class demand rows for one multiclass solve: one
+/// DemandGrid per class, each indexed by the mix's *total* population
+/// 1..max_population().  Owns copies of the class demand models (grids
+/// borrow their model), so a cache entry can hold it self-contained.
+/// The deepening constructor reuses a shallower grid's rows per class —
+/// the scenario engine's deepen-in-place hook for multiclass structures.
+class MulticlassGrid {
+ public:
+  MulticlassGrid(const ClosedNetwork& network,
+                 const std::vector<CustomerClass>& classes,
+                 unsigned max_total_population,
+                 const MulticlassGrid* shallower = nullptr);
+
+  std::size_t classes() const noexcept { return grids_.size(); }
+  std::size_t stations() const noexcept { return stations_; }
+  unsigned max_population() const noexcept { return max_population_; }
+
+  /// Demands of class c at total population n (1-based), as one contiguous
+  /// row.  Constant classes share a single row (stride 0), so the same
+  /// expression serves both.
+  const double* row(std::size_t c, unsigned n) const noexcept {
+    const DemandGrid& g = grids_[c];
+    return g.data() + static_cast<std::size_t>(n - 1) * g.row_stride();
+  }
+
+  /// True when any class's demands actually vary with concurrency.
+  bool varying() const noexcept { return varying_; }
+
+ private:
+  std::size_t stations_;
+  unsigned max_population_;
+  bool varying_ = false;
+  std::vector<std::shared_ptr<const DemandModel>> models_;
+  std::vector<DemandGrid> grids_;
+};
+
+/// Index of the population axis class: the last class with a nonzero
+/// population.  The series solvers emit one result level per axis-class
+/// population 1..N_axis with every other class held at full strength, so
+/// a deep solve's prefix answers any shallower axis mix (the multiclass
+/// analogue of the single-class population-prefix reuse).  Throws
+/// mtperf::invalid_argument_error when every class has zero population.
+std::size_t multiclass_axis_class(const std::vector<CustomerClass>& classes);
+
+/// Total population of the mix (sum over classes).
+unsigned multiclass_total_population(const std::vector<CustomerClass>& classes);
+
 /// Exact multi-class MVA (Reiser & Lavenberg): recursion over all
 /// population vectors n <= N.  Time and memory are proportional to
-/// K * prod_c (N_c + 1) — use the Schweitzer variant for large mixes.
-MulticlassResult exact_mva_multiclass(const ClosedNetwork& network,
-                                      const std::vector<CustomerClass>& classes);
+/// K * prod_c (N_c + 1) — guarded at 2^28 states; use mom_multiclass (still
+/// exact) or the Schweitzer variant past the guard.  Returns the axis
+/// series: level t solves the mix with the axis class at population t.
+/// `grid` optionally supplies pre-tabulated per-class demands (to >= the
+/// mix's total population); null tabulates locally.
+MvaResult exact_multiclass_series(const ClosedNetwork& network,
+                                  const std::vector<CustomerClass>& classes,
+                                  const MulticlassGrid* grid = nullptr);
+
+/// Exact Method-of-Moments-style solver (RECAL recursion over normalizing-
+/// constant moments).  Polynomial in total population for a fixed station
+/// count; requires constant per-class demands (the moment recursion has no
+/// concurrency-varying product form).  Returns a single result level — the
+/// full mix — with population[0] set to the mix's total population.
+MvaResult mom_multiclass(const ClosedNetwork& network,
+                         const std::vector<CustomerClass>& classes);
+
+/// Multi-class Schweitzer approximation, one cold-started fixed point per
+/// axis level:
+///   Q_{c,k}(N - e_c) ~= Q_{c,k}(N) (N_c - 1)/N_c + sum_{d != c} Q_{d,k}(N).
+/// Throws mtperf::numeric_error naming the axis level when any level's
+/// fixed point exhausts options.max_iterations; the result's mc_iterations
+/// reports the largest iteration count any level needed.
+MvaResult schweitzer_multiclass_series(
+    const ClosedNetwork& network, const std::vector<CustomerClass>& classes,
+    const SchweitzerOptions& options = {}, const MulticlassGrid* grid = nullptr);
 
 struct MulticlassSchweitzerOptions {
   double tolerance = 1e-10;
   unsigned max_iterations = 20000;
 };
 
-/// Multi-class Schweitzer approximation: fixed point on
-///   Q_{c,k}(N - e_c) ~= Q_{c,k}(N) (N_c - 1)/N_c + sum_{d != c} Q_{d,k}(N).
+/// Legacy entry point: thin wrapper over exact_multiclass_series returning
+/// the final-mix row in the historical MulticlassResult shape.  Results are
+/// bit-identical to the facade path (it *is* the facade path).
+MulticlassResult exact_mva_multiclass(const ClosedNetwork& network,
+                                      const std::vector<CustomerClass>& classes);
+
+/// Legacy entry point: thin wrapper over schweitzer_multiclass_series.
 MulticlassResult schweitzer_mva_multiclass(
     const ClosedNetwork& network, const std::vector<CustomerClass>& classes,
     const MulticlassSchweitzerOptions& options = {});

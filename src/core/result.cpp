@@ -19,6 +19,26 @@ void MvaResult::reset(std::vector<std::string> names, std::size_t n_levels) {
   station_queue.assign(n_levels * k_count, 0.0);
   station_utilization.assign(n_levels * k_count, 0.0);
   station_residence.assign(n_levels * k_count, 0.0);
+  class_names.clear();
+  class_population.clear();
+  class_throughput.clear();
+  class_response_time.clear();
+  class_station_queue.clear();
+  mc_axis = kNoAxis;
+  mc_iterations = 0;
+}
+
+void MvaResult::reset_classes(std::vector<std::string> names,
+                              std::vector<unsigned> populations) {
+  MTPERF_REQUIRE(names.size() == populations.size(),
+                 "one population per customer class required");
+  class_names = std::move(names);
+  class_population = std::move(populations);
+  const std::size_t c_count = class_names.size();
+  const std::size_t n_levels = levels();
+  class_throughput.assign(n_levels * c_count, 0.0);
+  class_response_time.assign(n_levels * c_count, 0.0);
+  class_station_queue.assign(n_levels * c_count * station_names.size(), 0.0);
 }
 
 std::size_t MvaResult::row_for(unsigned n) const {
@@ -52,6 +72,26 @@ MvaResult MvaResult::prefix(unsigned max_population) const {
                                  station_utilization.begin() + cells);
   out.station_residence.assign(station_residence.begin(),
                                station_residence.begin() + cells);
+  if (!class_names.empty()) {
+    const std::size_t c_count = class_names.size();
+    out.class_names = class_names;
+    out.class_population = class_population;
+    out.mc_axis = mc_axis;
+    out.mc_iterations = mc_iterations;
+    if (mc_axis != kNoAxis) {
+      // Each level of a series result carries the axis class at that
+      // level's population; the trimmed top is the new axis depth.
+      out.class_population[mc_axis] = max_population;
+    }
+    const std::size_t class_cells = n_levels * c_count;
+    out.class_throughput.assign(class_throughput.begin(),
+                                class_throughput.begin() + class_cells);
+    out.class_response_time.assign(class_response_time.begin(),
+                                   class_response_time.begin() + class_cells);
+    const std::size_t queue_cells = class_cells * k_count;
+    out.class_station_queue.assign(class_station_queue.begin(),
+                                   class_station_queue.begin() + queue_cells);
+  }
   return out;
 }
 

@@ -32,8 +32,59 @@ struct MvaResult {
   /// Station names; their count is the row stride of the flat buffers.
   std::vector<std::string> station_names;
 
+  // ------------------------------------------------------------------
+  // Multiclass extension.  Empty for single-class solvers; the multiclass
+  // kinds additionally fill these SoA buffers with per-class series in the
+  // same levels-major layout as the station buffers.  The aggregate rows
+  // above stay populated (throughput = sum of class throughputs, and so
+  // on), so every single-class consumer — the cache, the serve protocol,
+  // the series output — reads multiclass results unchanged.
+
+  /// Class names; their count is the class-row stride.  Nonempty marks a
+  /// multiclass result.
+  std::vector<std::string> class_names;
+  /// Per-class population at the deepest level (the requested mix).  For
+  /// the series solvers the axis class's entry equals population.back().
+  std::vector<unsigned> class_population;
+  /// X_c per level, flat row-major: class_throughput[level * C + c].
+  std::vector<double> class_throughput;
+  /// R_c per level (per-class response time), same layout.
+  std::vector<double> class_response_time;
+  /// Q_{c,k} per level, flat: [level * C * K + c * K + k].
+  std::vector<double> class_station_queue;
+  /// Index (into the class arrays) of the population axis class for the
+  /// series solvers — the class whose population varies 1..levels() while
+  /// the others stay at full strength.  npos for single-mix results (MoM).
+  static constexpr std::size_t kNoAxis = static_cast<std::size_t>(-1);
+  std::size_t mc_axis = kNoAxis;
+  /// Iteration report for the approximate multiclass solver: the largest
+  /// fixed-point iteration count any level needed (0 for exact solvers).
+  /// Results are only produced when the fixed point converged; exhaustion
+  /// throws mtperf::numeric_error instead.
+  unsigned mc_iterations = 0;
+
   std::size_t levels() const noexcept { return population.size(); }
   std::size_t stations() const noexcept { return station_names.size(); }
+  std::size_t classes() const noexcept { return class_names.size(); }
+
+  /// (level, class) accessors into the flat multiclass buffers.
+  double class_x(std::size_t level, std::size_t c) const noexcept {
+    return class_throughput[level * class_names.size() + c];
+  }
+  double class_r(std::size_t level, std::size_t c) const noexcept {
+    return class_response_time[level * class_names.size() + c];
+  }
+  double class_queue(std::size_t level, std::size_t c,
+                     std::size_t station) const noexcept {
+    const std::size_t stride = class_names.size() * station_names.size();
+    return class_station_queue[level * stride + c * station_names.size() +
+                               station];
+  }
+
+  /// Pre-size the multiclass buffers for levels() rows over the named
+  /// classes (call after reset()).
+  void reset_classes(std::vector<std::string> names,
+                     std::vector<unsigned> populations);
 
   /// Pre-size every buffer for `levels` population levels over the named
   /// stations and fill `population` with 1..levels.  Solvers call this once
@@ -73,6 +124,13 @@ struct MvaResult {
   /// solve — the property the scenario engine's cached-prefix reuse rests
   /// on.  Requires levels() >= max_population >= 1 and the canonical
   /// population numbering 1..N that reset() establishes.
+  ///
+  /// Multiclass results trim the class buffers too.  For the series
+  /// solvers a level is a full solve of the mix with the axis class at
+  /// that level's population, so the trimmed result is identical to
+  /// solving the shallower mix directly — the multiclass mix-prefix
+  /// reuse the scenario engine rests on.  (The axis class's entry in
+  /// class_population is adjusted to the new depth.)
   MvaResult prefix(unsigned max_population) const;
 
   /// Series of one station's utilization across all populations.

@@ -31,6 +31,9 @@ constexpr KindName kKindNames[] = {
     {SolverKind::kMvasdSingleServer, "mvasd-single-server"},
     {SolverKind::kSeidmann, "seidmann"},
     {SolverKind::kSeidmannSchweitzer, "seidmann-schweitzer"},
+    {SolverKind::kExactMulticlass, "exact-multiclass"},
+    {SolverKind::kMomMulticlass, "mom-multiclass"},
+    {SolverKind::kSchweitzerMulticlass, "schweitzer-multiclass"},
 };
 
 /// Constant demands as the span the fixed-demand entry points take.
@@ -59,8 +62,49 @@ SolverKind parse_solver_kind(const std::string& name) {
   throw invalid_argument_error("unknown solver kind: '" + name + "'");
 }
 
+unsigned multiclass_axis_levels(SolverKind kind,
+                                const std::vector<CustomerClass>& classes) {
+  MTPERF_REQUIRE(is_multiclass(kind),
+                 "multiclass_axis_levels needs a multiclass solver kind");
+  // The axis lookup also rejects all-idle mixes — run it for every kind
+  // so MoM's single-level answer can't be requested for zero customers.
+  const std::size_t axis = multiclass_axis_class(classes);
+  if (kind == SolverKind::kMomMulticlass) return 1;
+  return classes[axis].population;
+}
+
+void finalize_multiclass_options(SolveOptions& options) {
+  MTPERF_REQUIRE(!options.classes.empty(),
+                 "multiclass solver kinds need options.classes");
+  options.max_population =
+      multiclass_axis_levels(options.solver, options.classes);
+}
+
 MvaResult solve(const ClosedNetwork& network, const DemandModel* demands,
-                const SolveOptions& options, const DemandGrid* grid) {
+                const SolveOptions& options, const DemandGrid* grid,
+                const MulticlassGrid* class_grid) {
+  if (is_multiclass(options.solver)) {
+    MTPERF_REQUIRE(!options.classes.empty(),
+                   "multiclass solver kinds need options.classes");
+    MTPERF_REQUIRE(
+        options.max_population ==
+            multiclass_axis_levels(options.solver, options.classes),
+        "options.max_population must equal the multiclass axis depth "
+        "(use finalize_multiclass_options)");
+    switch (options.solver) {
+      case SolverKind::kExactMulticlass:
+        return exact_multiclass_series(network, options.classes, class_grid);
+      case SolverKind::kMomMulticlass:
+        return mom_multiclass(network, options.classes);
+      default:
+        return schweitzer_multiclass_series(network, options.classes,
+                                            options.schweitzer, class_grid);
+    }
+  }
+  MTPERF_REQUIRE(options.classes.empty(),
+                 std::string("options.classes requires a multiclass solver "
+                             "kind; '") +
+                     solver_kind_name(options.solver) + "' is single-class");
   MTPERF_REQUIRE(demands != nullptr, "solve() needs a demand model");
   MTPERF_REQUIRE(demands->stations() == network.size(),
                  "demand model width must match station count");
@@ -107,6 +151,10 @@ MvaResult solve(const ClosedNetwork& network, const DemandModel* demands,
     case SolverKind::kSeidmannSchweitzer:
       return seidmann_schweitzer_mva(
           network, constant_demands(*demands, options.solver), n);
+    case SolverKind::kExactMulticlass:
+    case SolverKind::kMomMulticlass:
+    case SolverKind::kSchweitzerMulticlass:
+      break;  // dispatched above, before the single-class validation
   }
   MTPERF_REQUIRE(false, "unknown SolverKind value");
   return MvaResult{};  // unreachable

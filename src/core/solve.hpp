@@ -20,6 +20,7 @@
 #include "core/demand_model.hpp"
 #include "core/mva_approx_multiserver.hpp"
 #include "core/mva_load_dependent.hpp"
+#include "core/mva_multiclass.hpp"
 #include "core/mva_schweitzer.hpp"
 #include "core/network.hpp"
 #include "core/result.hpp"
@@ -43,7 +44,18 @@ enum class SolverKind {
   kMvasdSingleServer,   ///< Fig. 8 baseline (mvasd_single_server)
   kSeidmann,            ///< Seidmann transform + exact recursion — constant
   kSeidmannSchweitzer,  ///< Seidmann transform + Schweitzer — constant
+  kExactMulticlass,     ///< exact population-vector recursion — small mixes
+  kMomMulticlass,       ///< RECAL moment recursion — exact, large mixes
+  kSchweitzerMulticlass,///< multi-class Schweitzer fixed point
 };
+
+/// True for the customer-class solver kinds (they read options.classes and
+/// ignore the single-class demand model).
+inline bool is_multiclass(SolverKind kind) noexcept {
+  return kind == SolverKind::kExactMulticlass ||
+         kind == SolverKind::kMomMulticlass ||
+         kind == SolverKind::kSchweitzerMulticlass;
+}
 
 /// Stable lower-case identifier ("mvasd", "exact-multiserver", ...) used by
 /// the CLI, the serve tool's JSON protocol, and error messages.
@@ -66,7 +78,25 @@ struct SolveOptions {
   /// kLoadDependent only: per-station rate multipliers.  Empty selects the
   /// multi-server law alpha_k(j) = min(j, C_k) derived from the network.
   std::vector<RateMultiplier> rates{};
+  /// Multiclass kinds only: the customer classes of the mix.  Must be
+  /// empty for every other kind.  When set, `max_population` must equal
+  /// multiclass_axis_levels(solver, classes) — the series solvers emit one
+  /// result level per axis-class population, so the facade, cache, and
+  /// engine treat the axis depth exactly like a single-class population.
+  /// Call finalize_multiclass_options() to establish the invariant.
+  std::vector<CustomerClass> classes{};
 };
+
+/// Result depth of a multiclass solve: the axis class's population for the
+/// series kinds (kExactMulticlass, kSchweitzerMulticlass), 1 for
+/// kMomMulticlass (a single level at the full mix).
+unsigned multiclass_axis_levels(SolverKind kind,
+                                const std::vector<CustomerClass>& classes);
+
+/// Set options.max_population to multiclass_axis_levels(...) — the
+/// invariant solve() and the scenario engine's fingerprint require of every
+/// class-bearing SolveOptions.
+void finalize_multiclass_options(SolveOptions& options);
 
 /// Solve the network with the solver selected by `options`.
 ///
@@ -82,14 +112,20 @@ struct SolveOptions {
 /// (tabulated to >= options.max_population).  Only the grid-driven kinds
 /// (kExactMultiserver, kMvasd, kMvasdSingleServer) use it; other solvers
 /// ignore it.  This is the scenario engine's deepen-reuse hook.
+///
+/// Multiclass kinds read options.classes instead of `demands` (which may
+/// be null for them) and take their deepen-reuse hook via `class_grid` — a
+/// MulticlassGrid tabulated to >= the mix's total population.
 MvaResult solve(const ClosedNetwork& network, const DemandModel* demands,
-                const SolveOptions& options, const DemandGrid* grid = nullptr);
+                const SolveOptions& options, const DemandGrid* grid = nullptr,
+                const MulticlassGrid* class_grid = nullptr);
 
 /// Reference convenience overload.
 inline MvaResult solve(const ClosedNetwork& network, const DemandModel& demands,
                        const SolveOptions& options,
-                       const DemandGrid* grid = nullptr) {
-  return solve(network, &demands, options, grid);
+                       const DemandGrid* grid = nullptr,
+                       const MulticlassGrid* class_grid = nullptr) {
+  return solve(network, &demands, options, grid, class_grid);
 }
 
 /// Solve many scenarios at once, batching structure-compatible specs (same

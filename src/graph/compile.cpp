@@ -127,6 +127,44 @@ core::ScenarioSpec to_scenario(const ServiceGraph& graph, std::string label,
                             std::move(compiled.demands), options};
 }
 
+core::ScenarioSpec to_multiclass_scenario(
+    const ServiceGraph& graph, std::string label, core::SolverKind solver,
+    const std::vector<ClassTraffic>& traffic) {
+  MTPERF_REQUIRE(core::is_multiclass(solver),
+                 "to_multiclass_scenario needs a multiclass solver kind");
+  MTPERF_REQUIRE(!traffic.empty(),
+                 "multiclass lowering needs at least one class");
+  CompiledNetwork compiled = compile(graph);
+  // All classes share the compiled mesh; scale factor 1 reuses the base
+  // model outright, other factors scale the spline coefficients exactly.
+  const auto base = std::make_shared<const core::DemandModel>(
+      std::move(compiled.demands));
+  core::SolveOptions options;
+  options.solver = solver;
+  options.classes.reserve(traffic.size());
+  for (const ClassTraffic& t : traffic) {
+    MTPERF_REQUIRE(std::isfinite(t.demand_scale) && t.demand_scale >= 0.0,
+                   "class '" + t.name +
+                       "': demand_scale must be finite and non-negative");
+    core::CustomerClass cls;
+    cls.name = t.name;
+    cls.population = t.population;
+    cls.think_time = t.think_time;
+    cls.demand_model =
+        t.demand_scale == 1.0
+            ? base
+            : std::make_shared<const core::DemandModel>(
+                  core::scale_demand_model(*base, t.demand_scale));
+    options.classes.push_back(std::move(cls));
+  }
+  core::finalize_multiclass_options(options);
+  core::ScenarioSpec spec;
+  spec.label = std::move(label);
+  spec.network = std::move(compiled.network);
+  spec.options = std::move(options);
+  return spec;  // spec.demands stays the placeholder; multiclass ignores it
+}
+
 CompiledSim compile_sim(const ServiceGraph& graph, unsigned concurrency) {
   MTPERF_REQUIRE(concurrency >= 1, "compile_sim needs at least one customer");
   const std::vector<double> visits = solve_visit_counts(graph);

@@ -60,6 +60,26 @@ CompiledNetwork compile(const ServiceGraph& graph);
 core::ScenarioSpec to_scenario(const ServiceGraph& graph, std::string label,
                                const core::SolveOptions& options);
 
+/// One customer class of traffic over a compiled mesh: `demand_scale`
+/// multiplies every station's compiled demand (a heavier or lighter user
+/// population exercising the same services), so one graph lowers to a
+/// multiclass mix without per-class graphs.
+struct ClassTraffic {
+  std::string name;
+  unsigned population = 0;
+  double think_time = 0.0;
+  double demand_scale = 1.0;
+};
+
+/// Multiclass lowering: compile the graph once, derive one CustomerClass
+/// per traffic entry via core::scale_demand_model, and wrap as a
+/// class-bearing ScenarioSpec (max_population finalized to the solver's
+/// axis depth).  `solver` must be a multiclass kind; constant graphs with
+/// every scale suit kMomMulticlass, varying graphs need the series kinds.
+core::ScenarioSpec to_multiclass_scenario(
+    const ServiceGraph& graph, std::string label, core::SolverKind solver,
+    const std::vector<ClassTraffic>& traffic);
+
 /// The simulator lowering: same stations (delay services get enough
 /// servers that no job ever queues at the configured concurrency), and a
 /// workflow of one exponential visit per station with mean V_k * S_k(n)

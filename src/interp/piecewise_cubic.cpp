@@ -1,5 +1,6 @@
 #include "interp/piecewise_cubic.hpp"
 
+#include <cmath>
 #include <utility>
 
 namespace mtperf::interp {
@@ -134,6 +135,18 @@ double PiecewiseCubic::second_derivative_at_knot(std::size_t i) const {
     return eval(seg, knots_[i] - knots_[seg], 2);
   }
   return eval(i, 0.0, 2);
+}
+
+PiecewiseCubic PiecewiseCubic::scaled(double factor) const {
+  MTPERF_REQUIRE(std::isfinite(factor) && factor >= 0.0,
+                 "scale factor must be finite and non-negative");
+  std::vector<double> a = a_, b = b_, c = c_, d = d_;
+  for (double& v : a) v *= factor;
+  for (double& v : b) v *= factor;
+  for (double& v : c) v *= factor;
+  for (double& v : d) v *= factor;
+  return PiecewiseCubic(knots_, std::move(a), std::move(b), std::move(c),
+                        std::move(d), extrapolation_, name_);
 }
 
 PiecewiseCubic cubic_from_second_derivatives(std::span<const double> x,

@@ -43,6 +43,13 @@ class PiecewiseCubic final : public Interpolator1D {
   /// Second derivative at knot i — used by tests to verify C² continuity.
   double second_derivative_at_knot(std::size_t i) const;
 
+  /// This cubic with every segment polynomial multiplied by `factor`
+  /// (same knots, same extrapolation policy).  The multiclass workmodel
+  /// lowering uses this to derive per-class demand curves from one
+  /// compiled mesh: scaling the coefficients scales the value exactly, so
+  /// scaled(f).value(x) == f * value(x) up to one rounding per coefficient.
+  PiecewiseCubic scaled(double factor) const;
+
  private:
   /// Evaluate d-th derivative of interval `seg` at local offset t.
   double eval(std::size_t seg, double t, int order) const;

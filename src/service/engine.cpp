@@ -29,6 +29,9 @@ struct CacheEntry {
   /// grid-cacheable (see grid_cacheable below).
   std::shared_ptr<const core::DemandModel> demands;
   std::shared_ptr<const core::DemandGrid> grid;
+  /// Multiclass analogue: per-class tabulated rows of the deepest mix.
+  /// Null unless the structure is class_grid_cacheable.
+  std::shared_ptr<const core::MulticlassGrid> class_grid;
 };
 
 /// True when caching a tabulated DemandGrid alongside the result pays off:
@@ -46,6 +49,30 @@ bool grid_cacheable(const core::ScenarioSpec& spec) {
   }
   return !spec.demands.is_constant() &&
          spec.demands.axis() == core::DemandModel::Axis::kConcurrency;
+}
+
+/// Multiclass counterpart of grid_cacheable: true when a MulticlassGrid is
+/// worth caching alongside the result — a series solver that reads grids
+/// (MoM requires constant demands and never does) and at least one class
+/// whose demands actually vary.  Throughput-axis class models are left for
+/// solve() to reject with its own error.
+bool class_grid_cacheable(const core::ScenarioSpec& spec) {
+  switch (spec.options.solver) {
+    case core::SolverKind::kExactMulticlass:
+    case core::SolverKind::kSchweitzerMulticlass:
+      break;
+    default:
+      return false;
+  }
+  bool varying = false;
+  for (const auto& cls : spec.options.classes) {
+    if (cls.demand_model == nullptr) continue;
+    if (cls.demand_model->axis() != core::DemandModel::Axis::kConcurrency) {
+      return false;
+    }
+    varying = varying || !cls.demand_model->is_constant();
+  }
+  return varying;
 }
 
 }  // namespace
@@ -187,6 +214,7 @@ std::shared_ptr<const core::MvaResult> Engine::lookup(const Fingerprint& fp,
   if (lease != nullptr) {
     lease->demands = it->second->demands;
     lease->grid = it->second->grid;
+    lease->class_grid = it->second->class_grid;
   }
   if (it->second->result->levels() < want) {
     // Shallower entry: left in place (the deep solve replaces it), but its
@@ -211,12 +239,14 @@ void Engine::store(const Fingerprint& fp,
       it->second->result = std::move(result);
       it->second->demands = std::move(lease.demands);
       it->second->grid = std::move(lease.grid);
+      it->second->class_grid = std::move(lease.class_grid);
     }
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
     shard.lru.push_front(CacheEntry{fp, std::move(result),
                                     std::move(lease.demands),
-                                    std::move(lease.grid)});
+                                    std::move(lease.grid),
+                                    std::move(lease.class_grid)});
     shard.index.emplace(fp, shard.lru.begin());
     if (shard.lru.size() > per_shard_capacity_) {
       shard.index.erase(shard.lru.back().key);
@@ -232,6 +262,7 @@ Evaluation Engine::solve_miss(const core::ScenarioSpec& spec,
                               const Fingerprint& fp, GridLease lease) {
   const unsigned want = spec.options.max_population;
   const core::DemandGrid* grid_ptr = nullptr;
+  const core::MulticlassGrid* class_grid_ptr = nullptr;
   if (grid_cacheable(spec)) {
     // The cached grid borrows the cached model, so the entry must own a
     // DemandModel copy; reuse the leased one when a shallower entry
@@ -244,13 +275,27 @@ Evaluation Engine::solve_miss(const core::ScenarioSpec& spec,
           *lease.demands, want, lease.grid.get());
     }
     grid_ptr = lease.grid.get();
+  } else if (class_grid_cacheable(spec)) {
+    // MulticlassGrid owns its model copies, so no separate demands lease;
+    // a shallower-mix entry's grid (same structure, smaller axis depth)
+    // seeds the deepen so only the new total-population tail tabulates.
+    const unsigned total =
+        core::multiclass_total_population(spec.options.classes);
+    if (lease.class_grid == nullptr ||
+        lease.class_grid->max_population() < total) {
+      lease.class_grid = std::make_shared<const core::MulticlassGrid>(
+          spec.network, spec.options.classes, total, lease.class_grid.get());
+    }
+    class_grid_ptr = lease.class_grid.get();
+    lease.demands = nullptr;
+    lease.grid = nullptr;
   } else {
     lease = GridLease{};
   }
 
   const auto start = std::chrono::steady_clock::now();
-  auto solved = std::make_shared<const core::MvaResult>(
-      core::solve(spec.network, &spec.demands, spec.options, grid_ptr));
+  auto solved = std::make_shared<const core::MvaResult>(core::solve(
+      spec.network, &spec.demands, spec.options, grid_ptr, class_grid_ptr));
   const auto stop = std::chrono::steady_clock::now();
   const double ms =
       std::chrono::duration<double, std::milli>(stop - start).count();

@@ -179,10 +179,12 @@ class Engine final : public core::ScenarioEvaluator {
   /// deepest solve and the DemandModel copy it borrows (grids hold a raw
   /// pointer to their model, so the entry must own both).  Empty for
   /// structures whose solver never reads a grid, constant demands, and
-  /// throughput-axis models.
+  /// throughput-axis models.  Multiclass structures with a varying class
+  /// carry a MulticlassGrid instead (it owns its model copies itself).
   struct GridLease {
     std::shared_ptr<const core::DemandModel> demands;
     std::shared_ptr<const core::DemandGrid> grid;
+    std::shared_ptr<const core::MulticlassGrid> class_grid;
   };
 
   Shard& shard_for(const Fingerprint& fp) const noexcept;

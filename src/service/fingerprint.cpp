@@ -140,6 +140,7 @@ void mix_options(Hasher& h, const core::SolveOptions& options) {
   // option noise must not split otherwise-identical cache keys.
   switch (options.solver) {
     case core::SolverKind::kSchweitzer:
+    case core::SolverKind::kSchweitzerMulticlass:
       h.mix(options.schweitzer.tolerance);
       h.mix(static_cast<std::uint64_t>(options.schweitzer.max_iterations));
       break;
@@ -152,12 +153,64 @@ void mix_options(Hasher& h, const core::SolveOptions& options) {
   }
 }
 
+/// Mix the customer-class mix of a multiclass spec.  For the series kinds
+/// (exact/Schweitzer) the *axis* class's population is deliberately left
+/// out: the series emits one result level per axis population, so mixes
+/// differing only in axis depth share one cache key and prefix-trim the
+/// deepest solve — the multiclass analogue of the single-class
+/// population-prefix reuse.  (options.max_population carries the axis
+/// depth; solve() enforces that invariant.)  kMomMulticlass returns a
+/// single level at the full mix, so there every population is key
+/// material.
+void mix_classes(Hasher& h, const core::SolveOptions& options) {
+  const auto& classes = options.classes;
+  const bool axis_prefixable =
+      options.solver != core::SolverKind::kMomMulticlass;
+  const std::size_t axis = core::multiclass_axis_class(classes);
+  h.mix(std::string("classes"));
+  h.mix(static_cast<std::uint64_t>(classes.size()));
+  h.mix(static_cast<std::uint64_t>(axis));
+  for (std::size_t c = 0; c < classes.size(); ++c) {
+    const core::CustomerClass& cls = classes[c];
+    h.mix(cls.name);
+    h.mix(cls.think_time);
+    if (axis_prefixable && c == axis) {
+      h.mix(std::string("axis"));
+    } else {
+      h.mix(static_cast<std::uint64_t>(cls.population));
+    }
+    if (cls.demand_model != nullptr) {
+      mix_demands(h, *cls.demand_model);
+    } else {
+      // Constant demand vector: mirror what mix_demands produces for
+      // DemandModel::constant(cls.demands), so a class described either
+      // way lands on the same key.
+      h.mix(static_cast<std::uint64_t>(core::DemandModel::Axis::kConcurrency));
+      h.mix(static_cast<std::uint64_t>(cls.demands.size()));
+      h.mix(static_cast<std::uint64_t>(true));
+      for (const double d : cls.demands) h.mix(d);
+    }
+  }
+}
+
 }  // namespace
 
 Fingerprint fingerprint(const core::ScenarioSpec& spec) {
   Hasher h;
   mix_network(h, spec.network);
-  mix_demands(h, spec.demands);
+  if (core::is_multiclass(spec.options.solver)) {
+    // The single-class demand model is ignored by the multiclass solvers,
+    // so it must not split their keys; the class mix is the key material.
+    MTPERF_REQUIRE(
+        spec.options.max_population ==
+            core::multiclass_axis_levels(spec.options.solver,
+                                         spec.options.classes),
+        "multiclass spec fingerprints require options.max_population == "
+        "multiclass_axis_levels(...) (use finalize_multiclass_options)");
+    mix_classes(h, spec.options);
+  } else {
+    mix_demands(h, spec.demands);
+  }
   mix_options(h, spec.options);
   return h.digest();
 }

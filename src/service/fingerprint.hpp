@@ -13,6 +13,12 @@
 // think time, the demand model's content (exact coefficients for the
 // piecewise-cubic family, dense probes otherwise), the solver kind, and
 // the solver options that kind actually consumes.
+//
+// Multiclass specs swap the single-class demand model (which their solvers
+// ignore) for the class mix: class count, per-class name / think time /
+// demand content, and populations — except the *axis* class's population
+// for the series kinds, which plays the role max_population plays for
+// single-class specs (axis-prefix reuse; see mva_multiclass.hpp).
 #pragma once
 
 #include <cstddef>

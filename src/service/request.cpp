@@ -80,11 +80,93 @@ core::DemandModel parse_demands(const Json& spec, std::size_t station_count) {
   return core::DemandModel::interpolated(std::move(splines), axis);
 }
 
+/// Strip the library's "mtperf: " prefix so a message rethrown inside a
+/// larger one is not double-prefixed.
+std::string without_prefix(const char* what) {
+  std::string msg(what);
+  const std::string prefix = Error::prefix();
+  if (msg.rfind(prefix, 0) == 0) msg.erase(0, prefix.size());
+  return msg;
+}
+
+std::vector<core::CustomerClass> parse_classes(const Json& list,
+                                               std::size_t station_count) {
+  std::vector<core::CustomerClass> classes;
+  for (const Json& jc : list.as_array()) {
+    core::CustomerClass cls;
+    cls.name = jc.at("name").as_string();
+    MTPERF_REQUIRE(!cls.name.empty(), "customer class names must be non-empty");
+    const double population = jc.at("population").as_number();
+    MTPERF_REQUIRE(population >= 0.0 && population <= kMaxRequestPopulation,
+                   "class '" + cls.name + "' population out of range");
+    cls.population = static_cast<unsigned>(population);
+    cls.think_time = jc.number_or("think", 0.0);
+    MTPERF_REQUIRE(
+        std::isfinite(cls.think_time) && cls.think_time >= 0.0,
+        "class '" + cls.name + "' think time must be finite and non-negative");
+    const Json& demands = jc.at("demands");
+    if (demands.is_array()) {
+      // Constant shorthand: a bare array of one demand per station.
+      std::vector<double> values;
+      for (const Json& v : demands.as_array()) {
+        const double d = v.as_number();
+        MTPERF_REQUIRE(
+            std::isfinite(d) && d >= 0.0,
+            "class '" + cls.name +
+                "' demand values must be finite and non-negative");
+        values.push_back(d);
+      }
+      MTPERF_REQUIRE(
+          values.size() == station_count,
+          "class '" + cls.name + "' demands must list one value per station");
+      cls.demands = std::move(values);
+    } else {
+      // Same constant/spline schema the top-level "demands" takes; spline
+      // classes become per-class concurrency-varying models.
+      try {
+        cls.demand_model = std::make_shared<const core::DemandModel>(
+            parse_demands(demands, station_count));
+      } catch (const Error& e) {
+        throw invalid_argument_error("class '" + cls.name + "': " +
+                                     without_prefix(e.what()));
+      }
+    }
+    classes.push_back(std::move(cls));
+  }
+  MTPERF_REQUIRE(!classes.empty(), "'classes' needs at least one class");
+  return classes;
+}
+
 core::ScenarioSpec parse_scenario(const Json& request) {
   core::ClosedNetwork network = parse_network(request);
+  core::SolveOptions options;
+  if (request.contains("classes")) {
+    MTPERF_REQUIRE(
+        !request.contains("demands"),
+        "a request carries either 'demands' or 'classes', not both");
+    MTPERF_REQUIRE(!request.contains("max_population"),
+                   "multiclass requests derive max_population from the class "
+                   "mix; omit it");
+    options.solver =
+        core::parse_solver_kind(request.string_or("solver", "mom-multiclass"));
+    MTPERF_REQUIRE(
+        core::is_multiclass(options.solver),
+        std::string("'classes' requires a multiclass solver kind; '") +
+            core::solver_kind_name(options.solver) + "' is single-class");
+    options.classes = parse_classes(request.at("classes"), network.size());
+    MTPERF_REQUIRE(
+        core::multiclass_total_population(options.classes) <=
+            kMaxRequestPopulation,
+        "total class population out of range");
+    core::finalize_multiclass_options(options);
+    core::ScenarioSpec spec;
+    spec.label = request.string_or("label", "");
+    spec.network = std::move(network);
+    spec.options = std::move(options);
+    return spec;  // spec.demands stays the placeholder; multiclass ignores it
+  }
   core::DemandModel demands =
       parse_demands(request.at("demands"), network.size());
-  core::SolveOptions options;
   options.solver =
       core::parse_solver_kind(request.string_or("solver", "mvasd"));
   const double population = request.at("max_population").as_number();
@@ -157,6 +239,18 @@ void append_evaluation(std::string& out, const Evaluation& evaluation,
   }
   line["bottleneck"] = r.station_names[busiest];
   line["utilization"] = std::move(utilization);
+  if (r.classes() > 0) {
+    Json::Object classes;
+    for (std::size_t c = 0; c < r.classes(); ++c) {
+      Json::Object jc;
+      jc["population"] =
+          static_cast<unsigned long long>(r.class_population[c]);
+      jc["throughput"] = r.class_x(top, c);
+      jc["response_time"] = r.class_r(top, c);
+      classes[r.class_names[c]] = Json(std::move(jc));
+    }
+    line["classes"] = std::move(classes);
+  }
   if (series) {
     Json::Array population, throughput, cycle;
     for (std::size_t i = 0; i < r.levels(); ++i) {

@@ -13,6 +13,13 @@
 //                           "x": [...], "y": [[...], ...]},
 //               "solver": "mvasd", "max_population": 300,
 //               "series": false, "id": 17}
+//   multiclass: replace "demands"/"max_population" with
+//               "classes": [{"name": "renew", "population": 120,
+//                            "think": 2.0, "demands": [0.01, 0.02]
+//                                        | {"type": "spline", ...}}, ...]
+//               ("solver" defaults to "mom-multiclass"; responses gain a
+//               "classes" object with per-class population / throughput /
+//               response_time)
 //   workmodel: {"cmd": "workmodel", "entry": "gateway", "think": 2.0,
 //               "services": {"gateway": {"demand": 0.004, "calls": [...]},
 //                            ...},

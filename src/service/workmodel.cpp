@@ -91,6 +91,46 @@ graph::ServiceGraph parse_workmodel(const Json& request) {
 
 core::ScenarioSpec workmodel_scenario(const Json& request) {
   const graph::ServiceGraph graph = parse_workmodel(request);
+  if (request.contains("classes")) {
+    // Per-class traffic over the one compiled mesh: each class is the same
+    // service graph with demands scaled by its demand_scale.
+    MTPERF_REQUIRE(!request.contains("max_population"),
+                   "multiclass workmodels derive max_population from the "
+                   "class mix; omit it");
+    const core::SolverKind solver = core::parse_solver_kind(
+        request.string_or("solver", "mom-multiclass"));
+    MTPERF_REQUIRE(
+        core::is_multiclass(solver),
+        std::string("'classes' requires a multiclass solver kind; '") +
+            core::solver_kind_name(solver) + "' is single-class");
+    std::vector<graph::ClassTraffic> traffic;
+    for (const Json& jc : request.at("classes").as_array()) {
+      graph::ClassTraffic t;
+      t.name = jc.at("name").as_string();
+      MTPERF_REQUIRE(!t.name.empty(), "customer class names must be non-empty");
+      const double population = jc.at("population").as_number();
+      MTPERF_REQUIRE(population >= 0.0 && population <= kMaxRequestPopulation,
+                     "class '" + t.name + "' population out of range");
+      t.population = static_cast<unsigned>(population);
+      t.think_time = jc.number_or("think", request.number_or("think", 0.0));
+      MTPERF_REQUIRE(std::isfinite(t.think_time) && t.think_time >= 0.0,
+                     "class '" + t.name +
+                         "' think time must be finite and non-negative");
+      t.demand_scale = jc.number_or("demand_scale", 1.0);
+      MTPERF_REQUIRE(std::isfinite(t.demand_scale) && t.demand_scale >= 0.0,
+                     "class '" + t.name +
+                         "' demand_scale must be finite and non-negative");
+      traffic.push_back(std::move(t));
+    }
+    MTPERF_REQUIRE(!traffic.empty(), "'classes' needs at least one class");
+    core::ScenarioSpec spec = graph::to_multiclass_scenario(
+        graph, request.string_or("label", ""), solver, traffic);
+    MTPERF_REQUIRE(
+        core::multiclass_total_population(spec.options.classes) <=
+            kMaxRequestPopulation,
+        "total class population out of range");
+    return spec;
+  }
   core::SolveOptions options;
   options.solver =
       core::parse_solver_kind(request.string_or("solver", "mvasd"));

@@ -18,6 +18,7 @@
 #include "core/mva_schweitzer.hpp"
 #include "core/mvasd.hpp"
 #include "core/network.hpp"
+#include "core/solve.hpp"
 #include "interp/cubic_spline.hpp"
 #include "ops/bounds.hpp"
 
@@ -213,6 +214,74 @@ TEST_P(RandomNetworks, MulticlassSplitInvariance) {
   const auto two = exact_mva_multiclass(net, split);
   EXPECT_NEAR(one.total_throughput(), two.total_throughput(),
               1e-8 * std::max(1.0, one.total_throughput()));
+}
+
+TEST_P(RandomNetworks, MulticlassSolversAgreeOnRandomSmallMixes) {
+  // MoM is exact: on mixes small enough for the population-vector
+  // recursion the two must agree to solver tolerance, and Schweitzer must
+  // land in the neighborhood.  Random demands scale per class so the
+  // classes genuinely differ.
+  const RandomCase c = make_case(10000 + GetParam());
+  Rng rng(11000 + GetParam());
+  std::vector<Station> stations = c.network.stations();
+  for (auto& st : stations) st.servers = 1;  // multiclass setting
+  const ClosedNetwork net(std::move(stations), c.network.think_time());
+  const std::size_t class_count = 2 + GetParam() % 2;
+  std::vector<CustomerClass> classes;
+  for (std::size_t i = 0; i < class_count; ++i) {
+    std::vector<double> demands = c.demands;
+    const double scale = rng.uniform(0.3, 1.5);
+    for (double& d : demands) d *= scale;
+    classes.push_back({"c" + std::to_string(i),
+                       static_cast<unsigned>(rng.uniform_int(1, 6)),
+                       rng.uniform(0.0, 2.0), std::move(demands), nullptr});
+  }
+  const MvaResult exact = exact_multiclass_series(net, classes);
+  const MvaResult mom = mom_multiclass(net, classes);
+  const std::size_t top = exact.levels() - 1;
+  ASSERT_EQ(mom.classes(), exact.classes());
+  EXPECT_NEAR(mom.throughput[0], exact.throughput[top],
+              1e-9 * std::max(1.0, exact.throughput[top]));
+  for (std::size_t i = 0; i < class_count; ++i) {
+    EXPECT_NEAR(mom.class_x(0, i), exact.class_x(top, i),
+                1e-9 * std::max(1.0, exact.class_x(top, i)))
+        << "class " << i;
+  }
+  // Schweitzer is approximate and weakest at tiny populations: a loose
+  // bracket that still catches sign- and indexing-level bugs.
+  const MvaResult schweitzer = schweitzer_multiclass_series(net, classes);
+  const std::size_t s_top = schweitzer.levels() - 1;
+  EXPECT_NEAR(schweitzer.throughput[s_top], exact.throughput[top],
+              0.25 * std::max(1.0, exact.throughput[top]));
+}
+
+TEST_P(RandomNetworks, SingleClassMulticlassSpecMatchesMvasd) {
+  // One class over a random single-server network must collapse to the
+  // single-class recursion (the facade's bit-parity contract, checked on
+  // fixtures in test_multiclass; here over random topologies).
+  const RandomCase c = make_case(12000 + GetParam());
+  std::vector<Station> stations = c.network.stations();
+  for (auto& st : stations) st.servers = 1;
+  const ClosedNetwork net(std::move(stations), c.network.think_time());
+  const unsigned n = std::min(c.max_population, 40u);
+  const std::vector<CustomerClass> classes{
+      {"only", n, net.think_time(), c.demands, nullptr}};
+  SolveOptions mc_options;
+  mc_options.solver = SolverKind::kExactMulticlass;
+  mc_options.classes = classes;
+  finalize_multiclass_options(mc_options);
+  const MvaResult mc = solve(net, nullptr, mc_options);
+  const MvaResult sc =
+      solve(net, DemandModel::constant(c.demands), {SolverKind::kMvasd, n});
+  ASSERT_EQ(mc.levels(), sc.levels());
+  for (std::size_t i = 0; i < sc.levels(); ++i) {
+    EXPECT_EQ(mc.throughput[i], sc.throughput[i]) << "level " << i;
+    EXPECT_EQ(mc.cycle_time[i], sc.cycle_time[i]) << "level " << i;
+    for (std::size_t k = 0; k < sc.stations(); ++k) {
+      EXPECT_EQ(mc.queue(i, k), sc.queue(i, k));
+      EXPECT_EQ(mc.utilization(i, k), sc.utilization(i, k));
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Sweep, RandomNetworks, ::testing::Range(0, 12));

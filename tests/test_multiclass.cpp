@@ -1,7 +1,10 @@
-// Tests for multi-class MVA (exact and Schweitzer).
+// Tests for multi-class MVA (exact, Method of Moments, and Schweitzer).
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "common/error.hpp"
 #include "core/mva_exact.hpp"
@@ -9,6 +12,8 @@
 #include "core/mva_multiserver.hpp"
 #include "core/seidmann.hpp"
 #include "core/network.hpp"
+#include "core/solve.hpp"
+#include "interp/cubic_spline.hpp"
 
 namespace mtperf::core {
 namespace {
@@ -246,6 +251,411 @@ TEST(Multiclass, DemandDimensionMismatchNamesTheClass) {
   EXPECT_THROW(
       schweitzer_mva_multiclass(net, {{"renew", 5, 1.0, {0.1}}}),
       invalid_argument_error);
+}
+
+// ------------------------------------------------------------------ facade
+
+SolveOptions multiclass_options(SolverKind kind,
+                                std::vector<CustomerClass> classes) {
+  SolveOptions options;
+  options.solver = kind;
+  options.classes = std::move(classes);
+  finalize_multiclass_options(options);
+  return options;
+}
+
+TEST(MulticlassFacade, ExactWrapperIsBitIdenticalToSolve) {
+  const auto net = two_station_net(1.5);
+  const std::vector<CustomerClass> classes{
+      {"renew", 8, 1.5, {0.05, 0.15}},
+      {"read", 12, 1.5, {0.02, 0.01}},
+  };
+  const auto legacy = exact_mva_multiclass(net, classes);
+  const auto r = solve(
+      net, nullptr, multiclass_options(SolverKind::kExactMulticlass, classes));
+  ASSERT_EQ(r.levels(), 12u);
+  ASSERT_EQ(r.classes(), 2u);
+  const std::size_t top = r.levels() - 1;
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(legacy.class_throughput[c], r.class_x(top, c));
+    EXPECT_EQ(legacy.class_response_time[c], r.class_r(top, c));
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_EQ(legacy.class_station_queue[c][k], r.class_queue(top, c, k));
+    }
+  }
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_EQ(legacy.station_queue[k], r.queue(top, k));
+    EXPECT_EQ(legacy.station_utilization[k], r.utilization(top, k));
+  }
+  EXPECT_EQ(legacy.total_throughput(), r.class_x(top, 0) + r.class_x(top, 1));
+  EXPECT_TRUE(legacy.converged);
+  EXPECT_EQ(legacy.iterations, 0u);
+}
+
+TEST(MulticlassFacade, SchweitzerWrapperIsBitIdenticalToSolve) {
+  const auto net = two_station_net(1.0);
+  const std::vector<CustomerClass> classes{
+      {"a", 10, 1.0, {0.05, 0.15}},
+      {"b", 20, 1.0, {0.02, 0.01}},
+  };
+  const auto legacy = schweitzer_mva_multiclass(net, classes);
+  auto options =
+      multiclass_options(SolverKind::kSchweitzerMulticlass, classes);
+  options.schweitzer.max_iterations = 20000;  // the legacy wrapper default
+  const auto r = solve(net, nullptr, options);
+  const std::size_t top = r.levels() - 1;
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_EQ(legacy.class_throughput[c], r.class_x(top, c));
+    EXPECT_EQ(legacy.class_response_time[c], r.class_r(top, c));
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_EQ(legacy.class_station_queue[c][k], r.class_queue(top, c, k));
+    }
+  }
+  EXPECT_TRUE(legacy.converged);
+  EXPECT_GT(legacy.iterations, 0u);
+  EXPECT_EQ(legacy.iterations, r.mc_iterations);
+}
+
+TEST(MulticlassFacade, SingleClassSpecIsBitIdenticalToMvasd) {
+  // A one-class multiclass spec collapses to the single-class recursion:
+  // same wait = d (1 + Q_{n-1}) arithmetic, and the aggregate rows are
+  // copied (not recomputed as weighted means), so every level matches the
+  // mvasd kind bit for bit.
+  const auto net = two_station_net(1.0);
+  const std::vector<double> demands{0.05, 0.12};
+  const std::vector<CustomerClass> classes{{"only", 15, 1.0, demands}};
+  const auto mc = solve(
+      net, nullptr, multiclass_options(SolverKind::kExactMulticlass, classes));
+  const auto sc = solve(net, DemandModel::constant(demands),
+                        {SolverKind::kMvasd, 15});
+  ASSERT_EQ(mc.levels(), sc.levels());
+  for (std::size_t t = 0; t < sc.levels(); ++t) {
+    EXPECT_EQ(mc.throughput[t], sc.throughput[t]) << "level " << t;
+    EXPECT_EQ(mc.response_time[t], sc.response_time[t]) << "level " << t;
+    EXPECT_EQ(mc.cycle_time[t], sc.cycle_time[t]) << "level " << t;
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_EQ(mc.queue(t, k), sc.queue(t, k));
+      EXPECT_EQ(mc.utilization(t, k), sc.utilization(t, k));
+      EXPECT_EQ(mc.residence(t, k), sc.residence(t, k));
+    }
+  }
+}
+
+TEST(MulticlassFacade, SingleVaryingClassIsBitIdenticalToMvasd) {
+  // Per-class concurrency-varying demands: with one class the total
+  // population IS the concurrency, so the spec must reproduce MVASD.
+  const auto net = two_station_net(1.0);
+  auto spline = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(
+          interp::SampleSet({1, 10, 20}, {0.10, 0.07, 0.05})));
+  const auto model = DemandModel::interpolated({spline, spline});
+  CustomerClass cls{"only", 20, 1.0, {}};
+  cls.demand_model = std::make_shared<DemandModel>(model);
+  const auto mc = solve(net, nullptr,
+                        multiclass_options(SolverKind::kExactMulticlass, {cls}));
+  const auto sd = solve(net, model, {SolverKind::kMvasd, 20});
+  ASSERT_EQ(mc.levels(), sd.levels());
+  for (std::size_t t = 0; t < sd.levels(); ++t) {
+    EXPECT_EQ(mc.throughput[t], sd.throughput[t]) << "level " << t;
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_EQ(mc.queue(t, k), sd.queue(t, k));
+      EXPECT_EQ(mc.utilization(t, k), sd.utilization(t, k));
+    }
+  }
+}
+
+TEST(MulticlassFacade, KindNamesRoundTrip) {
+  for (const auto kind :
+       {SolverKind::kExactMulticlass, SolverKind::kMomMulticlass,
+        SolverKind::kSchweitzerMulticlass}) {
+    EXPECT_TRUE(is_multiclass(kind));
+    EXPECT_EQ(parse_solver_kind(solver_kind_name(kind)), kind);
+  }
+  EXPECT_FALSE(is_multiclass(SolverKind::kMvasd));
+}
+
+TEST(MulticlassFacade, ClassesAndKindMustAgree) {
+  const auto net = two_station_net(1.0);
+  const auto demands = DemandModel::constant({0.05, 0.12});
+  // Multiclass kind without classes.
+  SolveOptions bare{SolverKind::kExactMulticlass, 5};
+  EXPECT_THROW(solve(net, demands, bare), invalid_argument_error);
+  // Single-class kind with classes.
+  SolveOptions mixed{SolverKind::kMvasd, 5};
+  mixed.classes = {{"a", 5, 1.0, {0.05, 0.12}}};
+  EXPECT_THROW(solve(net, demands, mixed), invalid_argument_error);
+  // Multiclass kind with a stale axis depth (invariant violated).
+  SolveOptions stale{SolverKind::kExactMulticlass, 3};
+  stale.classes = {{"a", 5, 1.0, {0.05, 0.12}}};
+  EXPECT_THROW(solve(net, nullptr, stale), invalid_argument_error);
+}
+
+TEST(MulticlassFacade, DuplicateClassNamesRejected) {
+  const auto net = two_station_net(1.0);
+  try {
+    exact_mva_multiclass(net, {{"renew", 5, 1.0, {0.05, 0.12}},
+                               {"renew", 3, 1.0, {0.02, 0.01}}});
+    FAIL() << "duplicate class name accepted";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("renew"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------- series
+
+TEST(MulticlassSeries, PrefixEqualsShallowerMix) {
+  // Level t of the axis series is a full solve of the mix with the axis
+  // class at population t — the property the scenario cache's mix-prefix
+  // reuse rests on.  Both sides must be bit-identical.
+  const auto net = two_station_net(1.0);
+  const std::vector<CustomerClass> deep{{"a", 4, 1.0, {0.05, 0.15}},
+                                        {"b", 6, 1.0, {0.02, 0.01}}};
+  const std::vector<CustomerClass> shallow{{"a", 4, 1.0, {0.05, 0.15}},
+                                           {"b", 3, 1.0, {0.02, 0.01}}};
+  const auto full = exact_multiclass_series(net, deep);
+  ASSERT_EQ(full.levels(), 6u);
+  EXPECT_EQ(full.mc_axis, 1u);
+  const auto trimmed = full.prefix(3);
+  const auto direct = exact_multiclass_series(net, shallow);
+  ASSERT_EQ(trimmed.levels(), direct.levels());
+  EXPECT_EQ(trimmed.class_population, direct.class_population);
+  EXPECT_EQ(trimmed.throughput, direct.throughput);
+  EXPECT_EQ(trimmed.response_time, direct.response_time);
+  EXPECT_EQ(trimmed.cycle_time, direct.cycle_time);
+  EXPECT_EQ(trimmed.station_queue, direct.station_queue);
+  EXPECT_EQ(trimmed.station_utilization, direct.station_utilization);
+  EXPECT_EQ(trimmed.class_throughput, direct.class_throughput);
+  EXPECT_EQ(trimmed.class_response_time, direct.class_response_time);
+  EXPECT_EQ(trimmed.class_station_queue, direct.class_station_queue);
+}
+
+TEST(MulticlassSeries, GridDeepeningIsBitIdentical) {
+  const auto net = two_station_net(1.0);
+  auto spline = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(
+          interp::SampleSet({1, 8, 16}, {0.10, 0.08, 0.05})));
+  CustomerClass varying{"v", 6, 1.0, {}};
+  varying.demand_model =
+      std::make_shared<DemandModel>(DemandModel::interpolated({spline, spline}));
+  const std::vector<CustomerClass> classes{{"c", 4, 1.0, {0.02, 0.03}},
+                                           varying};
+  const MulticlassGrid shallow(net, classes, 5);
+  const MulticlassGrid deepened(net, classes, 10, &shallow);
+  const MulticlassGrid direct(net, classes, 10);
+  EXPECT_TRUE(deepened.varying());
+  for (std::size_t c = 0; c < 2; ++c) {
+    for (unsigned n = 1; n <= 10; ++n) {
+      for (std::size_t k = 0; k < 2; ++k) {
+        EXPECT_EQ(deepened.row(c, n)[k], direct.row(c, n)[k])
+            << "class " << c << " n " << n << " station " << k;
+      }
+    }
+  }
+  // A pre-built grid drives the solver to the same result as local
+  // tabulation.
+  const auto with_grid = exact_multiclass_series(net, classes, &direct);
+  const auto without = exact_multiclass_series(net, classes);
+  EXPECT_EQ(with_grid.throughput, without.throughput);
+  EXPECT_EQ(with_grid.class_throughput, without.class_throughput);
+}
+
+TEST(MulticlassSeries, VaryingDemandsReadTotalPopulation) {
+  // Two classes whose model demands fall with total concurrency: the mix's
+  // demands at the top level must be the model value at the *total*
+  // population, not the per-class one.
+  const auto net = two_station_net(0.0);
+  auto flat = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(interp::SampleSet({1, 12}, {0.10, 0.10})));
+  auto falling = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(interp::SampleSet({1, 12}, {0.10, 0.021})));
+  CustomerClass a{"a", 4, 0.0, {}};
+  a.demand_model = std::make_shared<DemandModel>(
+      DemandModel::interpolated({flat, falling}));
+  const std::vector<CustomerClass> classes{a, {"b", 8, 0.0, {0.05, 0.05}}};
+  const auto r = exact_multiclass_series(net, classes);
+  // At the full mix the total population is 12, where the falling spline
+  // reads 0.021; a per-class read (n=4) would sit near 0.08.  Utilization
+  // U_1 = X_a d_a1(12) + X_b 0.05 pins which one the solver used.
+  const std::size_t top = r.levels() - 1;
+  const double xa = r.class_x(top, 0);
+  const double xb = r.class_x(top, 1);
+  EXPECT_NEAR(r.utilization(top, 1), xa * 0.021 + xb * 0.05, 1e-12);
+}
+
+// -------------------------------------------------------- method of moments
+
+TEST(MulticlassMom, MatchesExactOnSmallMixes) {
+  const auto net = two_station_net(1.5);
+  const std::vector<std::vector<CustomerClass>> mixes{
+      {{"renew", 8, 1.5, {0.05, 0.15}}, {"read", 12, 1.5, {0.02, 0.01}}},
+      {{"a", 5, 0.5, {0.03, 0.02}},
+       {"b", 7, 2.0, {0.01, 0.04}},
+       {"c", 4, 1.0, {0.02, 0.02}}},
+      {{"solo", 15, 1.0, {0.05, 0.12}}},
+  };
+  for (const auto& classes : mixes) {
+    const auto exact = exact_mva_multiclass(net, classes);
+    const auto mom = mom_multiclass(net, classes);
+    ASSERT_EQ(mom.levels(), 1u);
+    EXPECT_EQ(mom.mc_axis, MvaResult::kNoAxis);
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+      EXPECT_NEAR(mom.class_x(0, c), exact.class_throughput[c], 1e-9)
+          << "class " << c;
+      EXPECT_NEAR(mom.class_r(0, c), exact.class_response_time[c], 1e-9)
+          << "class " << c;
+      for (std::size_t k = 0; k < 2; ++k) {
+        EXPECT_NEAR(mom.class_queue(0, c, k), exact.class_station_queue[c][k],
+                    1e-9);
+      }
+    }
+    for (std::size_t k = 0; k < 2; ++k) {
+      EXPECT_NEAR(mom.queue(0, k), exact.station_queue[k], 1e-9);
+      EXPECT_NEAR(mom.utilization(0, k), exact.station_utilization[k], 1e-9);
+    }
+  }
+}
+
+TEST(MulticlassMom, DelayStationsFoldIntoThinkTime) {
+  const ClosedNetwork net(
+      {Station{"q", 1.0, 1, StationKind::kQueueing},
+       Station{"lan", 1.0, 1, StationKind::kDelay}},
+      1.0);
+  const std::vector<CustomerClass> classes{{"a", 10, 1.0, {0.05, 0.2}},
+                                           {"b", 6, 0.5, {0.02, 0.4}}};
+  const auto exact = exact_mva_multiclass(net, classes);
+  const auto mom = mom_multiclass(net, classes);
+  for (std::size_t c = 0; c < 2; ++c) {
+    EXPECT_NEAR(mom.class_x(0, c), exact.class_throughput[c], 1e-9);
+    EXPECT_NEAR(mom.class_r(0, c), exact.class_response_time[c], 1e-9);
+  }
+}
+
+TEST(MulticlassMom, DelayOnlyNetworkIsClosedForm) {
+  const ClosedNetwork net({Station{"lan", 1.0, 1, StationKind::kDelay}}, 2.0);
+  const std::vector<CustomerClass> classes{{"a", 10, 2.0, {0.5}}};
+  const auto r = mom_multiclass(net, classes);
+  EXPECT_NEAR(r.class_x(0, 0), 10.0 / 2.5, 1e-12);
+}
+
+TEST(MulticlassMom, SolvesMixesBeyondTheExactGuard) {
+  // The acceptance fixture: 3 classes x 512 on two stations.  The exact
+  // lattice would need 513^3 * 2 > 2^28 doubles — rejected — while the
+  // moment recursion is polynomial in the total population and finishes.
+  const auto net = two_station_net(2.0);
+  const std::vector<CustomerClass> classes{
+      {"renew", 512, 2.0, {0.0020, 0.0010}},
+      {"read", 512, 2.0, {0.0005, 0.0015}},
+      {"browse", 512, 2.0, {0.0010, 0.0005}},
+  };
+  try {
+    exact_mva_multiclass(net, classes);
+    FAIL() << "exact recursion accepted an infeasible mix";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(std::string(e.what()).find("too large"), std::string::npos);
+  }
+  const auto r = solve(
+      net, nullptr, multiclass_options(SolverKind::kMomMulticlass, classes));
+  ASSERT_EQ(r.levels(), 1u);
+  EXPECT_EQ(r.population[0], 1536u);
+  double queued = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    // Little's law per class, on an exact solver, at mild load.
+    EXPECT_NEAR(r.class_x(0, c) * (r.class_r(0, c) + 2.0), 512.0, 1e-6)
+        << "class " << c;
+  }
+  for (std::size_t k = 0; k < 2; ++k) {
+    EXPECT_LE(r.utilization(0, k), 1.0 + 1e-9);
+    queued += r.queue(0, k);
+  }
+  double thinking = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) thinking += r.class_x(0, c) * 2.0;
+  EXPECT_NEAR(queued + thinking, 1536.0, 1e-5);
+  // Schweitzer lands in the same neighborhood (sanity against a second,
+  // independent solver).
+  const auto approx = schweitzer_mva_multiclass(net, classes);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(approx.class_throughput[c], r.class_x(0, c),
+                0.10 * r.class_x(0, c));
+  }
+}
+
+TEST(MulticlassMom, RequiresConstantDemands) {
+  const auto net = two_station_net(1.0);
+  auto spline = std::make_shared<interp::PiecewiseCubic>(
+      interp::build_cubic_spline(interp::SampleSet({1, 10}, {0.1, 0.05})));
+  CustomerClass cls{"vary", 5, 1.0, {}};
+  cls.demand_model = std::make_shared<DemandModel>(
+      DemandModel::interpolated({spline, spline}));
+  try {
+    mom_multiclass(net, {cls});
+    FAIL() << "varying demands accepted by the moment recursion";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(std::string(e.what()).find("constant demands"),
+              std::string::npos);
+  }
+}
+
+TEST(MulticlassMom, GuardSuggestsSchweitzer) {
+  const auto net = two_station_net(1.0);
+  const std::vector<CustomerClass> classes{
+      {"a", 4000000, 1.0, {0.0001, 0.0001}},
+      {"b", 4000000, 1.0, {0.0001, 0.0001}},
+  };
+  try {
+    mom_multiclass(net, classes);
+    FAIL() << "infeasible moment space accepted";
+  } catch (const invalid_argument_error& e) {
+    EXPECT_NE(std::string(e.what()).find("too large"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("schweitzer-multiclass"),
+              std::string::npos);
+  }
+}
+
+// ------------------------------------------------------------- schweitzer
+
+TEST(MulticlassSchweitzer, ZeroPopulationMixThrowsLikeExact) {
+  // Seed-era inconsistency: the exact solver rejected all-zero mixes while
+  // Schweitzer silently returned zeros.  Both go through the shared
+  // validation now.
+  const auto net = two_station_net(1.0);
+  const std::vector<CustomerClass> classes{{"a", 0, 1.0, {0.1, 0.1}}};
+  EXPECT_THROW(exact_mva_multiclass(net, classes), invalid_argument_error);
+  EXPECT_THROW(schweitzer_mva_multiclass(net, classes),
+               invalid_argument_error);
+}
+
+TEST(MulticlassSchweitzer, NonConvergenceNamesTheAxisLevel) {
+  const auto net = two_station_net(1.0);
+  auto options = multiclass_options(
+      SolverKind::kSchweitzerMulticlass,
+      {{"a", 10, 1.0, {0.05, 0.15}}, {"b", 20, 1.0, {0.02, 0.01}}});
+  options.schweitzer.tolerance = 1e-14;
+  options.schweitzer.max_iterations = 1;
+  try {
+    solve(net, nullptr, options);
+    FAIL() << "one iteration cannot satisfy a 1e-14 tolerance";
+  } catch (const numeric_error& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.rfind("mtperf: ", 0), 0u) << what;
+    EXPECT_NE(what.find("did not converge"), std::string::npos) << what;
+    EXPECT_NE(what.find("axis population"), std::string::npos) << what;
+  }
+}
+
+TEST(MulticlassSchweitzer, ReportsIterationsThroughFacadeAndWrapper) {
+  const auto net = two_station_net(1.0);
+  const std::vector<CustomerClass> classes{
+      {"a", 10, 1.0, {0.05, 0.15}},
+      {"b", 20, 1.0, {0.02, 0.01}},
+  };
+  auto options = multiclass_options(SolverKind::kSchweitzerMulticlass, classes);
+  options.schweitzer.max_iterations = 20000;
+  const auto r = solve(net, nullptr, options);
+  EXPECT_GT(r.mc_iterations, 0u);
+  const auto legacy = schweitzer_mva_multiclass(net, classes);
+  EXPECT_EQ(legacy.iterations, r.mc_iterations);
+  EXPECT_TRUE(legacy.converged);
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 // Server end to end (including overload shedding).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -210,6 +211,174 @@ TEST(RequestParsing, IdRecoveryFromBrokenRequests) {
             41.0);
   EXPECT_TRUE(service::recover_request_id("{\"id\":41").is_null());
   EXPECT_TRUE(service::recover_request_id("{}").is_null());
+}
+
+// --- multiclass request lines ----------------------------------------------
+
+TEST(RequestParsing, HostileClassesInputsThrow) {
+  // Valid JSON, invalid class mixes: every one must be rejected at parse
+  // time, before a solver or the cache sees it.
+  const char* bad[] = {
+      // classes next to single-class demands
+      "{\"stations\":[{\"name\":\"cpu\"},{\"name\":\"disk\"}],"
+      "\"demands\":{\"type\":\"constant\",\"values\":[0.1,0.2]},"
+      "\"classes\":[{\"name\":\"a\",\"population\":5,"
+      "\"demands\":[0.1,0.2]}]}",
+      // classes next to max_population
+      "{\"stations\":[{\"name\":\"cpu\"},{\"name\":\"disk\"}],"
+      "\"max_population\":10,"
+      "\"classes\":[{\"name\":\"a\",\"population\":5,"
+      "\"demands\":[0.1,0.2]}]}",
+      // single-class solver kind with a class mix
+      "{\"stations\":[{\"name\":\"cpu\"},{\"name\":\"disk\"}],"
+      "\"solver\":\"mvasd\","
+      "\"classes\":[{\"name\":\"a\",\"population\":5,"
+      "\"demands\":[0.1,0.2]}]}",
+      // empty mix
+      "{\"stations\":[{\"name\":\"cpu\"},{\"name\":\"disk\"}],"
+      "\"classes\":[]}",
+      // missing class name
+      "{\"stations\":[{\"name\":\"cpu\"},{\"name\":\"disk\"}],"
+      "\"classes\":[{\"population\":5,\"demands\":[0.1,0.2]}]}",
+      // empty class name
+      "{\"stations\":[{\"name\":\"cpu\"},{\"name\":\"disk\"}],"
+      "\"classes\":[{\"name\":\"\",\"population\":5,"
+      "\"demands\":[0.1,0.2]}]}",
+      // missing population
+      "{\"stations\":[{\"name\":\"cpu\"},{\"name\":\"disk\"}],"
+      "\"classes\":[{\"name\":\"a\",\"demands\":[0.1,0.2]}]}",
+      // negative population
+      "{\"stations\":[{\"name\":\"cpu\"},{\"name\":\"disk\"}],"
+      "\"classes\":[{\"name\":\"a\",\"population\":-3,"
+      "\"demands\":[0.1,0.2]}]}",
+      // absurd population
+      "{\"stations\":[{\"name\":\"cpu\"},{\"name\":\"disk\"}],"
+      "\"classes\":[{\"name\":\"a\",\"population\":2000000,"
+      "\"demands\":[0.1,0.2]}]}",
+      // every class idle
+      "{\"stations\":[{\"name\":\"cpu\"},{\"name\":\"disk\"}],"
+      "\"classes\":[{\"name\":\"a\",\"population\":0,"
+      "\"demands\":[0.1,0.2]},{\"name\":\"b\",\"population\":0,"
+      "\"demands\":[0.2,0.1]}]}",
+      // demand vector narrower than the station list
+      "{\"stations\":[{\"name\":\"cpu\"},{\"name\":\"disk\"}],"
+      "\"classes\":[{\"name\":\"a\",\"population\":5,"
+      "\"demands\":[0.1]}]}",
+      // negative demand in the vector shorthand
+      "{\"stations\":[{\"name\":\"cpu\"},{\"name\":\"disk\"}],"
+      "\"classes\":[{\"name\":\"a\",\"population\":5,"
+      "\"demands\":[-0.1,0.2]}]}",
+      // spline demand object with one row for two stations
+      "{\"stations\":[{\"name\":\"cpu\"},{\"name\":\"disk\"}],"
+      "\"solver\":\"exact-multiclass\","
+      "\"classes\":[{\"name\":\"a\",\"population\":5,"
+      "\"demands\":{\"type\":\"spline\",\"axis\":\"concurrency\","
+      "\"x\":[1,10],\"y\":[[0.1,0.1]]}}]}",
+  };
+  for (const char* line : bad) {
+    EXPECT_THROW(service::parse_request(line), std::exception)
+        << "line: " << line;
+  }
+}
+
+TEST(RequestParsing, DuplicateClassNamesAreRejectedAtSolveTime) {
+  // Structurally the line is fine, so parsing succeeds; the solver's mix
+  // validation rejects it with the stable error prefix.
+  const auto parsed = service::parse_request(
+      "{\"stations\":[{\"name\":\"cpu\"},{\"name\":\"disk\"}],"
+      "\"classes\":[{\"name\":\"a\",\"population\":5,"
+      "\"demands\":[0.1,0.2]},{\"name\":\"a\",\"population\":3,"
+      "\"demands\":[0.2,0.1]}]}");
+  service::Engine engine;
+  try {
+    (void)engine.evaluate(parsed.spec);
+    FAIL() << "expected mtperf::Error";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_EQ(what.rfind(Error::prefix(), 0), 0u) << what;
+    EXPECT_NE(what.find("duplicate customer class name"), std::string::npos)
+        << what;
+  }
+}
+
+TEST(RequestParsing, ZeroPopulationClassAmongNonZeroIsServed) {
+  const auto parsed = service::parse_request(
+      "{\"id\":3,\"stations\":[{\"name\":\"cpu\"},{\"name\":\"disk\"}],"
+      "\"classes\":[{\"name\":\"idle\",\"population\":0,"
+      "\"demands\":[0.1,0.2]},{\"name\":\"busy\",\"population\":10,"
+      "\"think\":1.0,\"demands\":[0.02,0.01]}]}");
+  service::Engine engine;
+  const auto evaluation = engine.evaluate(parsed.spec);
+  std::string out;
+  service::append_evaluation(out, evaluation, parsed.series, parsed.id);
+  const Json response = Json::parse(out);
+  const Json& classes = response.at("classes");
+  EXPECT_EQ(classes.at("idle").at("population").as_number(), 0.0);
+  EXPECT_EQ(classes.at("idle").at("throughput").as_number(), 0.0);
+  EXPECT_GT(classes.at("busy").at("throughput").as_number(), 0.0);
+}
+
+TEST(ServePipeline, MomServesMixesBeyondTheExactGuard) {
+  // 3 classes x 700 customers over one queueing and one delay station:
+  // the exact recursion's state space (701^3 vectors x 2 stations) trips
+  // its 2^28 guard, while MoM's moment space is a few million doubles.
+  const std::string mix_body =
+      "\"stations\":[{\"name\":\"cpu\"},{\"name\":\"net\","
+      "\"kind\":\"delay\"}],"
+      "\"classes\":["
+      "{\"name\":\"browse\",\"population\":700,\"think\":1.0,"
+      "\"demands\":[0.004,0.020]},"
+      "{\"name\":\"search\",\"population\":700,\"think\":1.0,"
+      "\"demands\":[0.006,0.015]},"
+      "{\"name\":\"buy\",\"population\":700,\"think\":1.0,"
+      "\"demands\":[0.002,0.030]}]}";
+  service::Engine engine;
+
+  const auto exact = service::parse_request(
+      "{\"solver\":\"exact-multiclass\"," + mix_body);
+  EXPECT_THROW((void)engine.evaluate(exact.spec), Error);
+
+  // "solver" omitted: multiclass requests default to mom-multiclass.
+  const auto parsed = service::parse_request("{\"id\":9," + mix_body);
+  const auto evaluation = engine.evaluate(parsed.spec);
+  std::string out;
+  service::append_evaluation(out, evaluation, parsed.series, parsed.id);
+  const Json response = Json::parse(out);
+  EXPECT_EQ(response.at("id").as_number(), 9.0);
+  EXPECT_GT(response.at("throughput").as_number(), 0.0);
+  const Json& classes = response.at("classes");
+  double total = 0.0;
+  for (const char* name : {"browse", "search", "buy"}) {
+    const Json& jc = classes.at(name);
+    EXPECT_EQ(jc.at("population").as_number(), 700.0);
+    EXPECT_GT(jc.at("throughput").as_number(), 0.0);
+    EXPECT_GT(jc.at("response_time").as_number(), 0.0);
+    total += jc.at("throughput").as_number();
+  }
+  EXPECT_NEAR(total, response.at("throughput").as_number(),
+              1e-9 * std::max(1.0, total));
+}
+
+TEST(ServePipeline, WorkmodelClassMixEndToEnd) {
+  // One compiled service graph, two traffic classes: the demand_scale=2
+  // class exercises the same mesh with doubled demands, so it must see a
+  // strictly larger response time.
+  const auto parsed = service::parse_request(
+      "{\"cmd\":\"workmodel\",\"entry\":\"web\",\"think\":1.0,"
+      "\"services\":{\"web\":{\"demand\":0.005,"
+      "\"calls\":[{\"to\":\"db\"}]},\"db\":{\"demand\":0.012}},"
+      "\"classes\":[{\"name\":\"light\",\"population\":40},"
+      "{\"name\":\"heavy\",\"population\":40,\"demand_scale\":2.0}]}");
+  service::Engine engine;
+  const auto evaluation = engine.evaluate(parsed.spec);
+  std::string out;
+  service::append_evaluation(out, evaluation, parsed.series, parsed.id);
+  const Json response = Json::parse(out);
+  const Json& classes = response.at("classes");
+  const double light_r = classes.at("light").at("response_time").as_number();
+  const double heavy_r = classes.at("heavy").at("response_time").as_number();
+  EXPECT_GT(light_r, 0.0);
+  EXPECT_GT(heavy_r, light_r);
 }
 
 TEST(Json, DumpToMatchesDump) {

@@ -310,6 +310,152 @@ TEST(Engine, RejectsCustomRateMultipliers) {
   EXPECT_THROW((void)engine.evaluate(spec), Error);
 }
 
+// ------------------------------------------------------------- multiclass
+
+/// A two-class mix over cpu+disk.  `heavy` is the fixed class; `light`
+/// is last-with-population, so the series kinds sweep it as the axis.
+/// `varying` swaps light's constant demands for a concurrency spline
+/// (exercising the per-class MulticlassGrid cache path).
+ScenarioSpec multiclass_spec(SolverKind kind, unsigned axis_pop = 12,
+                             bool varying = false) {
+  ScenarioSpec spec;
+  spec.label = "mix";
+  spec.network = core::make_network({"cpu", "disk"}, {1, 1}, 0.0);
+  core::CustomerClass heavy{"heavy", 8, 1.0, {0.020, 0.010}, nullptr};
+  core::CustomerClass light{"light", axis_pop, 2.0, {0.004, 0.012}, nullptr};
+  if (varying) {
+    auto spline_of = [](std::vector<double> x, std::vector<double> y) {
+      return std::make_shared<interp::PiecewiseCubic>(
+          interp::build_cubic_spline(
+              interp::SampleSet(std::move(x), std::move(y))));
+    };
+    light.demand_model = std::make_shared<const DemandModel>(
+        DemandModel::interpolated({
+            spline_of({1, 10, 40}, {0.004, 0.005, 0.007}),
+            spline_of({1, 10, 40}, {0.012, 0.011, 0.010}),
+        }));
+  }
+  spec.options.solver = kind;
+  spec.options.classes = {std::move(heavy), std::move(light)};
+  core::finalize_multiclass_options(spec.options);
+  return spec;
+}
+
+TEST(Fingerprint, MulticlassAxisPopulationExcludedForSeriesKinds) {
+  // The series kinds emit every axis level, so a deeper axis is the same
+  // key family (prefix reuse) ...
+  EXPECT_EQ(fingerprint(multiclass_spec(SolverKind::kExactMulticlass, 12)),
+            fingerprint(multiclass_spec(SolverKind::kExactMulticlass, 40)));
+  // ... but MoM answers only the full mix, so every population is key
+  // material there.
+  EXPECT_FALSE(fingerprint(multiclass_spec(SolverKind::kMomMulticlass, 12)) ==
+               fingerprint(multiclass_spec(SolverKind::kMomMulticlass, 40)));
+}
+
+TEST(Fingerprint, MulticlassDistinguishesMixShape) {
+  const Fingerprint base =
+      fingerprint(multiclass_spec(SolverKind::kExactMulticlass));
+  std::vector<ScenarioSpec> variants;
+  {  // different class name
+    auto s = multiclass_spec(SolverKind::kExactMulticlass);
+    s.options.classes[0].name = "heavier";
+    variants.push_back(std::move(s));
+  }
+  {  // different class think time
+    auto s = multiclass_spec(SolverKind::kExactMulticlass);
+    s.options.classes[0].think_time = 1.5;
+    variants.push_back(std::move(s));
+  }
+  {  // different non-axis population
+    auto s = multiclass_spec(SolverKind::kExactMulticlass);
+    s.options.classes[0].population = 9;
+    variants.push_back(std::move(s));
+  }
+  {  // different demand value
+    auto s = multiclass_spec(SolverKind::kExactMulticlass);
+    s.options.classes[0].demands[1] = 0.011;
+    variants.push_back(std::move(s));
+  }
+  {  // spline demands instead of constants
+    variants.push_back(
+        multiclass_spec(SolverKind::kExactMulticlass, 12, /*varying=*/true));
+  }
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    EXPECT_FALSE(fingerprint(variants[i]) == base) << "variant " << i;
+    for (std::size_t j = i + 1; j < variants.size(); ++j) {
+      EXPECT_FALSE(fingerprint(variants[i]) == fingerprint(variants[j]))
+          << "variants " << i << " vs " << j;
+    }
+  }
+}
+
+TEST(Fingerprint, MulticlassConstantVectorAndConstantModelAgree) {
+  // A class described by a demand vector and one described by an
+  // equivalent DemandModel::constant are the same scenario — and must
+  // land on the same cache key.
+  auto a = multiclass_spec(SolverKind::kExactMulticlass);
+  auto b = multiclass_spec(SolverKind::kExactMulticlass);
+  b.options.classes[1].demand_model = std::make_shared<const DemandModel>(
+      DemandModel::constant(b.options.classes[1].demands));
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+}
+
+TEST(Engine, MulticlassAxisPrefixHitMatchesDirectSolve) {
+  Engine engine(EngineOptions{.threads = 2});
+  (void)engine.evaluate(multiclass_spec(SolverKind::kExactMulticlass, 40));
+
+  const auto shallow_spec = multiclass_spec(SolverKind::kExactMulticlass, 12);
+  const auto shallow = engine.evaluate(shallow_spec);
+  EXPECT_TRUE(shallow.cache_hit);
+  EXPECT_TRUE(shallow.prefix_hit);
+  ASSERT_EQ(shallow.result->levels(), 12u);
+  ASSERT_EQ(shallow.result->classes(), 2u);
+
+  const MvaResult direct = core::solve(shallow_spec.network,
+                                       &shallow_spec.demands,
+                                       shallow_spec.options);
+  expect_identical(*shallow.result, direct);  // bit-for-bit
+  for (std::size_t i = 0; i < direct.levels(); ++i) {
+    for (std::size_t c = 0; c < direct.classes(); ++c) {
+      EXPECT_EQ(shallow.result->class_x(i, c), direct.class_x(i, c));
+      EXPECT_EQ(shallow.result->class_r(i, c), direct.class_r(i, c));
+    }
+  }
+  EXPECT_EQ(engine.metrics().prefix_hits, 1u);
+}
+
+TEST(Engine, MulticlassClassGridDeepensAndMatchesDirectSolve) {
+  Engine engine(EngineOptions{.threads = 2});
+  const auto shallow =
+      multiclass_spec(SolverKind::kExactMulticlass, 10, /*varying=*/true);
+  (void)engine.evaluate(shallow);
+  const auto deep =
+      multiclass_spec(SolverKind::kExactMulticlass, 30, /*varying=*/true);
+  const auto evaluated = engine.evaluate(deep);
+  EXPECT_FALSE(evaluated.cache_hit);  // deeper axis re-solves...
+  EXPECT_EQ(engine.metrics().entries, 1u);  // ...into the same entry
+
+  const MvaResult direct =
+      core::solve(deep.network, &deep.demands, deep.options);
+  expect_identical(*evaluated.result, direct);  // grid reuse is bit-exact
+}
+
+TEST(Engine, MomMulticlassCachesWholeMixesOnly) {
+  Engine engine(EngineOptions{.threads = 2});
+  const auto first = engine.evaluate(multiclass_spec(SolverKind::kMomMulticlass));
+  EXPECT_FALSE(first.cache_hit);
+  ASSERT_EQ(first.result->levels(), 1u);
+  const auto again = engine.evaluate(multiclass_spec(SolverKind::kMomMulticlass));
+  EXPECT_TRUE(again.cache_hit);
+  EXPECT_FALSE(again.prefix_hit);
+  EXPECT_EQ(first.result.get(), again.result.get());
+  // A different axis population is a different mix — a fresh miss, never
+  // a prefix of the cached one.
+  const auto other =
+      engine.evaluate(multiclass_spec(SolverKind::kMomMulticlass, 13));
+  EXPECT_FALSE(other.cache_hit);
+}
+
 // ----------------------------------------------------------------- facade
 
 TEST(SolveFacade, KindNamesRoundTrip) {

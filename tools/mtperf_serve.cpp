@@ -224,7 +224,8 @@ int main(int argc, char** argv) {
           "       mtperf_serve --port P [--batch-size N]"
           " [--batch-deadline-us U] [--queue-capacity N] [--max-inflight N]"
           " [--batchers N]\n"
-          "One JSON request per line — flat scenarios or {\"cmd\":"
+          "One JSON request per line — flat scenarios (single-class"
+          " \"demands\" or a multiclass \"classes\" array) or {\"cmd\":"
           "\"workmodel\"} service graphs; see service/request.hpp and"
           " service/workmodel.hpp for the schemas.  --port 0 binds a"
           " kernel-assigned port, announced on stdout as"
