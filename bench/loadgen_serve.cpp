@@ -114,6 +114,51 @@ std::string make_request(std::uint64_t id, std::uint64_t variant) {
   return line;
 }
 
+/// One multiclass request line (--multiclass): the same 12-station fleet as
+/// single-server queueing stations, carrying a three-class browse/search/
+/// buy mix solved with schweitzer-multiclass.  Every variant jitters the
+/// per-class demands and the axis depth, so a cold corpus is many distinct
+/// fingerprints of one class-structure key — the shape evaluate_batch packs
+/// into multiclass lockstep blocks.
+std::string make_mc_request(std::uint64_t id, std::uint64_t variant) {
+  std::string line;
+  line.reserve(1536);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "{\"id\":%llu,\"label\":\"lgmc-%llu\",",
+                static_cast<unsigned long long>(id),
+                static_cast<unsigned long long>(variant));
+  line += buf;
+  line += "\"stations\":[";
+  for (std::size_t k = 0; k < kStationCount; ++k) {
+    std::snprintf(buf, sizeof buf, "%s{\"name\":\"%s\",\"servers\":1}",
+                  k == 0 ? "" : ",", kStations[k]);
+    line += buf;
+  }
+  line += "],\"classes\":[";
+  constexpr const char* kClassNames[] = {"browse", "search", "buy"};
+  constexpr double kClassThink[] = {2.0, 4.0, 1.0};
+  constexpr double kClassScale[] = {1.0, 0.6, 1.8};
+  const unsigned kClassPop[] = {
+      8, 6, 40 + static_cast<unsigned>(variant % 4) * 8};
+  for (std::size_t c = 0; c < 3; ++c) {
+    std::snprintf(buf, sizeof buf,
+                  "%s{\"name\":\"%s\",\"population\":%u,\"think\":%.1f,"
+                  "\"demands\":[",
+                  c == 0 ? "" : ",", kClassNames[c], kClassPop[c],
+                  kClassThink[c]);
+    line += buf;
+    for (std::size_t k = 0; k < kStationCount; ++k) {
+      const double d = kBaseDemand[k] * kClassScale[c] *
+                       (1.0 + 0.25 * jitter(variant * 31 + c * 17 + k));
+      std::snprintf(buf, sizeof buf, "%s%.9f", k == 0 ? "" : ",", d);
+      line += buf;
+    }
+    line += "]}";
+  }
+  line += "],\"solver\":\"schweitzer-multiclass\"}\n";
+  return line;
+}
+
 #if defined(__unix__) || defined(__APPLE__)
 
 // --- child process ---------------------------------------------------------
@@ -206,6 +251,12 @@ struct Options {
   double saturation_seconds = 3.0;
   double p99_budget_ms = 500.0;
   double min_speedup = 3.0;
+  /// --multiclass: drive the three-class schweitzer-multiclass corpus
+  /// through the multiclass lockstep batch path instead of the
+  /// single-class mvasd corpus.  Results go to BENCH_serve_multiclass.json.
+  bool multiclass = false;
+  /// Corpus builder for the selected workload.
+  std::string (*make)(std::uint64_t, std::uint64_t) = make_request;
 };
 
 struct PhaseResult {
@@ -223,7 +274,7 @@ PhaseResult run_stdio_baseline(const Options& opt) {
   std::vector<std::string> corpus;
   corpus.reserve(opt.requests);
   for (std::size_t i = 0; i < opt.requests; ++i) {
-    corpus.push_back(make_request(i, 1000000 + i));
+    corpus.push_back(opt.make(i, 1000000 + i));
   }
   const auto start = Clock::now();
   std::thread writer([&] {
@@ -312,6 +363,7 @@ double latency_pct(std::vector<double>& sorted, double p) {
 
 int main(int argc, char** argv) {
   Options opt;
+  bool min_speedup_set = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto next = [&]() -> std::string {
@@ -333,6 +385,9 @@ int main(int argc, char** argv) {
       opt.p99_budget_ms = std::atof(next().c_str());
     } else if (arg == "--min-speedup") {
       opt.min_speedup = std::atof(next().c_str());
+      min_speedup_set = true;
+    } else if (arg == "--multiclass") {
+      opt.multiclass = true;
     } else if (arg == "--queue-capacity") {
       opt.queue_capacity = static_cast<std::size_t>(std::atol(next().c_str()));
     } else {
@@ -340,11 +395,18 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+  if (opt.multiclass) {
+    opt.make = make_mc_request;
+    // Multiclass solves are lighter than the N=1500 multiserver corpus, so
+    // per-request overhead takes a bigger slice and the batching speedup
+    // floor is calibrated lower (still strictly above no-batching).
+    if (!min_speedup_set) opt.min_speedup = 1.5;
+  }
 
   try {
     // --- phase 1: stdio baseline ------------------------------------------
-    std::printf("phase 1: stdio baseline (%zu cold requests, 1 thread)\n",
-                opt.requests);
+    std::printf("phase 1: stdio baseline (%zu cold %s requests, 1 thread)\n",
+                opt.requests, opt.multiclass ? "multiclass" : "single-class");
     const PhaseResult baseline = run_stdio_baseline(opt);
     std::printf("  %zu solves in %.3f s  ->  %.1f solves/s\n",
                 baseline.results, baseline.seconds, baseline.solves_per_sec);
@@ -377,7 +439,7 @@ int main(int argc, char** argv) {
     std::vector<std::string> corpus;
     corpus.reserve(total);
     for (std::size_t i = 0; i < total; ++i) {
-      corpus.push_back(make_request(i, 2000000 + i));
+      corpus.push_back(opt.make(i, 2000000 + i));
     }
     std::vector<Conn> conns(opt.connections);
     for (auto& c : conns) c.sock = connect_tcp(port);
@@ -448,7 +510,7 @@ int main(int argc, char** argv) {
       sat_warm[i] = is_warm ? 1 : 0;
       const std::uint64_t variant =
           is_warm ? 2000000 + (i / 2) % total : 3000000 + i;
-      sat_corpus.push_back(make_request(i, variant));
+      sat_corpus.push_back(opt.make(i, variant));
     }
     std::vector<Conn> sat_conns(opt.connections);
     for (auto& c : sat_conns) c.sock = connect_tcp(port);
@@ -526,7 +588,11 @@ int main(int argc, char** argv) {
                 speedup_ok ? "OK" : "FAIL", speedup, opt.min_speedup);
 
     Json::Object out;
-    out["benchmark"] = std::string("serve_pipeline_saturation");
+    out["benchmark"] = std::string(opt.multiclass
+                                       ? "serve_pipeline_saturation_multiclass"
+                                       : "serve_pipeline_saturation");
+    out["workload"] =
+        std::string(opt.multiclass ? "multiclass" : "single-class");
     out["hardware_threads"] = static_cast<unsigned long long>(
         std::thread::hardware_concurrency());
     Json::Object stdio_json;
@@ -565,9 +631,11 @@ int main(int argc, char** argv) {
         "speedup vs single-threaded stdio reflects lane-major micro-batching;"
         " recorded on the hardware_threads above");
 
-    const std::string path = bench::out_dir() + "/BENCH_serve.json";
+    const std::string path =
+        bench::out_dir() +
+        (opt.multiclass ? "/BENCH_serve_multiclass.json" : "/BENCH_serve.json");
     std::FILE* f = std::fopen(path.c_str(), "w");
-    MTPERF_REQUIRE(f != nullptr, "cannot write BENCH_serve.json");
+    MTPERF_REQUIRE(f != nullptr, "cannot write the BENCH_serve json");
     const std::string dumped = Json(std::move(out)).dump();
     std::fwrite(dumped.data(), 1, dumped.size(), f);
     std::fputc('\n', f);

@@ -6,6 +6,7 @@
 #include <limits>
 
 #include "common/error.hpp"
+#include "core/detail/multiclass_batch_engine.hpp"
 
 namespace mtperf::core::detail {
 
@@ -418,37 +419,56 @@ std::string batch_structure_key(const ClosedNetwork& network,
 
 BatchPlan plan_batch(const std::vector<const ScenarioSpec*>& specs) {
   BatchPlan plan;
-  // Grouping preserves first-seen order for determinism.
+  // Grouping preserves first-seen order for determinism.  Single-class and
+  // multiclass groups share one key space: the multiclass key embeds the
+  // solver kind, and the kinds are disjoint, so prefixing is unnecessary.
   std::vector<std::string> keys;
   std::vector<std::vector<std::size_t>> groups;
+  std::vector<char> group_mc;
   for (std::size_t i = 0; i < specs.size(); ++i) {
     const ScenarioSpec& spec = *specs[i];
-    if (!batchable_solver(spec.options.solver)) {
+    std::string key;
+    bool mc = false;
+    if (batchable_solver(spec.options.solver)) {
+      key = batch_structure_key(spec.network, spec.options.solver);
+    } else if (multiclass_batchable(spec)) {
+      key = multiclass_batch_key(spec);
+      mc = true;
+    } else {
       plan.scalars.push_back(i);
       continue;
     }
-    std::string key = batch_structure_key(spec.network, spec.options.solver);
     const auto it = std::find(keys.begin(), keys.end(), key);
     if (it == keys.end()) {
       keys.push_back(std::move(key));
       groups.push_back({i});
+      group_mc.push_back(mc ? 1 : 0);
     } else {
       groups[static_cast<std::size_t>(it - keys.begin())].push_back(i);
     }
   }
-  for (auto& group : groups) {
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    auto& group = groups[g];
     // Deepest lanes first so each block spans a narrow depth range (every
     // lane of a block runs to the block's deepest population; depth-sorted
-    // chunks keep that overshoot small).  The stable tiebreak keeps the
-    // plan deterministic.
+    // chunks keep that overshoot small).  For multiclass groups the depth
+    // is the axis population, and descending order additionally makes the
+    // live-lane set a shrinking prefix as the kernel's axis sweep passes
+    // shallower lanes.  The stable tiebreak keeps the plan deterministic.
     std::stable_sort(group.begin(), group.end(),
                      [&](std::size_t a, std::size_t b) {
                        return specs[a]->options.max_population >
                               specs[b]->options.max_population;
                      });
-    for (std::size_t at = 0; at < group.size(); at += kBatchLaneBlock) {
-      const std::size_t end = std::min(group.size(), at + kBatchLaneBlock);
-      plan.blocks.emplace_back(group.begin() + at, group.begin() + end);
+    auto& out = group_mc[g] != 0 ? plan.mc_blocks : plan.blocks;
+    const std::size_t width =
+        group_mc[g] != 0 && specs[group[0]]->options.solver ==
+                                SolverKind::kSchweitzerMulticlass
+            ? kMcSchweitzerLaneBlock
+            : kBatchLaneBlock;
+    for (std::size_t at = 0; at < group.size(); at += width) {
+      const std::size_t end = std::min(group.size(), at + width);
+      out.emplace_back(group.begin() + at, group.begin() + end);
     }
   }
   return plan;

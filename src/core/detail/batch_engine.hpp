@@ -71,12 +71,17 @@ struct BatchPlan {
   /// kBatchLaneBlock lanes, ordered by descending max_population (so lane
   /// retirement shrinks a prefix).
   std::vector<std::vector<std::size_t>> blocks;
+  /// Multiclass lockstep blocks: same shape as `blocks`, but grouped by the
+  /// class-aware key (multiclass_batch_key) and ordered by descending axis
+  /// depth; solve these through solve_multiclass_lane_block.
+  std::vector<std::vector<std::size_t>> mc_blocks;
   /// Specs no batched kernel covers — solve these through core::solve.
   std::vector<std::size_t> scalars;
 };
 
-/// Group batchable specs by structure key, order each group by descending
-/// population, and chunk it into kBatchLaneBlock-sized blocks.
+/// Group batchable specs by structure key (class-aware for the multiclass
+/// series kinds), order each group by descending population, and chunk it
+/// into kBatchLaneBlock-sized blocks.
 BatchPlan plan_batch(const std::vector<const ScenarioSpec*>& specs);
 
 /// Solve one structure-compatible lane group in lockstep and return one

@@ -48,36 +48,17 @@ std::vector<unsigned> class_populations_of(
   return pops;
 }
 
-/// Per-level solver state shared by the assembly step: per-class
-/// throughput / response plus the flat C x K residence matrix, and the
-/// demand row each class used at this level (for utilizations).
-struct LevelState {
-  std::vector<double> x;                   ///< X_c (0 for inactive classes)
-  std::vector<double> r;                   ///< R_c
-  std::vector<double> residence;           ///< [c * K + k]
-  std::vector<const double*> demand_rows;  ///< per class, K entries each
+}  // namespace
 
-  void resize(std::size_t c_count, std::size_t k_count) {
-    x.assign(c_count, 0.0);
-    r.assign(c_count, 0.0);
-    residence.assign(c_count * k_count, 0.0);
-    demand_rows.assign(c_count, nullptr);
-  }
-};
+/// Local aliases: the level state and assembly step were hoisted into the
+/// header (the lockstep batch kernel shares them), but the engines below
+/// keep their historical shorthand.
+using LevelState = MulticlassLevelState;
 
-/// Fill result row `row` from a solved level.  `level_pops` is the class
-/// population vector of this level (axis class at the level's depth).
-///
-/// When exactly one class is active the aggregates are copied from that
-/// class directly rather than recomputed as weighted means — this is what
-/// makes a single-class multiclass spec bit-identical to the single-class
-/// solvers (their wait/residence/cycle arithmetic is mirrored in the
-/// engines below, and a sum with one nonzero term is exact, but a
-/// weighted mean would round x*r/x differently from r).
-void assemble_level(MvaResult& result, std::size_t row,
-                    const std::vector<CustomerClass>& classes,
-                    const std::vector<unsigned>& level_pops,
-                    const LevelState& s) {
+void assemble_multiclass_level(MvaResult& result, std::size_t row,
+                               const std::vector<CustomerClass>& classes,
+                               const std::vector<unsigned>& level_pops,
+                               const MulticlassLevelState& s) {
   const std::size_t c_count = classes.size();
   const std::size_t k_count = result.stations();
 
@@ -135,8 +116,6 @@ void assemble_level(MvaResult& result, std::size_t row,
     }
   }
 }
-
-}  // namespace
 
 void validate_multiclass(const ClosedNetwork& network,
                          const std::vector<CustomerClass>& classes) {
@@ -305,7 +284,7 @@ MvaResult exact_multiclass_engine(const ClosedNetwork& network,
     }
     if (at_level) {
       std::vector<unsigned> level_pops = n;
-      assemble_level(result, n[axis] - 1, classes, level_pops, state);
+      assemble_multiclass_level(result, n[axis] - 1, classes, level_pops, state);
     }
   }
   return result;
@@ -397,7 +376,7 @@ MvaResult schweitzer_multiclass_engine(
           std::to_string(options.max_iterations) + " iterations");
     }
     result.mc_iterations = std::max(result.mc_iterations, iter);
-    assemble_level(result, t - 1, classes, level_pops, state);
+    assemble_multiclass_level(result, t - 1, classes, level_pops, state);
   }
   return result;
 }
@@ -761,7 +740,7 @@ MvaResult mom_multiclass_engine(const ClosedNetwork& network,
                  (classes[c].think_time + total_residence);
   }
 
-  assemble_level(result, 0, classes, class_populations_of(classes), state);
+  assemble_multiclass_level(result, 0, classes, class_populations_of(classes), state);
   return result;
 }
 

@@ -24,6 +24,39 @@ namespace mtperf::core::detail {
 void validate_multiclass(const ClosedNetwork& network,
                          const std::vector<CustomerClass>& classes);
 
+/// Per-level solver state shared by the assembly step: per-class
+/// throughput / response plus the flat C x K residence matrix, and the
+/// demand row each class used at this level (for utilizations).  Shared
+/// between the scalar engines and the lockstep batch kernel so both
+/// assemble result rows through the exact same arithmetic.
+struct MulticlassLevelState {
+  std::vector<double> x;                   ///< X_c (0 for inactive classes)
+  std::vector<double> r;                   ///< R_c
+  std::vector<double> residence;           ///< [c * K + k]
+  std::vector<const double*> demand_rows;  ///< per class, K entries each
+
+  void resize(std::size_t c_count, std::size_t k_count) {
+    x.assign(c_count, 0.0);
+    r.assign(c_count, 0.0);
+    residence.assign(c_count * k_count, 0.0);
+    demand_rows.assign(c_count, nullptr);
+  }
+};
+
+/// Fill result row `row` from a solved level.  `level_pops` is the class
+/// population vector of this level (axis class at the level's depth).
+///
+/// When exactly one class is active the aggregates are copied from that
+/// class directly rather than recomputed as weighted means — this is what
+/// makes a single-class multiclass spec bit-identical to the single-class
+/// solvers (their wait/residence/cycle arithmetic is mirrored in the
+/// engines, and a sum with one nonzero term is exact, but a weighted mean
+/// would round x*r/x differently from r).
+void assemble_multiclass_level(MvaResult& result, std::size_t row,
+                               const std::vector<CustomerClass>& classes,
+                               const std::vector<unsigned>& level_pops,
+                               const MulticlassLevelState& s);
+
 /// Exact recursion over the population-vector lattice, capturing one
 /// result level per axis-class population (other classes at full
 /// strength).  `grid` must cover the mix's total population.

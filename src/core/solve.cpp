@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "core/detail/batch_engine.hpp"
+#include "core/detail/multiclass_batch_engine.hpp"
 #include "core/mva_exact.hpp"
 #include "core/mva_multiserver.hpp"
 #include "core/mvasd.hpp"
@@ -185,16 +186,34 @@ std::vector<MvaResult> solve_batch(const std::vector<ScenarioSpec>& specs,
       out[block[l]] = std::move(results[l]);
     }
   };
+  const auto run_mc_block = [&](const std::vector<std::size_t>& block) {
+    std::vector<detail::MulticlassBatchLane> lanes(block.size());
+    for (std::size_t l = 0; l < block.size(); ++l) {
+      const ScenarioSpec& spec = specs[block[l]];
+      lanes[l].network = &spec.network;
+      lanes[l].classes = &spec.options.classes;
+      lanes[l].schweitzer = spec.options.schweitzer;
+    }
+    std::vector<MvaResult> results = detail::solve_multiclass_lane_block(
+        specs[block[0]].options.solver, lanes);
+    for (std::size_t l = 0; l < block.size(); ++l) {
+      out[block[l]] = std::move(results[l]);
+    }
+  };
   const auto run_scalar = [&](std::size_t i) {
     out[i] = solve(specs[i].network, &specs[i].demands, specs[i].options);
   };
 
-  const std::size_t tasks = plan.blocks.size() + plan.scalars.size();
+  const std::size_t tasks =
+      plan.blocks.size() + plan.mc_blocks.size() + plan.scalars.size();
   const auto run_task = [&](std::size_t t) {
     if (t < plan.blocks.size()) {
       run_block(plan.blocks[t]);
+    } else if (t < plan.blocks.size() + plan.mc_blocks.size()) {
+      run_mc_block(plan.mc_blocks[t - plan.blocks.size()]);
     } else {
-      run_scalar(plan.scalars[t - plan.blocks.size()]);
+      run_scalar(
+          plan.scalars[t - plan.blocks.size() - plan.mc_blocks.size()]);
     }
   };
   if (pool != nullptr && tasks > 1) {

@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "core/detail/batch_engine.hpp"
+#include "core/detail/multiclass_batch_engine.hpp"
 
 namespace mtperf::service {
 
@@ -488,11 +489,58 @@ std::vector<Evaluation> Engine::evaluate_batch(
                             ms_per_lane};
     }
   };
+  const auto run_mc_block = [&](const std::vector<std::size_t>& block) {
+    std::vector<core::detail::MulticlassBatchLane> lanes(block.size());
+    for (std::size_t l = 0; l < block.size(); ++l) {
+      Rep& rep = reps[miss_reps[block[l]]];
+      const core::ScenarioSpec& spec = specs[rep.spec_index];
+      lanes[l].network = &spec.network;
+      lanes[l].classes = &spec.options.classes;
+      lanes[l].schweitzer = spec.options.schweitzer;
+      if (class_grid_cacheable(spec)) {
+        // Seed the kernel with the leased grid (a shallower-mix entry's
+        // rows deepen in place); MulticlassGrid owns its model copies, so
+        // there is no demands lease to thread through.
+        lanes[l].grid = rep.lease.class_grid;
+      }
+    }
+    const core::SolverKind kind =
+        specs[reps[miss_reps[block[0]]].spec_index].options.solver;
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<core::MvaResult> results =
+        core::detail::solve_multiclass_lane_block(kind, lanes);
+    const auto stop = std::chrono::steady_clock::now();
+    record_batch_block(block.size());
+    const double ms_per_lane =
+        std::chrono::duration<double, std::milli>(stop - start).count() /
+        static_cast<double>(block.size());
+    for (std::size_t l = 0; l < block.size(); ++l) {
+      Rep& rep = reps[miss_reps[block[l]]];
+      const core::ScenarioSpec& spec = specs[rep.spec_index];
+      record_solve_ms(ms_per_lane);
+      auto solved =
+          std::make_shared<const core::MvaResult>(std::move(results[l]));
+      GridLease lease;
+      if (class_grid_cacheable(spec)) {
+        rep.lease.class_grid = lanes[l].grid;
+        rep.lease.demands = nullptr;
+        rep.lease.grid = nullptr;
+        lease = rep.lease;
+      }
+      store(rep.fp, solved, std::move(lease));
+      rep.eval = Evaluation{spec.label, std::move(solved), false, false,
+                            ms_per_lane};
+    }
+  };
   const auto run_task = [&](std::size_t t) {
     if (t < plan.blocks.size()) {
       run_block(plan.blocks[t]);
+    } else if (t < plan.blocks.size() + plan.mc_blocks.size()) {
+      run_mc_block(plan.mc_blocks[t - plan.blocks.size()]);
     } else {
-      Rep& rep = reps[miss_reps[plan.scalars[t - plan.blocks.size()]]];
+      batch_scalar_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      Rep& rep = reps[miss_reps[plan.scalars[t - plan.blocks.size() -
+                                             plan.mc_blocks.size()]]];
       rep.eval = solve_miss(specs[rep.spec_index], rep.fp,
                             std::move(rep.lease));
     }
@@ -518,7 +566,8 @@ std::vector<Evaluation> Engine::evaluate_batch(
       rep.flight = nullptr;
     }
   };
-  const std::size_t tasks = plan.blocks.size() + plan.scalars.size();
+  const std::size_t tasks =
+      plan.blocks.size() + plan.mc_blocks.size() + plan.scalars.size();
   try {
     if (tasks > 1 && pool_->size() > 1) {
       parallel_for(*pool_, tasks, run_task);
@@ -591,6 +640,8 @@ EngineMetrics Engine::metrics() const {
   m.queue_depth = queue_depth_.load(std::memory_order_relaxed);
   m.batch_blocks = batch_blocks_.load(std::memory_order_relaxed);
   m.batch_lanes = batch_lanes_.load(std::memory_order_relaxed);
+  m.batch_scalar_fallbacks =
+      batch_scalar_fallbacks_.load(std::memory_order_relaxed);
   for (std::size_t l = 0; l < m.batch_occupancy.size(); ++l) {
     m.batch_occupancy[l] = occupancy_hist_[l].load(std::memory_order_relaxed);
   }

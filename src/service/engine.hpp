@@ -113,6 +113,11 @@ struct EngineMetrics {
   /// (1 <= l <= kEngineBatchLanes; index 0 unused).
   std::uint64_t batch_blocks = 0;  ///< lockstep blocks solved
   std::uint64_t batch_lanes = 0;   ///< lanes across those blocks
+  /// Batch misses no lockstep kernel covered (kind not batchable, or a
+  /// multiclass spec past the lockstep lattice budget) — each ran a
+  /// per-spec scalar solve inside evaluate_batch.  batch_lanes vs this
+  /// counter is the lanes-vs-scalar split of batched serving traffic.
+  std::uint64_t batch_scalar_fallbacks = 0;
   double batch_occupancy_mean = 0.0;  ///< lanes per block (0 when none)
   std::array<std::uint64_t, kEngineBatchLanes + 1> batch_occupancy{};
 };
@@ -251,6 +256,7 @@ class Engine final : public core::ScenarioEvaluator {
   std::atomic<std::size_t> queue_depth_{0};
   std::atomic<std::uint64_t> batch_blocks_{0};
   std::atomic<std::uint64_t> batch_lanes_{0};
+  std::atomic<std::uint64_t> batch_scalar_fallbacks_{0};
   std::array<std::atomic<std::uint64_t>, kEngineBatchLanes + 1>
       occupancy_hist_{};
 

@@ -288,6 +288,8 @@ void append_metrics(std::string& out, const EngineMetrics& m,
   Json::Object batch;
   batch["blocks"] = static_cast<unsigned long long>(m.batch_blocks);
   batch["lanes"] = static_cast<unsigned long long>(m.batch_lanes);
+  batch["scalar_fallbacks"] =
+      static_cast<unsigned long long>(m.batch_scalar_fallbacks);
   batch["occupancy_mean"] = m.batch_occupancy_mean;
   Json::Array hist;
   for (std::size_t l = 1; l < m.batch_occupancy.size(); ++l) {

@@ -10,8 +10,11 @@
 #include <string>
 #include <vector>
 
+#include "common/error.hpp"
 #include "core/demand_model.hpp"
 #include "core/detail/batch_engine.hpp"
+#include "core/detail/multiclass_batch_engine.hpp"
+#include "core/mva_multiclass.hpp"
 #include "core/network.hpp"
 #include "core/solve.hpp"
 #include "core/sweep.hpp"
@@ -379,6 +382,296 @@ TEST(EngineBatch, BatchedDeepenReusesCachedGrid) {
   const MvaResult scalar =
       core::solve(reference.network, &reference.demands, reference.options);
   expect_parity(*evals[0].result, scalar);
+}
+
+// ------------------------------------------------------- multiclass lanes
+
+using core::CustomerClass;
+
+/// Three-class JPetStore-ish mix over queueing CPU/disk/net plus a delay
+/// station (external payment gateway); the axis class is the last one
+/// ("buy").  `scale` varies per-lane demand values without changing the
+/// structure key.
+std::vector<CustomerClass> mix_classes(double scale, unsigned axis_users,
+                                       unsigned browse_pop = 4,
+                                       unsigned search_pop = 3) {
+  std::vector<CustomerClass> classes;
+  classes.push_back(
+      {"browse", browse_pop, 1.0,
+       {0.010 * scale, 0.024 * scale, 0.006 * scale, 0.150}});
+  classes.push_back(
+      {"search", search_pop, 2.0,
+       {0.016 * scale, 0.009 * scale, 0.004 * scale, 0.080}});
+  classes.push_back(
+      {"buy", axis_users, 0.5,
+       {0.007 * scale, 0.031 * scale, 0.005 * scale, 0.400}});
+  return classes;
+}
+
+ScenarioSpec mix_spec(std::string label, double scale, unsigned axis_users,
+                      SolverKind solver = SolverKind::kSchweitzerMulticlass) {
+  ScenarioSpec spec;
+  spec.label = std::move(label);
+  spec.network =
+      ClosedNetwork({Station{"cpu", 1.0, 1, StationKind::kQueueing},
+                     Station{"disk", 1.0, 1, StationKind::kQueueing},
+                     Station{"net", 1.0, 1, StationKind::kQueueing},
+                     Station{"gateway", 1.0, 1, StationKind::kDelay}},
+                    0.0);
+  spec.options.solver = solver;
+  spec.options.classes = mix_classes(scale, axis_users);
+  core::finalize_multiclass_options(spec.options);
+  return spec;
+}
+
+/// A mix with one spline-demand class (demands falling with *total*
+/// concurrency) alongside constant-demand classes.
+ScenarioSpec mixed_model_spec(std::string label, double scale,
+                              unsigned axis_users,
+                              SolverKind solver =
+                                  SolverKind::kSchweitzerMulticlass) {
+  ScenarioSpec spec = mix_spec(std::move(label), scale, axis_users, solver);
+  std::vector<std::shared_ptr<const interp::Interpolator1D>> fns;
+  for (const double b : {0.010 * scale, 0.024 * scale, 0.006 * scale, 0.150}) {
+    fns.push_back(
+        spline_of({1.0, 10.0, 40.0}, {b, 0.90 * b, 0.85 * b}));
+  }
+  spec.options.classes[0].demand_model = std::make_shared<DemandModel>(
+      DemandModel::interpolated(std::move(fns)));
+  return spec;
+}
+
+/// Batched multiclass results must be bit-identical to the scalar facade
+/// (kParityTol is the acceptance ceiling; the lockstep kernel mirrors the
+/// scalar engines operation-for-operation, so equality is exact).
+void expect_mc_parity(const MvaResult& got, const MvaResult& want) {
+  ASSERT_EQ(got.levels(), want.levels());
+  ASSERT_EQ(got.stations(), want.stations());
+  ASSERT_EQ(got.classes(), want.classes());
+  EXPECT_EQ(got.class_names, want.class_names);
+  EXPECT_EQ(got.class_population, want.class_population);
+  EXPECT_EQ(got.mc_axis, want.mc_axis);
+  EXPECT_EQ(got.mc_iterations, want.mc_iterations);
+  EXPECT_EQ(got.throughput, want.throughput);
+  EXPECT_EQ(got.response_time, want.response_time);
+  EXPECT_EQ(got.cycle_time, want.cycle_time);
+  EXPECT_EQ(got.station_queue, want.station_queue);
+  EXPECT_EQ(got.station_residence, want.station_residence);
+  EXPECT_EQ(got.station_utilization, want.station_utilization);
+  EXPECT_EQ(got.class_throughput, want.class_throughput);
+  EXPECT_EQ(got.class_response_time, want.class_response_time);
+  EXPECT_EQ(got.class_station_queue, want.class_station_queue);
+}
+
+void expect_mc_batch_matches_scalar(const std::vector<ScenarioSpec>& specs) {
+  const std::vector<MvaResult> batched = core::solve_batch(specs);
+  ASSERT_EQ(batched.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const MvaResult scalar =
+        core::solve(specs[i].network, &specs[i].demands, specs[i].options);
+    SCOPED_TRACE("spec " + specs[i].label);
+    expect_mc_parity(batched[i], scalar);
+  }
+}
+
+TEST(McBatchPlan, RoutesMulticlassSeriesKindsToMcBlocks) {
+  std::vector<ScenarioSpec> specs;
+  specs.push_back(mix_spec("schw-a", 1.0, 6));
+  specs.push_back(vins_spec("vins", 1.0, 100));
+  specs.push_back(mix_spec("exact-a", 1.0, 4, SolverKind::kExactMulticlass));
+  specs.push_back(mix_spec("schw-b", 1.2, 9));
+  specs.push_back(mix_spec("mom", 1.0, 5, SolverKind::kMomMulticlass));
+  specs.push_back(mix_spec("exact-b", 0.9, 7, SolverKind::kExactMulticlass));
+  std::vector<const ScenarioSpec*> ptrs;
+  for (const auto& s : specs) ptrs.push_back(&s);
+  const auto plan = core::detail::plan_batch(ptrs);
+
+  ASSERT_EQ(plan.blocks.size(), 1u);  // the VINS lane
+  // Schweitzer and exact mixes group separately (kind is in the key),
+  // each ordered deepest-axis-first for lane retirement.
+  ASSERT_EQ(plan.mc_blocks.size(), 2u);
+  EXPECT_EQ(plan.mc_blocks[0], (std::vector<std::size_t>{3, 0}));
+  EXPECT_EQ(plan.mc_blocks[1], (std::vector<std::size_t>{5, 2}));
+  // MoM is a single-level moment recursion with no shared axis — scalar.
+  ASSERT_EQ(plan.scalars.size(), 1u);
+  EXPECT_EQ(plan.scalars[0], 4u);
+}
+
+TEST(McBatchPlan, KeySeparatesClassStructureNotLaneData) {
+  const auto key = [](const ScenarioSpec& s) {
+    return core::detail::multiclass_batch_key(s);
+  };
+  const ScenarioSpec base = mix_spec("base", 1.0, 6);
+  // Demand values, think times, and axis depth are per-lane data.
+  EXPECT_EQ(key(base), key(mix_spec("scaled", 1.4, 6)));
+  EXPECT_EQ(key(base), key(mix_spec("deeper", 1.0, 30)));
+  // Kind, demand-model shape, and the activity pattern are structure.
+  EXPECT_NE(key(base), key(mix_spec("exact", 1.0, 6,
+                                    SolverKind::kExactMulticlass)));
+  EXPECT_NE(key(base), key(mixed_model_spec("spline", 1.0, 6)));
+  {
+    ScenarioSpec idle = mix_spec("idle-class", 1.0, 6);
+    idle.options.classes[1].population = 0;
+    core::finalize_multiclass_options(idle.options);
+    EXPECT_NE(key(base), key(idle));
+  }
+  // Schweitzer lanes may differ in non-axis populations (only the
+  // zero/nonzero pattern is structural); exact lanes may not (lattice
+  // strides must agree).
+  {
+    ScenarioSpec grown = mix_spec("grown", 1.0, 6);
+    grown.options.classes[0].population = 9;
+    core::finalize_multiclass_options(grown.options);
+    EXPECT_EQ(key(base), key(grown));
+  }
+  {
+    const ScenarioSpec exact_base =
+        mix_spec("eb", 1.0, 6, SolverKind::kExactMulticlass);
+    ScenarioSpec exact_grown =
+        mix_spec("eg", 1.0, 6, SolverKind::kExactMulticlass);
+    exact_grown.options.classes[0].population = 9;
+    core::finalize_multiclass_options(exact_grown.options);
+    EXPECT_NE(key(exact_base), key(exact_grown));
+  }
+}
+
+TEST(McBatchParity, SchweitzerRaggedLanes) {
+  std::vector<ScenarioSpec> specs;
+  const std::vector<unsigned> depths = {12, 3, 7, 1, 9, 12, 5, 2, 10};
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    specs.push_back(mix_spec("schw-" + std::to_string(i),
+                             0.8 + 0.07 * static_cast<double>(i), depths[i]));
+  }
+  expect_mc_batch_matches_scalar(specs);
+}
+
+TEST(McBatchParity, ExactRaggedLanes) {
+  std::vector<ScenarioSpec> specs;
+  const std::vector<unsigned> depths = {6, 2, 5, 1, 4, 6};
+  for (std::size_t i = 0; i < depths.size(); ++i) {
+    specs.push_back(mix_spec("exact-" + std::to_string(i),
+                             0.85 + 0.06 * static_cast<double>(i), depths[i],
+                             SolverKind::kExactMulticlass));
+  }
+  expect_mc_batch_matches_scalar(specs);
+}
+
+TEST(McBatchParity, SingleLaneBatches) {
+  expect_mc_batch_matches_scalar({mix_spec("solo-schw", 1.0, 8)});
+  expect_mc_batch_matches_scalar(
+      {mix_spec("solo-exact", 1.0, 5, SolverKind::kExactMulticlass)});
+}
+
+TEST(McBatchParity, MixedConstantAndSplineClassModels) {
+  for (const SolverKind kind :
+       {SolverKind::kSchweitzerMulticlass, SolverKind::kExactMulticlass}) {
+    std::vector<ScenarioSpec> specs;
+    for (int i = 0; i < 5; ++i) {
+      specs.push_back(mixed_model_spec(
+          "mixed-" + std::to_string(i), 0.9 + 0.08 * static_cast<double>(i),
+          static_cast<unsigned>(3 + 2 * i), kind));
+    }
+    expect_mc_batch_matches_scalar(specs);
+  }
+}
+
+TEST(McBatchParity, GroupsLargerThanOneBlock) {
+  // More Schweitzer lanes than kMcSchweitzerLaneBlock, with colliding
+  // depths, so the plan must chunk and stay exact.
+  std::vector<ScenarioSpec> specs;
+  const int lanes = static_cast<int>(core::detail::kMcSchweitzerLaneBlock) + 8;
+  for (int i = 0; i < lanes; ++i) {
+    specs.push_back(mix_spec("wide-" + std::to_string(i),
+                             0.7 + 0.02 * static_cast<double>(i),
+                             static_cast<unsigned>(1 + (i * 7) % 13)));
+  }
+  expect_mc_batch_matches_scalar(specs);
+}
+
+TEST(McBatchParity, ZeroPopulationClassesStayInactive) {
+  std::vector<ScenarioSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    ScenarioSpec spec = mix_spec("idle-" + std::to_string(i),
+                                 1.0 + 0.1 * static_cast<double>(i),
+                                 static_cast<unsigned>(4 + i));
+    spec.options.classes[1].population = 0;
+    core::finalize_multiclass_options(spec.options);
+    specs.push_back(std::move(spec));
+  }
+  expect_mc_batch_matches_scalar(specs);
+}
+
+TEST(McBatchParity, NonConvergenceThrowsTheScalarError) {
+  ScenarioSpec strict = mix_spec("strict", 1.0, 6);
+  strict.options.schweitzer.tolerance = 1e-300;
+  strict.options.schweitzer.max_iterations = 3;
+  std::string scalar_error;
+  try {
+    (void)core::solve(strict.network, nullptr, strict.options);
+    FAIL() << "scalar solve unexpectedly converged";
+  } catch (const numeric_error& e) {
+    scalar_error = e.what();
+  }
+  // Batched alongside a healthy lane: the strict lane throws the scalar
+  // engine's exact error.
+  try {
+    (void)core::solve_batch({mix_spec("healthy", 1.1, 8), strict});
+    FAIL() << "batched solve unexpectedly converged";
+  } catch (const numeric_error& e) {
+    EXPECT_EQ(scalar_error, std::string(e.what()));
+  }
+}
+
+TEST(McEngineBatch, LanesAndScalarFallbacksAreCounted) {
+  service::Engine engine;
+  std::vector<ScenarioSpec> specs;
+  for (int i = 0; i < 5; ++i) {
+    specs.push_back(mix_spec("lane-" + std::to_string(i),
+                             1.0 + 0.05 * static_cast<double>(i),
+                             static_cast<unsigned>(4 + i)));
+  }
+  specs.push_back(mix_spec("mom", 1.0, 5, SolverKind::kMomMulticlass));
+  const auto evals = engine.evaluate_batch(specs);
+  ASSERT_EQ(evals.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(evals[i].label, specs[i].label);
+    const MvaResult scalar =
+        core::solve(specs[i].network, &specs[i].demands, specs[i].options);
+    SCOPED_TRACE("spec " + specs[i].label);
+    expect_mc_parity(*evals[i].result, scalar);
+  }
+  const auto metrics = engine.metrics();
+  // Five Schweitzer lanes in one lockstep block; MoM fell back to scalar.
+  EXPECT_EQ(metrics.batch_blocks, 1u);
+  EXPECT_EQ(metrics.batch_lanes, 5u);
+  EXPECT_EQ(metrics.batch_scalar_fallbacks, 1u);
+  EXPECT_EQ(metrics.misses, specs.size());
+}
+
+TEST(McEngineBatch, CachedClassGridDeepensThroughTheBatchPath) {
+  service::Engine engine;
+  // Seed a varying-class structure shallow, then batch it deeper: the
+  // lockstep kernel must lease the cached MulticlassGrid, deepen it in
+  // place, and still match a from-scratch scalar solve bit-for-bit.
+  (void)engine.evaluate_batch({mixed_model_spec("seed", 1.0, 4)});
+  const auto before = engine.metrics();
+  const auto evals =
+      engine.evaluate_batch({mixed_model_spec("deeper", 1.0, 12),
+                             mixed_model_spec("sibling", 1.3, 9)});
+  const auto after = engine.metrics();
+  EXPECT_EQ(after.misses - before.misses, 2u);
+  EXPECT_EQ(after.batch_blocks - before.batch_blocks, 1u);
+  EXPECT_EQ(after.batch_scalar_fallbacks, before.batch_scalar_fallbacks);
+  for (const auto& ev : evals) EXPECT_FALSE(ev.cache_hit);
+  {
+    const ScenarioSpec reference = mixed_model_spec("ref", 1.0, 12);
+    const MvaResult scalar =
+        core::solve(reference.network, nullptr, reference.options);
+    expect_mc_parity(*evals[0].result, scalar);
+  }
+  // The deepened entry answers both depths from cache now.
+  EXPECT_TRUE(engine.evaluate(mixed_model_spec("hit", 1.0, 12)).cache_hit);
+  EXPECT_TRUE(engine.evaluate(mixed_model_spec("hit4", 1.0, 4)).cache_hit);
 }
 
 TEST(DemandGrid, DeepeningConstructorMatchesFreshTabulation) {
