@@ -71,6 +71,12 @@ const interp::Interpolator1D* DemandModel::interpolant(
   return station < interpolants_.size() ? interpolants_[station].get() : nullptr;
 }
 
+std::shared_ptr<const interp::Interpolator1D> DemandModel::shared_interpolant(
+    std::size_t station) const {
+  MTPERF_REQUIRE(station < per_station_.size(), "station index out of range");
+  return station < interpolants_.size() ? interpolants_[station] : nullptr;
+}
+
 DemandModel scale_demand_model(const DemandModel& model, double factor) {
   MTPERF_REQUIRE(std::isfinite(factor) && factor >= 0.0,
                  "demand scale factor must be finite and non-negative");

@@ -67,6 +67,12 @@ class DemandModel {
   /// Lets hot paths (DemandGrid) bypass the std::function indirection.
   const interp::Interpolator1D* interpolant(std::size_t station) const;
 
+  /// Shared ownership of the interpolant backing station k (nullptr for
+  /// constant models) — lets the hierarchical solver assemble subnetwork
+  /// demand models as views onto this model's splines without copying.
+  std::shared_ptr<const interp::Interpolator1D> shared_interpolant(
+      std::size_t station) const;
+
  private:
   DemandModel(std::vector<std::function<double(double)>> fns, Axis axis,
               bool constant)

@@ -1,6 +1,8 @@
 #include "core/mva_load_dependent.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <string>
 
 #include "common/error.hpp"
 #include "core/detail/solver_workspace.hpp"
@@ -108,6 +110,48 @@ MvaResult load_dependent_mva(const ClosedNetwork& network,
     std::copy(residence, residence + k_count, result.residence_row(level));
   }
   return result;
+}
+
+MvaResult load_dependent_mva(
+    const ClosedNetwork& network, std::span<const double> service_times,
+    const std::vector<std::vector<double>>& rate_profiles,
+    unsigned max_population) {
+  const std::size_t k_count = network.size();
+  MTPERF_REQUIRE(rate_profiles.size() == k_count,
+                 "one rate profile per station required");
+  for (std::size_t k = 0; k < k_count; ++k) {
+    const std::vector<double>& profile = rate_profiles[k];
+    const std::string& name = network.station(k).name;
+    MTPERF_REQUIRE(!profile.empty(),
+                   "station '" + name + "': rate profile is empty");
+    double prev = 0.0;
+    for (std::size_t j = 0; j < profile.size(); ++j) {
+      MTPERF_REQUIRE(std::isfinite(profile[j]) && profile[j] > 0.0,
+                     "station '" + name + "': rate multiplier at population " +
+                         std::to_string(j + 1) +
+                         " must be finite and positive");
+      MTPERF_REQUIRE(
+          profile[j] >= prev,
+          "station '" + name + "': rate profile decreases at population " +
+              std::to_string(j + 1) +
+              " (service capacity cannot shrink with occupancy; use the "
+              "RateMultiplier overload for non-monotone laws)");
+      prev = profile[j];
+    }
+  }
+  std::vector<RateMultiplier> rates;
+  rates.reserve(k_count);
+  for (std::size_t k = 0; k < k_count; ++k) {
+    const std::vector<double>* profile = &rate_profiles[k];
+    rates.push_back([profile](unsigned jobs) {
+      // jobs >= 1 always; clamp past-the-end populations at .back() — the
+      // station is saturated beyond its tabulated range.
+      const std::size_t i =
+          std::min<std::size_t>(jobs, profile->size()) - 1;
+      return (*profile)[i];
+    });
+  }
+  return load_dependent_mva(network, service_times, rates, max_population);
 }
 
 }  // namespace mtperf::core

@@ -38,4 +38,20 @@ MvaResult load_dependent_mva(const ClosedNetwork& network,
                              const std::vector<RateMultiplier>& rates,
                              unsigned max_population);
 
+/// Tabulated-profile overload: rate_profiles[k][j-1] is alpha_k(j), and a
+/// profile shorter than max_population saturates — populations beyond its
+/// length are served at the last entry (truncation clamps at .back()).
+/// This is the natural form for flow-equivalent-server profiles extracted
+/// from a subnetwork throughput curve (alpha(j) = X_sub(j) / X_sub(1)).
+///
+/// Validated up front, with violations named per station: every profile
+/// must be nonempty, finite and strictly positive at every entry, and
+/// non-decreasing (service capacity cannot shrink as the queue grows —
+/// laws that do shrink must use the RateMultiplier overload explicitly).
+/// Throws mtperf::invalid_argument_error.
+MvaResult load_dependent_mva(
+    const ClosedNetwork& network, std::span<const double> service_times,
+    const std::vector<std::vector<double>>& rate_profiles,
+    unsigned max_population);
+
 }  // namespace mtperf::core

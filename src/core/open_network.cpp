@@ -25,18 +25,30 @@ double erlang_c(unsigned servers, double offered_load) {
 
 namespace {
 
-OpenNetworkResult analyze(const ClosedNetwork& network,
-                          const std::vector<double>& d, double arrival_rate) {
-  MTPERF_REQUIRE(arrival_rate >= 0.0, "arrival rate must be non-negative");
+/// All input validation, hoisted ahead of any result construction so a bad
+/// argument throws (with the station named) before partial state exists.
+void validate_inputs(const ClosedNetwork& network, const std::vector<double>& d,
+                     double arrival_rate) {
+  MTPERF_REQUIRE(std::isfinite(arrival_rate) && arrival_rate >= 0.0,
+                 "arrival rate must be finite and non-negative");
   MTPERF_REQUIRE(d.size() == network.size(),
                  "one demand per station required");
+  for (std::size_t k = 0; k < network.size(); ++k) {
+    MTPERF_REQUIRE(std::isfinite(d[k]) && d[k] >= 0.0,
+                   "station '" + network.station(k).name +
+                       "': service demand must be finite and non-negative");
+  }
+}
+
+OpenNetworkResult analyze(const ClosedNetwork& network,
+                          const std::vector<double>& d, double arrival_rate) {
+  validate_inputs(network, d, arrival_rate);
 
   OpenNetworkResult result;
   result.arrival_rate = arrival_rate;
   result.stable = true;
   for (std::size_t k = 0; k < network.size(); ++k) {
     const Station& st = network.station(k);
-    MTPERF_REQUIRE(d[k] >= 0.0, "service demands must be non-negative");
     OpenStationMetrics m;
     m.name = st.name;
     const double offered = arrival_rate * st.visits * d[k];  // Erlangs
@@ -68,6 +80,29 @@ OpenNetworkResult analyze(const ClosedNetwork& network,
   return result;
 }
 
+/// The strict path: validate inputs, then the per-station stability
+/// condition lambda V_k D_k < C_k (delay stations never saturate), and only
+/// then run the ordinary analysis.
+OpenNetworkResult analyze_strict(const ClosedNetwork& network,
+                                 const std::vector<double>& d,
+                                 double arrival_rate) {
+  validate_inputs(network, d, arrival_rate);
+  for (std::size_t k = 0; k < network.size(); ++k) {
+    const Station& st = network.station(k);
+    if (st.kind == StationKind::kDelay) continue;
+    const double offered = arrival_rate * st.visits * d[k];
+    if (offered >= static_cast<double>(st.servers)) {
+      throw invalid_argument_error(
+          "station '" + st.name + "' is unstable at arrival rate " +
+          std::to_string(arrival_rate) + ": offered load " +
+          std::to_string(offered) + " Erlangs >= " +
+          std::to_string(st.servers) +
+          " server(s) (stability requires lambda * V * D < C)");
+    }
+  }
+  return analyze(network, d, arrival_rate);
+}
+
 }  // namespace
 
 OpenNetworkResult open_network_analysis(const ClosedNetwork& network,
@@ -83,6 +118,22 @@ OpenNetworkResult open_network_analysis(const ClosedNetwork& network,
   MTPERF_REQUIRE(demands.stations() == network.size(),
                  "demand model width must match station count");
   return analyze(network, demands.all_at(arrival_rate), arrival_rate);
+}
+
+OpenNetworkResult open_network_analysis_strict(const ClosedNetwork& network,
+                                               std::span<const double> demands,
+                                               double arrival_rate) {
+  return analyze_strict(
+      network, std::vector<double>(demands.begin(), demands.end()),
+      arrival_rate);
+}
+
+OpenNetworkResult open_network_analysis_strict(const ClosedNetwork& network,
+                                               const DemandModel& demands,
+                                               double arrival_rate) {
+  MTPERF_REQUIRE(demands.stations() == network.size(),
+                 "demand model width must match station count");
+  return analyze_strict(network, demands.all_at(arrival_rate), arrival_rate);
 }
 
 double max_stable_arrival_rate(const ClosedNetwork& network,

@@ -42,7 +42,11 @@ struct OpenNetworkResult {
 /// Solve the open network at arrival rate lambda with constant demands
 /// (per-transaction time on one server of each station).  If any station is
 /// unstable (rho >= 1) the result has stable == false and per-station
-/// utilizations are still reported.
+/// utilizations are still reported — saturation is an *answer* here, not an
+/// error.  Inputs are validated up front (finite non-negative demands named
+/// per station, finite non-negative arrival rate) before any result state
+/// is built; violations throw mtperf::invalid_argument_error with the
+/// library's stable "mtperf: " prefix.
 OpenNetworkResult open_network_analysis(const ClosedNetwork& network,
                                         std::span<const double> demands,
                                         double arrival_rate);
@@ -53,6 +57,21 @@ OpenNetworkResult open_network_analysis(const ClosedNetwork& network,
 OpenNetworkResult open_network_analysis(const ClosedNetwork& network,
                                         const DemandModel& demands,
                                         double arrival_rate);
+
+/// Throwing variant for callers where an unstable operating point is a bug
+/// rather than an answer: checks every station's stability condition
+/// lambda * V_k * D_k < C_k up front and throws
+/// mtperf::invalid_argument_error naming the first saturated station and
+/// its server multiplicity.  On success the result is identical to
+/// open_network_analysis (and has stable == true).
+OpenNetworkResult open_network_analysis_strict(const ClosedNetwork& network,
+                                               std::span<const double> demands,
+                                               double arrival_rate);
+
+/// Strict variant over a throughput-indexed DemandModel.
+OpenNetworkResult open_network_analysis_strict(const ClosedNetwork& network,
+                                               const DemandModel& demands,
+                                               double arrival_rate);
 
 /// Largest stable arrival rate: min_k C_k / D_k, with throughput-varying
 /// demands resolved by bisection on the stability condition.

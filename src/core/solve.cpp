@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
 #include "core/detail/batch_engine.hpp"
+#include "core/detail/hierarchy_engine.hpp"
 #include "core/detail/multiclass_batch_engine.hpp"
 #include "core/mva_exact.hpp"
 #include "core/mva_multiserver.hpp"
@@ -35,6 +36,7 @@ constexpr KindName kKindNames[] = {
     {SolverKind::kExactMulticlass, "exact-multiclass"},
     {SolverKind::kMomMulticlass, "mom-multiclass"},
     {SolverKind::kSchweitzerMulticlass, "schweitzer-multiclass"},
+    {SolverKind::kHierarchical, "hierarchical"},
 };
 
 /// Constant demands as the span the fixed-demand entry points take.
@@ -152,6 +154,10 @@ MvaResult solve(const ClosedNetwork& network, const DemandModel* demands,
     case SolverKind::kSeidmannSchweitzer:
       return seidmann_schweitzer_mva(
           network, constant_demands(*demands, options.solver), n);
+    case SolverKind::kHierarchical:
+      // Direct profile extraction; the scenario engine passes its own
+      // evaluator so subnetwork profiles go through the fingerprint cache.
+      return detail::solve_hierarchical(network, demands, options);
     case SolverKind::kExactMulticlass:
     case SolverKind::kMomMulticlass:
     case SolverKind::kSchweitzerMulticlass:

@@ -47,6 +47,7 @@ enum class SolverKind {
   kExactMulticlass,     ///< exact population-vector recursion — small mixes
   kMomMulticlass,       ///< RECAL moment recursion — exact, large mixes
   kSchweitzerMulticlass,///< multi-class Schweitzer fixed point
+  kHierarchical,        ///< FES decomposition (Chandy–Herzog–Woo / Norton)
 };
 
 /// True for the customer-class solver kinds (they read options.classes and
@@ -64,6 +65,45 @@ const char* solver_kind_name(SolverKind kind);
 /// Inverse of solver_kind_name; throws mtperf::invalid_argument_error for
 /// unknown names.
 SolverKind parse_solver_kind(const std::string& name);
+
+/// One aggregation unit of the hierarchical solver (kHierarchical): the
+/// listed stations are solved in isolation (think time 0, populations
+/// 1..j*) to extract a flow-equivalent-server throughput profile, then
+/// replaced in the reduced network by a single load-dependent station.
+struct TierSpec {
+  /// Display name; the FES station is reported as "fes:<name>" when the
+  /// solve runs at tier detail.
+  std::string name;
+  /// Station indices of the subnetwork (disjoint across tiers, nonempty).
+  std::vector<std::size_t> stations;
+};
+
+/// How much per-station detail kHierarchical reports back.
+enum class HierarchyDetail {
+  /// Disaggregate every FES marginal back to the member stations: the
+  /// result has the original network's station rows (default).
+  kStations,
+  /// Report the reduced network as-is: one row per untouched station plus
+  /// one "fes:<tier>" row per tier — the cheap dashboard mode.
+  kTiers,
+};
+
+/// kHierarchical controls.  Aggregate-initializable like SolveOptions.
+struct HierarchyOptions {
+  /// Explicit tiers.  Empty selects the automatic partition: contiguous
+  /// blocks of queueing stations near sqrt(K) in size (the service-graph
+  /// compiler substitutes tier labels / call depths instead — see
+  /// graph::partition_tiers).
+  std::vector<TierSpec> tiers{};
+  /// Truncate each FES profile at the first population j whose throughput
+  /// gain X(j) - X(j-1) falls below tolerance * X(j) (the subnetwork has
+  /// saturated); 0 keeps the full profile — exact for constant demands.
+  double saturation_tolerance = 0.0;
+  /// First depth of the adaptive profile-extraction schedule; doubled
+  /// until the saturation plateau is found or max_population is reached.
+  unsigned initial_depth = 32;
+  HierarchyDetail detail = HierarchyDetail::kStations;
+};
 
 /// Everything a solver invocation needs beyond the network and demands.
 /// Aggregate-initializable: `{SolverKind::kMvasd, 1500}`.
@@ -85,6 +125,9 @@ struct SolveOptions {
   /// engine treat the axis depth exactly like a single-class population.
   /// Call finalize_multiclass_options() to establish the invariant.
   std::vector<CustomerClass> classes{};
+  /// kHierarchical only: partition and truncation controls.  Ignored by
+  /// every other kind.
+  HierarchyOptions hierarchy{};
 };
 
 /// Result depth of a multiclass solve: the axis class's population for the

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "graph/partition.hpp"
 #include "interp/piecewise_cubic.hpp"
 
 namespace mtperf::graph {
@@ -123,8 +124,15 @@ CompiledNetwork compile(const ServiceGraph& graph) {
 core::ScenarioSpec to_scenario(const ServiceGraph& graph, std::string label,
                                const core::SolveOptions& options) {
   CompiledNetwork compiled = compile(graph);
+  core::SolveOptions opts = options;
+  if (opts.solver == core::SolverKind::kHierarchical &&
+      opts.hierarchy.tiers.empty()) {
+    // Hierarchical solves get the topology-aware partition (tier labels,
+    // else call depths) instead of the core-level block fallback.
+    opts.hierarchy.tiers = partition_tiers(graph, compiled);
+  }
   return core::ScenarioSpec{std::move(label), std::move(compiled.network),
-                            std::move(compiled.demands), options};
+                            std::move(compiled.demands), std::move(opts)};
 }
 
 core::ScenarioSpec to_multiclass_scenario(

@@ -1,0 +1,97 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace mtperf::graph {
+
+namespace {
+
+/// Longest call-path distance from the entry, per service.  The graph is
+/// a DAG by the time anything compiles (solve_visit_counts rejects
+/// cycles), so a memoized DFS suffices.  Services unreachable from the
+/// entry keep depth 0 — they carry no traffic anyway.
+std::vector<unsigned> call_depths(const ServiceGraph& graph) {
+  std::vector<unsigned> depth(graph.size(), 0);
+  // Process in waves: relax every edge until fixed point.  Bounded by the
+  // longest path (<= size() on a DAG).
+  for (std::size_t pass = 0; pass < graph.size(); ++pass) {
+    bool changed = false;
+    for (std::size_t j = 0; j < graph.size(); ++j) {
+      for (const Call& call : graph.service(j).calls) {
+        const std::size_t t = graph.index_of(call.target);
+        if (depth[t] < depth[j] + 1) {
+          depth[t] = depth[j] + 1;
+          changed = true;
+        }
+      }
+    }
+    if (!changed) break;
+  }
+  return depth;
+}
+
+/// Group compiled stations by a per-service key, preserving first-seen
+/// key order, and drop groups the hierarchical solver should not
+/// aggregate (singletons; delay-only groups cannot arise here because
+/// callers exclude delay services from the keys).
+std::vector<core::TierSpec> group_stations(
+    const CompiledNetwork& compiled,
+    const std::vector<std::pair<bool, std::string>>& service_key) {
+  std::vector<std::string> order;
+  std::vector<std::vector<std::size_t>> members;
+  for (std::size_t k = 0; k < compiled.network.size(); ++k) {
+    const std::size_t service = compiled.station_service[k];
+    const auto& [grouped, key] = service_key[service];
+    if (!grouped) continue;
+    auto it = std::find(order.begin(), order.end(), key);
+    if (it == order.end()) {
+      order.push_back(key);
+      members.emplace_back();
+      it = order.end() - 1;
+    }
+    members[static_cast<std::size_t>(it - order.begin())].push_back(k);
+  }
+  std::vector<core::TierSpec> tiers;
+  for (std::size_t g = 0; g < order.size(); ++g) {
+    if (members[g].size() < 2) continue;
+    tiers.push_back(core::TierSpec{order[g], std::move(members[g])});
+  }
+  return tiers;
+}
+
+}  // namespace
+
+std::vector<core::TierSpec> partition_tiers(const ServiceGraph& graph,
+                                            const CompiledNetwork& compiled) {
+  MTPERF_REQUIRE(compiled.station_service.size() == compiled.network.size(),
+                 "compiled network / station map size mismatch");
+  const bool labeled =
+      std::any_of(graph.services().begin(), graph.services().end(),
+                  [](const Service& s) { return !s.tier.empty(); });
+
+  std::vector<std::pair<bool, std::string>> service_key(graph.size());
+  if (labeled) {
+    for (std::size_t j = 0; j < graph.size(); ++j) {
+      const Service& s = graph.service(j);
+      service_key[j] = {!s.tier.empty(), s.tier};
+    }
+  } else {
+    const std::vector<unsigned> depth = call_depths(graph);
+    for (std::size_t j = 0; j < graph.size(); ++j) {
+      const Service& s = graph.service(j);
+      // Delay services never saturate — their FES profile would not
+      // truncate — so the automatic partition leaves them untouched.
+      const bool grouped = s.kind == core::StationKind::kQueueing;
+      service_key[j] = {grouped, "depth" + std::to_string(depth[j])};
+    }
+  }
+  return group_stations(compiled, service_key);
+}
+
+}  // namespace mtperf::graph

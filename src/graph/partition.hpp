@@ -1,0 +1,36 @@
+// Topology-aware tier partitioning for the hierarchical solver.
+//
+// core::solve's kHierarchical needs a partition of the compiled network
+// into subnetworks.  The core-level fallback just chunks stations into
+// sqrt(K) blocks; the graph knows better:
+//
+//  * Explicit labels.  Services carrying the same Service::tier label
+//    aggregate into one tier (replica stations of a labeled round-robin
+//    service land in their service's tier automatically).  Unlabeled
+//    services stay unaggregated.
+//  * Call depth.  When no service is labeled, services group by their
+//    longest call-path distance from the entry — the natural "web tier /
+//    app tier / data tier" strata of a layered mesh.
+//
+// Either way, pure-delay services and singleton groups stay untouched
+// (aggregating one station buys nothing, and a delay subnetwork never
+// saturates, so its profile would not truncate).
+#pragma once
+
+#include <vector>
+
+#include "core/solve.hpp"
+#include "graph/compile.hpp"
+#include "graph/service_graph.hpp"
+
+namespace mtperf::graph {
+
+/// The tier partition of `graph` as compiled into `compiled` (station
+/// indices refer to compiled.network).  Returns explicit-label tiers when
+/// any service is labeled, call-depth tiers otherwise; may be empty (e.g.
+/// a one-deep mesh of singletons), in which case kHierarchical falls back
+/// to its core-level block partition.
+std::vector<core::TierSpec> partition_tiers(const ServiceGraph& graph,
+                                            const CompiledNetwork& compiled);
+
+}  // namespace mtperf::graph

@@ -69,6 +69,12 @@ struct Service {
   /// still costs this service's own demand but skips every outgoing call,
   /// so downstream visit counts scale by (1 - cache_hit_rate).
   double cache_hit_rate = 0.0;
+  /// Hierarchical-solver tier label: services sharing a label aggregate
+  /// into one flow-equivalent station under SolverKind::kHierarchical
+  /// (graph/partition.hpp).  Empty means unlabeled — such services join
+  /// the automatic call-depth partition only when *no* service is labeled,
+  /// and stay unaggregated otherwise.
+  std::string tier;
   std::vector<Call> calls;
 };
 

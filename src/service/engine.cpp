@@ -12,6 +12,7 @@
 #include "common/error.hpp"
 #include "common/stats.hpp"
 #include "core/detail/batch_engine.hpp"
+#include "core/detail/hierarchy_engine.hpp"
 #include "core/detail/multiclass_batch_engine.hpp"
 
 namespace mtperf::service {
@@ -295,8 +296,29 @@ Evaluation Engine::solve_miss(const core::ScenarioSpec& spec,
   }
 
   const auto start = std::chrono::steady_clock::now();
-  auto solved = std::make_shared<const core::MvaResult>(core::solve(
-      spec.network, &spec.demands, spec.options, grid_ptr, class_grid_ptr));
+  std::shared_ptr<const core::MvaResult> solved;
+  if (spec.options.solver == core::SolverKind::kHierarchical) {
+    // Hierarchical solves route each tier's subnetwork extraction back
+    // through evaluate(), so every FES throughput profile is its own
+    // fingerprinted cache entry — a batch editing one tier re-solves one
+    // profile and shares the rest.  The recursion is deadlock-free:
+    // evaluate() holds no shard lock while solving, and a subnetwork spec
+    // (think 0, strict station subset, kExactMultiserver) can never alias
+    // the parent's fingerprint, so flight waits form a DAG.
+    const core::detail::SubnetworkEvaluator sub =
+        [this](const core::ScenarioSpec& inner) {
+          Evaluation ev = evaluate(inner);
+          (ev.cache_hit ? fes_profile_hits_ : fes_profile_misses_)
+              .fetch_add(1, std::memory_order_relaxed);
+          return ev.result;
+        };
+    solved = std::make_shared<const core::MvaResult>(
+        core::detail::solve_hierarchical(spec.network, &spec.demands,
+                                         spec.options, sub));
+  } else {
+    solved = std::make_shared<const core::MvaResult>(core::solve(
+        spec.network, &spec.demands, spec.options, grid_ptr, class_grid_ptr));
+  }
   const auto stop = std::chrono::steady_clock::now();
   const double ms =
       std::chrono::duration<double, std::milli>(stop - start).count();
@@ -538,11 +560,16 @@ std::vector<Evaluation> Engine::evaluate_batch(
     } else if (t < plan.blocks.size() + plan.mc_blocks.size()) {
       run_mc_block(plan.mc_blocks[t - plan.blocks.size()]);
     } else {
-      batch_scalar_fallbacks_.fetch_add(1, std::memory_order_relaxed);
       Rep& rep = reps[miss_reps[plan.scalars[t - plan.blocks.size() -
                                              plan.mc_blocks.size()]]];
-      rep.eval = solve_miss(specs[rep.spec_index], rep.fp,
-                            std::move(rep.lease));
+      const core::ScenarioSpec& spec = specs[rep.spec_index];
+      // Hierarchical specs are scalar by design (their reuse is the FES
+      // profile cache, not the lockstep kernel) — counting them as
+      // fallbacks would poison the lanes-vs-scalar diagnostic.
+      if (spec.options.solver != core::SolverKind::kHierarchical) {
+        batch_scalar_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      }
+      rep.eval = solve_miss(spec, rep.fp, std::move(rep.lease));
     }
   };
   // Solve, then settle every registered flight exactly once: leaders whose
@@ -642,6 +669,8 @@ EngineMetrics Engine::metrics() const {
   m.batch_lanes = batch_lanes_.load(std::memory_order_relaxed);
   m.batch_scalar_fallbacks =
       batch_scalar_fallbacks_.load(std::memory_order_relaxed);
+  m.fes_profile_hits = fes_profile_hits_.load(std::memory_order_relaxed);
+  m.fes_profile_misses = fes_profile_misses_.load(std::memory_order_relaxed);
   for (std::size_t l = 0; l < m.batch_occupancy.size(); ++l) {
     m.batch_occupancy[l] = occupancy_hist_[l].load(std::memory_order_relaxed);
   }

@@ -117,7 +117,16 @@ struct EngineMetrics {
   /// multiclass spec past the lockstep lattice budget) — each ran a
   /// per-spec scalar solve inside evaluate_batch.  batch_lanes vs this
   /// counter is the lanes-vs-scalar split of batched serving traffic.
+  /// Hierarchical specs are exempt: they run per-spec by design (their
+  /// reuse lives in the FES profile cache, not the lockstep kernel).
   std::uint64_t batch_scalar_fallbacks = 0;
+  /// Flow-equivalent-server profile reuse (kHierarchical only): each tier's
+  /// subnetwork solve routes back through this cache, so a batch editing
+  /// one tier re-extracts one profile and shares the rest.  hits counts
+  /// subnetwork solves served from cache (or a concurrent in-flight solve),
+  /// misses counts subnetwork solves that actually ran.
+  std::uint64_t fes_profile_hits = 0;
+  std::uint64_t fes_profile_misses = 0;
   double batch_occupancy_mean = 0.0;  ///< lanes per block (0 when none)
   std::array<std::uint64_t, kEngineBatchLanes + 1> batch_occupancy{};
 };
@@ -257,6 +266,8 @@ class Engine final : public core::ScenarioEvaluator {
   std::atomic<std::uint64_t> batch_blocks_{0};
   std::atomic<std::uint64_t> batch_lanes_{0};
   std::atomic<std::uint64_t> batch_scalar_fallbacks_{0};
+  std::atomic<std::uint64_t> fes_profile_hits_{0};
+  std::atomic<std::uint64_t> fes_profile_misses_{0};
   std::array<std::atomic<std::uint64_t>, kEngineBatchLanes + 1>
       occupancy_hist_{};
 

@@ -148,6 +148,23 @@ void mix_options(Hasher& h, const core::SolveOptions& options) {
       h.mix(options.approx.tolerance);
       h.mix(static_cast<std::uint64_t>(options.approx.max_iterations));
       break;
+    case core::SolverKind::kHierarchical:
+      // The partition, truncation tolerance, and detail mode shape the
+      // result, so they are key material.  initial_depth is deliberately
+      // left out: it only tunes the extraction schedule — the plateau scan
+      // stops at the same support either way, so results are identical.
+      h.mix(std::string("hier"));
+      h.mix(static_cast<std::uint64_t>(options.hierarchy.tiers.size()));
+      for (const core::TierSpec& tier : options.hierarchy.tiers) {
+        h.mix(tier.name);
+        h.mix(static_cast<std::uint64_t>(tier.stations.size()));
+        for (const std::size_t k : tier.stations) {
+          h.mix(static_cast<std::uint64_t>(k));
+        }
+      }
+      h.mix(options.hierarchy.saturation_tolerance);
+      h.mix(static_cast<std::uint64_t>(options.hierarchy.detail));
+      break;
     default:
       break;
   }

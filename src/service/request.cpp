@@ -306,6 +306,10 @@ void append_metrics(std::string& out, const EngineMetrics& m,
   inner["entries"] = static_cast<unsigned long long>(m.entries);
   inner["queue_depth"] = static_cast<unsigned long long>(m.queue_depth);
   inner["hit_rate"] = m.hit_rate;
+  inner["fes_profile_hits"] =
+      static_cast<unsigned long long>(m.fes_profile_hits);
+  inner["fes_profile_misses"] =
+      static_cast<unsigned long long>(m.fes_profile_misses);
   inner["solve_ms"] = Json(std::move(latency));
   inner["batch"] = Json(std::move(batch));
   Json::Object line;

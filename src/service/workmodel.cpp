@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <memory>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -65,6 +66,9 @@ graph::Service parse_service(const std::string& name, const Json& spec) {
   service.kind = kind == "delay" ? core::StationKind::kDelay
                                  : core::StationKind::kQueueing;
   service.cache_hit_rate = spec.number_or("cache_hit_rate", 0.0);
+  // Hierarchical-solver tier label; services sharing one aggregate into a
+  // flow-equivalent station under "solver": "hierarchical".
+  service.tier = spec.string_or("tier", "");
   if (spec.contains("calls")) {
     for (const Json& jc : spec.at("calls").as_array()) {
       graph::Call call;
@@ -138,6 +142,27 @@ core::ScenarioSpec workmodel_scenario(const Json& request) {
   MTPERF_REQUIRE(population >= 1.0 && population <= kMaxRequestPopulation,
                  "max_population out of range");
   options.max_population = static_cast<unsigned>(population);
+  if (request.contains("hierarchy")) {
+    MTPERF_REQUIRE(options.solver == core::SolverKind::kHierarchical,
+                   "'hierarchy' options require \"solver\": \"hierarchical\"");
+    const Json& jh = request.at("hierarchy");
+    core::HierarchyOptions& hier = options.hierarchy;
+    hier.saturation_tolerance = jh.number_or("tolerance", 0.0);
+    MTPERF_REQUIRE(std::isfinite(hier.saturation_tolerance) &&
+                       hier.saturation_tolerance >= 0.0,
+                   "hierarchy tolerance must be finite and non-negative");
+    const double depth = jh.number_or("initial_depth", 32.0);
+    MTPERF_REQUIRE(depth >= 1.0 && depth <= kMaxRequestPopulation,
+                   "hierarchy initial_depth out of range");
+    hier.initial_depth = static_cast<unsigned>(depth);
+    const std::string detail = jh.string_or("detail", "stations");
+    MTPERF_REQUIRE(detail == "stations" || detail == "tiers",
+                   "hierarchy detail must be 'stations' or 'tiers'");
+    hier.detail = detail == "tiers" ? core::HierarchyDetail::kTiers
+                                    : core::HierarchyDetail::kStations;
+    // The tier partition itself comes from the graph: per-service "tier"
+    // labels, else call depth (graph/partition.hpp, via to_scenario).
+  }
   return graph::to_scenario(graph, request.string_or("label", ""), options);
 }
 

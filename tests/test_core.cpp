@@ -9,7 +9,9 @@
 //  * the operational-analysis bounds every prediction must respect.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <tuple>
 
@@ -625,6 +627,75 @@ TEST(LoadDependent, RejectsNonPositiveRate) {
   EXPECT_THROW(load_dependent_mva(net, std::vector<double>{0.5},
                                   {[](unsigned) { return 0.0; }}, 5),
                invalid_argument_error);
+}
+
+TEST(LoadDependent, ProfileOverloadMatchesRateClosures) {
+  const auto net = make_network({"a", "b"}, {1, 1}, 1.0);
+  const std::vector<double> s{0.1, 0.2};
+  // alpha(j) = min(j, 4) as an explicit vector vs the closure.
+  const auto from_profile = load_dependent_mva(
+      net, s,
+      std::vector<std::vector<double>>{{1.0, 2.0, 3.0, 4.0}, {1.0}}, 40);
+  const auto from_closure = load_dependent_mva(
+      net, s, {multiserver_rate(4), single_server_rate()}, 40);
+  EXPECT_EQ(from_profile.throughput, from_closure.throughput);
+  EXPECT_EQ(from_profile.station_queue, from_closure.station_queue);
+}
+
+TEST(LoadDependent, ProfileShorterThanPopulationClampsAtItsLastEntry) {
+  // A 3-entry profile on a 30-customer solve: populations past 3 run at
+  // the profile's final rate — pin this truncation behavior against the
+  // equivalent closure.
+  const auto net = single_station(1, 1.0);
+  const std::vector<double> s{0.5};
+  const std::vector<double> profile{1.0, 1.8, 2.4};
+  const auto truncated = load_dependent_mva(
+      net, s, std::vector<std::vector<double>>{profile}, 30);
+  const auto closure = load_dependent_mva(
+      net, s,
+      {[&profile](unsigned jobs) {
+        return profile[std::min<std::size_t>(jobs, profile.size()) - 1];
+      }},
+      30);
+  EXPECT_EQ(truncated.throughput, closure.throughput);
+  // And the clamp really binds: a longer, still-rising profile does better.
+  const auto longer = load_dependent_mva(
+      net, s, std::vector<std::vector<double>>{{1.0, 1.8, 2.4, 3.0}}, 30);
+  EXPECT_GT(longer.throughput.back(), truncated.throughput.back());
+}
+
+TEST(LoadDependent, ProfileOverloadSingleStationMatchesExact) {
+  const auto net = single_station(1, 2.0);
+  const std::vector<double> s{0.25};
+  const auto ld = load_dependent_mva(
+      net, s, std::vector<std::vector<double>>{{1.0}}, 20);
+  const auto ex = exact_mva(net, s, 20);
+  for (std::size_t i = 0; i < ld.levels(); ++i) {
+    EXPECT_NEAR(ld.throughput[i], ex.throughput[i], 1e-12);
+  }
+}
+
+TEST(LoadDependent, ProfileOverloadRejectsBadProfilesNamingTheStation) {
+  const auto net = make_network({"a", "b"}, {1, 1}, 1.0);
+  const std::vector<double> s{0.1, 0.2};
+  const auto message = [&](std::vector<std::vector<double>> profiles) {
+    try {
+      load_dependent_mva(net, s, profiles, 10);
+    } catch (const invalid_argument_error& e) {
+      return std::string(e.what());
+    }
+    return std::string();
+  };
+  EXPECT_NE(message({{1.0}, {}}).find("station 'b': rate profile is empty"),
+            std::string::npos);
+  EXPECT_NE(message({{1.0, 0.0}, {1.0}})
+                .find("station 'a': rate multiplier at population 2"),
+            std::string::npos);
+  EXPECT_NE(message({{1.0}, {1.0, 2.0, 1.5}})
+                .find("station 'b': rate profile decreases at population 3"),
+            std::string::npos);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_NE(message({{nan}, {1.0}}).find("station 'a'"), std::string::npos);
 }
 
 // --------------------------------------------------------------- Seidmann

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -298,6 +299,101 @@ TEST(GraphParity, VinsGraphReproducesHandBuiltNetwork) {
 TEST(GraphParity, JPetStoreGraphReproducesHandBuiltNetwork) {
   const AppFixture fix(apps::make_jpetstore(), {1, 25, 75, 150, 300, 500});
   expect_solver_parity(fix, 300);
+}
+
+/// Two-tier FES decomposition of an application frozen at a fixed
+/// concurrency (constant demands keep the network product-form, where
+/// Norton aggregation is exact): front half vs back half of the pipeline.
+void expect_two_tier_fes_parity(const workload::ApplicationModel& app,
+                                double frozen_at, unsigned max_population) {
+  std::vector<core::Station> stations;
+  const auto& sim_stations = app.stations();
+  for (const auto& st : sim_stations) {
+    stations.push_back({st.name, 1.0, st.servers, core::StationKind::kQueueing});
+  }
+  const core::ClosedNetwork network(std::move(stations), app.think_time());
+  const auto demands =
+      core::DemandModel::constant(app.true_demands(frozen_at));
+
+  const std::size_t half = sim_stations.size() / 2;
+  core::TierSpec front{"front", {}}, back{"back", {}};
+  for (std::size_t k = 0; k < sim_stations.size(); ++k) {
+    (k < half ? front : back).stations.push_back(k);
+  }
+
+  const core::SolveOptions flat{core::SolverKind::kExactMultiserver,
+                                max_population};
+  core::SolveOptions hier{core::SolverKind::kHierarchical, max_population};
+  hier.hierarchy.tiers = {front, back};
+
+  const auto exact = core::solve(network, &demands, flat);
+  const auto fes = core::solve(network, &demands, hier);
+  ASSERT_EQ(fes.station_names, exact.station_names);
+  for (std::size_t i = 0; i < exact.levels(); ++i) {
+    EXPECT_NEAR(fes.throughput[i], exact.throughput[i],
+                1e-9 * exact.throughput[i]);
+    EXPECT_NEAR(fes.response_time[i], exact.response_time[i],
+                1e-9 * exact.response_time[i]);
+  }
+  const std::size_t top = exact.levels() - 1;
+  for (std::size_t k = 0; k < exact.stations(); ++k) {
+    EXPECT_NEAR(fes.utilization(top, k), exact.utilization(top, k), 1e-9)
+        << exact.station_names[k];
+  }
+}
+
+TEST(GraphParity, VinsTwoTierFesMatchesFlatExact) {
+  expect_two_tier_fes_parity(apps::make_vins(), 300.0, 200);
+}
+
+TEST(GraphParity, JPetStoreTwoTierFesMatchesFlatExact) {
+  // At JPetStore's frozen-demand operating point the two FES subnetworks
+  // saturate hard well before n = 200, and the extracted profiles inherit
+  // the multiserver engine's saturated-regime accuracy (~1e-3 wiggle in
+  // X_sub past the subnetwork knee).  Exact parity therefore holds up to
+  // the onset of that regime (measured: 1e-9 through n = 93); deeper
+  // populations are covered by the bounded-saturation band below.
+  expect_two_tier_fes_parity(apps::make_jpetstore(), 140.0, 80);
+}
+
+TEST(GraphParity, JPetStoreTwoTierFesStaysBoundedPastSaturation) {
+  const auto app = apps::make_jpetstore();
+  std::vector<core::Station> stations;
+  for (const auto& st : app.stations()) {
+    stations.push_back({st.name, 1.0, st.servers, core::StationKind::kQueueing});
+  }
+  const core::ClosedNetwork network(std::move(stations), app.think_time());
+  const std::vector<double> d = app.true_demands(140.0);
+  const auto demands = core::DemandModel::constant(d);
+  const std::size_t half = network.size() / 2;
+  core::TierSpec front{"front", {}}, back{"back", {}};
+  for (std::size_t k = 0; k < network.size(); ++k) {
+    (k < half ? front : back).stations.push_back(k);
+  }
+  const core::SolveOptions flat{core::SolverKind::kExactMultiserver, 200};
+  core::SolveOptions hier{core::SolverKind::kHierarchical, 200};
+  hier.hierarchy.tiers = {front, back};
+  const auto exact = core::solve(network, &demands, flat);
+  const auto fes = core::solve(network, &demands, hier);
+
+  // The asymptote-anchored recursion keeps the deep-saturation error
+  // bounded: throughput may never exceed the network's capacity bound
+  // min_k C_k / D_k, and it tracks the flat solver through the knee to a
+  // few percent even though the profile inputs are only ~1e-3 accurate
+  // there (measured worst: 2.8% on X, 9.6% on R at the knee).
+  double bound = std::numeric_limits<double>::infinity();
+  for (std::size_t k = 0; k < network.size(); ++k) {
+    bound = std::min(bound, network.station(k).servers / d[k]);
+  }
+  for (std::size_t i = 0; i < exact.levels(); ++i) {
+    EXPECT_LE(fes.throughput[i], bound * (1.0 + 1e-9)) << "level " << i;
+    EXPECT_NEAR(fes.throughput[i], exact.throughput[i],
+                0.05 * exact.throughput[i])
+        << "level " << i;
+    EXPECT_NEAR(fes.response_time[i], exact.response_time[i],
+                0.15 * exact.response_time[i])
+        << "level " << i;
+  }
 }
 
 TEST(GraphParity, SolveBatchTreatsCompiledSpecsAsLaneCompatible) {

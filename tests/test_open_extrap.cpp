@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 #include <memory>
 
 #include "common/error.hpp"
@@ -14,6 +15,7 @@
 #include "core/network.hpp"
 #include "core/open_network.hpp"
 #include "interp/cubic_spline.hpp"
+#include "interp/piecewise_cubic.hpp"
 #include "ops/demand_estimation.hpp"
 
 namespace mtperf::core {
@@ -88,6 +90,65 @@ TEST(OpenNetwork, DetectsInstability) {
   EXPECT_FALSE(r.stable);
   EXPECT_TRUE(std::isinf(r.response_time));
   EXPECT_GE(r.stations[0].utilization, 1.0);
+}
+
+TEST(OpenNetwork, StrictVariantThrowsNamingTheUnstableStation) {
+  const auto net = make_network({"cpu"}, {2}, 0.0);
+  const std::vector<double> d{0.1};
+
+  // Stable operating point: strict and graceful agree exactly.
+  const auto ok = open_network_analysis_strict(net, d, 10.0);
+  EXPECT_TRUE(ok.stable);
+  EXPECT_NEAR(ok.response_time, open_network_analysis(net, d, 10.0).response_time,
+              0.0);
+
+  // Offered load 25 * 0.1 = 2.5 Erlangs >= 2 servers: the strict variant
+  // throws with the library prefix, the station name, and the server
+  // multiplicity; the graceful variant keeps reporting stable == false.
+  try {
+    open_network_analysis_strict(net, d, 25.0);
+    FAIL() << "expected invalid_argument_error";
+  } catch (const invalid_argument_error& e) {
+    const std::string msg = e.what();
+    EXPECT_EQ(msg.rfind("mtperf: ", 0), 0u) << msg;
+    EXPECT_NE(msg.find("station 'cpu' is unstable"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2 server"), std::string::npos) << msg;
+  }
+  EXPECT_FALSE(open_network_analysis(net, d, 25.0).stable);
+}
+
+TEST(OpenNetwork, StrictVariantAcceptsThroughputVaryingDemands) {
+  // Demand falls with offered load; at lambda = 9 the effective demand
+  // keeps rho < 1, so the strict call succeeds.
+  const auto net = make_network({"cpu"}, {1}, 0.0);
+  const auto model = DemandModel::interpolated(
+      {std::make_shared<interp::PiecewiseCubic>(interp::build_cubic_spline(
+          interp::SampleSet({1.0, 5.0, 10.0}, {0.1, 0.09, 0.08})))},
+      DemandModel::Axis::kThroughput);
+  const auto r = open_network_analysis_strict(net, model, 9.0);
+  EXPECT_TRUE(r.stable);
+  EXPECT_THROW(open_network_analysis_strict(net, model, 13.0),
+               invalid_argument_error);
+}
+
+TEST(OpenNetwork, ValidatesInputsUpFrontNamingTheStation) {
+  const auto net = make_network({"a", "b"}, {1, 1}, 0.0);
+  const std::vector<double> bad{0.05,
+                                std::numeric_limits<double>::quiet_NaN()};
+  try {
+    open_network_analysis(net, bad, 1.0);
+    FAIL() << "expected invalid_argument_error";
+  } catch (const invalid_argument_error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("station 'b'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("finite and non-negative"), std::string::npos) << msg;
+  }
+  const std::vector<double> neg{0.05, -0.01};
+  EXPECT_THROW(open_network_analysis(net, neg, 1.0), invalid_argument_error);
+  EXPECT_THROW(
+      open_network_analysis(net, std::vector<double>{0.05, 0.01},
+                            -std::numeric_limits<double>::infinity()),
+      invalid_argument_error);
 }
 
 TEST(OpenNetwork, VisitsScaleOfferedLoad) {

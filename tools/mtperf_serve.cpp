@@ -227,7 +227,10 @@ int main(int argc, char** argv) {
           "One JSON request per line — flat scenarios (single-class"
           " \"demands\" or a multiclass \"classes\" array) or {\"cmd\":"
           "\"workmodel\"} service graphs; see service/request.hpp and"
-          " service/workmodel.hpp for the schemas.  --port 0 binds a"
+          " service/workmodel.hpp for the schemas.  Large meshes solve"
+          " fastest with \"solver\": \"hierarchical\" (per-service \"tier\""
+          " labels plus a top-level \"hierarchy\" options object)."
+          "  --port 0 binds a"
           " kernel-assigned port, announced on stdout as"
           " {\"listening\":{\"port\":N}}.\n");
       return 0;
